@@ -1,0 +1,264 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Algorithm-2 probability-update variants, the interpolation scheme inside
+// MVASD, and the placement of the load-test sample points. Each benchmark
+// reports accuracy metrics via b.ReportMetric so `go test -bench=Ablation`
+// prints a compact ablation table.
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/chebyshev"
+	"repro/internal/core"
+	"repro/internal/extrapolate"
+	"repro/internal/interp"
+	"repro/internal/metrics"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+	"repro/internal/testbed"
+)
+
+// BenchmarkAblationAlgorithm2Variants compares the multi-server MVA
+// variants against exact load-dependent MVA across core counts: the default
+// Suri–Sahu–Vernon weighted update, the paper-as-printed Verbatim update,
+// and the demand/C single-server folding. Reported metrics are mean % X
+// deviation from the exact solution over n = 1..N.
+func BenchmarkAblationAlgorithm2Variants(b *testing.B) {
+	for _, cores := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("C=%d", cores), func(b *testing.B) {
+			m := &queueing.Model{
+				Name:      "ablation",
+				ThinkTime: 1,
+				Stations: []queueing.Station{
+					{Name: "cpu", Kind: queueing.CPU, Servers: cores, Visits: 1,
+						ServiceTime: 0.01 * float64(cores)},
+					{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.004},
+				},
+			}
+			maxN := 400
+			var devDefault, devVerbatim, devFolded float64
+			for i := 0; i < b.N; i++ {
+				exact, err := core.LoadDependentMVA(m, maxN, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				def, _, err := core.ExactMVAMultiServer(m, maxN, core.MultiServerOptions{TraceStation: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				verb, _, err := core.ExactMVAMultiServer(m, maxN,
+					core.MultiServerOptions{Verbatim: true, TraceStation: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				folded, err := core.ExactMVA(core.NormalizeServers(m), maxN)
+				if err != nil {
+					b.Fatal(err)
+				}
+				devDefault, _ = metrics.MeanDeviationPct(def.X, exact.X)
+				devVerbatim, _ = metrics.MeanDeviationPct(verb.X, exact.X)
+				devFolded, _ = metrics.MeanDeviationPct(folded.X, exact.X)
+			}
+			b.ReportMetric(devDefault, "weighted_dev_pct")
+			b.ReportMetric(devVerbatim, "verbatim_dev_pct")
+			b.ReportMetric(devFolded, "folded_DdivC_dev_pct")
+		})
+	}
+}
+
+// BenchmarkAblationInterpolationMethod runs MVASD on the JPetStore oracle
+// demands sampled at the paper's 7 points, swapping the interpolation
+// scheme, and reports each scheme's mean % X deviation from the oracle
+// MVASD (spline error isolated from measurement error).
+func BenchmarkAblationInterpolationMethod(b *testing.B) {
+	p := testbed.JPetStore()
+	at := []float64{1, 14, 28, 70, 140, 168, 210}
+	samples := make([]core.DemandSamples, p.StationCount())
+	for k := range samples {
+		d := make([]float64, len(at))
+		for i, a := range at {
+			d[i] = p.TrueDemands(int(a))[k]
+		}
+		samples[k] = core.DemandSamples{At: at, Demands: d}
+	}
+	oracle, err := core.MVASD(p.Model(1), p.MaxUsers, p.TrueDemandModel(), core.MVASDOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range []interp.Method{
+		interp.Linear, interp.CubicNatural, interp.CubicNotAKnot,
+		interp.PCHIP, interp.Akima, interp.Polynomial,
+	} {
+		b.Run(string(method), func(b *testing.B) {
+			var dev float64
+			for i := 0; i < b.N; i++ {
+				dm, err := core.NewCurveDemands(method, samples, interp.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.MVASD(p.Model(1), p.MaxUsers, dm, core.MVASDOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev, _ = metrics.MeanDeviationPct(res.X, oracle.X)
+			}
+			b.ReportMetric(dev, "x_dev_vs_oracle_pct")
+		})
+	}
+}
+
+// BenchmarkAblationSamplePlacement compares Chebyshev, equi-spaced and
+// endpoint-skewed placements of 5 noiseless sample points on the VINS
+// oracle demands, reporting MVASD deviation from the oracle solution.
+func BenchmarkAblationSamplePlacement(b *testing.B) {
+	p := testbed.VINS()
+	oracle, err := core.MVASD(p.Model(1), p.MaxUsers, p.TrueDemandModel(), core.MVASDOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cheb, err := chebyshev.NodesOn(1, float64(p.MaxUsers), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	placements := map[string][]float64{
+		"chebyshev":  cheb,
+		"equispaced": numeric.Linspace(1, float64(p.MaxUsers), 5),
+		// All points crowded into the first fifth of the range: the
+		// worst habit of ad-hoc load-test planning.
+		"low_skewed": numeric.Linspace(1, float64(p.MaxUsers)/5, 5),
+		// Geometric spread (another common habit).
+		"geometric": {1, 8, 60, 430, float64(p.MaxUsers)},
+	}
+	for name, at := range placements {
+		b.Run(name, func(b *testing.B) {
+			samples := make([]core.DemandSamples, p.StationCount())
+			for k := range samples {
+				d := make([]float64, len(at))
+				for i, a := range at {
+					d[i] = p.TrueDemands(int(math.Round(a)))[k]
+				}
+				samples[k] = core.DemandSamples{At: at, Demands: d}
+			}
+			var dev float64
+			for i := 0; i < b.N; i++ {
+				dm, err := core.NewCurveDemands(interp.CubicNotAKnot, samples, interp.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.MVASD(p.Model(1), p.MaxUsers, dm, core.MVASDOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev, _ = metrics.MeanDeviationPct(res.X, oracle.X)
+			}
+			b.ReportMetric(dev, "x_dev_vs_oracle_pct")
+		})
+	}
+}
+
+// BenchmarkAblationSmoothingLambda sweeps the Reinsch smoothing parameter on
+// noisy demand samples: λ=0 interpolates the noise, large λ underfits the
+// decay; a moderate λ should minimise MVASD deviation from the oracle.
+func BenchmarkAblationSmoothingLambda(b *testing.B) {
+	p := testbed.JPetStore()
+	oracle, err := core.MVASD(p.Model(1), p.MaxUsers, p.TrueDemandModel(), core.MVASDOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Noisy samples at 9 points (2% multiplicative noise, fixed seed via
+	// simple LCG to stay deterministic without math/rand state coupling).
+	at := numeric.Linspace(1, float64(p.MaxUsers), 9)
+	lcg := uint64(12345)
+	noise := func() float64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return (float64(lcg>>11)/float64(1<<53) - 0.5) * 2 // U(-1,1)
+	}
+	samples := make([]core.DemandSamples, p.StationCount())
+	for k := range samples {
+		d := make([]float64, len(at))
+		for i, a := range at {
+			d[i] = p.TrueDemands(int(math.Round(a)))[k] * (1 + 0.02*noise())
+		}
+		samples[k] = core.DemandSamples{At: at, Demands: d}
+	}
+	for _, lambda := range []float64{0, 1e2, 1e4, 1e6} {
+		b.Run(fmt.Sprintf("lambda=%g", lambda), func(b *testing.B) {
+			var dev float64
+			for i := 0; i < b.N; i++ {
+				dm, err := core.NewCurveDemands(interp.Smoothing, samples,
+					interp.Options{Lambda: lambda})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := core.MVASD(p.Model(1), p.MaxUsers, dm, core.MVASDOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dev, _ = metrics.MeanDeviationPct(res.X, oracle.X)
+			}
+			b.ReportMetric(dev, "x_dev_vs_oracle_pct")
+		})
+	}
+}
+
+// BenchmarkAblationDirectExtrapolation pits Perfext-style black-box curve
+// fitting (the paper's related work [4]: fit the measured X(N) samples with
+// linear/sigmoid forms and extrapolate) against MVASD given the *same* seven
+// JPetStore sample points. Both predict the full 1..280 range; deviations
+// are measured against the oracle MVASD trajectory. The model-based MVASD
+// has structural knowledge (queueing + demands) the curve fit lacks, which
+// shows up beyond the sampled region.
+func BenchmarkAblationDirectExtrapolation(b *testing.B) {
+	p := testbed.JPetStore()
+	oracle, err := core.MVASD(p.Model(1), p.MaxUsers, p.TrueDemandModel(), core.MVASDOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := []float64{1, 14, 28, 70, 140, 168, 210}
+	// "Measured" X at the sample points = oracle values (noise-free so the
+	// comparison isolates the extrapolation method).
+	xs := make([]float64, len(at))
+	for i, a := range at {
+		xs[i] = oracle.X[int(a)-1]
+	}
+	samples := make([]core.DemandSamples, p.StationCount())
+	for k := range samples {
+		d := make([]float64, len(at))
+		for i, a := range at {
+			d[i] = p.TrueDemands(int(a))[k]
+		}
+		samples[k] = core.DemandSamples{At: at, Demands: d}
+	}
+	var fitDev, mvasdDev, fitTailDev, mvasdTailDev float64
+	for i := 0; i < b.N; i++ {
+		fit, err := extrapolate.FitBest(at, xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fitX := make([]float64, p.MaxUsers)
+		for n := 1; n <= p.MaxUsers; n++ {
+			fitX[n-1] = fit.Eval(float64(n))
+		}
+		dm, err := core.NewCurveDemands(interp.CubicNotAKnot, samples, interp.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.MVASD(p.Model(1), p.MaxUsers, dm, core.MVASDOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fitDev, _ = metrics.MeanDeviationPct(fitX, oracle.X)
+		mvasdDev, _ = metrics.MeanDeviationPct(res.X, oracle.X)
+		// Beyond the last sample (N > 210): pure extrapolation.
+		tail := oracle.X[210:]
+		fitDev2, _ := metrics.MeanDeviationPct(fitX[210:], tail)
+		mvasdDev2, _ := metrics.MeanDeviationPct(res.X[210:], tail)
+		fitTailDev, mvasdTailDev = fitDev2, mvasdDev2
+	}
+	b.ReportMetric(fitDev, "curvefit_dev_pct")
+	b.ReportMetric(mvasdDev, "mvasd_dev_pct")
+	b.ReportMetric(fitTailDev, "curvefit_tail_dev_pct")
+	b.ReportMetric(mvasdTailDev, "mvasd_tail_dev_pct")
+}

@@ -1,0 +1,180 @@
+// Package repro's root benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (see DESIGN.md for the index). Each
+// benchmark regenerates its artefact end-to-end — simulated load tests,
+// demand extraction, analytical solve, comparison — and reports the headline
+// metrics through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced numbers alongside timing. The experiments share one
+// campaign cache per benchmark run, mirroring how the paper reuses a single
+// measurement campaign across its analyses.
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchCtx is the shared experiment context: quick-mode simulations, a
+// fixed seed, output discarded (the artefacts are still fully rendered so
+// the benchmark covers the formatting path too).
+var (
+	benchCtx      *experiments.Context
+	benchCtxOnce  sync.Once
+	benchOutcomes = map[string]*experiments.Outcome{}
+	benchMu       sync.Mutex
+)
+
+func ctx() *experiments.Context {
+	benchCtxOnce.Do(func() {
+		benchCtx = experiments.NewContext()
+		benchCtx.Quick = true
+		benchCtx.Seed = 1
+		benchCtx.Out = &bytes.Buffer{}
+	})
+	return benchCtx
+}
+
+// runExperiment executes (or reuses) an experiment and reports its metrics.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	c := ctx()
+	for i := 0; i < b.N; i++ {
+		benchMu.Lock()
+		o, ok := benchOutcomes[id]
+		if !ok || i > 0 {
+			var err error
+			o, err = experiments.RunAndRender(c, id)
+			if err != nil {
+				benchMu.Unlock()
+				b.Fatal(err)
+			}
+			benchOutcomes[id] = o
+		}
+		benchMu.Unlock()
+		if i == b.N-1 {
+			reportMetrics(b, o)
+		}
+	}
+}
+
+func reportMetrics(b *testing.B, o *experiments.Outcome) {
+	b.Helper()
+	keys := make([]string, 0, len(o.Metrics))
+	for k := range o.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.ReportMetric(o.Metrics[k], k)
+	}
+}
+
+// --- Figures ---------------------------------------------------------------
+
+// BenchmarkFig1GrinderTimeSeries regenerates the Grinder ramp-up transient
+// view (paper Fig. 1).
+func BenchmarkFig1GrinderTimeSeries(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3MarginalProbabilities regenerates the 4-core marginal
+// probability convergence plot (paper Fig. 3).
+func BenchmarkFig3MarginalProbabilities(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4MVAConstantDemands regenerates the VINS "MVA i" spread
+// (paper Fig. 4).
+func BenchmarkFig4MVAConstantDemands(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5VINSDemandCurves regenerates the measured VINS DB demand
+// curves (paper Fig. 5).
+func BenchmarkFig5VINSDemandCurves(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6MVASDVINS regenerates the headline VINS MVASD-vs-measured
+// comparison (paper Fig. 6).
+func BenchmarkFig6MVASDVINS(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7MVASDJPetStore regenerates the JPetStore MVASD-vs-MVA-i
+// comparison (paper Fig. 7).
+func BenchmarkFig7MVASDJPetStore(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8SingleVsMultiServer regenerates the single- vs multi-server
+// MVASD ablation (paper Fig. 8).
+func BenchmarkFig8SingleVsMultiServer(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9UtilizationPrediction regenerates the DB utilization
+// prediction plot (paper Fig. 9).
+func BenchmarkFig9UtilizationPrediction(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10SplineDemands regenerates the VINS DB demand splines
+// (paper Fig. 10).
+func BenchmarkFig10SplineDemands(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11DemandVsThroughput regenerates the Section-7
+// demand-vs-throughput study (paper Fig. 11).
+func BenchmarkFig11DemandVsThroughput(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12SampleCountSplines regenerates the 3/5/7-sample spline
+// comparison (paper Fig. 12).
+func BenchmarkFig12SampleCountSplines(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13ChebyshevErrorBounds regenerates the Chebyshev error-bound
+// study on exponentials (paper Fig. 13).
+func BenchmarkFig13ChebyshevErrorBounds(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14ChebyshevSplines regenerates the Chebyshev-node demand
+// splines (paper Fig. 14).
+func BenchmarkFig14ChebyshevSplines(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15ChebyshevVsRandom regenerates the Chebyshev-vs-random
+// sampling undulation study (paper Fig. 15).
+func BenchmarkFig15ChebyshevVsRandom(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16MVASDChebyshev regenerates MVASD fed 3/5/7 Chebyshev-node
+// samples (paper Fig. 16).
+func BenchmarkFig16MVASDChebyshev(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17WorkflowPipeline regenerates the end-to-end prediction
+// workflow (paper Fig. 17).
+func BenchmarkFig17WorkflowPipeline(b *testing.B) { runExperiment(b, "fig17") }
+
+// --- Tables ----------------------------------------------------------------
+
+// BenchmarkTable2VINSUtilization regenerates the VINS utilization matrix
+// (paper Table 2).
+func BenchmarkTable2VINSUtilization(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3JPetStoreUtilization regenerates the JPetStore utilization
+// matrix (paper Table 3).
+func BenchmarkTable3JPetStoreUtilization(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4VINSDeviation regenerates the VINS mean-deviation table
+// (paper Table 4).
+func BenchmarkTable4VINSDeviation(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5JPetStoreDeviation regenerates the JPetStore
+// mean-deviation table (paper Table 5).
+func BenchmarkTable5JPetStoreDeviation(b *testing.B) { runExperiment(b, "table5") }
+
+// TestBenchmarkHarnessSmoke keeps `go test` (without -bench) exercising the
+// harness wiring: the cheap fig13 runs end to end through the same path the
+// benchmarks use.
+func TestBenchmarkHarnessSmoke(t *testing.T) {
+	o, err := experiments.RunAndRender(ctx(), "fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Metrics) == 0 {
+		t.Fatal("no metrics reported")
+	}
+	for k, v := range o.Metrics {
+		if v < 0 {
+			t.Errorf("metric %s negative: %g", k, v)
+		}
+	}
+	_ = fmt.Sprintf("%v", o.Metrics)
+}

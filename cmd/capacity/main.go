@@ -1,0 +1,152 @@
+// Command capacity answers capacity-planning questions over a testbed
+// profile (or custom profile JSON) using MVASD with the profile's demand
+// curves: the largest concurrency that meets an SLA, compliance at a target
+// concurrency, and hardware what-if comparisons.
+//
+// Usage:
+//
+//	capacity -profile vins -max-cycle 2 -cap db/disk=0.9
+//	capacity -profile jpetstore -users 150 -max-cycle 1.5
+//	capacity -profile vins -users 400 -speedup db/disk=0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/planning"
+	"repro/internal/report"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capacity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("capacity", flag.ContinueOnError)
+	profileName := fs.String("profile", "vins", "testbed profile: vins | jpetstore")
+	profileFile := fs.String("profile-file", "", "custom profile JSON (overrides -profile)")
+	users := fs.Int("users", 0, "check the SLA at this concurrency (0: find the max instead)")
+	maxCycle := fs.Float64("max-cycle", 0, "SLA: maximum cycle time R+Z (s)")
+	maxResp := fs.Float64("max-response", 0, "SLA: maximum response time R (s)")
+	minX := fs.Float64("min-x", 0, "SLA: minimum throughput (pages/s)")
+	maxUtil := fs.Float64("max-util", 0, "SLA: maximum per-server utilization (0..1) for every station")
+	caps := fs.String("cap", "", "per-station utilization caps, e.g. db/disk=0.9,db/cpu=0.5")
+	speedup := fs.String("speedup", "", "what-if: station=factor service-time scaling, e.g. db/disk=0.5")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var p *testbed.Profile
+	if *profileFile != "" {
+		loaded, err := testbed.LoadProfile(*profileFile)
+		if err != nil {
+			return err
+		}
+		p = loaded
+	} else {
+		builtin, ok := testbed.Profiles()[strings.ToLower(*profileName)]
+		if !ok {
+			return fmt.Errorf("unknown profile %q (have vins, jpetstore)", *profileName)
+		}
+		p = builtin
+	}
+	sla := planning.SLA{
+		MaxCycleTime:    *maxCycle,
+		MaxResponseTime: *maxResp,
+		MinThroughput:   *minX,
+		MaxUtilization:  *maxUtil,
+	}
+	if *caps != "" {
+		sla.StationCaps = map[string]float64{}
+		for _, tok := range strings.Split(*caps, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(tok), "=")
+			if !ok {
+				return fmt.Errorf("bad cap %q (want station=fraction)", tok)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("bad cap value in %q: %w", tok, err)
+			}
+			sla.StationCaps[name] = v
+		}
+	}
+	if *speedup != "" {
+		return runSpeedup(out, p, *speedup, *users)
+	}
+	hasSLA := sla.MaxCycleTime > 0 || sla.MaxResponseTime > 0 || sla.MinThroughput > 0 ||
+		sla.MaxUtilization > 0 || len(sla.StationCaps) > 0
+	if !hasSLA {
+		return fmt.Errorf("no SLA clause given (use -max-cycle, -max-response, -min-x, -max-util or -cap)")
+	}
+	plan := &planning.Plan{Model: p.Model(1), Demands: p.TrueDemandModel()}
+	if *users > 0 {
+		violations, err := plan.Check(*users, sla)
+		if err != nil {
+			return err
+		}
+		if len(violations) == 0 {
+			fmt.Fprintf(out, "%s at %d users: SLA COMPLIANT\n", p.Name, *users)
+			return nil
+		}
+		fmt.Fprintf(out, "%s at %d users: SLA VIOLATED\n", p.Name, *users)
+		for _, v := range violations {
+			fmt.Fprintf(out, "  %s\n", v)
+		}
+		return nil
+	}
+	n, err := plan.MaxUsersUnderSLA(p.MaxUsers, sla)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		fmt.Fprintf(out, "%s: the SLA cannot be met even at 1 user\n", p.Name)
+		return nil
+	}
+	fmt.Fprintf(out, "%s: SLA holds up to %d concurrent users (searched 1..%d)\n", p.Name, n, p.MaxUsers)
+	if n < p.MaxUsers {
+		if v, err := plan.Check(n+1, sla); err == nil && len(v) > 0 {
+			fmt.Fprintf(out, "first violation at %d users: %s\n", n+1, v[0])
+		}
+	}
+	return nil
+}
+
+func runSpeedup(out io.Writer, p *testbed.Profile, spec string, users int) error {
+	if users <= 0 {
+		users = p.MaxUsers / 2
+	}
+	name, val, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("bad -speedup %q (want station=factor)", spec)
+	}
+	factor, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad speedup factor in %q: %w", spec, err)
+	}
+	baseline := p.Model(users)
+	scenario, err := planning.SpeedupScenario(baseline, name, factor)
+	if err != nil {
+		return err
+	}
+	cmp, err := planning.Compare(baseline, scenario, users)
+	if err != nil {
+		return err
+	}
+	tab := report.NewTable(fmt.Sprintf("what-if at N=%d: %s service time ×%g", users, name, factor),
+		"", "X (pages/s)", "R+Z (s)")
+	tab.AddRow("baseline", report.F(cmp.BaselineX, 2), report.F(cmp.BaselineCycle, 3))
+	tab.AddRow("scenario", report.F(cmp.ScenarioX, 2), report.F(cmp.ScenarioCycle, 3))
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nthroughput gain %.1f%%; new bottleneck: %s\n", cmp.XGain*100, cmp.Bottleneck)
+	return nil
+}

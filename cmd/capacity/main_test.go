@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFindMaxUsers(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "vins", "-max-cycle", "2", "-cap", "db/disk=0.9"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SLA holds up to") || !strings.Contains(out, "first violation") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCheckAtUsers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "jpetstore", "-users", "50", "-max-cycle", "1.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SLA COMPLIANT") {
+		t.Errorf("expected compliance at 50 users:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-profile", "jpetstore", "-users", "280", "-max-cycle", "1.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SLA VIOLATED") || !strings.Contains(buf.String(), "cycle time") {
+		t.Errorf("expected violation at 280 users:\n%s", buf.String())
+	}
+}
+
+func TestImpossibleSLA(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "vins", "-max-response", "0.000001"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cannot be met") {
+		t.Errorf("expected impossibility notice:\n%s", buf.String())
+	}
+}
+
+func TestSpeedupScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "vins", "-users", "400", "-speedup", "db/disk=0.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "throughput gain") || !strings.Contains(out, "new bottleneck") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "bogus", "-max-cycle", "1"},
+		{"-profile", "vins"},                                // no SLA clause
+		{"-profile", "vins", "-cap", "nonsense"},            // bad cap syntax
+		{"-profile", "vins", "-cap", "db/disk=abc"},         // bad cap value
+		{"-profile", "vins", "-speedup", "db/disk"},         // bad speedup syntax
+		{"-profile", "vins", "-speedup", "db/disk=x"},       // bad factor
+		{"-profile", "vins", "-speedup", "nonexistent=0.5"}, // unknown station
+		{"-profile-file", "/missing.json", "-max-cycle", "1"},
+	}
+	var buf bytes.Buffer
+	for i, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v) should fail", i, args)
+		}
+	}
+}

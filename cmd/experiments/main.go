@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6
+//	experiments -run all [-quick] [-csv out/] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments")
+	runID := fs.String("run", "", "experiment id (fig1..fig17, table2..table5) or 'all'")
+	quick := fs.Bool("quick", false, "shorter simulation windows (wider confidence intervals)")
+	csvDir := fs.String("csv", "", "dump tables/charts as CSV into this directory")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list || *runID == "" {
+		fmt.Fprintln(out, "available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "  %-8s %s\n", e.ID, e.Title)
+		}
+		if *runID == "" && !*list {
+			return fmt.Errorf("pass -run <id> or -run all")
+		}
+		return nil
+	}
+	ctx := experiments.NewContext()
+	ctx.Out = out
+	ctx.Quick = *quick
+	ctx.Seed = *seed
+	ctx.CSVDir = *csvDir
+	if strings.EqualFold(*runID, "all") {
+		for _, e := range experiments.All() {
+			if _, err := experiments.RunAndRender(ctx, e.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range strings.Split(*runID, ",") {
+		if _, err := experiments.RunAndRender(ctx, strings.TrimSpace(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig1", "fig17", "table2", "table5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	// fig13 is pure math: cheap enough for a CLI test.
+	if err := run([]string{"-run", "fig13", "-csv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 13") {
+		t.Errorf("rendered output missing:\n%s", buf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig13_table0.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunCommaSeparatedAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig13,fig3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig3") {
+		t.Errorf("second experiment missing:\n%s", buf.String())
+	}
+	if err := run([]string{"-run", "fig999"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no -run should error")
+	}
+}

@@ -1,0 +1,192 @@
+// Command loadtest runs a Grinder-style load test (or a sweep of them)
+// against one of the simulated multi-tier testbeds and prints the measured
+// throughput, response time, utilization matrix and extracted service
+// demands — the whole measurement side of the paper's methodology.
+//
+// Usage:
+//
+//	loadtest -profile vins -users 203 -duration 600
+//	loadtest -profile jpetstore -sweep 1,14,28,70,140,168,210 -samples-out d.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/loadgen"
+	"repro/internal/modelio"
+	"repro/internal/monitor"
+	"repro/internal/report"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	profileName := fs.String("profile", "vins", "testbed profile: vins | jpetstore")
+	profileFile := fs.String("profile-file", "", "custom profile JSON (overrides -profile; see internal/testbed.Config)")
+	propsPath := fs.String("properties", "", "grinder.properties file describing the workload")
+	users := fs.Int("users", 0, "virtual users for a single test")
+	sweep := fs.String("sweep", "", "comma-separated user counts for a campaign (overrides -users)")
+	duration := fs.Float64("duration", 600, "measured window in virtual seconds")
+	seed := fs.Int64("seed", 1, "random seed")
+	samplesOut := fs.String("samples-out", "", "write extracted demand samples JSON (sweep mode)")
+	showSeries := fs.Bool("series", false, "print the TPS time series (Fig 1 view)")
+	percentiles := fs.Bool("percentiles", false, "collect and print response-time percentiles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var p *testbed.Profile
+	if *profileFile != "" {
+		loaded, err := testbed.LoadProfile(*profileFile)
+		if err != nil {
+			return err
+		}
+		p = loaded
+	} else {
+		builtin, ok := testbed.Profiles()[strings.ToLower(*profileName)]
+		if !ok {
+			return fmt.Errorf("unknown profile %q (have vins, jpetstore)", *profileName)
+		}
+		p = builtin
+	}
+	if *sweep != "" {
+		return runSweep(out, p, *sweep, *duration, *seed, *samplesOut)
+	}
+	var props loadgen.Properties
+	switch {
+	case *propsPath != "":
+		f, err := os.Open(*propsPath)
+		if err != nil {
+			return err
+		}
+		props, err = loadgen.ParseProperties(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loaded %s: %d virtual users (%d agents × %d processes × %d threads)\n",
+			*propsPath, props.VirtualUsers(), props.Agents, props.Processes, props.Threads)
+	case *users > 0:
+		props = loadgen.PropertiesFor(*users, *duration)
+	default:
+		return fmt.Errorf("need -users, -properties or -sweep")
+	}
+	test := loadgen.Test{
+		Profile: p,
+		Props:   props,
+		Seed:    *seed,
+	}
+	if *percentiles {
+		test.PercentileSamples = 100_000
+	}
+	res, err := loadgen.Run(test)
+	if err != nil {
+		return err
+	}
+	printResult(out, p, res, *showSeries)
+	if *percentiles {
+		fmt.Fprintf(out, "response-time percentiles:")
+		for _, q := range []float64{50, 90, 95, 99} {
+			v, err := res.Stats.ResponsePercentile(q)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, " P%.0f=%.1fms", q, v*1000)
+		}
+		fmt.Fprintln(out)
+		ms := make([]float64, len(res.Stats.ResponseSamples))
+		for i, v := range res.Stats.ResponseSamples {
+			ms[i] = v * 1000
+		}
+		h := &report.Histogram{Title: "response-time distribution", Unit: "ms"}
+		if err := h.Render(out, ms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runSweep(out io.Writer, p *testbed.Profile, sweep string, duration float64, seed int64, samplesOut string) error {
+	var levels []int
+	for _, tok := range strings.Split(sweep, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad sweep value %q: %w", tok, err)
+		}
+		levels = append(levels, v)
+	}
+	results, err := loadgen.Sweep(p, levels, loadgen.SweepConfig{Duration: duration, Seed: seed})
+	if err != nil {
+		return err
+	}
+	matrix, err := monitor.BuildUtilizationMatrix(results)
+	if err != nil {
+		return err
+	}
+	headers := append([]string{"Users", "X (pages/s)", "R+Z (s)"}, matrix.Stations...)
+	tab := report.NewTable(fmt.Sprintf("%s load-test campaign — utilization %%", p.Name), headers...)
+	for i, n := range matrix.Concurrency {
+		cells := []string{fmt.Sprint(n), report.F(matrix.Throughput[i], 2),
+			report.F(results[i].Stats.CycleTime, 3)}
+		for _, v := range matrix.Pct[i] {
+			cells = append(cells, report.Pct(v))
+		}
+		tab.AddRow(cells...)
+	}
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	hot, pct := matrix.HottestStation()
+	fmt.Fprintf(out, "\nbottleneck: %s at %.1f%%\n", hot, pct)
+	if samplesOut != "" {
+		arrays, err := monitor.ExtractDemandSamples(results)
+		if err != nil {
+			return err
+		}
+		file, err := modelio.FromDemandSamples(p.Model(1), arrays)
+		if err != nil {
+			return err
+		}
+		if err := modelio.SaveSamples(samplesOut, file); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "demand samples written to %s\n", samplesOut)
+	}
+	return nil
+}
+
+func printResult(out io.Writer, p *testbed.Profile, res *loadgen.Result, showSeries bool) {
+	fmt.Fprintf(out, "%s @ %d users: X=%.2f pages/s, R=%.4f s, R+Z=%.4f s (%d pages measured)\n",
+		p.Name, res.Concurrency, res.Stats.Throughput, res.Stats.ResponseTime,
+		res.Stats.CycleTime, res.Stats.Completed)
+	tab := report.NewTable("per-station measurements",
+		"station", "util %", "queue len", "demand (s)")
+	for k, name := range res.StationNames {
+		tab.AddRow(name,
+			report.Pct(res.Stats.Utilization[k]*100),
+			report.F(res.Stats.QueueLen[k], 3),
+			report.F(res.Demands[k], 6))
+	}
+	_ = tab.Render(out)
+	if showSeries && res.Stats.TPSSeries != nil {
+		chart := &report.Chart{Title: "TPS over test time", XLabel: "s", YLabel: "pages/s"}
+		xs := make([]float64, len(res.Stats.TPSSeries.Points))
+		ys := make([]float64, len(xs))
+		for i, pt := range res.Stats.TPSSeries.Points {
+			xs[i], ys[i] = pt.T, pt.V
+		}
+		chart.Add("tps", xs, ys)
+		_ = chart.Render(out)
+	}
+}

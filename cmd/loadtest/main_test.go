@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/modelio"
+)
+
+func TestSingleTest(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "jpetstore", "-users", "28", "-duration", "300", "-series"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"JPetStore @ 28 users", "db/cpu", "demand (s)", "TPS over test time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepWithSamplesOut(t *testing.T) {
+	dir := t.TempDir()
+	samplesPath := filepath.Join(dir, "samples.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-profile", "jpetstore", "-sweep", "1,28,140",
+		"-duration", "300", "-samples-out", samplesPath,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bottleneck: db/cpu") {
+		t.Errorf("bottleneck line missing:\n%s", buf.String())
+	}
+	if _, err := os.Stat(samplesPath); err != nil {
+		t.Fatalf("samples file not written: %v", err)
+	}
+	file, err := modelio.LoadSamples(samplesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Stations) != 12 {
+		t.Errorf("samples for %d stations, want 12", len(file.Stations))
+	}
+	if len(file.Stations[0].At) != 3 {
+		t.Errorf("%d sample points, want 3", len(file.Stations[0].At))
+	}
+}
+
+func TestPropertiesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grinder.properties")
+	src := "grinder.processes = 4\ngrinder.threads = 7\ngrinder.duration = 300000\n" +
+		"grinder.initialSleepTime = 1000\ngrinder.processIncrement = 1\n" +
+		"grinder.processIncrementInterval = 5000\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-profile", "jpetstore", "-properties", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "28 virtual users") {
+		t.Errorf("properties summary missing:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "JPetStore @ 28 users") {
+		t.Errorf("test did not run at the configured concurrency:\n%s", buf.String())
+	}
+	// Missing file errors.
+	if err := run([]string{"-profile", "vins", "-properties", "/nope.properties"}, &buf); err == nil {
+		t.Error("missing properties file should error")
+	}
+}
+
+func TestCLIErrorPaths(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{"-profile", "bogus", "-users", "5"},
+		{"-profile", "vins"},                    // neither -users nor -sweep
+		{"-profile", "vins", "-sweep", "1,abc"}, // bad sweep token
+	}
+	for i, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d (%v) should fail", i, args)
+		}
+	}
+}
+
+func TestPercentilesFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-profile", "jpetstore", "-users", "14", "-duration", "200", "-percentiles"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"P50=", "P99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("percentile output missing %q:\n%s", want, out)
+		}
+	}
+}

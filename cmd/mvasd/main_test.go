@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/modelio"
+	"repro/internal/testbed"
+)
+
+// capture runs the CLI with stdout redirected to a temp file and returns the
+// output.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestCLIProfileOracle(t *testing.T) {
+	out, err := capture(t, []string{"-profile", "jpetstore", "-n", "200", "-algorithm", "mvasd-oracle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "db/cpu") {
+		t.Errorf("expected bottleneck db/cpu in output:\n%s", out)
+	}
+	if !strings.Contains(out, "max throughput") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+}
+
+func TestCLIModelFileAllAlgorithms(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.json")
+	if err := modelio.SaveModel(modelPath, testbed.VINS().Model(203)); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"exact", "schweitzer", "multiserver", "ld"} {
+		out, err := capture(t, []string{"-model", modelPath, "-n", "100", "-algorithm", algo})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "N") || !strings.Contains(out, "100") {
+			t.Errorf("%s: unexpected output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestCLIMVASDWithSamples(t *testing.T) {
+	dir := t.TempDir()
+	p := testbed.JPetStore()
+	model := p.Model(1)
+	modelPath := filepath.Join(dir, "model.json")
+	if err := modelio.SaveModel(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+	// Synthesise samples from the true curves.
+	file := &modelio.SamplesFile{}
+	at := []float64{1, 70, 140, 210}
+	for k, st := range model.Stations {
+		d := make([]float64, len(at))
+		for i, a := range at {
+			d[i] = p.TrueDemands(int(a))[k]
+		}
+		file.Stations = append(file.Stations, modelio.StationSamples{
+			Name: st.Name, At: at, Demands: d,
+		})
+	}
+	samplesPath := filepath.Join(dir, "samples.json")
+	if err := modelio.SaveSamples(samplesPath, file); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := filepath.Join(dir, "out.csv")
+	for _, algo := range []string{"mvasd", "mvasd-1s"} {
+		out, err := capture(t, []string{
+			"-model", modelPath, "-n", "280", "-algorithm", algo,
+			"-samples", samplesPath, "-csv", csvPath,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "trajectory written") {
+			t.Errorf("%s: CSV note missing:\n%s", algo, out)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 281 { // header + 280
+		t.Errorf("CSV has %d lines, want 281", lines)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},                    // no model/profile
+		{"-profile", "bogus"}, // unknown profile
+		{"-profile", "vins", "-algorithm", "nope"},    // unknown algorithm
+		{"-profile", "vins", "-algorithm", "mvasd"},   // mvasd without samples
+		{"-model", "/does/not/exist.json"},            // missing file
+		{"-model", "x", "-algorithm", "mvasd-oracle"}, // oracle without profile
+	}
+	for i, args := range cases {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("case %d (%v) should fail", i, args)
+		}
+	}
+}
+
+func TestCLIJSONExport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "result.json")
+	out, err := capture(t, []string{
+		"-profile", "jpetstore", "-n", "50", "-algorithm", "mvasd-oracle",
+		"-json", jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "full result written") {
+		t.Errorf("JSON note missing:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Algorithm string
+		X         []float64
+		Util      [][]float64
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Algorithm != "mvasd" || len(decoded.X) != 50 || len(decoded.Util) != 50 {
+		t.Fatalf("decoded result: algo=%q len(X)=%d", decoded.Algorithm, len(decoded.X))
+	}
+}

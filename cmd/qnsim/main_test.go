@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/modelio"
+	"repro/internal/testbed"
+)
+
+func TestQnsimProfile(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-profile", "jpetstore", "-n", "70",
+		"-warmup", "100", "-measure", "800",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"simulation vs analysis", "throughput", "station utilization", "db/cpu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The comparison column should show small sim-vs-LD deviations.
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN in output:\n%s", out)
+	}
+}
+
+func TestQnsimModelFileAndDistributions(t *testing.T) {
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.json")
+	if err := modelio.SaveModel(modelPath, testbed.VINS().Model(90)); err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []string{"exponential", "deterministic", "erlang2", "uniform"} {
+		var buf bytes.Buffer
+		err := run([]string{
+			"-model", modelPath, "-n", "30", "-warmup", "50", "-measure", "400",
+			"-service", dist,
+		}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+	}
+}
+
+func TestQnsimErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := [][]string{
+		{},
+		{"-profile", "bogus"},
+		{"-model", "/missing.json"},
+		{"-profile", "vins", "-service", "pareto"},
+	}
+	for i, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestQnsimOpenMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-profile", "jpetstore", "-n", "70", "-open", "50",
+		"-warmup", "100", "-measure", "600",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"open network at λ=50", "departure rate", "M/M/C analysis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Unstable rate warns instead of failing.
+	buf.Reset()
+	if err := run([]string{"-profile", "jpetstore", "-n", "70", "-open", "500",
+		"-warmup", "10", "-measure", "50"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "WARNING") {
+		t.Errorf("expected saturation warning:\n%s", buf.String())
+	}
+}

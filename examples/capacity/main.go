@@ -1,0 +1,141 @@
+// Capacity planning: the use case the paper's introduction motivates —
+// checking Service Level Agreements before deployment and predicting the
+// effect of hardware changes — built on MVASD so the concurrency-varying
+// demands are honoured.
+//
+// The scenario: the VINS insurance application must keep page cycle time
+// under 2 s and the database disk under 90% busy. How many concurrent users
+// can production take? Would an SSD swap (disk twice as fast) or more
+// application cores help? And how do the four VINS workflows share the
+// system when they run as a mix?
+//
+// Run with:
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/planning"
+	"repro/internal/report"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+func main() {
+	p := testbed.VINS()
+	plan := &planning.Plan{Model: p.Model(1), Demands: p.TrueDemandModel()}
+
+	sla := planning.SLA{
+		MaxCycleTime:   2.0,
+		MaxUtilization: 0, // no global cap
+		StationCaps:    map[string]float64{"db/disk": 0.90},
+	}
+	fmt.Println("SLA: page cycle time ≤ 2 s, db/disk ≤ 90% busy")
+
+	nMax, err := plan.MaxUsersUnderSLA(p.MaxUsers, sla)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capacity under SLA: %d concurrent users\n", nMax)
+	if v, err := plan.Check(nMax+25, sla); err == nil && len(v) > 0 {
+		fmt.Printf("at %d users the SLA breaks: %s\n\n", nMax+25, v[0])
+	}
+
+	// What-if analysis at a production target of 400 users. Demand models
+	// do not survive hardware swaps, so scenarios use the frozen demands
+	// measured around the target load.
+	const target = 400
+	baseline := p.Model(target)
+	tab := report.NewTable(fmt.Sprintf("what-if scenarios at N=%d (constant demands measured at that load)", target),
+		"Scenario", "X (pages/s)", "R+Z (s)", "X gain %", "new bottleneck")
+	base, err := planning.Compare(baseline, baseline, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab.AddRow("baseline", report.F(base.BaselineX, 1), report.F(base.BaselineCycle, 3), "-", base.Bottleneck)
+	scenarios := []struct {
+		name    string
+		station string
+		factor  float64
+	}{
+		{"SSD database disk (2× faster)", "db/disk", 0.5},
+		{"faster DB CPUs (1.5× faster)", "db/cpu", 1.0 / 1.5},
+		{"faster load-injector disk (2×)", "load/disk", 0.5},
+	}
+	for _, sc := range scenarios {
+		m, err := planning.SpeedupScenario(baseline, sc.station, sc.factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := planning.Compare(baseline, m, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(sc.name, report.F(cmp.ScenarioX, 1), report.F(cmp.ScenarioCycle, 3),
+			report.F(cmp.XGain*100, 1), cmp.Bottleneck)
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sizing: how many database disks (striping) for 1000 users under a
+	// 3 s cycle-time SLA? Striping the DB alone cannot get there — the
+	// load injector's disk caps throughput first — which is exactly the
+	// kind of answer a planner needs before buying hardware.
+	sizingSLA := planning.SLA{MaxCycleTime: 3}
+	if _, err := planning.MinServersForSLA(p.Model(1000), "db/disk", 1000, 8, sizingSLA); err != nil {
+		fmt.Printf("\nsizing: %v\n", err)
+		fast, err := planning.SpeedupScenario(p.Model(1000), "load/disk", 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		disks, err := planning.MinServersForSLA(fast, "db/disk", 1000, 8, sizingSLA)
+		if err != nil {
+			fmt.Printf("        still unreachable after doubling the load-injector disk: %v\n\n", err)
+		} else {
+			fmt.Printf("        after doubling the load-injector disk speed, a %d-disk DB stripe suffices\n\n", disks)
+		}
+	} else {
+		fmt.Println()
+	}
+
+	// Mixed-workflow analysis: the four VINS flows sharing the system,
+	// solved with exact multi-class MVA. Multi-class MVA needs
+	// single-server stations, so the 16-core CPUs are folded (D/C) and the
+	// workflow demand vectors are built from the folded model so both
+	// sides stay consistent.
+	skel := core.NormalizeServers(p.Model(200))
+	flows := workload.VINSWorkflows(skel.Demands(), 1)
+	mix := &workload.Mix{Name: "production mix", Entries: []workload.MixEntry{
+		{Workflow: flows[0], Population: 20}, // Registration
+		{Workflow: flows[1], Population: 30}, // New Policy
+		{Workflow: flows[2], Population: 80}, // Renew Policy
+		{Workflow: flows[3], Population: 70}, // Read Policy Details
+	}}
+	res, err := mix.Solve(skel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mt := report.NewTable("workflow mix at 200 users (exact multi-class MVA)",
+		"Workflow", "sessions", "X (sessions/s)", "R (s/session)")
+	for c, e := range mix.Entries {
+		mt.AddRow(e.Workflow.Name, fmt.Sprint(e.Population),
+			report.F(res.X[c], 2), report.F(res.R[c], 3))
+	}
+	if err := mt.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	bIdx, best := 0, 0.0
+	for k, u := range res.Util {
+		if u > best {
+			bIdx, best = k, u
+		}
+	}
+	fmt.Printf("\nshared bottleneck: %s at %.0f%% utilization\n",
+		skel.Stations[bIdx].Name, best*100)
+}

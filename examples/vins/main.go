@@ -1,0 +1,125 @@
+// VINS end-to-end study: the paper's Fig.-17 prediction workflow applied to
+// the vehicle-insurance testbed (Renew Policy workflow, disk-heavy,
+// 16-core servers, think time 1 s, up to 1500 users).
+//
+//	Step 1 — choose load-test points with Chebyshev nodes on [1, 1500];
+//	Step 2 — run the simulated Grinder campaign at those points, monitor
+//	         CPU/Disk/Net utilization, extract service demands (D = U/X);
+//	Step 3 — spline-interpolate the demand arrays and predict the full
+//	         1..1500-user throughput/response-time curves with MVASD.
+//
+// The prediction is then validated against independent "measured" load
+// tests at concurrencies the workflow never sampled.
+//
+// Run with:
+//
+//	go run ./examples/vins [-duration 600]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/chebyshev"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/report"
+	"repro/internal/testbed"
+)
+
+func main() {
+	duration := flag.Float64("duration", 600, "measured window per load test (virtual s)")
+	nodes := flag.Int("nodes", 5, "number of Chebyshev load-test points")
+	flag.Parse()
+
+	p := testbed.VINS()
+	fmt.Printf("VINS: %d-page workflow, Z=%.0fs, %d stations, up to %d users\n\n",
+		p.PagesPerWorkflow, p.ThinkTime, p.StationCount(), p.MaxUsers)
+
+	// Step 1: Chebyshev test points over the concurrency range.
+	points, err := chebyshev.IntegerNodesOn(1, float64(p.MaxUsers), *nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step 1: Chebyshev-%d load-test points: %v\n", *nodes, points)
+
+	// Step 2: run the campaign and extract demands.
+	results, err := loadgen.Sweep(p, points, loadgen.SweepConfig{Duration: *duration, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matrix, err := monitor.BuildUtilizationMatrix(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot, pct := matrix.HottestStation()
+	fmt.Printf("step 2: %d load tests done; bottleneck %s at %.1f%%\n", len(points), hot, pct)
+	samples, err := monitor.ExtractDemandSamples(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := p.Model(1).StationIndex("db/disk")
+	fmt.Printf("        db/disk demand falls %.2f ms → %.2f ms across the sampled range\n",
+		samples[k].Demands[0]*1000, samples[k].Demands[len(points)-1]*1000)
+
+	// Step 3: spline + MVASD.
+	dm, err := core.NewCurveDemands(interp.CubicNotAKnot, samples, interp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := core.MVASD(p.Model(1), p.MaxUsers, dm, core.MVASDOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	xMax, at := pred.MaxThroughput()
+	fmt.Printf("step 3: MVASD predicts max %.1f pages/s around N=%d\n\n", xMax, at)
+
+	// Validation against unsampled concurrencies.
+	holdout := []int{45, 150, 381, 900, 1250}
+	val, err := loadgen.Sweep(p, holdout, loadgen.SweepConfig{Duration: *duration, Seed: 977})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := report.NewTable("holdout validation (concurrencies never sampled by the workflow)",
+		"Users", "measured X", "predicted X", "dev %", "measured R+Z", "predicted R+Z", "dev %")
+	var mx, px, mc, pc []float64
+	for i, n := range holdout {
+		xm := val[i].Stats.Throughput
+		cm := val[i].Stats.CycleTime
+		xp, _, cp, err := pred.At(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mx, px = append(mx, xm), append(px, xp)
+		mc, pc = append(mc, cm), append(pc, cp)
+		tab.AddRow(fmt.Sprint(n),
+			report.F(xm, 2), report.F(xp, 2), report.F(metrics.RelErr(xp, xm)*100, 2),
+			report.F(cm, 3), report.F(cp, 3), report.F(metrics.RelErr(cp, cm)*100, 2))
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	xDev, _ := metrics.MeanDeviationPct(px, mx)
+	cDev, _ := metrics.MeanDeviationPct(pc, mc)
+	fmt.Printf("\nmean deviation: throughput %.2f%%, cycle time %.2f%% "+
+		"(paper reports <3%% and <9%% for VINS)\n", xDev, cDev)
+
+	// Throughput curve for the eye.
+	chart := &report.Chart{Title: "VINS throughput: MVASD prediction vs holdout measurements",
+		XLabel: "concurrent users", YLabel: "pages/s"}
+	var cx, cy []float64
+	for n := 1; n <= p.MaxUsers; n += 25 {
+		cx = append(cx, float64(n))
+		cy = append(cy, pred.X[n-1])
+	}
+	chart.Add("MVASD", cx, cy)
+	chart.Add("measured", report.IntsToFloats(holdout), mx)
+	if err := chart.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

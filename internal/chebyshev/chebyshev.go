@@ -1,0 +1,290 @@
+// Package chebyshev implements Chebyshev node generation, Chebyshev
+// polynomials and polynomial interpolation error bounds, reproducing the
+// machinery of Section 8 of the paper: placing the (expensive) load-test
+// sample points at Chebyshev nodes so that spline/polynomial interpolation
+// of service demands avoids Runge oscillation, and bounding the resulting
+// interpolation error (paper eqs. 16–19, Fig. 13).
+package chebyshev
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// ErrBadNodes is returned for invalid node requests (n < 1, empty interval).
+var ErrBadNodes = errors.New("chebyshev: invalid node request")
+
+// Nodes returns the n Chebyshev nodes of the first kind on (−1, 1):
+//
+//	x_k = cos((2k−1)/(2n) · π), k = 1..n            (paper eq. 16)
+//
+// sorted in increasing order.
+func Nodes(n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n = %d", ErrBadNodes, n)
+	}
+	xs := make([]float64, n)
+	for k := 1; k <= n; k++ {
+		// cos is decreasing on [0, π], so fill from the back to sort ascending.
+		xs[n-k] = math.Cos((2*float64(k) - 1) / (2 * float64(n)) * math.Pi)
+	}
+	return xs, nil
+}
+
+// NodesOn returns the n Chebyshev nodes of the first kind mapped onto the
+// arbitrary interval [a, b]:
+//
+//	x_k = (a+b)/2 + (b−a)/2 · cos((2k−1)/(2n) · π)   (paper eq. 17)
+//
+// sorted in increasing order. a < b is required.
+func NodesOn(a, b float64, n int) ([]float64, error) {
+	if a >= b {
+		return nil, fmt.Errorf("%w: interval [%g, %g]", ErrBadNodes, a, b)
+	}
+	base, err := Nodes(n)
+	if err != nil {
+		return nil, err
+	}
+	mid, half := (a+b)/2, (b-a)/2
+	for i := range base {
+		base[i] = mid + half*base[i]
+	}
+	return base, nil
+}
+
+// NodesSecondKind returns the n Chebyshev points of the second kind
+// ("Chebyshev–Lobatto", the extrema grid including the endpoints) on [a, b],
+// sorted ascending. These are the natural grid for barycentric interpolation
+// when endpoint samples are available. n ≥ 2 is required.
+func NodesSecondKind(a, b float64, n int) ([]float64, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: second-kind nodes need n >= 2, got %d", ErrBadNodes, n)
+	}
+	if a >= b {
+		return nil, fmt.Errorf("%w: interval [%g, %g]", ErrBadNodes, a, b)
+	}
+	mid, half := (a+b)/2, (b-a)/2
+	xs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		xs[n-1-k] = mid + half*math.Cos(math.Pi*float64(k)/float64(n-1))
+	}
+	xs[0], xs[n-1] = a, b // exact endpoints despite rounding
+	return xs, nil
+}
+
+// IntegerNodesOn maps Chebyshev nodes onto integer concurrency levels in
+// [a, b], de-duplicating and keeping order. Load tests can only be run at
+// whole numbers of virtual users. The paper takes the ceiling of each node:
+// that choice reproduces its Section-8 sets exactly, e.g. N = {22, 151, 280}
+// for Chebyshev-3 on [1, 300] (node 21.03 → 22).
+func IntegerNodesOn(a, b float64, n int) ([]int, error) {
+	xs, err := NodesOn(a, b, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for _, x := range xs {
+		v := int(math.Ceil(x))
+		if v < int(math.Ceil(a)) {
+			v = int(math.Ceil(a))
+		}
+		if v > int(math.Floor(b)) {
+			v = int(math.Floor(b))
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// T evaluates the Chebyshev polynomial of the first kind T_n(x) using the
+// numerically stable three-term recurrence (Clenshaw would be overkill for a
+// single basis function).
+func T(n int, x float64) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("chebyshev.T: negative degree %d", n))
+	}
+	switch n {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	tPrev, tCur := 1.0, x
+	for k := 2; k <= n; k++ {
+		tPrev, tCur = tCur, 2*x*tCur-tPrev
+	}
+	return tCur
+}
+
+// Clenshaw evaluates the Chebyshev series Σ c_k T_k(x) with Clenshaw's
+// recurrence. c[0] is the coefficient of T₀.
+func Clenshaw(c []float64, x float64) float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	var b1, b2 float64
+	for k := len(c) - 1; k >= 1; k-- {
+		b1, b2 = 2*x*b1-b2+c[k], b1
+	}
+	return x*b1 - b2 + c[0]
+}
+
+// Fit computes the degree-(n−1) Chebyshev series coefficients interpolating
+// f at the n first-kind nodes on [a, b] via the discrete cosine relations.
+func Fit(f func(float64) float64, a, b float64, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n = %d", ErrBadNodes, n)
+	}
+	if a >= b {
+		return nil, fmt.Errorf("%w: interval [%g, %g]", ErrBadNodes, a, b)
+	}
+	mid, half := (a+b)/2, (b-a)/2
+	fv := make([]float64, n)
+	for k := 0; k < n; k++ {
+		theta := math.Pi * (float64(k) + 0.5) / float64(n)
+		fv[k] = f(mid + half*math.Cos(theta))
+	}
+	c := make([]float64, n)
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += fv[k] * math.Cos(math.Pi*float64(j)*(float64(k)+0.5)/float64(n))
+		}
+		c[j] = 2 * sum / float64(n)
+	}
+	c[0] /= 2
+	return c, nil
+}
+
+// EvalFit evaluates a Chebyshev series fitted on [a, b] at x.
+func EvalFit(c []float64, a, b, x float64) float64 {
+	u := (2*x - a - b) / (b - a)
+	return Clenshaw(c, u)
+}
+
+// Interpolant is a barycentric Lagrange interpolant over arbitrary nodes.
+// With Chebyshev nodes the barycentric form is numerically stable even for
+// large n, unlike the Vandermonde approach.
+type Interpolant struct {
+	xs, ys, w []float64
+}
+
+// NewInterpolant builds the barycentric interpolant through (xs, ys). The
+// abscissae must be pairwise distinct (not necessarily sorted).
+func NewInterpolant(xs, ys []float64) (*Interpolant, error) {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return nil, fmt.Errorf("%w: need equal, non-empty xs/ys", ErrBadNodes)
+	}
+	w := make([]float64, n)
+	// Scale differences by the interval width to avoid under/overflow of
+	// the barycentric weights for larger n.
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	scale := 4 / math.Max(hi-lo, 1e-300)
+	for i := 0; i < n; i++ {
+		prod := 1.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := (xs[i] - xs[j]) * scale
+			if d == 0 {
+				return nil, fmt.Errorf("%w: duplicate abscissa %g", ErrBadNodes, xs[i])
+			}
+			prod *= d
+		}
+		w[i] = 1 / prod
+	}
+	return &Interpolant{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		w:  w,
+	}, nil
+}
+
+// Eval evaluates the interpolating polynomial at x.
+func (p *Interpolant) Eval(x float64) float64 {
+	var num, den float64
+	for i := range p.xs {
+		d := x - p.xs[i]
+		if d == 0 {
+			return p.ys[i]
+		}
+		t := p.w[i] / d
+		num += t * p.ys[i]
+		den += t
+	}
+	return num / den
+}
+
+// ErrorBound returns the classical Chebyshev interpolation error bound on
+// [−1, 1] for n first-kind nodes (paper eq. 19):
+//
+//	|f(x) − P(x)| ≤ 1/(2^{n−1} n!) · max |f⁽ⁿ⁾|
+//
+// given maxDerivN = max_{x∈[−1,1]} |f⁽ⁿ⁾(x)|.
+func ErrorBound(n int, maxDerivN float64) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("chebyshev.ErrorBound: n = %d", n))
+	}
+	return maxDerivN / (math.Exp2(float64(n-1)) * numeric.Factorial(n))
+}
+
+// ErrorBoundOn generalises ErrorBound to an arbitrary interval [a, b]: the
+// node polynomial Π(x−x_i) for first-kind Chebyshev nodes has max modulus
+// 2·((b−a)/4)ⁿ, so the bound becomes 2((b−a)/4)ⁿ/n! · max|f⁽ⁿ⁾|.
+func ErrorBoundOn(a, b float64, n int, maxDerivN float64) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("chebyshev.ErrorBoundOn: n = %d", n))
+	}
+	return 2 * math.Pow((b-a)/4, float64(n)) / numeric.Factorial(n) * maxDerivN
+}
+
+// ExponentialBound evaluates the eq.-19 bound for the exponential family
+// f(x) = exp(x/µ) on [−1, 1], whose n-th derivative max is e^{1/µ}/µⁿ. This
+// is exactly the family plotted in the paper's Fig. 13.
+func ExponentialBound(n int, mu float64) float64 {
+	if mu <= 0 {
+		panic(fmt.Sprintf("chebyshev.ExponentialBound: µ = %g", mu))
+	}
+	maxD := math.Exp(1/mu) / math.Pow(mu, float64(n))
+	return ErrorBound(n, maxD)
+}
+
+// MaxInterpolationError measures the actual max |f − P| on a dense grid for
+// the interpolant of f at n first-kind nodes on [a, b]. Used to verify that
+// the theoretical bound holds (and by the Fig. 13 experiment).
+func MaxInterpolationError(f func(float64) float64, a, b float64, n, gridPts int) (float64, error) {
+	xs, err := NodesOn(a, b, n)
+	if err != nil {
+		return 0, err
+	}
+	ys := make([]float64, n)
+	for i, x := range xs {
+		ys[i] = f(x)
+	}
+	p, err := NewInterpolant(xs, ys)
+	if err != nil {
+		return 0, err
+	}
+	if gridPts < 2 {
+		gridPts = 256
+	}
+	worst := 0.0
+	for _, x := range numeric.Linspace(a, b, gridPts) {
+		worst = math.Max(worst, math.Abs(f(x)-p.Eval(x)))
+	}
+	return worst, nil
+}

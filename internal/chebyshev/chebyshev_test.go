@@ -1,0 +1,375 @@
+package chebyshev
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+func TestNodesCountAndRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 32} {
+		xs, err := Nodes(n)
+		if err != nil {
+			t.Fatalf("Nodes(%d): %v", n, err)
+		}
+		if len(xs) != n {
+			t.Fatalf("Nodes(%d) returned %d points", n, len(xs))
+		}
+		if !numeric.IsSortedStrict(xs) {
+			t.Errorf("Nodes(%d) not sorted: %v", n, xs)
+		}
+		for _, x := range xs {
+			if x <= -1 || x >= 1 {
+				t.Errorf("Nodes(%d): %g outside (-1,1)", n, x)
+			}
+		}
+	}
+}
+
+func TestNodesAreChebyshevRoots(t *testing.T) {
+	// The first-kind nodes are exactly the roots of T_n.
+	for _, n := range []int{1, 3, 6, 9} {
+		xs, err := Nodes(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, x := range xs {
+			if v := T(n, x); math.Abs(v) > 1e-12 {
+				t.Errorf("T_%d(%g) = %g, want 0", n, x, v)
+			}
+		}
+	}
+}
+
+func TestNodesSymmetry(t *testing.T) {
+	xs, err := Nodes(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if !numeric.AlmostEqual(xs[i], -xs[len(xs)-1-i], 1e-14) {
+			t.Errorf("nodes not symmetric: %g vs %g", xs[i], xs[len(xs)-1-i])
+		}
+	}
+}
+
+func TestNodesOnMapping(t *testing.T) {
+	a, b := 1.0, 300.0
+	xs, err := NodesOn(a, b, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 5 || !numeric.IsSortedStrict(xs) {
+		t.Fatalf("bad mapped nodes: %v", xs)
+	}
+	for _, x := range xs {
+		if x <= a || x >= b {
+			t.Errorf("mapped node %g outside (%g, %g)", x, a, b)
+		}
+	}
+	// Midpoint symmetry is preserved by the affine map.
+	mid := (a + b) / 2
+	for i := range xs {
+		if !numeric.AlmostEqual(xs[i]-mid, mid-xs[len(xs)-1-i], 1e-9) {
+			t.Errorf("mapped nodes lost symmetry about %g", mid)
+		}
+	}
+}
+
+// TestIntegerNodesMatchPaper reproduces the paper's Section 8 settings for
+// JPetStore on [1, 300]: Chebyshev 3 → {22, 151, 280},
+// Chebyshev 5 → {9, 63, 151, 239, 293}, Chebyshev 7 → {5, 34, 86, 151, 216,
+// 268, 297}.
+func TestIntegerNodesMatchPaper(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{3, []int{22, 151, 280}},
+		{5, []int{9, 63, 151, 239, 293}},
+		{7, []int{5, 34, 86, 151, 216, 268, 297}},
+	}
+	for _, c := range cases {
+		got, err := IntegerNodesOn(1, 300, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("Chebyshev %d: got %v, want %v", c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Chebyshev %d: got %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIntegerNodesDeduplicate(t *testing.T) {
+	// A narrow interval forces rounding collisions that must be removed.
+	got, err := IntegerNodesOn(1, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate node %d in %v", v, got)
+		}
+		seen[v] = true
+		if v < 1 || v > 3 {
+			t.Fatalf("node %d outside [1,3]", v)
+		}
+	}
+}
+
+func TestNodesSecondKindEndpoints(t *testing.T) {
+	xs, err := NodesSecondKind(2, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 2 || xs[len(xs)-1] != 10 {
+		t.Errorf("second-kind nodes must include endpoints: %v", xs)
+	}
+	if !numeric.IsSortedStrict(xs) {
+		t.Errorf("not sorted: %v", xs)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Nodes(0); !errors.Is(err, ErrBadNodes) {
+		t.Errorf("Nodes(0): %v", err)
+	}
+	if _, err := NodesOn(2, 2, 3); !errors.Is(err, ErrBadNodes) {
+		t.Errorf("empty interval: %v", err)
+	}
+	if _, err := NodesSecondKind(0, 1, 1); !errors.Is(err, ErrBadNodes) {
+		t.Errorf("second kind n=1: %v", err)
+	}
+	if _, err := NewInterpolant([]float64{1, 1}, []float64{0, 0}); !errors.Is(err, ErrBadNodes) {
+		t.Errorf("duplicate abscissae: %v", err)
+	}
+	if _, err := Fit(math.Sin, 1, 1, 3); !errors.Is(err, ErrBadNodes) {
+		t.Errorf("Fit empty interval: %v", err)
+	}
+}
+
+func TestTPolynomialIdentities(t *testing.T) {
+	// T₂(x) = 2x²−1, T₃(x) = 4x³−3x.
+	for _, x := range numeric.Linspace(-1, 1, 21) {
+		if got, want := T(2, x), 2*x*x-1; !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("T2(%g) = %g, want %g", x, got, want)
+		}
+		if got, want := T(3, x), 4*x*x*x-3*x; !numeric.AlmostEqual(got, want, 1e-12) {
+			t.Errorf("T3(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestTBoundedOnInterval(t *testing.T) {
+	f := func(x float64, nRaw uint8) bool {
+		n := int(nRaw % 20)
+		x = math.Mod(x, 1)
+		if math.IsNaN(x) {
+			return true
+		}
+		return math.Abs(T(n, x)) <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCosineIdentity(t *testing.T) {
+	// T_n(cos θ) = cos(nθ).
+	for _, n := range []int{0, 1, 4, 11} {
+		for _, theta := range numeric.Linspace(0, math.Pi, 13) {
+			got := T(n, math.Cos(theta))
+			want := math.Cos(float64(n) * theta)
+			if !numeric.AlmostEqual(got, want, 1e-9) {
+				t.Errorf("T_%d(cos %g) = %g, want %g", n, theta, got, want)
+			}
+		}
+	}
+}
+
+func TestClenshawMatchesDirectSum(t *testing.T) {
+	c := []float64{0.5, -1, 0.25, 2, -0.125}
+	for _, x := range numeric.Linspace(-1, 1, 17) {
+		direct := 0.0
+		for k, ck := range c {
+			direct += ck * T(k, x)
+		}
+		if got := Clenshaw(c, x); !numeric.AlmostEqual(got, direct, 1e-12) {
+			t.Errorf("Clenshaw(%g) = %g, want %g", x, got, direct)
+		}
+	}
+	if Clenshaw(nil, 0.3) != 0 {
+		t.Error("empty series must evaluate to 0")
+	}
+	if Clenshaw([]float64{7}, 0.3) != 7 {
+		t.Error("constant series")
+	}
+}
+
+func TestFitReconstructsSmoothFunction(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(-x) * math.Sin(3*x) }
+	c, err := Fit(f, 0, 2, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range numeric.Linspace(0, 2, 41) {
+		if got := EvalFit(c, 0, 2, x); !numeric.AlmostEqual(got, f(x), 1e-8) {
+			t.Errorf("fit(%g) = %g, want %g", x, got, f(x))
+		}
+	}
+}
+
+func TestInterpolantReproducesPolynomial(t *testing.T) {
+	// n nodes reproduce any polynomial of degree < n exactly.
+	coef := []float64{1, -2, 0.5, 3}
+	f := func(x float64) float64 { return numeric.Horner(coef, x) }
+	xs, err := NodesOn(-2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = f(x)
+	}
+	p, err := NewInterpolant(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range numeric.Linspace(-2, 2, 21) {
+		if got := p.Eval(x); !numeric.AlmostEqual(got, f(x), 1e-9) {
+			t.Errorf("P(%g) = %g, want %g", x, got, f(x))
+		}
+	}
+	// Evaluation exactly at a node returns the node ordinate.
+	if got := p.Eval(xs[2]); got != ys[2] {
+		t.Errorf("node evaluation %g != %g", got, ys[2])
+	}
+}
+
+func TestRungeSuppressionVsEquispaced(t *testing.T) {
+	// The Runge function 1/(1+25x²): equi-spaced interpolation diverges with
+	// n, Chebyshev interpolation converges. Compare max errors at n = 15.
+	f := func(x float64) float64 { return 1 / (1 + 25*x*x) }
+	n := 15
+	chebErr, err := MaxInterpolationError(f, -1, 1, n, 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := numeric.Linspace(-1, 1, n)
+	eys := make([]float64, n)
+	for i, x := range exs {
+		eys[i] = f(x)
+	}
+	p, err := NewInterpolant(exs, eys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equiErr := 0.0
+	for _, x := range numeric.Linspace(-1, 1, 1001) {
+		equiErr = math.Max(equiErr, math.Abs(f(x)-p.Eval(x)))
+	}
+	if chebErr >= equiErr {
+		t.Errorf("Chebyshev error %g should beat equi-spaced %g on Runge's function", chebErr, equiErr)
+	}
+	if chebErr > 0.1 {
+		t.Errorf("Chebyshev-15 error %g unexpectedly large", chebErr)
+	}
+	if equiErr < 1 {
+		t.Errorf("equi-spaced-15 error %g should exhibit Runge blow-up (>1)", equiErr)
+	}
+}
+
+func TestErrorBoundHoldsForExponential(t *testing.T) {
+	// Actual interpolation error on [-1,1] must respect the eq.-19 bound.
+	for _, mu := range []float64{0.5, 1, 2} {
+		f := func(x float64) float64 { return math.Exp(x / mu) }
+		for _, n := range []int{2, 4, 6, 8} {
+			bound := ExponentialBound(n, mu)
+			actual, err := MaxInterpolationError(f, -1, 1, n, 2001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if actual > bound*(1+1e-9) {
+				t.Errorf("µ=%g n=%d: actual error %g exceeds bound %g", mu, n, actual, bound)
+			}
+		}
+	}
+}
+
+// TestErrorBoundPaperShape checks the paper's Fig. 13 claim: for ≥ 5 nodes
+// the bound drops below 0.2 % for the exponential family considered.
+func TestErrorBoundPaperShape(t *testing.T) {
+	for _, mu := range []float64{1, 1.5, 2, 3} {
+		b := ExponentialBound(5, mu)
+		if b > 0.002 {
+			t.Errorf("µ=%g: bound at 5 nodes = %g, paper expects < 0.2%%", mu, b)
+		}
+	}
+	// The bound must decrease monotonically in n.
+	prev := math.Inf(1)
+	for n := 1; n <= 10; n++ {
+		b := ExponentialBound(n, 1)
+		if b >= prev {
+			t.Errorf("bound not decreasing at n=%d: %g >= %g", n, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestErrorBoundOnWiderInterval(t *testing.T) {
+	// On [a,b] the bound generalises with ((b-a)/4)^n; verify it still
+	// dominates the actual error for a smooth function.
+	f := func(x float64) float64 { return math.Sin(x) }
+	a, b := 0.0, 3.0
+	for _, n := range []int{3, 5, 7} {
+		bound := ErrorBoundOn(a, b, n, 1) // |sin⁽ⁿ⁾| ≤ 1
+		actual, err := MaxInterpolationError(f, a, b, n, 1001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if actual > bound {
+			t.Errorf("n=%d: actual %g > bound %g", n, actual, bound)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("T negative", func() { T(-1, 0) })
+	mustPanic("ErrorBound n=0", func() { ErrorBound(0, 1) })
+	mustPanic("ExponentialBound µ<=0", func() { ExponentialBound(3, 0) })
+	mustPanic("ErrorBoundOn n=0", func() { ErrorBoundOn(0, 1, 0, 1) })
+}
+
+func BenchmarkInterpolantEval(b *testing.B) {
+	xs, _ := NodesOn(-1, 1, 20)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	p, err := NewInterpolant(xs, ys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Eval(float64(i%200)/100 - 1)
+	}
+}

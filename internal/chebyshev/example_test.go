@@ -1,0 +1,37 @@
+package chebyshev_test
+
+import (
+	"fmt"
+
+	"repro/internal/chebyshev"
+)
+
+// ExampleIntegerNodesOn reproduces the paper's Section-8 load-test point
+// sets for JPetStore on the concurrency range [1, 300].
+func ExampleIntegerNodesOn() {
+	for _, n := range []int{3, 5, 7} {
+		pts, err := chebyshev.IntegerNodesOn(1, 300, n)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("Chebyshev %d: %v\n", n, pts)
+	}
+	// Output:
+	// Chebyshev 3: [22 151 280]
+	// Chebyshev 5: [9 63 151 239 293]
+	// Chebyshev 7: [5 34 86 151 216 268 297]
+}
+
+// ExampleErrorBound evaluates the eq.-19 interpolation error bound (the
+// paper's Fig. 13): beyond 5 nodes the bound is far below 0.2%.
+func ExampleErrorBound() {
+	for _, n := range []int{3, 5, 7} {
+		// f(x) = exp(x) on [-1, 1]: max |f⁽ⁿ⁾| = e.
+		fmt.Printf("n=%d bound=%.2g\n", n, chebyshev.ErrorBound(n, 2.718281828))
+	}
+	// Output:
+	// n=3 bound=0.11
+	// n=5 bound=0.0014
+	// n=7 bound=8.4e-06
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/queueing"
+)
+
+// ExampleMVASD shows the paper's headline algorithm on a two-station model
+// with demands measured at three concurrencies.
+func ExampleMVASD() {
+	model := &queueing.Model{
+		Name:      "shop",
+		ThinkTime: 1.0,
+		Stations: []queueing.Station{
+			{Name: "app/cpu", Kind: queueing.CPU, Servers: 8, Visits: 1, ServiceTime: 0.032},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.012},
+		},
+	}
+	samples := []core.DemandSamples{
+		{At: []float64{1, 100, 300}, Demands: []float64{0.032, 0.026, 0.024}},
+		{At: []float64{1, 100, 300}, Demands: []float64{0.012, 0.0095, 0.0090}},
+	}
+	demands, err := core.NewCurveDemands(interp.PCHIP, samples, interp.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := core.MVASD(model, 300, demands, core.MVASDOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	x, r, _, _ := res.At(200)
+	fmt.Printf("at 200 users: X=%.1f tx/s, R=%.0f ms\n", x, r*1000)
+	// Output:
+	// at 200 users: X=109.6 tx/s, R=826 ms
+}
+
+// ExampleExactMVA solves the classic closed network of Algorithm 1.
+func ExampleExactMVA() {
+	model := &queueing.Model{
+		Name:      "balanced",
+		ThinkTime: 0,
+		Stations: []queueing.Station{
+			{Name: "a", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+			{Name: "b", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.01},
+		},
+	}
+	res, err := core.ExactMVA(model, 10)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Two balanced stations: X(n) = n / (D·(n+1)).
+	fmt.Printf("X(10) = %.2f tx/s\n", res.X[9])
+	// Output:
+	// X(10) = 90.91 tx/s
+}
+
+// ExampleOpenNetwork evaluates an M/M/2 queue via the open solver.
+func ExampleOpenNetwork() {
+	model := &queueing.Model{
+		Name: "mm2",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.1},
+		},
+	}
+	res, err := core.OpenNetwork(model, 10) // offered load 1 Erlang, ρ = 0.5
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("stable=%v W=%.4fs L=%.3f\n", res.Stable, res.ResponseTime, res.Population)
+	// Output:
+	// stable=true W=0.1333s L=1.333
+}
+
+// ExampleMulticlassMVA solves two customer classes sharing one station.
+func ExampleMulticlassMVA() {
+	model := &queueing.Model{
+		Name: "shared",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 1},
+		},
+	}
+	res, err := core.MulticlassMVA(model, []core.ClassSpec{
+		{Name: "light", Population: 3, ThinkTime: 1, Demands: []float64{0.01}},
+		{Name: "heavy", Population: 3, ThinkTime: 1, Demands: []float64{0.10}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("light X=%.2f, heavy X=%.2f\n", res.X[0], res.X[1])
+	// Output:
+	// light X=2.96, heavy X=2.67
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/queueing"
+)
+
+func mcsdModel() *queueing.Model {
+	return &queueing.Model{
+		Name: "mcsd",
+		Stations: []queueing.Station{
+			{Name: "cpu", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+			{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.02},
+		},
+	}
+}
+
+func TestMulticlassMVASDConstantReducesToMulticlassMVA(t *testing.T) {
+	m := mcsdModel()
+	classes := []ClassSpec{
+		{Name: "a", Population: 6, ThinkTime: 1, Demands: []float64{0.01, 0.02}},
+		{Name: "b", Population: 4, ThinkTime: 0.5, Demands: []float64{0.03, 0.005}},
+	}
+	dms := []DemandModel{
+		ConstantDemands{0.01, 0.02},
+		ConstantDemands{0.03, 0.005},
+	}
+	sd, err := MulticlassMVASD(m, classes, dms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MulticlassMVA(m, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range classes {
+		if math.Abs(sd.X[c]-plain.X[c]) > 1e-12*plain.X[c] {
+			t.Fatalf("class %d: X %g vs %g", c, sd.X[c], plain.X[c])
+		}
+		if math.Abs(sd.R[c]-plain.R[c]) > 1e-12*math.Max(plain.R[c], 1e-12) {
+			t.Fatalf("class %d: R %g vs %g", c, sd.R[c], plain.R[c])
+		}
+	}
+}
+
+func TestMulticlassMVASDSingleClassMatchesMVASDSingleServer(t *testing.T) {
+	// One class on single-server stations with demands varying by total
+	// population: the vector recursion degenerates to the single-class
+	// varying-demand recursion (MVASDSingleServer with C=1 stations).
+	m := mcsdModel()
+	m.ThinkTime = 0 // think time carried by the class spec below
+	const n = 40
+	samples := []DemandSamples{
+		{At: []float64{1, 20, 40}, Demands: []float64{0.010, 0.008, 0.007}},
+		{At: []float64{1, 20, 40}, Demands: []float64{0.020, 0.017, 0.016}},
+	}
+	dm, err := NewCurveDemands(interp.PCHIP, samples, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MulticlassMVASD(m, []ClassSpec{
+		{Name: "only", Population: n, ThinkTime: 1},
+	}, []DemandModel{dm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := *m
+	ref.ThinkTime = 1
+	single, err := MVASDSingleServer(&ref, n, dm, MVASDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.X[0]-single.X[n-1]) > 1e-9*single.X[n-1] {
+		t.Fatalf("X multiclass %g vs single-class %g", mc.X[0], single.X[n-1])
+	}
+	if math.Abs(mc.R[0]-single.R[n-1]) > 1e-9*math.Max(single.R[n-1], 1e-12) {
+		t.Fatalf("R multiclass %g vs single-class %g", mc.R[0], single.R[n-1])
+	}
+}
+
+func TestMulticlassMVASDDecayBeatsConstant(t *testing.T) {
+	// Two classes whose demands fall with total load: the varying-demand
+	// solution yields higher aggregate throughput than freezing demands at
+	// the single-user values.
+	m := mcsdModel()
+	classes := []ClassSpec{
+		{Name: "a", Population: 15, ThinkTime: 1, Demands: []float64{0.010, 0.020}},
+		{Name: "b", Population: 15, ThinkTime: 1, Demands: []float64{0.010, 0.020}},
+	}
+	decay := FuncDemands{K: 2, F: func(k, n int) float64 {
+		base := []float64{0.010, 0.020}[k]
+		return base * (0.6 + 0.4*math.Exp(-float64(n-1)/10))
+	}}
+	sd, err := MulticlassMVASD(m, classes, []DemandModel{decay, decay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := MulticlassMVA(m, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.X[0]+sd.X[1] <= plain.X[0]+plain.X[1] {
+		t.Fatalf("varying demands aggregate X %g should exceed constant %g",
+			sd.X[0]+sd.X[1], plain.X[0]+plain.X[1])
+	}
+	// Little's law per class still holds.
+	for c, spec := range classes {
+		implied := sd.X[c] * (sd.R[c] + spec.ThinkTime)
+		if math.Abs(implied-float64(spec.Population)) > 1e-6*float64(spec.Population) {
+			t.Fatalf("class %d: Little gives %g, want %d", c, implied, spec.Population)
+		}
+	}
+}
+
+func TestMulticlassMVASDErrors(t *testing.T) {
+	m := mcsdModel()
+	classes := []ClassSpec{{Name: "a", Population: 2, Demands: []float64{1, 1}}}
+	good := []DemandModel{ConstantDemands{0.01, 0.02}}
+	if _, err := MulticlassMVASD(m, nil, nil); !errors.Is(err, ErrBadRun) {
+		t.Errorf("no classes: %v", err)
+	}
+	if _, err := MulticlassMVASD(m, classes, nil); !errors.Is(err, ErrBadRun) {
+		t.Errorf("model count mismatch: %v", err)
+	}
+	if _, err := MulticlassMVASD(m, classes, []DemandModel{nil}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("nil model: %v", err)
+	}
+	if _, err := MulticlassMVASD(m, classes, []DemandModel{ConstantDemands{1}}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("station mismatch: %v", err)
+	}
+	td, err := NewThroughputDemands(interp.Linear,
+		[]DemandSamples{
+			{At: []float64{0, 1}, Demands: []float64{1, 1}},
+			{At: []float64{0, 1}, Demands: []float64{1, 1}},
+		}, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MulticlassMVASD(m, classes, []DemandModel{td}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("throughput-dependent model: %v", err)
+	}
+	ms := mcsdModel()
+	ms.Stations[0].Servers = 4
+	if _, err := MulticlassMVASD(ms, classes, good); !errors.Is(err, ErrBadRun) {
+		t.Errorf("multi-server station: %v", err)
+	}
+	bad := []ClassSpec{{Name: "a", Population: -1}}
+	if _, err := MulticlassMVASD(m, bad, good); !errors.Is(err, ErrBadRun) {
+		t.Errorf("negative population: %v", err)
+	}
+}
+
+func TestMulticlassMVASDZeroPopulation(t *testing.T) {
+	m := mcsdModel()
+	res, err := MulticlassMVASD(m,
+		[]ClassSpec{{Name: "a", Population: 0}},
+		[]DemandModel{ConstantDemands{0.01, 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 0 {
+		t.Fatalf("X = %g", res.X[0])
+	}
+}

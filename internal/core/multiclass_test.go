@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func TestMulticlassSingleClassMatchesExactMVA(t *testing.T) {
+	m := &queueing.Model{
+		Name:      "mc-vs-exact",
+		ThinkTime: 0, // think time lives in the class spec here
+		Stations: []queueing.Station{
+			{Name: "a", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.004},
+			{Name: "b", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.009},
+		},
+	}
+	const n = 60
+	exactModel := *m
+	exactModel.ThinkTime = 1
+	exact, err := ExactMVA(&exactModel, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MulticlassMVA(m, []ClassSpec{{
+		Name: "only", Population: n, ThinkTime: 1,
+		Demands: []float64{0.004, 0.009},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.X[0]-exact.X[n-1]) > 1e-9*exact.X[n-1] {
+		t.Fatalf("X: multiclass %g vs exact %g", mc.X[0], exact.X[n-1])
+	}
+	if math.Abs(mc.R[0]-exact.R[n-1]) > 1e-9*math.Max(exact.R[n-1], 1e-12) {
+		t.Fatalf("R: multiclass %g vs exact %g", mc.R[0], exact.R[n-1])
+	}
+}
+
+func TestMulticlassSymmetricClassesSplitThroughput(t *testing.T) {
+	// Two identical classes of population n each must behave like one
+	// class of 2n, splitting throughput evenly.
+	m := &queueing.Model{
+		Name: "sym",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+		},
+	}
+	spec := ClassSpec{Population: 15, ThinkTime: 0.5, Demands: []float64{0.01}}
+	a, b := spec, spec
+	a.Name, b.Name = "a", "b"
+	mc, err := MulticlassMVA(m, []ClassSpec{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.X[0]-mc.X[1]) > 1e-9*mc.X[0] {
+		t.Fatalf("asymmetric split: %g vs %g", mc.X[0], mc.X[1])
+	}
+	merged := ClassSpec{Name: "all", Population: 30, ThinkTime: 0.5, Demands: []float64{0.01}}
+	one, err := MulticlassMVA(m, []ClassSpec{merged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((mc.X[0]+mc.X[1])-one.X[0]) > 1e-9*one.X[0] {
+		t.Fatalf("aggregate X %g vs single-class %g", mc.X[0]+mc.X[1], one.X[0])
+	}
+}
+
+func TestMulticlassAsymmetricClasses(t *testing.T) {
+	// A light class (small demand) must achieve higher throughput per
+	// customer than a heavy class sharing the same station.
+	m := &queueing.Model{
+		Name: "asym",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 1},
+		},
+	}
+	classes := []ClassSpec{
+		{Name: "light", Population: 5, ThinkTime: 1, Demands: []float64{0.005}},
+		{Name: "heavy", Population: 5, ThinkTime: 1, Demands: []float64{0.05}},
+	}
+	mc, err := MulticlassMVA(m, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.X[0] <= mc.X[1] {
+		t.Fatalf("light class X %g should exceed heavy %g", mc.X[0], mc.X[1])
+	}
+	// Little's law per class: N_c = X_c (R_c + Z_c).
+	for c, cl := range classes {
+		lhs := mc.X[c] * (mc.R[c] + cl.ThinkTime)
+		if math.Abs(lhs-float64(cl.Population)) > 1e-6*float64(cl.Population) {
+			t.Fatalf("class %s: Little's law N=%g, want %d", cl.Name, lhs, cl.Population)
+		}
+	}
+	// Utilization = Σ X_c D_c ≤ 1.
+	if mc.Util[0] > 1+1e-9 {
+		t.Fatalf("utilization %g > 1", mc.Util[0])
+	}
+}
+
+func TestMulticlassDelayStations(t *testing.T) {
+	m := &queueing.Model{
+		Name: "with-delay",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+			{Name: "lan", Kind: queueing.Delay, Servers: 1, Visits: 1, ServiceTime: 0.1},
+		},
+	}
+	mc, err := MulticlassMVA(m, []ClassSpec{
+		{Name: "c", Population: 1, ThinkTime: 0, Demands: []float64{0.01, 0.1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.R[0]-0.11) > 1e-12 {
+		t.Fatalf("R = %g, want 0.11", mc.R[0])
+	}
+}
+
+func TestMulticlassErrors(t *testing.T) {
+	m := &queueing.Model{
+		Name: "err",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.01},
+		},
+	}
+	if _, err := MulticlassMVA(m, []ClassSpec{{Name: "c", Population: 1, Demands: []float64{0.01}}}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("multi-server station should be rejected: %v", err)
+	}
+	m.Stations[0].Servers = 1
+	if _, err := MulticlassMVA(m, nil); !errors.Is(err, ErrBadRun) {
+		t.Errorf("no classes: %v", err)
+	}
+	if _, err := MulticlassMVA(m, []ClassSpec{{Name: "c", Population: -1, Demands: []float64{0.01}}}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("negative population: %v", err)
+	}
+	if _, err := MulticlassMVA(m, []ClassSpec{{Name: "c", Population: 1, Demands: []float64{0.01, 0.02}}}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("demand count mismatch: %v", err)
+	}
+	if _, err := MulticlassMVA(m, []ClassSpec{{Name: "c", Population: 1, ThinkTime: -1, Demands: []float64{0.01}}}); !errors.Is(err, ErrBadRun) {
+		t.Errorf("negative think: %v", err)
+	}
+}
+
+func TestMulticlassZeroPopulation(t *testing.T) {
+	m := &queueing.Model{
+		Name: "zero",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+		},
+	}
+	mc, err := MulticlassMVA(m, []ClassSpec{{Name: "c", Population: 0, Demands: []float64{0.01}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.X[0] != 0 || mc.R[0] != 0 {
+		t.Fatalf("zero population: X=%g R=%g", mc.X[0], mc.R[0])
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/queueing"
+)
+
+// multiServerState is the mutable recursion state shared by Algorithm 2 and
+// Algorithm 3 (MVASD): both perform the same population step, differing only
+// in where the demands come from. It holds the mean queue lengths and the
+// marginal queue-size probabilities p_k(j), j = 1..C_k, where p_k(j)
+// approximates the probability that j−1 customers are present at station k
+// (so p_k(1) starts at 1 for the empty network).
+type multiServerState struct {
+	queue []float64   // Q_k
+	p     [][]float64 // p[k][j-1] = p_k(j), length C_k
+}
+
+func newMultiServerState(m *queueing.Model) *multiServerState {
+	s := &multiServerState{
+		queue: make([]float64, len(m.Stations)),
+		p:     make([][]float64, len(m.Stations)),
+	}
+	for k, st := range m.Stations {
+		s.p[k] = make([]float64, st.Servers)
+		s.p[k][0] = 1 // empty network: P(0 customers) = 1
+	}
+	return s
+}
+
+// clone deep-copies the state (needed by the fixed-point demand-vs-throughput
+// mode, which must re-run a step from the same pre-step state).
+func (s *multiServerState) clone() *multiServerState {
+	c := &multiServerState{
+		queue: append([]float64(nil), s.queue...),
+		p:     make([][]float64, len(s.p)),
+	}
+	for k := range s.p {
+		c.p[k] = append([]float64(nil), s.p[k]...)
+	}
+	return c
+}
+
+// MultiServerOptions tunes Algorithm 2 / Algorithm 3 behaviour.
+type MultiServerOptions struct {
+	// Verbatim selects a strict transcription of the paper's printed
+	// Algorithm 2, whose marginal-probability update reads
+	//
+	//	p_k(1) ← 1 − (1/C_k)(X·S_k + Σ_{j=2..C_k} p_k(j))
+	//	p_k(j) ← (X·S_k/j)·p_k(j−1)
+	//
+	// i.e. without the (C_k−j) weights of Suri–Sahu–Vernon — the method
+	// the paper cites as its source ([8]) — and without clamping. The
+	// printed form mis-normalises the probability vector for larger C_k
+	// (the p's can sum far above 1 mid-range, inflating the correction
+	// factor F_k and depressing predicted throughput at the knee), so the
+	// default uses the weighted update
+	//
+	//	P_k(0) ← 1 − (1/C_k)[X·D_k + Σ_{j=1..C_k−1}(C_k−j)·P_k(j)]
+	//	P_k(j) ← (X·D_k/j)·P_k(j−1),  j = 1..C_k−1
+	//
+	// with P_k(0) clamped at 0 near saturation (p_k(j) in the paper's
+	// notation is P_k(j−1) here). The ablation bench compares both against
+	// exact load-dependent MVA.
+	Verbatim bool
+	// TraceStation, if non-negative, records the marginal probabilities of
+	// that station at every population into Result trace storage (used by
+	// the Fig. 3 experiment).
+	TraceStation int
+}
+
+// step performs one population step of the multi-server exact MVA (the body
+// of Algorithm 2) using the supplied per-station demands. It mutates st and
+// returns the step's throughput, response time and per-station residence
+// times. demands[k] is D_k = V_k·S_k for this step. st.p[k][m] holds
+// P_k(m | n−1), the marginal probability of m customers at station k.
+func multiServerStep(m *queueing.Model, st *multiServerState, demands []float64, n int, verbatim bool, resid []float64) (x, rTotal float64) {
+	for k, stn := range m.Stations {
+		if stn.Kind == queueing.Delay {
+			resid[k] = demands[k]
+			rTotal += resid[k]
+			continue
+		}
+		c := float64(stn.Servers)
+		// Correction factor F_k = Σ_{j=1..C}(C−j)·p_k(j) in paper indexing,
+		// = Σ_{m=0..C−1}(C−1−m)·P_k(m) here.
+		f := 0.0
+		for mIdx := 0; mIdx < stn.Servers; mIdx++ {
+			f += (c - 1 - float64(mIdx)) * st.p[k][mIdx]
+		}
+		// R_k = (D_k/C_k)(1 + Q_k + F_k)   (paper eq. 10 in demand form)
+		resid[k] = demands[k] / c * (1 + st.queue[k] + f)
+		rTotal += resid[k]
+	}
+	x = float64(n) / (rTotal + m.ThinkTime)
+	for k, stn := range m.Stations {
+		st.queue[k] = x * resid[k]
+		if stn.Kind == queueing.Delay || stn.Servers == 1 {
+			// P_k(0) stays 1 for single servers: F_k ≡ 0 and eq. 10
+			// reduces to the single-server eq. 8, as the paper notes.
+			continue
+		}
+		c := float64(stn.Servers)
+		u := x * demands[k] // total utilization X·D_k (0..C_k scale)
+		p := st.p[k]
+		if verbatim {
+			// As printed: unweighted P(0) update first, then cascade the
+			// tail from the freshly updated predecessors.
+			sum := 0.0
+			for mIdx := 1; mIdx < stn.Servers; mIdx++ {
+				sum += p[mIdx]
+			}
+			p[0] = 1 - (u+sum)/c
+			for j := 2; j <= stn.Servers; j++ {
+				p[j-1] = u / float64(j) * p[j-2]
+			}
+			continue
+		}
+		// Suri–Sahu–Vernon, solved in closed form: the self-consistent
+		// solution of P(j) = (u/j)·P(j−1), j = 1..C−1, together with
+		// P(0) = 1 − (1/C)[u + Σ_{j=1..C−1}(C−j)·P(j)] is
+		//
+		//	P(j) = P(0)·u^j/j!,
+		//	P(0) = (1 − u/C) / (1 + (1/C)·Σ_{j=1..C−1}(C−j)·u^j/j!)
+		//
+		// clamped at 0 once the station saturates (u ≥ C), where the
+		// correction factor vanishes and the station behaves as a single
+		// server of demand D/C.
+		if u >= c {
+			for mIdx := range p {
+				p[mIdx] = 0
+			}
+			continue
+		}
+		wsum := 0.0
+		term := 1.0 // u^j/j!
+		for j := 1; j < stn.Servers; j++ {
+			term *= u / float64(j)
+			wsum += (c - float64(j)) * term
+		}
+		p0 := (1 - u/c) / (1 + wsum/c)
+		p[0] = p0
+		term = 1.0
+		for j := 1; j < stn.Servers; j++ {
+			term *= u / float64(j)
+			p[j] = p0 * term
+		}
+	}
+	return x, rTotal
+}
+
+// MarginalTrace records the per-population marginal probabilities of one
+// station, the data behind the paper's Fig. 3.
+type MarginalTrace struct {
+	Station string
+	Servers int
+	// P[i][j] is p_k(j+1) at population i+1.
+	P [][]float64
+}
+
+// ExactMVAMultiServer solves the network with the paper's Algorithm 2:
+// exact MVA extended with multi-server queues through the marginal
+// queue-size probabilities p_k(j) and the correction factor
+//
+//	R_k = (S_k/C_k)·(1 + Q_k + Σ_{j=1..C_k}(C_k−j)·p_k(j))   (eq. 10)
+//
+// Demands are constant across populations (this is the "MVA i" baseline:
+// whatever demands the model carries, typically measured at one concurrency
+// level i). The returned trace is non-nil when opts.TraceStation >= 0.
+func ExactMVAMultiServer(m *queueing.Model, maxN int, opts MultiServerOptions) (*Result, *MarginalTrace, error) {
+	if err := validateRun(m, maxN); err != nil {
+		return nil, nil, err
+	}
+	res := newResult("exact-mva-multiserver", m, maxN)
+	st := newMultiServerState(m)
+	demands := m.Demands()
+	var trace *MarginalTrace
+	if opts.TraceStation >= 0 && opts.TraceStation < len(m.Stations) {
+		trace = &MarginalTrace{
+			Station: m.Stations[opts.TraceStation].Name,
+			Servers: m.Stations[opts.TraceStation].Servers,
+			P:       make([][]float64, maxN),
+		}
+	}
+	for n := 1; n <= maxN; n++ {
+		x, rTotal := multiServerStep(m, st, demands, n, opts.Verbatim, res.Residence[n-1])
+		commitRow(res, m, n, x, rTotal, demands, st)
+		if trace != nil {
+			trace.P[n-1] = append([]float64(nil), st.p[opts.TraceStation]...)
+		}
+	}
+	return res, trace, nil
+}
+
+// commitRow records one population step into the result.
+func commitRow(res *Result, m *queueing.Model, n int, x, rTotal float64, demands []float64, st *multiServerState) {
+	i := n - 1
+	res.X[i] = x
+	res.R[i] = rTotal
+	res.Cycle[i] = rTotal + m.ThinkTime
+	for k, stn := range m.Stations {
+		res.QueueLen[i][k] = st.queue[k]
+		if stn.Kind == queueing.Delay {
+			res.Util[i][k] = 0
+		} else {
+			res.Util[i][k] = math.Min(x*demands[k]/float64(stn.Servers), 1)
+		}
+		res.Demands[i][k] = demands[k]
+	}
+}

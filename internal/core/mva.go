@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/queueing"
+)
+
+// ErrBadRun is returned for invalid solver invocations (N < 1, invalid
+// model, missing demand model, non-convergence).
+var ErrBadRun = errors.New("core: invalid solver run")
+
+// stationUtil is the per-server utilization reported in Results:
+// min(X·D/C, 1) for queueing stations, and 0 for Delay centres, where
+// per-server utilization is not meaningful (matching the monitor's
+// convention).
+func stationUtil(st queueing.Station, x float64) float64 {
+	if st.Kind == queueing.Delay {
+		return 0
+	}
+	u := x * st.Demand() / float64(st.Servers)
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// validateRun performs the checks shared by every solver entry point.
+func validateRun(m *queueing.Model, n int) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("%w: population %d", ErrBadRun, n)
+	}
+	return nil
+}
+
+// ExactMVA solves the closed network with the exact single-server MVA
+// (paper Algorithm 1): for each population step
+//
+//	R_k = S_k · (1 + Q_k)                         (eq. 8)
+//	R   = Σ_k V_k · R_k
+//	X   = n / (R + Z)                             (Little's law)
+//	Q_k = X · V_k · R_k
+//
+// Multi-server stations are accepted but treated as single servers with the
+// station's raw per-visit service time — exactly the mis-modelling the paper
+// demonstrates. Use ExactMVAMultiServer (or demand normalisation, see
+// NormalizeServers) for multi-core resources. Delay stations contribute
+// their demand without queueing.
+func ExactMVA(m *queueing.Model, maxN int) (*Result, error) {
+	if err := validateRun(m, maxN); err != nil {
+		return nil, err
+	}
+	k := len(m.Stations)
+	res := newResult("exact-mva", m, maxN)
+	q := make([]float64, k)
+	for n := 1; n <= maxN; n++ {
+		rTotal := 0.0
+		resid := res.Residence[n-1]
+		for i, st := range m.Stations {
+			if st.Kind == queueing.Delay {
+				resid[i] = st.Demand()
+			} else {
+				resid[i] = st.Demand() * (1 + q[i])
+			}
+			rTotal += resid[i]
+		}
+		x := float64(n) / (rTotal + m.ThinkTime)
+		for i, st := range m.Stations {
+			q[i] = x * resid[i]
+			res.QueueLen[n-1][i] = q[i]
+			res.Util[n-1][i] = stationUtil(st, x)
+			res.Demands[n-1][i] = st.Demand()
+		}
+		res.X[n-1] = x
+		res.R[n-1] = rTotal
+		res.Cycle[n-1] = rTotal + m.ThinkTime
+	}
+	return res, nil
+}
+
+// NormalizeServers returns a copy of the model in which every multi-server
+// station is replaced by a single-server station with service time S_k/C_k.
+// This is the heuristic normalisation the paper calls out as error-prone
+// ("dividing the service demand by the number of CPU cores"), retained as
+// the MVASD:Single-Server baseline of Fig. 8.
+func NormalizeServers(m *queueing.Model) *queueing.Model {
+	out := &queueing.Model{Name: m.Name + " (normalized)", ThinkTime: m.ThinkTime}
+	out.Stations = make([]queueing.Station, len(m.Stations))
+	for i, st := range m.Stations {
+		st.ServiceTime /= float64(st.Servers)
+		st.Servers = 1
+		out.Stations[i] = st
+	}
+	return out
+}
+
+// SchweitzerOptions tunes the approximate MVA iteration.
+type SchweitzerOptions struct {
+	// Tol is the relative queue-length convergence tolerance (default 1e-10).
+	Tol float64
+	// MaxIter caps the fixed-point iterations per population (default 10_000).
+	MaxIter int
+}
+
+func (o *SchweitzerOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10000
+	}
+}
+
+// Schweitzer solves the network with the Bard–Schweitzer approximate MVA:
+// the exact arrival theorem term Q_k(n−1) is approximated by
+//
+//	Q_k(n−1) ≈ (n−1)/n · Q_k(n)                  (paper eq. 9)
+//
+// yielding a fixed point solved directly at the target population — much
+// cheaper than the exact recursion at high N, at some accuracy cost. Only
+// the target population is solved exactly; intermediate rows of the Result
+// are each solved independently so the trajectory remains meaningful.
+func Schweitzer(m *queueing.Model, maxN int, opts SchweitzerOptions) (*Result, error) {
+	if err := validateRun(m, maxN); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	res := newResult("schweitzer-amva", m, maxN)
+	k := len(m.Stations)
+	for n := 1; n <= maxN; n++ {
+		// Start from the balanced initial guess Q_k = n/K.
+		q := make([]float64, k)
+		for i := range q {
+			q[i] = float64(n) / float64(k)
+		}
+		var x, rTotal float64
+		converged := false
+		for iter := 0; iter < opts.MaxIter; iter++ {
+			rTotal = 0
+			resid := res.Residence[n-1]
+			for i, st := range m.Stations {
+				if st.Kind == queueing.Delay {
+					resid[i] = st.Demand()
+				} else {
+					arr := float64(n-1) / float64(n) * q[i]
+					resid[i] = st.Demand() * (1 + arr)
+				}
+				rTotal += resid[i]
+			}
+			x = float64(n) / (rTotal + m.ThinkTime)
+			worst := 0.0
+			for i := range m.Stations {
+				nq := x * resid[i]
+				worst = math.Max(worst, math.Abs(nq-q[i])/math.Max(q[i], 1e-12))
+				q[i] = nq
+			}
+			if worst < opts.Tol {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("%w: schweitzer did not converge at n=%d", ErrBadRun, n)
+		}
+		for i, st := range m.Stations {
+			res.QueueLen[n-1][i] = q[i]
+			res.Util[n-1][i] = stationUtil(st, x)
+			res.Demands[n-1][i] = st.Demand()
+		}
+		res.X[n-1] = x
+		res.R[n-1] = rTotal
+		res.Cycle[n-1] = rTotal + m.ThinkTime
+	}
+	return res, nil
+}

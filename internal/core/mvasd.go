@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/queueing"
+)
+
+// MVASDOptions tunes Algorithm 3.
+type MVASDOptions struct {
+	// MultiServerOptions embeds the Algorithm-2 step options (verbatim
+	// probabilities, marginal tracing).
+	MultiServerOptions
+	// FixedPointTol is the relative throughput tolerance of the per-step
+	// fixed point used when the demand model depends on X (default 1e-10).
+	FixedPointTol float64
+	// FixedPointMaxIter caps the per-step iterations (default 200).
+	FixedPointMaxIter int
+	// Damping in (0, 1] scales the throughput update of the fixed point
+	// (default 0.5); lower values are more robust for steep demand curves.
+	Damping float64
+}
+
+func (o *MVASDOptions) defaults() {
+	if o.FixedPointTol <= 0 {
+		o.FixedPointTol = 1e-10
+	}
+	if o.FixedPointMaxIter <= 0 {
+		o.FixedPointMaxIter = 200
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 0.5
+	}
+}
+
+// MVASD solves the network with the paper's Algorithm 3: exact multi-server
+// MVA in which the service demand of every station is re-evaluated at each
+// population step from an interpolated array of measured demands,
+//
+//	SS_k^n = h(a_k, b_k, n)
+//	R_k    = (SS_k^n / C_k)·(1 + Q_k + F_k)       (eq. 11)
+//
+// The model's station demands are ignored; demands come from the
+// DemandModel (visit counts are considered folded into the demands, per the
+// Service Demand Law). When the demand model depends on throughput
+// (Section-7 mode), each step solves the demand/throughput fixed point by
+// damped iteration before committing the recursion state.
+func MVASD(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
+	if err := validateRun(m, maxN); err != nil {
+		return nil, err
+	}
+	if dm == nil {
+		return nil, fmt.Errorf("%w: nil demand model", ErrBadRun)
+	}
+	if dm.Stations() != len(m.Stations) {
+		return nil, fmt.Errorf("%w: demand model covers %d stations, model has %d",
+			ErrBadRun, dm.Stations(), len(m.Stations))
+	}
+	opts.defaults()
+	res := newResult("mvasd", m, maxN)
+	st := newMultiServerState(m)
+	demands := make([]float64, len(m.Stations))
+	x := 0.0
+	for n := 1; n <= maxN; n++ {
+		if !dm.DependsOnThroughput() {
+			for k := range demands {
+				demands[k] = dm.DemandAt(k, n, 0)
+			}
+			xn, rTotal := multiServerStep(m, st, demands, n, opts.Verbatim, res.Residence[n-1])
+			commitRow(res, m, n, xn, rTotal, demands, st)
+			x = xn
+			continue
+		}
+		// Fixed point: demands depend on the throughput this step produces.
+		guess := x
+		if guess <= 0 {
+			// Cold start: optimistic zero-queue estimate at n=1 demands.
+			for k := range demands {
+				demands[k] = dm.DemandAt(k, n, 0)
+			}
+			sum := 0.0
+			for _, d := range demands {
+				sum += d
+			}
+			guess = float64(n) / (sum + m.ThinkTime)
+		}
+		var committed bool
+		for iter := 0; iter < opts.FixedPointMaxIter; iter++ {
+			for k := range demands {
+				demands[k] = dm.DemandAt(k, n, guess)
+			}
+			trial := st.clone()
+			xn, rTotal := multiServerStep(m, trial, demands, n, opts.Verbatim, res.Residence[n-1])
+			if math.Abs(xn-guess) <= opts.FixedPointTol*math.Max(guess, 1e-12) {
+				*st = *trial
+				commitRow(res, m, n, xn, rTotal, demands, st)
+				x = xn
+				committed = true
+				break
+			}
+			guess += opts.Damping * (xn - guess)
+		}
+		if !committed {
+			return nil, fmt.Errorf("%w: demand/throughput fixed point did not converge at n=%d", ErrBadRun, n)
+		}
+	}
+	res.Algorithm = "mvasd"
+	if dm.DependsOnThroughput() {
+		res.Algorithm = "mvasd-vs-throughput"
+	}
+	return res, nil
+}
+
+// MVASDSingleServer is the paper's Fig.-8 baseline: the same varying-demand
+// recursion but with every multi-server station folded into a single server
+// of demand D/C (eq. 8 with normalised demands) instead of the
+// marginal-probability correction. The paper shows this under-performs the
+// multi-server model, especially when the bottleneck is a multi-core CPU.
+func MVASDSingleServer(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
+	if err := validateRun(m, maxN); err != nil {
+		return nil, err
+	}
+	if dm == nil {
+		return nil, fmt.Errorf("%w: nil demand model", ErrBadRun)
+	}
+	if dm.Stations() != len(m.Stations) {
+		return nil, fmt.Errorf("%w: demand model covers %d stations, model has %d",
+			ErrBadRun, dm.Stations(), len(m.Stations))
+	}
+	opts.defaults()
+	res := newResult("mvasd-single-server", m, maxN)
+	k := len(m.Stations)
+	q := make([]float64, k)
+	demands := make([]float64, k)
+	for n := 1; n <= maxN; n++ {
+		rTotal := 0.0
+		resid := res.Residence[n-1]
+		for i, stn := range m.Stations {
+			demands[i] = dm.DemandAt(i, n, 0)
+			norm := demands[i] / float64(stn.Servers)
+			if stn.Kind == queueing.Delay {
+				resid[i] = demands[i]
+			} else {
+				resid[i] = norm * (1 + q[i])
+			}
+			rTotal += resid[i]
+		}
+		x := float64(n) / (rTotal + m.ThinkTime)
+		for i, stn := range m.Stations {
+			q[i] = x * resid[i]
+			res.QueueLen[n-1][i] = q[i]
+			if stn.Kind == queueing.Delay {
+				res.Util[n-1][i] = 0
+			} else {
+				res.Util[n-1][i] = math.Min(x*demands[i]/float64(stn.Servers), 1)
+			}
+			res.Demands[n-1][i] = demands[i]
+		}
+		res.X[n-1] = x
+		res.R[n-1] = rTotal
+		res.Cycle[n-1] = rTotal + m.ThinkTime
+	}
+	return res, nil
+}

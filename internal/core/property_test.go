@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/queueing"
+)
+
+// randModel builds an arbitrary valid model from a seed.
+func randModel(seed int64) *queueing.Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &queueing.Model{Name: "prop", ThinkTime: rng.Float64() * 3}
+	k := 1 + rng.Intn(6)
+	for i := 0; i < k; i++ {
+		kind := queueing.CPU
+		servers := 1
+		switch rng.Intn(3) {
+		case 0:
+			kind, servers = queueing.CPU, 1+rng.Intn(16)
+		case 1:
+			kind = queueing.Disk
+		case 2:
+			kind = queueing.Delay
+		}
+		m.Stations = append(m.Stations, queueing.Station{
+			Name: "s" + string(rune('a'+i)), Kind: kind, Servers: servers,
+			Visits: 0.25 + rng.Float64()*2, ServiceTime: 0.001 + rng.Float64()*0.02,
+		})
+	}
+	return m
+}
+
+// TestQuickSolversSatisfyLittlesLaw: every solver's trajectory satisfies
+// X(R+Z) = n at every population for arbitrary models.
+func TestQuickSolversSatisfyLittlesLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randModel(seed)
+		maxN := 60
+		runs := []func() (*Result, error){
+			func() (*Result, error) { return ExactMVA(m, maxN) },
+			func() (*Result, error) { return Schweitzer(m, maxN, SchweitzerOptions{}) },
+			func() (*Result, error) {
+				r, _, err := ExactMVAMultiServer(m, maxN, MultiServerOptions{TraceStation: -1})
+				return r, err
+			},
+			func() (*Result, error) { return LoadDependentMVA(m, maxN, nil) },
+			func() (*Result, error) { return SeidmannMVA(m, maxN) },
+			func() (*Result, error) {
+				return MVASD(m, maxN, ConstantDemands(m.Demands()), MVASDOptions{})
+			},
+		}
+		for i, run := range runs {
+			res, err := run()
+			if err != nil {
+				t.Logf("seed %d solver %d: %v", seed, i, err)
+				return false
+			}
+			if err := res.CheckInvariants(); err != nil {
+				t.Logf("seed %d solver %d: %v", seed, i, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBottleneckBound: every solver respects X ≤ 1/Dmax (with Dmax
+// normalised by server counts) for arbitrary models.
+func TestQuickBottleneckBound(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randModel(seed)
+		dmax, idx := m.MaxDemand()
+		if idx < 0 {
+			return true // delay-only network: unbounded
+		}
+		bound := (1 / dmax) * (1 + 1e-6)
+		maxN := 80
+		msRes, _, err := ExactMVAMultiServer(m, maxN, MultiServerOptions{TraceStation: -1})
+		if err != nil {
+			return false
+		}
+		ldRes, err := LoadDependentMVA(m, maxN, nil)
+		if err != nil {
+			return false
+		}
+		for i := range msRes.X {
+			if msRes.X[i] > bound || ldRes.X[i] > bound {
+				t.Logf("seed %d n=%d: X ms=%g ld=%g bound=%g", seed, i+1, msRes.X[i], ldRes.X[i], 1/dmax)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMoreServersNeverHurt: adding a core to any station never lowers
+// the exact load-dependent throughput at any population.
+func TestQuickMoreServersNeverHurt(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randModel(seed)
+		// Pick a non-delay station to upgrade.
+		target := -1
+		for i, st := range m.Stations {
+			if st.Kind != queueing.Delay {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			return true
+		}
+		upgraded := *m
+		upgraded.Stations = append([]queueing.Station(nil), m.Stations...)
+		upgraded.Stations[target].Servers++
+		maxN := 50
+		base, err := LoadDependentMVA(m, maxN, nil)
+		if err != nil {
+			return false
+		}
+		more, err := LoadDependentMVA(&upgraded, maxN, nil)
+		if err != nil {
+			return false
+		}
+		for i := range base.X {
+			if more.X[i] < base.X[i]*(1-1e-9) {
+				t.Logf("seed %d n=%d: upgrade lowered X %g → %g", seed, i+1, base.X[i], more.X[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOpenNetworkLittle: the open solver satisfies N = λ·R and per-
+// station L_k = λ_k·W_k for arbitrary stable networks.
+func TestQuickOpenNetworkLittle(t *testing.T) {
+	f := func(seed int64, lamRaw float64) bool {
+		m := randModel(seed)
+		sat := SaturationRate(m)
+		if math.IsInf(sat, 1) {
+			sat = 100
+		}
+		lambda := math.Mod(math.Abs(lamRaw), 0.9) * sat // keep stable
+		res, err := OpenNetwork(m, lambda)
+		if err != nil {
+			return false
+		}
+		if !res.Stable {
+			return false
+		}
+		if !almost(res.Population, lambda*res.ResponseTime, 1e-9) {
+			return false
+		}
+		for k := range m.Stations {
+			if !almost(res.QueueLen[k], lambda*res.Residence[k], 1e-9) {
+				t.Logf("seed %d station %d: L=%g λW=%g", seed, k, res.QueueLen[k], lambda*res.Residence[k])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOpenMatchesClosedLimit: for a closed network with huge think
+// time, throughput approaches N/Z and station metrics approach the open
+// network's at λ = N/Z (the standard open/closed correspondence).
+func TestQuickOpenMatchesClosedLimit(t *testing.T) {
+	f := func(seed int64) bool {
+		m := randModel(seed)
+		m.ThinkTime = 1000 // light-load regime
+		n := 20
+		closed, err := LoadDependentMVA(m, n, nil)
+		if err != nil {
+			return false
+		}
+		lambda := closed.X[n-1]
+		open, err := OpenNetwork(m, lambda)
+		if err != nil || !open.Stable {
+			return false
+		}
+		// Closed R at the light-load limit approaches the open W.
+		return almost(closed.R[n-1], open.ResponseTime, 0.05)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, rel float64) bool {
+	return math.Abs(a-b) <= rel*math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-12)
+}

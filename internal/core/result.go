@@ -1,0 +1,185 @@
+// Package core implements the paper's analytical contribution: the family of
+// Mean Value Analysis solvers for single-class closed queueing networks —
+//
+//   - ExactMVA: the classic exact single-server MVA (paper Algorithm 1),
+//   - Schweitzer: the approximate MVA of Schweitzer/Bard (paper eq. 9),
+//   - ExactMVAMultiServer: exact MVA with multi-server queues via the
+//     marginal-probability correction factor (paper Algorithm 2, eq. 10),
+//   - MVASD: multi-server MVA with a *varying* (interpolated) array of
+//     service demands (paper Algorithm 3, eq. 11) — the headline algorithm,
+//   - MVASDSingleServer: the paper's Fig.-8 baseline that folds C-server
+//     stations into single servers with demand D/C,
+//   - LoadDependentMVA: textbook exact MVA for load-dependent rate
+//     functions (used as an ablation reference for Algorithm 2),
+//   - MulticlassMVA: exact multi-class MVA (an extension).
+//
+// All solvers return a Result holding the full X(n), R(n) trajectories plus
+// per-station queue lengths and utilizations, which the experiment layer
+// compares against "measured" load tests from the simulator.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/queueing"
+)
+
+// Result is the trajectory of a closed-network solution for populations
+// n = 1..N. Slices indexed by n use position n-1.
+type Result struct {
+	// Algorithm names the solver that produced the result.
+	Algorithm string
+	// ModelName echoes the solved model's name.
+	ModelName string
+	// ThinkTime is the Z used.
+	ThinkTime float64
+	// StationNames are the station labels, defining the station axis of the
+	// two-dimensional metrics.
+	StationNames []string
+	// N[i] is the population of step i (always i+1 for these solvers).
+	N []int
+	// X[i] is system throughput at population N[i] (transactions/second).
+	X []float64
+	// R[i] is the mean response time at population N[i] (seconds).
+	R []float64
+	// Cycle[i] is the mean cycle time R+Z (seconds), the quantity the
+	// paper reports as "response time" in its deviation tables.
+	Cycle []float64
+	// QueueLen[i][k] is the mean number of jobs at station k.
+	QueueLen [][]float64
+	// Util[i][k] is the per-server utilization of station k in [0, 1]
+	// (X·D_k/C_k), the quantity plotted in the paper's Fig. 9.
+	Util [][]float64
+	// Residence[i][k] is the residence time V_k·R_k of station k (seconds).
+	Residence [][]float64
+	// Demands[i][k] is the service demand used at step i for station k —
+	// constant for classic MVA, varying for MVASD.
+	Demands [][]float64
+}
+
+// newResult allocates a Result for K stations and N population steps.
+func newResult(algorithm string, m *queueing.Model, n int) *Result {
+	k := len(m.Stations)
+	r := &Result{
+		Algorithm:    algorithm,
+		ModelName:    m.Name,
+		ThinkTime:    m.ThinkTime,
+		StationNames: make([]string, k),
+		N:            make([]int, n),
+		X:            make([]float64, n),
+		R:            make([]float64, n),
+		Cycle:        make([]float64, n),
+		QueueLen:     make([][]float64, n),
+		Util:         make([][]float64, n),
+		Residence:    make([][]float64, n),
+		Demands:      make([][]float64, n),
+	}
+	for i, st := range m.Stations {
+		r.StationNames[i] = st.Name
+	}
+	for i := 0; i < n; i++ {
+		r.N[i] = i + 1
+		r.QueueLen[i] = make([]float64, k)
+		r.Util[i] = make([]float64, k)
+		r.Residence[i] = make([]float64, k)
+		r.Demands[i] = make([]float64, k)
+	}
+	return r
+}
+
+// At returns the (X, R, Cycle) triple at population n, or an error if n is
+// outside the solved range.
+func (r *Result) At(n int) (x, resp, cycle float64, err error) {
+	if n < 1 || n > len(r.N) {
+		return 0, 0, 0, fmt.Errorf("core: population %d outside solved range 1..%d", n, len(r.N))
+	}
+	return r.X[n-1], r.R[n-1], r.Cycle[n-1], nil
+}
+
+// MaxThroughput returns the largest throughput in the trajectory and the
+// population at which it is attained.
+func (r *Result) MaxThroughput() (x float64, n int) {
+	for i, v := range r.X {
+		if v > x {
+			x, n = v, r.N[i]
+		}
+	}
+	return x, n
+}
+
+// FinalUtilization returns the per-station utilization row at the largest
+// solved population.
+func (r *Result) FinalUtilization() []float64 {
+	if len(r.Util) == 0 {
+		return nil
+	}
+	out := make([]float64, len(r.Util[len(r.Util)-1]))
+	copy(out, r.Util[len(r.Util)-1])
+	return out
+}
+
+// StationIndex returns the index of the named station, or -1.
+func (r *Result) StationIndex(name string) int {
+	for i, s := range r.StationNames {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// UtilSeries returns the utilization trajectory of a single station.
+func (r *Result) UtilSeries(station int) []float64 {
+	out := make([]float64, len(r.Util))
+	for i := range r.Util {
+		out[i] = r.Util[i][station]
+	}
+	return out
+}
+
+// CheckInvariants verifies the operational-law invariants that every valid
+// MVA trajectory must satisfy: Little's law N = X(R+Z) at every step and
+// non-negative metrics. It returns the first violation found, or nil. Used
+// by property tests and the CLI's self-check. (Monotonicity of R holds only
+// for constant demands and is checked separately by CheckMonotone.)
+func (r *Result) CheckInvariants() error {
+	for i := range r.N {
+		n := float64(r.N[i])
+		if r.X[i] < 0 || r.R[i] < 0 {
+			return fmt.Errorf("core: negative metric at n=%d (X=%g R=%g)", r.N[i], r.X[i], r.R[i])
+		}
+		lhs := r.X[i] * (r.R[i] + r.ThinkTime)
+		if math.Abs(lhs-n) > 1e-6*n {
+			return fmt.Errorf("core: Little's law violated at n=%d: X(R+Z)=%g", r.N[i], lhs)
+		}
+		qsum := 0.0
+		for _, q := range r.QueueLen[i] {
+			if q < -1e-9 {
+				return fmt.Errorf("core: negative queue length at n=%d", r.N[i])
+			}
+			qsum += q
+		}
+		if qsum > n*(1+1e-6)+1e-6 {
+			return fmt.Errorf("core: queued population %g exceeds N=%d", qsum, r.N[i])
+		}
+	}
+	return nil
+}
+
+// CheckMonotone verifies that X is non-decreasing and R is non-decreasing in
+// n, which holds for exact MVA with constant demands (but not necessarily
+// for MVASD, whose demands fall with concurrency).
+func (r *Result) CheckMonotone() error {
+	prevR, prevX := 0.0, 0.0
+	for i := range r.N {
+		if r.R[i] < prevR-1e-9*math.Max(prevR, 1) {
+			return fmt.Errorf("core: response time decreased at n=%d: %g < %g", r.N[i], r.R[i], prevR)
+		}
+		if r.X[i] < prevX-1e-9*math.Max(prevX, 1) {
+			return fmt.Errorf("core: throughput decreased at n=%d: %g < %g", r.N[i], r.X[i], prevX)
+		}
+		prevR, prevX = r.R[i], r.X[i]
+	}
+	return nil
+}

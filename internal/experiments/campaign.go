@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/loadgen"
+	"repro/internal/monitor"
+	"repro/internal/testbed"
+)
+
+// Campaign is the cached measurement campaign for one testbed profile: one
+// load test per sample concurrency (the paper's Table 2/3 points, whose
+// demands feed MVASD) and one per evaluation concurrency (the denser grid
+// the "measured" curves of Figs. 4–9 are drawn from). Several experiments
+// share one campaign, so each simulation runs once per process.
+type Campaign struct {
+	Profile *testbed.Profile
+	// SampleResults are the load tests at Profile.TestConcurrencies.
+	SampleResults []*loadgen.Result
+	// EvalConcurrencies / EvalResults form the denser measured grid.
+	EvalConcurrencies []int
+	EvalResults       []*loadgen.Result
+}
+
+// evalGrid returns the dense measured grid for a profile.
+func evalGrid(p *testbed.Profile) []int {
+	switch p.Name {
+	case "VINS":
+		return []int{1, 23, 45, 90, 150, 203, 300, 381, 500, 717, 1000, 1250, 1500}
+	case "JPetStore":
+		return []int{1, 14, 28, 45, 70, 100, 140, 168, 210, 245, 280}
+	default:
+		// Generic geometric grid up to MaxUsers.
+		var out []int
+		for n := 1; n < p.MaxUsers; n = n*2 + 1 {
+			out = append(out, n)
+		}
+		return append(out, p.MaxUsers)
+	}
+}
+
+// campaign returns (running on first use) the cached campaign for a profile.
+func (c *Context) campaign(p *testbed.Profile) (*Campaign, error) {
+	if c.campaigns == nil {
+		c.campaigns = map[string]*Campaign{}
+	}
+	if cached, ok := c.campaigns[p.Name]; ok {
+		return cached, nil
+	}
+	cfg := loadgen.SweepConfig{Duration: c.measureDuration(), Seed: c.Seed}
+	samples, err := loadgen.Sweep(p, p.TestConcurrencies, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s samples: %w", p.Name, err)
+	}
+	grid := evalGrid(p)
+	cfg.Seed = c.Seed + 104729
+	evals, err := loadgen.Sweep(p, grid, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s eval grid: %w", p.Name, err)
+	}
+	cam := &Campaign{
+		Profile:           p,
+		SampleResults:     samples,
+		EvalConcurrencies: grid,
+		EvalResults:       evals,
+	}
+	c.campaigns[p.Name] = cam
+	return cam, nil
+}
+
+// DemandSamples extracts the per-station demand arrays of the sample sweep.
+func (cam *Campaign) DemandSamples() ([]core.DemandSamples, error) {
+	return monitor.ExtractDemandSamples(cam.SampleResults)
+}
+
+// MeasuredX returns the eval grid's measured throughputs.
+func (cam *Campaign) MeasuredX() []float64 {
+	_, x, _ := loadgen.MeasuredSeries(cam.EvalResults)
+	return x
+}
+
+// MeasuredCycle returns the eval grid's measured cycle times (R+Z).
+func (cam *Campaign) MeasuredCycle() []float64 {
+	_, _, cyc := loadgen.MeasuredSeries(cam.EvalResults)
+	return cyc
+}
+
+// MVASDResult solves MVASD with spline-interpolated demands from the sample
+// sweep, out to the profile's MaxUsers.
+func (cam *Campaign) MVASDResult() (*core.Result, error) {
+	samples, err := cam.DemandSamples()
+	if err != nil {
+		return nil, err
+	}
+	dm, err := core.NewCurveDemands(interp.CubicNotAKnot, samples, interp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return core.MVASD(cam.Profile.Model(1), cam.Profile.MaxUsers, dm, core.MVASDOptions{})
+}
+
+// MVAiResult solves Algorithm 2 with the constant demands measured at the
+// sample concurrency i (the paper's "MVA i" baselines).
+func (cam *Campaign) MVAiResult(i int) (*core.Result, error) {
+	var r *loadgen.Result
+	for _, sr := range cam.SampleResults {
+		if sr.Concurrency == i {
+			r = sr
+			break
+		}
+	}
+	if r == nil {
+		return nil, fmt.Errorf("campaign: no sample at concurrency %d", i)
+	}
+	m := cam.Profile.Model(i) // shape (servers, kinds); demands overridden
+	for k := range m.Stations {
+		m.Stations[k].Visits = 1
+		m.Stations[k].ServiceTime = r.Demands[k]
+	}
+	res, _, err := core.ExactMVAMultiServer(m, cam.Profile.MaxUsers,
+		core.MultiServerOptions{TraceStation: -1})
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = fmt.Sprintf("MVA %d", i)
+	return res, nil
+}
+
+// newSplineCurve fits the paper's default interpolator (not-a-knot cubic
+// spline with constant-peg extrapolation, eq. 14) through one station's
+// demand samples.
+func newSplineCurve(s core.DemandSamples) (*interp.Curve, error) {
+	return interp.NewCurve(interp.CubicNotAKnot, s.At, s.Demands, interp.Options{})
+}
+
+// PredictionsAt extracts a solver trajectory's (X, R+Z) at the eval grid.
+func PredictionsAt(res *core.Result, grid []int) (x, cycle []float64) {
+	x = make([]float64, len(grid))
+	cycle = make([]float64, len(grid))
+	for i, n := range grid {
+		x[i] = res.X[n-1]
+		cycle[i] = res.Cycle[n-1]
+	}
+	return x, cycle
+}

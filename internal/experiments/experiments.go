@@ -1,0 +1,213 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a named runner that drives the testbed,
+// load generator, monitor and analytical solvers, then renders tables/charts
+// and reports headline metrics. The registry maps experiment IDs (fig1,
+// table2, …) to runners; cmd/experiments exposes them on the command line
+// and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Context carries run-wide configuration into experiment runners.
+type Context struct {
+	// Out receives rendered tables and charts; defaults to os.Stdout.
+	Out io.Writer
+	// Quick shortens simulation windows (CI/test mode); headline shapes
+	// still hold, confidence intervals are wider.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+	// CSVDir, when non-empty, receives one CSV per table/chart.
+	CSVDir string
+
+	campaigns map[string]*Campaign
+}
+
+// NewContext builds a Context with defaults.
+func NewContext() *Context {
+	return &Context{Out: os.Stdout, Seed: 1}
+}
+
+func (c *Context) out() io.Writer {
+	if c.Out == nil {
+		return os.Stdout
+	}
+	return c.Out
+}
+
+// measureDuration is the per-test measured window in virtual seconds.
+func (c *Context) measureDuration() float64 {
+	if c.Quick {
+		return 300
+	}
+	return 1200
+}
+
+// Outcome is what an experiment produces.
+type Outcome struct {
+	// ID echoes the experiment.
+	ID string
+	// Tables and Charts are the rendered artefacts.
+	Tables []*report.Table
+	Charts []*report.Chart
+	// Metrics are the headline numbers (deviation percentages etc.),
+	// keyed by stable snake_case names; EXPERIMENTS.md quotes these.
+	Metrics map[string]float64
+	// Notes are free-form remarks (calibration caveats and the like).
+	Notes []string
+}
+
+// metric records a headline number.
+func (o *Outcome) metric(name string, v float64) {
+	if o.Metrics == nil {
+		o.Metrics = map[string]float64{}
+	}
+	o.Metrics[name] = v
+}
+
+// Experiment is a registry entry.
+type Experiment struct {
+	// ID is the paper artefact id: fig1..fig17, table2..table5.
+	ID string
+	// Title describes the artefact.
+	Title string
+	// PaperClaim summarises what the paper reports for this artefact.
+	PaperClaim string
+	// Run executes the experiment.
+	Run func(ctx *Context) (*Outcome, error)
+}
+
+// registry holds all experiments, populated by the per-area files' init().
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToLower(id)]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID (figures first numerically,
+// then tables).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+// idKey orders fig1 < fig3 < … < fig17 < table2 < … .
+func idKey(id string) string {
+	var kind string
+	var num int
+	if _, err := fmt.Sscanf(id, "fig%d", &num); err == nil {
+		kind = "a"
+	} else if _, err := fmt.Sscanf(id, "table%d", &num); err == nil {
+		kind = "b"
+	} else {
+		return "z" + id
+	}
+	return fmt.Sprintf("%s%03d", kind, num)
+}
+
+// RunAndRender executes an experiment and writes its artefacts to ctx.Out
+// (and CSVDir if set), returning the outcome.
+func RunAndRender(ctx *Context, id string) (*Outcome, error) {
+	e, ok := Get(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	fmt.Fprintf(ctx.out(), "=== %s — %s ===\n", e.ID, e.Title)
+	if e.PaperClaim != "" {
+		fmt.Fprintf(ctx.out(), "paper: %s\n\n", e.PaperClaim)
+	}
+	o, err := e.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	o.ID = e.ID
+	for _, t := range o.Tables {
+		if err := t.Render(ctx.out()); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(ctx.out())
+	}
+	for _, c := range o.Charts {
+		if err := c.Render(ctx.out()); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(ctx.out())
+	}
+	if len(o.Metrics) > 0 {
+		keys := make([]string, 0, len(o.Metrics))
+		for k := range o.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(ctx.out(), "metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(ctx.out(), "  %-44s %.4g\n", k, o.Metrics[k])
+		}
+		fmt.Fprintln(ctx.out())
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(ctx.out(), "note: %s\n", n)
+	}
+	if ctx.CSVDir != "" {
+		if err := dumpCSV(ctx.CSVDir, e.ID, o); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}
+
+// dumpCSV writes each artefact of the outcome to CSV files.
+func dumpCSV(dir, id string, o *Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range o.Tables {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", id, i)))
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for i, c := range o.Charts {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_chart%d.csv", id, i)))
+		if err != nil {
+			return err
+		}
+		if err := c.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(dir, name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, name))
+}
+
+// sharedOutcomes runs every experiment once (quick mode) and caches the
+// outcomes; the campaign cache inside the context means each simulation
+// sweep runs a single time for the whole test binary.
+var sharedOutcomes map[string]*Outcome
+
+func outcomes(t *testing.T) map[string]*Outcome {
+	t.Helper()
+	if sharedOutcomes != nil {
+		return sharedOutcomes
+	}
+	if testing.Short() {
+		t.Skip("experiment suite needs full simulations")
+	}
+	ctx := NewContext()
+	ctx.Quick = true
+	ctx.Out = &bytes.Buffer{} // rendered output exercised but not printed
+	sharedOutcomes = map[string]*Outcome{}
+	for _, e := range All() {
+		o, err := RunAndRender(ctx, e.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		sharedOutcomes[e.ID] = o
+	}
+	return sharedOutcomes
+}
+
+func metric(t *testing.T, os map[string]*Outcome, id, key string) float64 {
+	t.Helper()
+	o, ok := os[id]
+	if !ok {
+		t.Fatalf("no outcome for %s", id)
+	}
+	v, ok := o.Metrics[key]
+	if !ok {
+		t.Fatalf("%s: no metric %q (have %v)", id, key, o.Metrics)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"table2", "table3", "table4", "table5",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	// Ordering: figures numerically, then tables.
+	all := All()
+	if all[0].ID != "fig1" || all[len(all)-1].ID != "table5" {
+		t.Errorf("ordering wrong: first %s last %s", all[0].ID, all[len(all)-1].ID)
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestRunAndRenderUnknown(t *testing.T) {
+	ctx := NewContext()
+	ctx.Out = &bytes.Buffer{}
+	if _, err := RunAndRender(ctx, "fig999"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFig13IsCheap(t *testing.T) {
+	// fig13 is pure math — runnable even in short mode.
+	ctx := NewContext()
+	var buf bytes.Buffer
+	ctx.Out = &buf
+	o, err := RunAndRender(ctx, "fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Metrics["worst_bound_at_6_nodes"] > 0.002 {
+		t.Errorf("bound at 6 nodes %g, paper expects < 0.2%%", o.Metrics["worst_bound_at_6_nodes"])
+	}
+	if o.Metrics["worst_bound_violation"] > 0 {
+		t.Errorf("the eq.-19 bound was violated by %g", o.Metrics["worst_bound_violation"])
+	}
+	if !strings.Contains(buf.String(), "Fig 13") {
+		t.Error("rendered output missing")
+	}
+}
+
+func TestTable2VINSUtilizationShape(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "table2", "db_disk_util_pct_at_max"); v < 85 {
+		t.Errorf("VINS db/disk at N=1500 = %.1f%%, want near saturation (paper 93%%)", v)
+	}
+	if v := metric(t, os, "table2", "db_cpu_util_pct_at_max"); v < 25 || v > 50 {
+		t.Errorf("VINS db/cpu at N=1500 = %.1f%%, paper ≈35%%", v)
+	}
+	if v := metric(t, os, "table2", "load_disk_util_pct_at_max"); v < 70 {
+		t.Errorf("VINS load/disk at N=1500 = %.1f%%, want the secondary hot spot", v)
+	}
+}
+
+func TestTable3JPetStoreUtilizationShape(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "table3", "db_cpu_util_pct_at_max"); v < 85 {
+		t.Errorf("JPetStore db/cpu at N=210 = %.1f%%, want saturated", v)
+	}
+	if v := metric(t, os, "table3", "db_disk_util_pct_at_max"); v < 70 {
+		t.Errorf("JPetStore db/disk at N=210 = %.1f%%, want close behind the CPU", v)
+	}
+}
+
+func TestFig6MVASDBeatsPaperThresholdsVINS(t *testing.T) {
+	os := outcomes(t)
+	xDev := metric(t, os, "fig6", "mvasd_throughput_dev_pct")
+	cDev := metric(t, os, "fig6", "mvasd_cycle_dev_pct")
+	if xDev >= 3 {
+		t.Errorf("VINS MVASD throughput deviation %.2f%%, paper < 3%%", xDev)
+	}
+	if cDev >= 9 {
+		t.Errorf("VINS MVASD cycle deviation %.2f%%, paper < 9%%", cDev)
+	}
+}
+
+func TestFig4MVAiWorseThanMVASD(t *testing.T) {
+	os := outcomes(t)
+	mvasd := metric(t, os, "fig6", "mvasd_throughput_dev_pct")
+	worst := metric(t, os, "fig4", "worst_mvai_throughput_dev_pct")
+	if worst <= mvasd {
+		t.Errorf("worst MVA i deviation %.2f%% should exceed MVASD %.2f%%", worst, mvasd)
+	}
+	if worst < 5 {
+		t.Errorf("worst MVA i deviation %.2f%%: constant demands should hurt more", worst)
+	}
+}
+
+func TestFig5DemandsDecay(t *testing.T) {
+	os := outcomes(t)
+	for _, key := range []string{"decay_ratio_cpu", "decay_ratio_disk"} {
+		if v := metric(t, os, "fig5", key); v >= 1 {
+			t.Errorf("%s = %.2f, demands must fall with concurrency", key, v)
+		}
+	}
+}
+
+func TestFig7JPetStoreMVASDBeatsEveryMVAi(t *testing.T) {
+	os := outcomes(t)
+	mvasd := metric(t, os, "fig7", "mvasd_throughput_dev_pct")
+	for _, key := range []string{
+		"mva28_throughput_dev_pct", "mva70_throughput_dev_pct",
+		"mva140_throughput_dev_pct", "mva210_throughput_dev_pct",
+	} {
+		if v := metric(t, os, "fig7", key); v <= mvasd {
+			t.Errorf("%s = %.2f%% should exceed MVASD %.2f%%", key, v, mvasd)
+		}
+	}
+}
+
+func TestFig8SingleServerWorse(t *testing.T) {
+	os := outcomes(t)
+	multi := metric(t, os, "fig8", "mvasd_throughput_dev_pct")
+	single := metric(t, os, "fig8", "single_server_throughput_dev_pct")
+	if single <= multi {
+		t.Errorf("single-server deviation %.2f%% should exceed multi-server %.2f%%", single, multi)
+	}
+}
+
+func TestFig9UtilizationPrediction(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "fig9", "util_dev_pct_cpu"); v > 10 {
+		t.Errorf("db/cpu utilization prediction deviates %.1f%%", v)
+	}
+	if v := metric(t, os, "fig9", "util_dev_pct_disk"); v > 10 {
+		t.Errorf("db/disk utilization prediction deviates %.1f%%", v)
+	}
+}
+
+func TestTable5JPetStoreThresholds(t *testing.T) {
+	os := outcomes(t)
+	x := metric(t, os, "table5", "mvasd_throughput_dev_pct")
+	c := metric(t, os, "table5", "mvasd_cycle_dev_pct")
+	if x >= 3 {
+		t.Errorf("JPetStore MVASD throughput deviation %.2f%%, paper 2.83%%", x)
+	}
+	if c >= 9 {
+		t.Errorf("JPetStore MVASD cycle deviation %.2f%%, paper 1.2%%", c)
+	}
+	ss := metric(t, os, "table5", "mvasd_single_server_throughput_dev_pct")
+	if ss <= x {
+		t.Errorf("single-server %.2f%% should be worse than MVASD %.2f%%", ss, x)
+	}
+}
+
+func TestFig10SplineReproducesKnots(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "fig10", "max_knot_reproduction_relerr"); v > 1e-9 {
+		t.Errorf("spline misses its own knots by %.2g", v)
+	}
+}
+
+func TestFig11ThroughputModeWithinPaperRange(t *testing.T) {
+	os := outcomes(t)
+	vx := metric(t, os, "fig11", "vs_throughput_x_dev_pct")
+	vc := metric(t, os, "fig11", "vs_throughput_cycle_dev_pct")
+	if vx > 12 || vc > 12 {
+		t.Errorf("throughput-mode deviations X=%.2f%% R+Z=%.2f%%, paper ≈6.7%%/6.9%%", vx, vc)
+	}
+}
+
+func TestFig12SparseSamplesDivergeMore(t *testing.T) {
+	os := outcomes(t)
+	three := metric(t, os, "fig12", "3_samples_vs_7_dev_pct")
+	five := metric(t, os, "fig12", "5_samples_vs_7_dev_pct")
+	if three <= five {
+		t.Errorf("3-sample divergence %.2f%% should exceed 5-sample %.2f%%", three, five)
+	}
+}
+
+func TestFig15ChebyshevSmoother(t *testing.T) {
+	os := outcomes(t)
+	und := metric(t, os, "fig15", "random_to_chebyshev_undulation_ratio")
+	if und <= 1 {
+		t.Errorf("random/Chebyshev undulation ratio %.2f, want > 1 (Chebyshev avoids spurious wiggles)", und)
+	}
+	me := metric(t, os, "fig15", "random_to_chebyshev_meanerr_ratio")
+	if me <= 1 {
+		t.Errorf("random/Chebyshev mean-error ratio %.2f, want > 1", me)
+	}
+}
+
+func TestFig16FewChebyshevNodesSuffice(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "fig16", "cheb3_throughput_dev_pct"); v > 10 {
+		t.Errorf("Chebyshev-3 MVASD deviation %.2f%%, paper says 'quite accurate'", v)
+	}
+	if v := metric(t, os, "fig16", "cheb7_throughput_dev_pct"); v > 5 {
+		t.Errorf("Chebyshev-7 MVASD deviation %.2f%%", v)
+	}
+}
+
+func TestFig3ProbabilitiesConverge(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "fig3", "final_step_delta"); v > 1e-4 {
+		t.Errorf("marginal probabilities not converged: last step delta %g", v)
+	}
+	// The probabilities cluster around 1/C (paper: converge to 0.25).
+	if v := metric(t, os, "fig3", "final_spread_around_quarter"); v > 0.2 {
+		t.Errorf("final probabilities spread %.3f from 0.25", v)
+	}
+}
+
+func TestFig1TransientVisible(t *testing.T) {
+	os := outcomes(t)
+	early := metric(t, os, "fig1", "early_tps_mean")
+	steady := metric(t, os, "fig1", "steady_tps_mean")
+	if early >= steady {
+		t.Errorf("ramp-up transient missing: early %.1f vs steady %.1f", early, steady)
+	}
+}
+
+func TestFig17WorkflowAccuracy(t *testing.T) {
+	os := outcomes(t)
+	if v := metric(t, os, "fig17", "workflow_throughput_dev_pct"); v > 8 {
+		t.Errorf("workflow throughput deviation %.2f%%", v)
+	}
+	if v := metric(t, os, "fig17", "workflow_cycle_dev_pct"); v > 10 {
+		t.Errorf("workflow cycle deviation %.2f%%", v)
+	}
+}
+
+func TestCSVDump(t *testing.T) {
+	ctx := NewContext()
+	ctx.Out = &bytes.Buffer{}
+	ctx.CSVDir = t.TempDir()
+	if _, err := RunAndRender(ctx, "fig13"); err != nil {
+		t.Fatal(err)
+	}
+	// fig13 emits one table and one chart.
+	for _, name := range []string{"fig13_table0.csv", "fig13_chart0.csv"} {
+		if _, err := readFile(ctx.CSVDir, name); err != nil {
+			t.Errorf("missing CSV %s: %v", name, err)
+		}
+	}
+}

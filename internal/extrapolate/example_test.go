@@ -1,0 +1,26 @@
+package extrapolate_test
+
+import (
+	"fmt"
+
+	"repro/internal/extrapolate"
+)
+
+// ExampleFitBest fits measured throughput samples with the best of the
+// candidate forms (Perfext-style) and extrapolates beyond the tested range.
+func ExampleFitBest() {
+	users := []float64{1, 25, 50, 100, 150, 200}
+	pagesPerSec := []float64{1.9, 45.3, 82.1, 120.4, 135.2, 139.8} // saturating
+	m, err := extrapolate.FitBest(users, pagesPerSec)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("form: %s\n", m.Name())
+	fmt.Printf("X(300) ≈ %.0f pages/s\n", m.Eval(300))
+	fmt.Printf("R+Z(300) ≈ %.1f s (Little's law)\n", extrapolate.CycleTimeFromThroughput(m, 300))
+	// Output:
+	// form: exp-saturation
+	// X(300) ≈ 147 pages/s
+	// R+Z(300) ≈ 2.0 s (Little's law)
+}

@@ -1,0 +1,202 @@
+// Package extrapolate implements direct curve-fitting extrapolation of load
+// test results — the approach of the paper's related work [4] (Perfext):
+// instead of modelling the queueing network, fit the measured throughput
+// curve itself ("linear regression for linearly increasing throughput and
+// sigmoid curves for saturation") and read predictions off the fit. The
+// ablation benchmarks compare this black-box baseline against MVASD given
+// the same sample budget.
+package extrapolate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// ErrBadFit is returned for invalid fitting input.
+var ErrBadFit = errors.New("extrapolate: invalid fit input")
+
+// Model is a fitted throughput curve X(N).
+type Model interface {
+	// Eval predicts throughput at concurrency n.
+	Eval(n float64) float64
+	// Name identifies the functional form.
+	Name() string
+}
+
+// Linear is X(N) = a·N + b.
+type Linear struct{ A, B float64 }
+
+// Eval evaluates the line.
+func (l *Linear) Eval(n float64) float64 { return l.A*n + l.B }
+
+// Name returns "linear".
+func (l *Linear) Name() string { return "linear" }
+
+// FitLinear least-squares fits a line through (xs, ys).
+func FitLinear(xs, ys []float64) (*Linear, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: need >=2 paired points", ErrBadFit)
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("%w: degenerate abscissae", ErrBadFit)
+	}
+	a := (n*sxy - sx*sy) / den
+	b := (sy - a*sx) / n
+	return &Linear{A: a, B: b}, nil
+}
+
+// Logistic is the saturation sigmoid X(N) = L / (1 + exp(−(N−N0)/S)).
+type Logistic struct{ L, N0, S float64 }
+
+// Eval evaluates the sigmoid.
+func (g *Logistic) Eval(n float64) float64 {
+	return g.L / (1 + math.Exp(-(n-g.N0)/g.S))
+}
+
+// Name returns "logistic".
+func (g *Logistic) Name() string { return "logistic" }
+
+// ExpSaturation is X(N) = L·(1 − exp(−N/θ)), the asymptotic-exponential
+// rise-to-max form.
+type ExpSaturation struct{ L, Theta float64 }
+
+// Eval evaluates the curve.
+func (e *ExpSaturation) Eval(n float64) float64 {
+	return e.L * (1 - math.Exp(-n/e.Theta))
+}
+
+// Name returns "exp-saturation".
+func (e *ExpSaturation) Name() string { return "exp-saturation" }
+
+// sse is the sum of squared residuals of a model over the data.
+func sse(m Model, xs, ys []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		d := m.Eval(xs[i]) - ys[i]
+		s += d * d
+	}
+	return s
+}
+
+// FitLogistic fits the sigmoid by Nelder–Mead from a data-driven start.
+func FitLogistic(xs, ys []float64) (*Logistic, error) {
+	if len(xs) < 3 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: need >=3 paired points", ErrBadFit)
+	}
+	ymax, xmax := 0.0, 0.0
+	for i := range xs {
+		ymax = math.Max(ymax, ys[i])
+		xmax = math.Max(xmax, xs[i])
+	}
+	if ymax <= 0 {
+		return nil, fmt.Errorf("%w: non-positive throughput data", ErrBadFit)
+	}
+	start := []float64{ymax * 1.05, xmax / 4, xmax / 8}
+	obj := func(p []float64) float64 {
+		if p[0] <= 0 || p[2] <= 0 {
+			return math.Inf(1)
+		}
+		return sse(&Logistic{L: p[0], N0: p[1], S: p[2]}, xs, ys)
+	}
+	best, _, err := numeric.NelderMead(obj, start, numeric.NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		return nil, err
+	}
+	return &Logistic{L: best[0], N0: best[1], S: best[2]}, nil
+}
+
+// FitExpSaturation fits the rise-to-max form by Nelder–Mead.
+func FitExpSaturation(xs, ys []float64) (*ExpSaturation, error) {
+	if len(xs) < 2 || len(xs) != len(ys) {
+		return nil, fmt.Errorf("%w: need >=2 paired points", ErrBadFit)
+	}
+	ymax, xmax := 0.0, 0.0
+	for i := range xs {
+		ymax = math.Max(ymax, ys[i])
+		xmax = math.Max(xmax, xs[i])
+	}
+	if ymax <= 0 {
+		return nil, fmt.Errorf("%w: non-positive throughput data", ErrBadFit)
+	}
+	obj := func(p []float64) float64 {
+		if p[0] <= 0 || p[1] <= 0 {
+			return math.Inf(1)
+		}
+		return sse(&ExpSaturation{L: p[0], Theta: p[1]}, xs, ys)
+	}
+	best, _, err := numeric.NelderMead(obj, []float64{ymax * 1.1, xmax / 3},
+		numeric.NelderMeadOptions{MaxIter: 5000})
+	if err != nil {
+		return nil, err
+	}
+	return &ExpSaturation{L: best[0], Theta: best[1]}, nil
+}
+
+// FitBest fits every candidate form and returns the one with the smallest
+// SSE on the samples — the Perfext-style model-selection step.
+func FitBest(xs, ys []float64) (Model, error) {
+	var best Model
+	bestSSE := math.Inf(1)
+	if lin, err := FitLinear(xs, ys); err == nil {
+		if s := sse(lin, xs, ys); s < bestSSE {
+			best, bestSSE = lin, s
+		}
+	}
+	if sig, err := FitLogistic(xs, ys); err == nil {
+		if s := sse(sig, xs, ys); s < bestSSE {
+			best, bestSSE = sig, s
+		}
+	}
+	if exp, err := FitExpSaturation(xs, ys); err == nil {
+		if s := sse(exp, xs, ys); s < bestSSE {
+			best, bestSSE = exp, s
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no candidate form could be fitted", ErrBadFit)
+	}
+	return best, nil
+}
+
+// CycleTimeFromThroughput converts a fitted throughput curve into a cycle
+// time prediction via Little's law: R+Z = N / X(N). This is how direct
+// extrapolation answers response-time questions without a queueing model.
+func CycleTimeFromThroughput(m Model, n float64) float64 {
+	x := m.Eval(n)
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	return n / x
+}
+
+// RSquared reports the coefficient of determination of a model over data.
+func RSquared(m Model, xs, ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssTot float64
+	for _, y := range ys {
+		ssTot += (y - mean) * (y - mean)
+	}
+	if ssTot == 0 {
+		return 1
+	}
+	return 1 - sse(m, xs, ys)/ssTot
+}

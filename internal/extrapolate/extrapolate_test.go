@@ -1,0 +1,162 @@
+package extrapolate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	l, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(l.A, 2, 1e-10) || !numeric.AlmostEqual(l.B, 1, 1e-10) {
+		t.Fatalf("fit a=%g b=%g, want 2, 1", l.A, l.B)
+	}
+	if r2 := RSquared(l, xs, ys); !numeric.AlmostEqual(r2, 1, 1e-12) {
+		t.Fatalf("R² = %g", r2)
+	}
+	if l.Name() != "linear" {
+		t.Error("name")
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1}); !errors.Is(err, ErrBadFit) {
+		t.Errorf("single point: %v", err)
+	}
+	if _, err := FitLinear([]float64{2, 2}, []float64{1, 3}); !errors.Is(err, ErrBadFit) {
+		t.Errorf("degenerate xs: %v", err)
+	}
+}
+
+func TestFitLogisticRecoversParameters(t *testing.T) {
+	truth := &Logistic{L: 140, N0: 60, S: 18}
+	xs := numeric.Linspace(1, 300, 25)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	fit, err := FitLogistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameter recovery within a few percent and near-perfect curve match.
+	if math.Abs(fit.L-truth.L)/truth.L > 0.03 {
+		t.Fatalf("L = %g, want 140", fit.L)
+	}
+	for _, x := range []float64{10, 60, 150, 280} {
+		if !numeric.AlmostEqual(fit.Eval(x), truth.Eval(x), 0.02) {
+			t.Fatalf("fit(%g) = %g, want %g", x, fit.Eval(x), truth.Eval(x))
+		}
+	}
+	if r2 := RSquared(fit, xs, ys); r2 < 0.999 {
+		t.Fatalf("R² = %g", r2)
+	}
+}
+
+func TestFitExpSaturationRecoversParameters(t *testing.T) {
+	truth := &ExpSaturation{L: 155, Theta: 45}
+	xs := numeric.Linspace(1, 400, 20)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	fit, err := FitExpSaturation(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.L-truth.L)/truth.L > 0.02 || math.Abs(fit.Theta-truth.Theta)/truth.Theta > 0.05 {
+		t.Fatalf("fit L=%g θ=%g, want 155, 45", fit.L, fit.Theta)
+	}
+}
+
+func TestFitBestSelectsRightForm(t *testing.T) {
+	// Pure line → linear wins; saturating data → a saturating form wins.
+	xs := numeric.Linspace(1, 100, 12)
+	line := make([]float64, len(xs))
+	for i, x := range xs {
+		line[i] = 1.5 * x
+	}
+	m, err := FitBest(xs, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "linear" {
+		t.Fatalf("line data fitted as %s", m.Name())
+	}
+	sat := make([]float64, len(xs))
+	truth := &ExpSaturation{L: 100, Theta: 15}
+	for i, x := range xs {
+		sat[i] = truth.Eval(x)
+	}
+	m, err = FitBest(xs, sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() == "linear" {
+		t.Fatal("saturating data fitted as linear")
+	}
+	// Extrapolation beyond the data stays near the asymptote.
+	if v := m.Eval(500); math.Abs(v-100) > 5 {
+		t.Fatalf("extrapolated plateau %g, want ≈100", v)
+	}
+}
+
+func TestFitBestWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := &Logistic{L: 140, N0: 70, S: 25}
+	xs := numeric.Linspace(1, 280, 10)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x) * (1 + 0.02*rng.NormFloat64())
+	}
+	m, err := FitBest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := RSquared(m, xs, ys); r2 < 0.99 {
+		t.Fatalf("noisy fit R² = %g (%s)", r2, m.Name())
+	}
+}
+
+func TestCycleTimeFromThroughput(t *testing.T) {
+	m := &ExpSaturation{L: 100, Theta: 10}
+	// At high N, X→100, so R+Z → N/100.
+	if v := CycleTimeFromThroughput(m, 500); !numeric.AlmostEqual(v, 5, 1e-6) {
+		t.Fatalf("cycle(500) = %g, want 5", v)
+	}
+	// Zero throughput → infinite cycle time.
+	zero := &Linear{A: 0, B: 0}
+	if !math.IsInf(CycleTimeFromThroughput(zero, 10), 1) {
+		t.Fatal("zero throughput should give +Inf cycle")
+	}
+}
+
+func TestRSquaredDegenerate(t *testing.T) {
+	m := &Linear{A: 0, B: 5}
+	if r := RSquared(m, []float64{1, 2}, []float64{5, 5}); r != 1 {
+		t.Fatalf("constant data R² = %g", r)
+	}
+	if r := RSquared(m, nil, nil); r != 0 {
+		t.Fatalf("empty data R² = %g", r)
+	}
+}
+
+func TestFitErrorsOnBadData(t *testing.T) {
+	if _, err := FitLogistic([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrBadFit) {
+		t.Errorf("too few points: %v", err)
+	}
+	if _, err := FitLogistic([]float64{1, 2, 3}, []float64{0, 0, 0}); !errors.Is(err, ErrBadFit) {
+		t.Errorf("zero data: %v", err)
+	}
+	if _, err := FitExpSaturation([]float64{1, 2}, []float64{-1, -2}); !errors.Is(err, ErrBadFit) {
+		t.Errorf("negative data: %v", err)
+	}
+}

@@ -1,0 +1,29 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProperties: arbitrary properties text must never panic, and any
+// accepted result must be a runnable workload.
+func FuzzParseProperties(f *testing.F) {
+	f.Add("grinder.processes = 10\ngrinder.threads = 20\ngrinder.duration = 60000\n")
+	f.Add("# comment only\n")
+	f.Add("grinder.threads 5")
+	f.Add("grinder.duration = NaN\n")
+	f.Add("other = 1\ngrinder.processes: 2\ngrinder.duration: 1000\n")
+	f.Add(strings.Repeat("grinder.processes = 1\n", 50))
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProperties(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := p.validate(); err != nil {
+			t.Fatalf("ParseProperties accepted an invalid workload: %v (%+v)", err, p)
+		}
+		if p.VirtualUsers() < 1 {
+			t.Fatalf("accepted %d virtual users", p.VirtualUsers())
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package loadgen is the Grinder-style load-test controller over the
+// discrete-event testbed: it reproduces the workload semantics of the
+// paper's Section 4.1 — agents × worker processes × worker threads of
+// virtual users, gradual ramp-up via process increments and initial sleep
+// times, duration- or run-bound tests, think times — and extracts
+// steady-state throughput/response-time measurements the way a performance
+// engineer trims The Grinder's transient (the paper's Fig. 1).
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/simulation"
+	"repro/internal/testbed"
+)
+
+// Properties mirrors the grinder.properties parameters the paper lists.
+type Properties struct {
+	// Agents is the number of load-injector machines.
+	Agents int
+	// Processes is grinder.processes, worker processes per agent.
+	Processes int
+	// Threads is grinder.threads, worker threads (virtual users) per process.
+	Threads int
+	// Runs is grinder.runs: transactions each virtual user performs before
+	// retiring (0 = unbounded, duration-terminated).
+	Runs int
+	// Duration is grinder.duration: virtual seconds each worker runs
+	// (measured after ramp-up and warm-up trimming).
+	Duration float64
+	// InitialSleepTime is grinder.initialSleepTime: the maximum time each
+	// thread waits before starting (threads draw uniformly from
+	// [0, InitialSleepTime]), in seconds.
+	InitialSleepTime float64
+	// ProcessIncrement is grinder.processIncrement: how many worker
+	// processes each agent starts per increment interval. 0 starts all
+	// processes immediately.
+	ProcessIncrement int
+	// ProcessIncrementInterval is grinder.processIncrementInterval in
+	// seconds.
+	ProcessIncrementInterval float64
+}
+
+// VirtualUsers is the paper's formula: threads × processes × agents.
+func (p Properties) VirtualUsers() int {
+	return p.Agents * p.Processes * p.Threads
+}
+
+// validate checks the properties are runnable.
+func (p Properties) validate() error {
+	if p.Agents < 1 || p.Processes < 1 || p.Threads < 1 {
+		return fmt.Errorf("loadgen: need at least one agent/process/thread, got %d/%d/%d",
+			p.Agents, p.Processes, p.Threads)
+	}
+	if p.Duration <= 0 {
+		return errors.New("loadgen: duration must be positive")
+	}
+	if p.InitialSleepTime < 0 || p.ProcessIncrementInterval < 0 || p.ProcessIncrement < 0 {
+		return errors.New("loadgen: negative ramp-up parameter")
+	}
+	if p.Runs < 0 {
+		return errors.New("loadgen: negative run count")
+	}
+	return nil
+}
+
+// StartTimes realises the ramp-up schedule: process k of an agent starts at
+// (k / ProcessIncrement) · ProcessIncrementInterval, and each of its threads
+// adds an independent uniform initial sleep.
+func (p Properties) StartTimes(rng *rand.Rand) []float64 {
+	starts := make([]float64, 0, p.VirtualUsers())
+	for a := 0; a < p.Agents; a++ {
+		for proc := 0; proc < p.Processes; proc++ {
+			base := 0.0
+			if p.ProcessIncrement > 0 && p.ProcessIncrementInterval > 0 {
+				base = float64(proc/p.ProcessIncrement) * p.ProcessIncrementInterval
+			}
+			for th := 0; th < p.Threads; th++ {
+				jitter := 0.0
+				if p.InitialSleepTime > 0 {
+					jitter = rng.Float64() * p.InitialSleepTime
+				}
+				starts = append(starts, base+jitter)
+			}
+		}
+	}
+	return starts
+}
+
+// rampSpan returns the virtual time until the last process has started.
+func (p Properties) rampSpan() float64 {
+	span := p.InitialSleepTime
+	if p.ProcessIncrement > 0 && p.ProcessIncrementInterval > 0 {
+		span += float64((p.Processes-1)/p.ProcessIncrement) * p.ProcessIncrementInterval
+	}
+	return span
+}
+
+// Test is one load test against a testbed profile.
+type Test struct {
+	// Profile is the environment under test.
+	Profile *testbed.Profile
+	// Props are the Grinder workload parameters.
+	Props Properties
+	// Seed drives all randomness.
+	Seed int64
+	// ExtraWarmup adds settle time (seconds) after the ramp before
+	// measurement begins; default 100 s.
+	ExtraWarmup float64
+	// ServiceDist / ThinkDist override the simulator distributions
+	// (default exponential, the product-form reference).
+	ServiceDist simulation.Distribution
+	ThinkDist   simulation.Distribution
+	// WindowSize is the TPS-series window (default 10 s).
+	WindowSize float64
+	// PercentileSamples enables response-time percentile collection with
+	// the given reservoir size (0 disables).
+	PercentileSamples int
+}
+
+// Result is the measured outcome of one load test.
+type Result struct {
+	// Concurrency is the number of virtual users.
+	Concurrency int
+	// Stats is the raw steady-state measurement.
+	Stats *simulation.Stats
+	// Demands are the per-station service demands extracted through the
+	// Service Demand Law (paper eq. 3) from the measured utilizations.
+	Demands []float64
+	// StationNames label the demand/utilization axes.
+	StationNames []string
+}
+
+// Run executes the load test: it realises the ramp-up schedule, runs the
+// testbed simulation at the configured concurrency (the profile's demand
+// curves are evaluated at that concurrency), trims the transient, and
+// returns steady-state measurements.
+func Run(t Test) (*Result, error) {
+	if t.Profile == nil {
+		return nil, errors.New("loadgen: nil profile")
+	}
+	if err := t.Props.validate(); err != nil {
+		return nil, err
+	}
+	n := t.Props.VirtualUsers()
+	rng := rand.New(rand.NewSource(t.Seed))
+	warm := t.ExtraWarmup
+	if warm <= 0 {
+		warm = 100
+	}
+	window := t.WindowSize
+	if window <= 0 {
+		window = 10
+	}
+	model := t.Profile.Model(n)
+	stats, err := simulation.Run(simulation.Config{
+		Model:             model,
+		Population:        n,
+		Seed:              t.Seed,
+		WarmupTime:        t.Props.rampSpan() + warm,
+		MeasureTime:       t.Props.Duration,
+		ServiceDist:       t.ServiceDist,
+		ThinkDist:         t.ThinkDist,
+		StartTimes:        t.Props.StartTimes(rng),
+		WindowSize:        window,
+		ResponseSampleCap: t.PercentileSamples,
+		MaxRunsPerUser:    t.Props.Runs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	return &Result{
+		Concurrency:  n,
+		Stats:        stats,
+		Demands:      stats.Demands(),
+		StationNames: t.Profile.StationNames(),
+	}, nil
+}
+
+// PropertiesFor picks a processes×threads split realising the target number
+// of virtual users on a single agent (threads capped at 25 per process, the
+// customary Grinder sizing), with a gentle process ramp.
+func PropertiesFor(users int, duration float64) Properties {
+	if users < 1 {
+		users = 1
+	}
+	// Smallest process count >= users/25 that divides users exactly, so
+	// processes × threads lands on the target (Grinder threads are uniform
+	// per process); worst case one thread per process.
+	processes := (users + 24) / 25
+	for users%processes != 0 {
+		processes++
+	}
+	threads := users / processes
+	return Properties{
+		Agents:                   1,
+		Processes:                processes,
+		Threads:                  threads,
+		Duration:                 duration,
+		InitialSleepTime:         2,
+		ProcessIncrement:         maxInt(1, processes/10),
+		ProcessIncrementInterval: 5,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SweepConfig configures a load-test campaign over several concurrencies.
+type SweepConfig struct {
+	// Duration is the measured window per test (seconds); default 1500.
+	Duration float64
+	// Seed is the base seed; test i uses Seed + i.
+	Seed int64
+	// ServiceDist / ThinkDist propagate to each test.
+	ServiceDist simulation.Distribution
+	ThinkDist   simulation.Distribution
+}
+
+// Sweep runs one load test per concurrency level — the paper's load-test
+// campaign producing Tables 2–3 — and returns results in input order.
+func Sweep(p *testbed.Profile, concurrencies []int, cfg SweepConfig) ([]*Result, error) {
+	if len(concurrencies) == 0 {
+		return nil, errors.New("loadgen: empty sweep")
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 1500
+	}
+	out := make([]*Result, len(concurrencies))
+	for i, n := range concurrencies {
+		props := PropertiesFor(n, dur)
+		res, err := Run(Test{
+			Profile:     p,
+			Props:       props,
+			Seed:        cfg.Seed + int64(i)*7919,
+			ServiceDist: cfg.ServiceDist,
+			ThinkDist:   cfg.ThinkDist,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: sweep point N=%d: %w", n, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// MeasuredSeries extracts the (X, R+Z) pairs of a sweep, the "measured"
+// curves the paper plots against MVA predictions.
+func MeasuredSeries(results []*Result) (concurrency []int, x, cycle []float64) {
+	concurrency = make([]int, len(results))
+	x = make([]float64, len(results))
+	cycle = make([]float64, len(results))
+	for i, r := range results {
+		concurrency[i] = r.Concurrency
+		x[i] = r.Stats.Throughput
+		cycle[i] = r.Stats.CycleTime
+	}
+	return concurrency, x, cycle
+}
+
+// SteadyStateStart estimates where a test's TPS series stabilises using
+// MSER-5 — the automated version of "the tests are run for sufficiently long
+// time in order to remove such transient behavior" (paper Section 4.1).
+func SteadyStateStart(s *metrics.Series) float64 {
+	if s == nil || len(s.Points) == 0 {
+		return 0
+	}
+	cut := metrics.MSER5(s.Values())
+	if cut >= len(s.Points) {
+		cut = len(s.Points) - 1
+	}
+	return s.Points[cut].T
+}

@@ -1,0 +1,277 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+)
+
+// referenceThroughput solves the profile's model at fixed concurrency n
+// (demands frozen at D(n)) with the exact load-dependent MVA — the
+// analytical mean the simulator should reproduce at that operating point.
+func referenceThroughput(p *testbed.Profile, n int) (float64, error) {
+	res, err := core.LoadDependentMVA(p.Model(n), n, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.X[n-1], nil
+}
+
+func TestVirtualUsersFormula(t *testing.T) {
+	p := Properties{Agents: 2, Processes: 3, Threads: 5}
+	if p.VirtualUsers() != 30 {
+		t.Errorf("VirtualUsers = %d, want 30", p.VirtualUsers())
+	}
+}
+
+func TestPropertiesForHitsTargetExactly(t *testing.T) {
+	for _, users := range []int{1, 7, 23, 25, 26, 90, 203, 717, 1500} {
+		p := PropertiesFor(users, 600)
+		if got := p.VirtualUsers(); got != users {
+			t.Errorf("users=%d: VirtualUsers = %d (%d proc × %d thr)",
+				users, got, p.Processes, p.Threads)
+		}
+		if users > 25 && p.Threads > 25 {
+			t.Errorf("users=%d: %d threads per process exceeds the sizing cap", users, p.Threads)
+		}
+	}
+}
+
+func TestStartTimesRampUp(t *testing.T) {
+	p := Properties{
+		Agents: 1, Processes: 10, Threads: 5, Duration: 100,
+		InitialSleepTime: 2, ProcessIncrement: 2, ProcessIncrementInterval: 10,
+	}
+	rng := rand.New(rand.NewSource(1))
+	starts := p.StartTimes(rng)
+	if len(starts) != 50 {
+		t.Fatalf("%d start times", len(starts))
+	}
+	// First process's threads start within the initial sleep window.
+	for _, s := range starts[:5] {
+		if s < 0 || s > 2 {
+			t.Errorf("first-process start %g outside [0,2]", s)
+		}
+	}
+	// Last process (index 9) starts at floor(9/2)·10 = 40 s plus jitter.
+	for _, s := range starts[45:] {
+		if s < 40 || s > 42 {
+			t.Errorf("last-process start %g outside [40,42]", s)
+		}
+	}
+	if span := p.rampSpan(); span != 42 {
+		t.Errorf("rampSpan = %g, want 42", span)
+	}
+}
+
+func TestPropertiesValidation(t *testing.T) {
+	bad := []Properties{
+		{Agents: 0, Processes: 1, Threads: 1, Duration: 10},
+		{Agents: 1, Processes: 1, Threads: 1, Duration: 0},
+		{Agents: 1, Processes: 1, Threads: 1, Duration: 10, InitialSleepTime: -1},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := Run(Test{Profile: nil}); err == nil {
+		t.Error("nil profile should error")
+	}
+	if _, err := Run(Test{Profile: testbed.VINS()}); err == nil {
+		t.Error("zero-value properties should error")
+	}
+	if _, err := Sweep(testbed.VINS(), nil, SweepConfig{}); err == nil {
+		t.Error("empty sweep should error")
+	}
+}
+
+func TestRunProducesConsistentMeasurement(t *testing.T) {
+	p := testbed.JPetStore()
+	res, err := Run(Test{
+		Profile: p,
+		Props:   PropertiesFor(70, 800),
+		Seed:    42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Concurrency != 70 {
+		t.Fatalf("concurrency %d", res.Concurrency)
+	}
+	// Little's law on the measured means.
+	implied := res.Stats.Throughput * res.Stats.CycleTime
+	if metrics.RelErr(implied, 70) > 0.03 {
+		t.Errorf("X(R+Z) = %.1f, want 70", implied)
+	}
+	// Demands extracted via the Service Demand Law track the true curves.
+	truth := p.TrueDemands(70)
+	for k := range truth {
+		if truth[k] < 1e-4 {
+			continue // tiny demands are noise-dominated
+		}
+		if rel := metrics.RelErr(res.Demands[k], truth[k]); rel > 0.10 {
+			t.Errorf("station %s: demand %.5f vs truth %.5f (%.0f%%)",
+				res.StationNames[k], res.Demands[k], truth[k], rel*100)
+		}
+	}
+}
+
+func TestSweepOrderingAndShape(t *testing.T) {
+	p := testbed.JPetStore()
+	levels := []int{1, 28, 140}
+	results, err := Sweep(p, levels, SweepConfig{Duration: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	ns, xs, cycles := MeasuredSeries(results)
+	for i, n := range levels {
+		if ns[i] != n {
+			t.Errorf("row %d concurrency %d, want %d", i, ns[i], n)
+		}
+	}
+	// Throughput grows with offered load below saturation.
+	if !(xs[0] < xs[1] && xs[1] < xs[2]) {
+		t.Errorf("throughput not increasing: %v", xs)
+	}
+	// Cycle time at N=1 is ≈ ΣD(1) + Z.
+	m := p.Model(1)
+	want := m.TotalDemand() + p.ThinkTime
+	if metrics.RelErr(cycles[0], want) > 0.10 {
+		t.Errorf("cycle(1) = %.3f, want ≈%.3f", cycles[0], want)
+	}
+}
+
+func TestSteadyStateStart(t *testing.T) {
+	var s metrics.Series
+	// 20 climbing windows then 80 flat ones.
+	for i := 0; i < 20; i++ {
+		s.Append(float64(i*10), float64(i))
+	}
+	for i := 20; i < 100; i++ {
+		s.Append(float64(i*10), 20)
+	}
+	t0 := SteadyStateStart(&s)
+	if t0 < 100 || t0 > 300 {
+		t.Errorf("steady state detected at %g s, want near 200", t0)
+	}
+	if SteadyStateStart(nil) != 0 {
+		t.Error("nil series must return 0")
+	}
+	if SteadyStateStart(&metrics.Series{}) != 0 {
+		t.Error("empty series must return 0")
+	}
+}
+
+func TestRampUpVisibleInSeries(t *testing.T) {
+	// Fig. 1: with a slow ramp the early TPS windows sit well below steady
+	// state.
+	p := testbed.JPetStore()
+	res, err := Run(Test{
+		Profile: p,
+		Props: Properties{
+			Agents: 1, Processes: 10, Threads: 7, Duration: 600,
+			InitialSleepTime: 5, ProcessIncrement: 1, ProcessIncrementInterval: 20,
+		},
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := res.Stats.TPSSeries
+	if series == nil || len(series.Points) < 30 {
+		t.Fatal("missing TPS series")
+	}
+	early, err := metrics.Summarize(series.Values()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := series.After(300)
+	late, err := metrics.Summarize(tail.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Mean > late.Mean*0.7 {
+		t.Errorf("ramp-up transient not visible: early %.1f vs late %.1f", early.Mean, late.Mean)
+	}
+}
+
+func TestVINSLoadTestAgainstOracle(t *testing.T) {
+	// One mid-range VINS point: measured X must be near MVASD-oracle's
+	// prediction at the same N (both sides of the experiment pipeline).
+	if testing.Short() {
+		t.Skip("long VINS run")
+	}
+	p := testbed.VINS()
+	res, err := Run(Test{Profile: p, Props: PropertiesFor(203, 800), Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model at fixed N=203 demands (constant) solved exactly gives the
+	// reference mean.
+	ref, err := referenceThroughput(p, 203)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := metrics.RelErr(res.Stats.Throughput, ref); rel > 0.05 {
+		t.Errorf("VINS N=203: measured %.2f vs reference %.2f (%.1f%%)",
+			res.Stats.Throughput, ref, rel*100)
+	}
+	if math.IsNaN(res.Stats.ResponseTime) || res.Stats.ResponseTime <= 0 {
+		t.Errorf("bad response time %g", res.Stats.ResponseTime)
+	}
+}
+
+func TestRunsBoundedTest(t *testing.T) {
+	// grinder.runs semantics: each virtual user retires after R
+	// transactions, so a long window measures exactly N·R completions
+	// (minus those finishing during warm-up).
+	p := testbed.JPetStore()
+	props := Properties{
+		Agents: 1, Processes: 2, Threads: 5, Runs: 20,
+		Duration: 2000,
+	}
+	res, err := Run(Test{Profile: p, Props: props, Seed: 13, ExtraWarmup: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := props.VirtualUsers() * props.Runs
+	if res.Stats.Completed > total {
+		t.Fatalf("completed %d > N·R = %d", res.Stats.Completed, total)
+	}
+	// With a tiny warm-up nearly all transactions land in the window.
+	if res.Stats.Completed < total*9/10 {
+		t.Fatalf("completed %d, want ≈%d", res.Stats.Completed, total)
+	}
+}
+
+func TestPercentileCollection(t *testing.T) {
+	p := testbed.JPetStore()
+	res, err := Run(Test{
+		Profile:           p,
+		Props:             PropertiesFor(28, 400),
+		Seed:              21,
+		PercentileSamples: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, err := res.Stats.ResponsePercentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := res.Stats.ResponsePercentile(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p50 > 0 && p99 > p50) {
+		t.Fatalf("P50=%g P99=%g", p50, p99)
+	}
+}

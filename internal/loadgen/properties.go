@@ -1,0 +1,125 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseProperties reads a grinder.properties-style file (Java properties
+// syntax: `key = value`, `#`/`!` comments) and maps the keys the paper's
+// Section 4.1 lists onto Properties:
+//
+//	grinder.processes                   worker processes per agent
+//	grinder.threads                     worker threads per process
+//	grinder.agents                      agent machines (extension; default 1)
+//	grinder.duration                    run length, milliseconds
+//	grinder.initialSleepTime            max pre-start thread sleep, ms
+//	grinder.processIncrement            processes started per increment
+//	grinder.processIncrementInterval    increment interval, ms
+//	grinder.runs                        transactions per user (0 = unbounded)
+//
+// Unknown grinder.* keys (script, sleepTimeVariation, …) are accepted
+// and ignored, as The Grinder itself tolerates unknown settings; malformed
+// numeric values are errors. Times are milliseconds in the file, seconds in
+// Properties, matching The Grinder's conventions.
+func ParseProperties(r io.Reader) (Properties, error) {
+	p := Properties{Agents: 1, Processes: 1, Threads: 1}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "!") {
+			continue
+		}
+		eq := strings.IndexAny(line, "=:")
+		if eq < 0 {
+			return p, fmt.Errorf("loadgen: properties line %d: no separator in %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		val := strings.TrimSpace(line[eq+1:])
+		if !strings.HasPrefix(key, "grinder.") {
+			continue // foreign namespaces are ignored
+		}
+		num := func() (float64, error) {
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return 0, fmt.Errorf("loadgen: properties line %d: %s = %q is not numeric", lineNo, key, val)
+			}
+			return v, nil
+		}
+		switch key {
+		case "grinder.processes":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.Processes = int(v)
+		case "grinder.threads":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.Threads = int(v)
+		case "grinder.agents":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.Agents = int(v)
+		case "grinder.duration":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.Duration = v / 1000
+		case "grinder.initialSleepTime":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.InitialSleepTime = v / 1000
+		case "grinder.processIncrement":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.ProcessIncrement = int(v)
+		case "grinder.processIncrementInterval":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.ProcessIncrementInterval = v / 1000
+		case "grinder.runs":
+			v, err := num()
+			if err != nil {
+				return p, err
+			}
+			p.Runs = int(v)
+		default:
+			// grinder.script, grinder.sleepTimeVariation, …
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return p, fmt.Errorf("loadgen: reading properties: %w", err)
+	}
+	return p, p.validate()
+}
+
+// FormatProperties renders Properties back to grinder.properties syntax.
+func FormatProperties(p Properties) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grinder.agents = %d\n", p.Agents)
+	fmt.Fprintf(&b, "grinder.processes = %d\n", p.Processes)
+	fmt.Fprintf(&b, "grinder.threads = %d\n", p.Threads)
+	fmt.Fprintf(&b, "grinder.runs = %d\n", p.Runs)
+	fmt.Fprintf(&b, "grinder.duration = %.0f\n", p.Duration*1000)
+	fmt.Fprintf(&b, "grinder.initialSleepTime = %.0f\n", p.InitialSleepTime*1000)
+	fmt.Fprintf(&b, "grinder.processIncrement = %d\n", p.ProcessIncrement)
+	fmt.Fprintf(&b, "grinder.processIncrementInterval = %.0f\n", p.ProcessIncrementInterval*1000)
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePropertiesFull(t *testing.T) {
+	src := `
+# The Grinder configuration, as in the paper's Section 4.1
+grinder.script = renewpolicy.py
+grinder.processes = 10
+grinder.threads = 20
+grinder.runs = 0
+grinder.duration = 1800000
+grinder.initialSleepTime = 2000
+grinder.sleepTimeVariation = 0.2
+grinder.processIncrement = 2
+grinder.processIncrementInterval = 10000
+! trailing comment style
+other.namespace = ignored
+`
+	p, err := ParseProperties(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Processes != 10 || p.Threads != 20 || p.Agents != 1 {
+		t.Fatalf("workers: %+v", p)
+	}
+	if p.VirtualUsers() != 200 {
+		t.Fatalf("VirtualUsers = %d", p.VirtualUsers())
+	}
+	if p.Duration != 1800 {
+		t.Fatalf("Duration = %g s, want 1800", p.Duration)
+	}
+	if p.InitialSleepTime != 2 {
+		t.Fatalf("InitialSleepTime = %g s", p.InitialSleepTime)
+	}
+	if p.ProcessIncrement != 2 || p.ProcessIncrementInterval != 10 {
+		t.Fatalf("ramp: %+v", p)
+	}
+}
+
+func TestParsePropertiesColonSeparator(t *testing.T) {
+	p, err := ParseProperties(strings.NewReader("grinder.processes: 3\ngrinder.threads: 4\ngrinder.duration: 60000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Processes != 3 || p.Threads != 4 {
+		t.Fatalf("%+v", p)
+	}
+}
+
+func TestParsePropertiesErrors(t *testing.T) {
+	cases := map[string]string{
+		"no separator":      "grinder.threads 5\n",
+		"non-numeric":       "grinder.threads = many\n",
+		"invalid resulting": "grinder.threads = 0\ngrinder.duration = 1000\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseProperties(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	orig := Properties{
+		Agents: 2, Processes: 5, Threads: 8, Duration: 600,
+		InitialSleepTime: 1.5, ProcessIncrement: 1, ProcessIncrementInterval: 7,
+	}
+	parsed, err := ParseProperties(strings.NewReader(FormatProperties(orig)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != orig {
+		t.Fatalf("round trip: %+v vs %+v", parsed, orig)
+	}
+}

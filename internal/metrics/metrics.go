@@ -1,0 +1,248 @@
+// Package metrics provides the statistical machinery used throughout the
+// experiments: summary statistics with confidence intervals, the paper's
+// mean-percentage-deviation metric (eq. 15), time-series containers for load
+// test output, batch-means analysis and MSER-5 steady-state (warm-up)
+// truncation for simulator runs.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned when a computation is asked of an empty sample.
+var ErrNoData = errors.New("metrics: no data")
+
+// Summary holds moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n−1 denominator)
+	StdDev   float64
+	Min, Max float64
+}
+
+// Summarize computes summary statistics of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		for _, x := range xs {
+			d := x - s.Mean
+			s.Variance += d * d
+		}
+		s.Variance /= float64(s.N - 1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	return s, nil
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence interval
+// of the mean, using the normal approximation for n > 30 and a small-sample
+// t-table below that.
+func (s Summary) ConfidenceInterval95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return tCritical95(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (table for small df, 1.96 asymptote beyond).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("metrics: percentile %g outside [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// MeanDeviationPct is the paper's eq. 15: the mean absolute percentage
+// deviation of predictions from measurements over M observation points,
+//
+//	%Dev = (1/M) Σ |Predicted(m) − Measured(m)| / Measured(m) × 100.
+//
+// Points with Measured == 0 are skipped (they would be undefined).
+func MeanDeviationPct(predicted, measured []float64) (float64, error) {
+	if len(predicted) != len(measured) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(predicted), len(measured))
+	}
+	sum, m := 0.0, 0
+	for i := range measured {
+		if measured[i] == 0 {
+			continue
+		}
+		sum += math.Abs(predicted[i]-measured[i]) / math.Abs(measured[i])
+		m++
+	}
+	if m == 0 {
+		return 0, ErrNoData
+	}
+	return sum / float64(m) * 100, nil
+}
+
+// MaxDeviationPct returns the worst-case percentage deviation over the
+// observation points (companion to MeanDeviationPct).
+func MaxDeviationPct(predicted, measured []float64) (float64, error) {
+	if len(predicted) != len(measured) {
+		return 0, fmt.Errorf("metrics: length mismatch %d vs %d", len(predicted), len(measured))
+	}
+	worst, m := 0.0, 0
+	for i := range measured {
+		if measured[i] == 0 {
+			continue
+		}
+		worst = math.Max(worst, math.Abs(predicted[i]-measured[i])/math.Abs(measured[i]))
+		m++
+	}
+	if m == 0 {
+		return 0, ErrNoData
+	}
+	return worst * 100, nil
+}
+
+// TimePoint is one sample of a load-test time series.
+type TimePoint struct {
+	// T is seconds since test start.
+	T float64
+	// V is the metric value (TPS, response time, utilization, …).
+	V float64
+}
+
+// Series is an ordered metric time series.
+type Series struct {
+	Name   string
+	Points []TimePoint
+}
+
+// Append adds a sample.
+func (s *Series) Append(t, v float64) {
+	s.Points = append(s.Points, TimePoint{T: t, V: v})
+}
+
+// Values extracts the raw values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// After returns the sub-series with T >= t0 (sharing backing storage).
+func (s *Series) After(t0 float64) *Series {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= t0 })
+	return &Series{Name: s.Name, Points: s.Points[i:]}
+}
+
+// MSER5 applies the MSER-5 steady-state truncation rule to a sequence of
+// observations: the observations are grouped into batches of five, and the
+// truncation point d* minimises the half-width statistic
+//
+//	MSER(d) = S_d / (m − d)
+//
+// where S_d is the standard deviation of the last m−d batch means. It
+// returns the index (in raw observations) at which the steady state is
+// deemed to begin. This replaces eyeballing the ramp-up transient of the
+// paper's Fig. 1. By convention the search is limited to the first half of
+// the run so a short run cannot truncate everything.
+func MSER5(xs []float64) int {
+	const batch = 5
+	m := len(xs) / batch
+	if m < 4 {
+		return 0
+	}
+	means := make([]float64, m)
+	for b := 0; b < m; b++ {
+		sum := 0.0
+		for i := 0; i < batch; i++ {
+			sum += xs[b*batch+i]
+		}
+		means[b] = sum / batch
+	}
+	bestD, bestStat := 0, math.Inf(1)
+	for d := 0; d <= m/2; d++ {
+		tail := means[d:]
+		mean := 0.0
+		for _, v := range tail {
+			mean += v
+		}
+		mean /= float64(len(tail))
+		ss := 0.0
+		for _, v := range tail {
+			ss += (v - mean) * (v - mean)
+		}
+		// MSER statistic: variance of the retained means scaled by the
+		// square of the retained count.
+		stat := ss / float64(len(tail)*len(tail))
+		if stat < bestStat {
+			bestStat, bestD = stat, d
+		}
+	}
+	return bestD * batch
+}
+
+// BatchMeans splits xs into nBatches equal batches (dropping any remainder)
+// and returns the batch means — the standard variance-estimation technique
+// for autocorrelated simulation output.
+func BatchMeans(xs []float64, nBatches int) ([]float64, error) {
+	if nBatches < 1 {
+		return nil, fmt.Errorf("metrics: nBatches %d", nBatches)
+	}
+	size := len(xs) / nBatches
+	if size == 0 {
+		return nil, fmt.Errorf("metrics: %d observations cannot fill %d batches", len(xs), nBatches)
+	}
+	out := make([]float64, nBatches)
+	for b := 0; b < nBatches; b++ {
+		sum := 0.0
+		for i := 0; i < size; i++ {
+			sum += xs[b*size+i]
+		}
+		out[b] = sum / float64(size)
+	}
+	return out, nil
+}
+
+// RelErr returns |a−b|/|b|, or |a| when b == 0.
+func RelErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample variance with n−1: Σ(x−5)² = 32 → 32/7.
+	if !numeric.AlmostEqual(s.Variance, 32.0/7.0, 1e-12) {
+		t.Errorf("variance %g, want %g", s.Variance, 32.0/7.0)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.StdDev != 0 {
+		t.Error("single sample must have zero variance")
+	}
+	if !math.IsInf(s.ConfidenceInterval95(), 1) {
+		t.Error("CI of single sample must be infinite")
+	}
+}
+
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	// Empirical coverage of the 95% CI on normal-ish data should be near
+	// 95% (binomially, 1000 trials of n=20 give ±2%).
+	rng := rand.New(rand.NewSource(42))
+	const trials = 1000
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 20)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*2 + 10
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw := s.ConfidenceInterval95()
+		if math.Abs(s.Mean-10) <= hw {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Errorf("95%% CI empirical coverage %.3f", rate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numeric.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Percentile(xs, 120); err == nil {
+		t.Error("out-of-range percentile should error")
+	}
+	if v, err := Percentile([]float64{7}, 99); err != nil || v != 7 {
+		t.Errorf("single sample percentile: %g, %v", v, err)
+	}
+}
+
+func TestMeanDeviationPct(t *testing.T) {
+	pred := []float64{110, 90, 100}
+	meas := []float64{100, 100, 100}
+	got, err := MeanDeviationPct(pred, meas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(got, (10.0+10.0+0)/3, 1e-12) {
+		t.Errorf("deviation %g, want 6.67", got)
+	}
+}
+
+func TestMeanDeviationPctSkipsZeros(t *testing.T) {
+	got, err := MeanDeviationPct([]float64{5, 110}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("deviation %g, want 10 (zero point skipped)", got)
+	}
+	if _, err := MeanDeviationPct([]float64{1}, []float64{0}); !errors.Is(err, ErrNoData) {
+		t.Errorf("all-zero measured: %v", err)
+	}
+	if _, err := MeanDeviationPct([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestMaxDeviationPct(t *testing.T) {
+	got, err := MaxDeviationPct([]float64{110, 80}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Errorf("max deviation %g, want 20", got)
+	}
+	if _, err := MaxDeviationPct([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := MaxDeviationPct([]float64{1}, []float64{0}); !errors.Is(err, ErrNoData) {
+		t.Errorf("all-zero: %v", err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "tps"
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	if len(s.Points) != 10 {
+		t.Fatalf("points %d", len(s.Points))
+	}
+	vals := s.Values()
+	if vals[3] != 9 {
+		t.Errorf("Values()[3] = %g", vals[3])
+	}
+	after := s.After(5)
+	if len(after.Points) != 5 || after.Points[0].T != 5 {
+		t.Errorf("After(5): %+v", after.Points)
+	}
+	if after.Name != "tps" {
+		t.Error("After should retain the name")
+	}
+}
+
+func TestMSER5DetectsWarmup(t *testing.T) {
+	// 100 transient observations climbing to a plateau of 400 stationary
+	// ones: the truncation point must land near the end of the transient.
+	rng := rand.New(rand.NewSource(1))
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		xs = append(xs, float64(i)/100*50+rng.Float64())
+	}
+	for i := 0; i < 400; i++ {
+		xs = append(xs, 50+rng.Float64())
+	}
+	cut := MSER5(xs)
+	if cut < 60 || cut > 150 {
+		t.Errorf("MSER-5 truncation at %d, want near 100", cut)
+	}
+	// Stationary data should not be truncated much.
+	stat := make([]float64, 300)
+	for i := range stat {
+		stat[i] = 5 + rng.Float64()
+	}
+	if cut := MSER5(stat); cut > 100 {
+		t.Errorf("stationary truncation %d too aggressive", cut)
+	}
+}
+
+func TestMSER5ShortSeries(t *testing.T) {
+	if cut := MSER5([]float64{1, 2, 3}); cut != 0 {
+		t.Errorf("short series truncation %d, want 0", cut)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	bm, err := BatchMeans(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.5, 5.5}
+	for i := range want {
+		if bm[i] != want[i] {
+			t.Errorf("batch %d mean %g, want %g", i, bm[i], want[i])
+		}
+	}
+	if _, err := BatchMeans(xs, 0); err == nil {
+		t.Error("zero batches should error")
+	}
+	if _, err := BatchMeans(xs, 10); err == nil {
+		t.Error("more batches than data should error")
+	}
+	// Remainder dropped: 7 observations into 3 batches of 2.
+	bm, err = BatchMeans([]float64{1, 2, 3, 4, 5, 6, 100}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bm) != 3 || bm[2] != 5.5 {
+		t.Errorf("remainder handling: %v", bm)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Errorf("RelErr = %g", RelErr(11, 10))
+	}
+	if RelErr(3, 0) != 3 {
+		t.Errorf("RelErr zero base = %g", RelErr(3, 0))
+	}
+}

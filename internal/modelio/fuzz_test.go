@@ -1,0 +1,45 @@
+package modelio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadModel: arbitrary byte soup must never panic the model reader;
+// whatever decodes must also validate.
+func FuzzReadModel(f *testing.F) {
+	f.Add(`{"name":"x","thinkTime":1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]}`)
+	f.Add(`{"name":"","stations":[]}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`{"name":"x","stations":[{"name":"q","kind":"cpu","servers":-1,"visits":-1,"serviceTime":-1}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadModel(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ReadModel returned an invalid model: %v", err)
+		}
+	})
+}
+
+// FuzzReadSamples: the samples reader must reject ragged or empty data and
+// never panic.
+func FuzzReadSamples(f *testing.F) {
+	f.Add(`{"stations":[{"name":"a","at":[1,2],"demands":[0.1,0.2]}]}`)
+	f.Add(`{"stations":[{"at":[1],"demands":[]}]}`)
+	f.Add(`{"stations":[]}`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ReadSamples(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for i, st := range s.Stations {
+			if len(st.At) == 0 || len(st.At) != len(st.Demands) {
+				t.Fatalf("ReadSamples accepted ragged station %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package modelio
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/testbed"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := testbed.VINS().Model(203)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.ThinkTime != m.ThinkTime || len(got.Stations) != len(m.Stations) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range m.Stations {
+		if got.Stations[i] != m.Stations[i] {
+			t.Fatalf("station %d mismatch: %+v vs %+v", i, got.Stations[i], m.Stations[i])
+		}
+	}
+}
+
+func TestReadModelRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"unknown field":  `{"name":"x","bogus":1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]}`,
+		"no stations":    `{"name":"x","stations":[]}`,
+		"zero servers":   `{"name":"x","stations":[{"name":"q","kind":"cpu","servers":0,"visits":1,"serviceTime":0.1}]}`,
+		"negative think": `{"name":"x","thinkTime":-1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadModel(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveModelValidates(t *testing.T) {
+	if err := SaveModel(filepath.Join(t.TempDir(), "x.json"), &queueing.Model{}); err == nil {
+		t.Error("invalid model should not save")
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel("/nonexistent/path.json"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSamplesRoundTripByName(t *testing.T) {
+	m := &queueing.Model{
+		Name: "m",
+		Stations: []queueing.Station{
+			{Name: "a", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+			{Name: "b", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.02},
+		},
+	}
+	// File lists stations in reverse order: name matching must fix it up.
+	file := &SamplesFile{Stations: []StationSamples{
+		{Name: "b", At: []float64{1, 10}, Demands: []float64{0.02, 0.018}},
+		{Name: "a", At: []float64{1, 10}, Demands: []float64{0.01, 0.009}},
+	}}
+	path := filepath.Join(t.TempDir(), "samples.json")
+	if err := SaveSamples(path, file); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSamples(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := loaded.ToDemandSamples(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].Demands[0] != 0.01 || ds[1].Demands[0] != 0.02 {
+		t.Fatalf("name matching failed: %+v", ds)
+	}
+}
+
+func TestSamplesPositional(t *testing.T) {
+	m := &queueing.Model{
+		Name: "m",
+		Stations: []queueing.Station{
+			{Name: "a", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+		},
+	}
+	file := &SamplesFile{Stations: []StationSamples{
+		{At: []float64{1}, Demands: []float64{0.01}},
+	}}
+	ds, err := file.ToDemandSamples(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].Demands[0] != 0.01 {
+		t.Fatalf("positional matching failed: %+v", ds)
+	}
+	// Count mismatch without names must fail.
+	file.Stations = append(file.Stations, StationSamples{At: []float64{1}, Demands: []float64{1}})
+	if _, err := file.ToDemandSamples(m); err == nil {
+		t.Error("count mismatch should error")
+	}
+}
+
+func TestSamplesMissingStation(t *testing.T) {
+	m := &queueing.Model{
+		Name: "m",
+		Stations: []queueing.Station{
+			{Name: "a", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.01},
+			{Name: "b", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.02},
+		},
+	}
+	file := &SamplesFile{Stations: []StationSamples{
+		{Name: "a", At: []float64{1}, Demands: []float64{0.01}},
+		{Name: "zz", At: []float64{1}, Demands: []float64{0.01}},
+	}}
+	if _, err := file.ToDemandSamples(m); err == nil {
+		t.Error("missing station should error")
+	}
+}
+
+func TestReadSamplesRejectsRagged(t *testing.T) {
+	bad := `{"stations":[{"at":[1,2],"demands":[0.1]}]}`
+	if _, err := ReadSamples(strings.NewReader(bad)); err == nil {
+		t.Error("ragged samples should error")
+	}
+	if _, err := ReadSamples(strings.NewReader(`{"stations":[]}`)); err == nil {
+		t.Error("empty samples should error")
+	}
+}
+
+func TestFromDemandSamples(t *testing.T) {
+	m := testbed.JPetStore().Model(1)
+	samples := make([]core.DemandSamples, len(m.Stations))
+	for k := range samples {
+		samples[k] = core.DemandSamples{At: []float64{1, 140}, Demands: []float64{0.02, 0.015}}
+	}
+	file, err := FromDemandSamples(m, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Stations) != len(m.Stations) {
+		t.Fatalf("station count %d", len(file.Stations))
+	}
+	if file.Stations[0].Name != m.Stations[0].Name {
+		t.Errorf("station name %q", file.Stations[0].Name)
+	}
+	// Round trip back to core samples.
+	ds, err := file.ToDemandSamples(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[3].Demands[1] != 0.015 {
+		t.Errorf("round trip demand %g", ds[3].Demands[1])
+	}
+	// Mismatched count fails.
+	if _, err := FromDemandSamples(m, samples[:2]); err == nil {
+		t.Error("short samples should error")
+	}
+}

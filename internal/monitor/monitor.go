@@ -1,0 +1,153 @@
+// Package monitor turns load-test measurements into the artefacts the
+// paper's monitoring tooling (vmstat/iostat/netstat, Section 4.2) produces:
+// utilization matrices in the shape of Tables 2–3, and per-station service
+// demand sample arrays extracted with the Service Demand Law — the inputs
+// MVASD interpolates.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/loadgen"
+)
+
+// UtilizationMatrix is a Table-2/Table-3 style view: one row per tested
+// concurrency, one column per station, utilization in percent. CPU columns
+// report the per-core average (0–100%), matching how vmstat reports
+// multi-core boxes; single-server resources are identical either way.
+type UtilizationMatrix struct {
+	// Concurrency labels the rows.
+	Concurrency []int
+	// Stations labels the columns ("server/resource").
+	Stations []string
+	// Pct[i][k] is the percent utilization of station k at row i.
+	Pct [][]float64
+	// Throughput[i] is the measured pages/second at row i.
+	Throughput []float64
+}
+
+// ErrNoResults is returned when asked to tabulate an empty campaign.
+var ErrNoResults = errors.New("monitor: no results")
+
+// BuildUtilizationMatrix assembles the matrix from a load-test sweep.
+func BuildUtilizationMatrix(results []*loadgen.Result) (*UtilizationMatrix, error) {
+	if len(results) == 0 {
+		return nil, ErrNoResults
+	}
+	m := &UtilizationMatrix{
+		Stations:    results[0].StationNames,
+		Concurrency: make([]int, len(results)),
+		Pct:         make([][]float64, len(results)),
+		Throughput:  make([]float64, len(results)),
+	}
+	for i, r := range results {
+		if len(r.Stats.Utilization) != len(m.Stations) {
+			return nil, fmt.Errorf("monitor: result %d has %d stations, want %d",
+				i, len(r.Stats.Utilization), len(m.Stations))
+		}
+		m.Concurrency[i] = r.Concurrency
+		m.Throughput[i] = r.Stats.Throughput
+		row := make([]float64, len(m.Stations))
+		for k := range row {
+			row[k] = r.Stats.Utilization[k] * 100
+		}
+		m.Pct[i] = row
+	}
+	return m, nil
+}
+
+// HottestStation returns the station with the highest utilization in the
+// final (highest-concurrency) row — the measured bottleneck.
+func (m *UtilizationMatrix) HottestStation() (name string, pct float64) {
+	last := m.Pct[len(m.Pct)-1]
+	best := -1
+	for k, v := range last {
+		if best < 0 || v > last[best] {
+			best = k
+		}
+	}
+	return m.Stations[best], last[best]
+}
+
+// Station returns the utilization column for the named station, or nil.
+func (m *UtilizationMatrix) Station(name string) []float64 {
+	for k, s := range m.Stations {
+		if s == name {
+			col := make([]float64, len(m.Pct))
+			for i := range m.Pct {
+				col[i] = m.Pct[i][k]
+			}
+			return col
+		}
+	}
+	return nil
+}
+
+// ExtractDemandSamples converts a sweep into per-station demand sample
+// arrays indexed by concurrency — the {S_k^{i_1} … S_k^{i_M}} input of
+// Algorithm 3 (MVASD).
+func ExtractDemandSamples(results []*loadgen.Result) ([]core.DemandSamples, error) {
+	if len(results) == 0 {
+		return nil, ErrNoResults
+	}
+	k := len(results[0].Demands)
+	samples := make([]core.DemandSamples, k)
+	for s := range samples {
+		samples[s].At = make([]float64, len(results))
+		samples[s].Demands = make([]float64, len(results))
+	}
+	for i, r := range results {
+		if len(r.Demands) != k {
+			return nil, fmt.Errorf("monitor: result %d has %d demands, want %d", i, len(r.Demands), k)
+		}
+		for s := 0; s < k; s++ {
+			samples[s].At[i] = float64(r.Concurrency)
+			samples[s].Demands[i] = r.Demands[s]
+		}
+	}
+	return samples, nil
+}
+
+// ExtractDemandSamplesVsThroughput indexes the same demand samples by the
+// measured throughput instead of concurrency — the paper's Section-7
+// variant (Fig. 11), natural for open systems where X is the controllable
+// input.
+func ExtractDemandSamplesVsThroughput(results []*loadgen.Result) ([]core.DemandSamples, error) {
+	samples, err := ExtractDemandSamples(results)
+	if err != nil {
+		return nil, err
+	}
+	for s := range samples {
+		for i, r := range results {
+			samples[s].At[i] = r.Stats.Throughput
+		}
+	}
+	return samples, nil
+}
+
+// DemandTable is a Fig.-5 style view of measured service demands: one row
+// per concurrency, one column per station, demands in seconds.
+type DemandTable struct {
+	Concurrency []int
+	Stations    []string
+	Demand      [][]float64
+}
+
+// BuildDemandTable assembles the demand table from a sweep.
+func BuildDemandTable(results []*loadgen.Result) (*DemandTable, error) {
+	if len(results) == 0 {
+		return nil, ErrNoResults
+	}
+	t := &DemandTable{
+		Stations:    results[0].StationNames,
+		Concurrency: make([]int, len(results)),
+		Demand:      make([][]float64, len(results)),
+	}
+	for i, r := range results {
+		t.Concurrency[i] = r.Concurrency
+		t.Demand[i] = append([]float64(nil), r.Demands...)
+	}
+	return t, nil
+}

@@ -1,0 +1,151 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+)
+
+// sweep runs a small JPetStore campaign shared by the tests.
+func sweep(t *testing.T) []*loadgen.Result {
+	t.Helper()
+	results, err := loadgen.Sweep(testbed.JPetStore(), []int{1, 28, 140}, loadgen.SweepConfig{
+		Duration: 400, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestBuildUtilizationMatrix(t *testing.T) {
+	results := sweep(t)
+	m, err := BuildUtilizationMatrix(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Concurrency) != 3 || len(m.Stations) != 12 || len(m.Pct) != 3 {
+		t.Fatalf("matrix shape: %d rows × %d stations", len(m.Pct), len(m.Stations))
+	}
+	for i, row := range m.Pct {
+		for k, v := range row {
+			if v < 0 || v > 100.5 {
+				t.Errorf("row %d station %s: %.1f%%", i, m.Stations[k], v)
+			}
+		}
+	}
+	// Utilizations grow with concurrency for every station below saturation.
+	for k := range m.Stations {
+		if m.Pct[2][k] < m.Pct[0][k] {
+			t.Errorf("station %s utilization fell with load: %v", m.Stations[k],
+				[]float64{m.Pct[0][k], m.Pct[2][k]})
+		}
+	}
+	// JPetStore's measured bottleneck is the database CPU.
+	name, pct := m.HottestStation()
+	if name != "db/cpu" {
+		t.Errorf("hottest station %q (%.0f%%), want db/cpu", name, pct)
+	}
+	if pct < 80 {
+		t.Errorf("db/cpu at N=140 is %.0f%%, want near saturation", pct)
+	}
+}
+
+func TestStationColumn(t *testing.T) {
+	m, err := BuildUtilizationMatrix(sweep(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := m.Station("db/cpu")
+	if len(col) != 3 {
+		t.Fatalf("column length %d", len(col))
+	}
+	if m.Station("bogus") != nil {
+		t.Error("unknown station should return nil")
+	}
+}
+
+func TestExtractDemandSamples(t *testing.T) {
+	results := sweep(t)
+	samples, err := ExtractDemandSamples(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 12 {
+		t.Fatalf("%d stations", len(samples))
+	}
+	p := testbed.JPetStore()
+	names := p.StationNames()
+	for k, s := range samples {
+		if len(s.At) != 3 || len(s.Demands) != 3 {
+			t.Fatalf("station %s: ragged samples", names[k])
+		}
+		if s.At[0] != 1 || s.At[2] != 140 {
+			t.Errorf("station %s: abscissae %v", names[k], s.At)
+		}
+		// Extracted demands decrease with concurrency (the paper's core
+		// observation) for the substantial resources.
+		if s.Demands[0] > 1e-3 && s.Demands[2] > s.Demands[0] {
+			t.Errorf("station %s: demand rose %v", names[k], s.Demands)
+		}
+	}
+	// Demands at N=140 approximate the true curves.
+	truth := p.TrueDemands(140)
+	for k := range truth {
+		if truth[k] < 1e-4 {
+			continue
+		}
+		if rel := metrics.RelErr(samples[k].Demands[2], truth[k]); rel > 0.10 {
+			t.Errorf("station %s: extracted %.5f vs truth %.5f", names[k], samples[k].Demands[2], truth[k])
+		}
+	}
+}
+
+func TestExtractDemandSamplesVsThroughput(t *testing.T) {
+	results := sweep(t)
+	samples, err := ExtractDemandSamplesVsThroughput(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abscissae are measured throughputs, increasing with load here.
+	for _, s := range samples {
+		if !(s.At[0] < s.At[1] && s.At[1] < s.At[2]) {
+			t.Fatalf("throughput abscissae not increasing: %v", s.At)
+		}
+		if s.At[2] < 50 {
+			t.Errorf("X at N=140 is %.1f, unexpectedly small", s.At[2])
+		}
+	}
+}
+
+func TestBuildDemandTable(t *testing.T) {
+	results := sweep(t)
+	tab, err := BuildDemandTable(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Demand) != 3 || len(tab.Demand[0]) != 12 {
+		t.Fatalf("table shape %dx%d", len(tab.Demand), len(tab.Demand[0]))
+	}
+	if tab.Concurrency[1] != 28 {
+		t.Errorf("row label %d", tab.Concurrency[1])
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := BuildUtilizationMatrix(nil); !errors.Is(err, ErrNoResults) {
+		t.Errorf("matrix: %v", err)
+	}
+	if _, err := ExtractDemandSamples(nil); !errors.Is(err, ErrNoResults) {
+		t.Errorf("samples: %v", err)
+	}
+	if _, err := ExtractDemandSamplesVsThroughput(nil); !errors.Is(err, ErrNoResults) {
+		t.Errorf("samples-vs-X: %v", err)
+	}
+	if _, err := BuildDemandTable(nil); !errors.Is(err, ErrNoResults) {
+		t.Errorf("demand table: %v", err)
+	}
+}

@@ -1,0 +1,163 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions tunes the downhill-simplex minimiser.
+type NelderMeadOptions struct {
+	// MaxIter caps the iterations (default 2000).
+	MaxIter int
+	// Tol is the simplex function-value spread at which to stop
+	// (default 1e-10).
+	Tol float64
+	// Scale is the initial simplex edge length relative to |x0|
+	// (default 0.05, with an absolute floor of 0.0025).
+	Scale float64
+}
+
+func (o *NelderMeadOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 2000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.05
+	}
+}
+
+// NelderMead minimises f over ℝⁿ starting from x0 with the classic
+// downhill-simplex method (reflection/expansion/contraction/shrink). It is
+// derivative-free and robust enough for the low-dimensional curve fits this
+// library needs (2–3 parameter saturation models). Returns the best point
+// found and its value.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64, error) {
+	n := len(x0)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("%w: empty start point", ErrBadInput)
+	}
+	opts.defaults()
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	eval := func(x []float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	simplex := make([]vertex, n+1)
+	simplex[0] = vertex{x: append([]float64(nil), x0...)}
+	simplex[0].v = eval(simplex[0].x)
+	for i := 0; i < n; i++ {
+		x := append([]float64(nil), x0...)
+		step := opts.Scale * math.Abs(x[i])
+		if step < 0.0025 {
+			step = 0.0025
+		}
+		x[i] += step
+		simplex[i+1] = vertex{x: x, v: eval(x)}
+	}
+	centroid := make([]float64, n)
+	trial := make([]float64, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+		// Converged only when both the value spread AND the simplex
+		// diameter are small: vertices symmetric about a minimum have
+		// equal values long before the simplex has collapsed.
+		if math.Abs(simplex[n].v-simplex[0].v) <= opts.Tol*(math.Abs(simplex[0].v)+opts.Tol) {
+			diam := 0.0
+			for i := 1; i <= n; i++ {
+				for j := range simplex[i].x {
+					d := math.Abs(simplex[i].x[j] - simplex[0].x[j])
+					scale := math.Max(math.Abs(simplex[0].x[j]), 1)
+					if rel := d / scale; rel > diam {
+						diam = rel
+					}
+				}
+			}
+			if diam <= math.Sqrt(opts.Tol) {
+				break
+			}
+			// Value-flat but wide simplex: shrink toward the best vertex
+			// to break symmetric stalls.
+			for i := 1; i <= n; i++ {
+				for j := range simplex[i].x {
+					simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+				}
+				simplex[i].v = eval(simplex[i].x)
+			}
+			continue
+		}
+		// Centroid of all but the worst.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		// Reflection.
+		for j := range trial {
+			trial[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		vr := eval(trial)
+		switch {
+		case vr < simplex[0].v:
+			// Expansion.
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = centroid[j] + gamma*(trial[j]-centroid[j])
+			}
+			if ve := eval(exp); ve < vr {
+				simplex[n] = vertex{x: exp, v: ve}
+			} else {
+				simplex[n] = vertex{x: append([]float64(nil), trial...), v: vr}
+			}
+		case vr < simplex[n-1].v:
+			simplex[n] = vertex{x: append([]float64(nil), trial...), v: vr}
+		default:
+			// Contraction (toward the better of worst/reflected).
+			ref := worst.x
+			refV := worst.v
+			if vr < worst.v {
+				ref = trial
+				refV = vr
+			}
+			con := make([]float64, n)
+			for j := range con {
+				con[j] = centroid[j] + rho*(ref[j]-centroid[j])
+			}
+			if vc := eval(con); vc < refV {
+				simplex[n] = vertex{x: con, v: vc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].v < simplex[j].v })
+	return simplex[0].x, simplex[0].v, nil
+}

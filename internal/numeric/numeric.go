@@ -1,0 +1,393 @@
+// Package numeric provides the low-level numerical routines that the rest of
+// the library is built on: linear-system solvers for the banded systems that
+// arise in spline construction, polynomial evaluation, root finding,
+// quadrature and grid helpers.
+//
+// Everything here is dependency-free (stdlib only) and deterministic. The
+// routines are deliberately small and specialised rather than general: the
+// spline and Chebyshev packages need tridiagonal and five-diagonal solves,
+// Horner evaluation, Brent root finding and adaptive Simpson quadrature, and
+// nothing more exotic.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the default relative tolerance used by iterative routines in this
+// package when the caller passes a non-positive tolerance.
+const Eps = 1e-12
+
+// ErrSingular is returned when a linear solve encounters a (numerically)
+// singular system.
+var ErrSingular = errors.New("numeric: singular system")
+
+// ErrBadInput is returned for structurally invalid inputs (mismatched
+// lengths, empty systems, unordered abscissae and similar).
+var ErrBadInput = errors.New("numeric: bad input")
+
+// SolveTridiagonal solves the tridiagonal system
+//
+//	b[0]   c[0]                      x[0]     d[0]
+//	a[1]   b[1]  c[1]                x[1]     d[1]
+//	       a[2]  b[2] c[2]         · x[2]  =  d[2]
+//	             ...                  ...      ...
+//	                  a[n-1] b[n-1]  x[n-1]   d[n-1]
+//
+// using the Thomas algorithm. a[0] and c[n-1] are ignored. The inputs are not
+// modified; the solution is returned in a fresh slice. The Thomas algorithm
+// is numerically stable for the diagonally dominant systems produced by
+// cubic-spline construction.
+func SolveTridiagonal(a, b, c, d []float64) ([]float64, error) {
+	n := len(b)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty system", ErrBadInput)
+	}
+	if len(a) != n || len(c) != n || len(d) != n {
+		return nil, fmt.Errorf("%w: tridiagonal bands must have equal length (got a=%d b=%d c=%d d=%d)",
+			ErrBadInput, len(a), len(b), len(c), len(d))
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, fmt.Errorf("%w: zero pivot at row 0", ErrSingular)
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at row %d", ErrSingular, i)
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// SolveBandedSPD solves A·x = d for a symmetric positive-definite banded
+// matrix A with lower bandwidth bw, given in compact symmetric-band storage:
+// band[i][j] holds A[i][i+j] for j = 0..bw (zero-padded past the matrix
+// edge). It performs an in-place-free banded Cholesky factorisation
+// (A = L·D·Lᵀ) followed by forward/back substitution. The Reinsch smoothing
+// spline needs exactly this with bw = 2.
+func SolveBandedSPD(band [][]float64, d []float64, bw int) ([]float64, error) {
+	n := len(d)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty system", ErrBadInput)
+	}
+	if len(band) != n {
+		return nil, fmt.Errorf("%w: band rows %d != n %d", ErrBadInput, len(band), n)
+	}
+	for i := range band {
+		if len(band[i]) != bw+1 {
+			return nil, fmt.Errorf("%w: band row %d has width %d, want %d", ErrBadInput, i, len(band[i]), bw+1)
+		}
+	}
+	// L is unit lower triangular with the same bandwidth; D is diagonal.
+	low := make([][]float64, n) // low[i][j] = L[i][i-1-j] for j=0..bw-1
+	diag := make([]float64, n)
+	for i := range low {
+		low[i] = make([]float64, bw)
+	}
+	for i := 0; i < n; i++ {
+		sum := band[i][0]
+		for k := max(0, i-bw); k < i; k++ {
+			lik := low[i][i-1-k]
+			sum -= lik * lik * diag[k]
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("%w: non-positive pivot %g at row %d", ErrSingular, sum, i)
+		}
+		diag[i] = sum
+		for j := i + 1; j <= i+bw && j < n; j++ {
+			s := 0.0
+			if j-i <= bw {
+				s = band[i][j-i]
+			}
+			for k := max(0, j-bw); k < i; k++ {
+				s -= low[j][j-1-k] * low[i][i-1-k] * diag[k]
+			}
+			low[j][j-1-i] = s / diag[i]
+		}
+	}
+	// Forward solve L·y = d.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := d[i]
+		for k := max(0, i-bw); k < i; k++ {
+			s -= low[i][i-1-k] * y[k]
+		}
+		y[i] = s
+	}
+	// Diagonal solve D·z = y, then back solve Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i] / diag[i]
+		for k := i + 1; k <= i+bw && k < n; k++ {
+			s -= low[k][k-1-i] * x[k]
+		}
+		x[i] = s
+	}
+	return x, nil
+}
+
+// Horner evaluates the polynomial with coefficients coef (coef[0] is the
+// constant term) at x using Horner's scheme.
+func Horner(coef []float64, x float64) float64 {
+	v := 0.0
+	for i := len(coef) - 1; i >= 0; i-- {
+		v = v*x + coef[i]
+	}
+	return v
+}
+
+// HornerDeriv evaluates the polynomial and its first derivative at x in a
+// single Horner pass, returning (p(x), p'(x)).
+func HornerDeriv(coef []float64, x float64) (float64, float64) {
+	if len(coef) == 0 {
+		return 0, 0
+	}
+	p := coef[len(coef)-1]
+	dp := 0.0
+	for i := len(coef) - 2; i >= 0; i-- {
+		dp = dp*x + p
+		p = p*x + coef[i]
+	}
+	return p, dp
+}
+
+// Neville performs Neville's algorithm for polynomial interpolation through
+// the points (xs[i], ys[i]) and evaluates the unique interpolating polynomial
+// at x. It is O(n²) and intended for small n (Chebyshev error studies).
+func Neville(xs, ys []float64, x float64) (float64, error) {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return 0, fmt.Errorf("%w: need equal non-empty xs/ys", ErrBadInput)
+	}
+	p := make([]float64, n)
+	copy(p, ys)
+	for level := 1; level < n; level++ {
+		for i := 0; i < n-level; i++ {
+			den := xs[i] - xs[i+level]
+			if den == 0 {
+				return 0, fmt.Errorf("%w: duplicate abscissa %g", ErrBadInput, xs[i])
+			}
+			p[i] = ((x-xs[i+level])*p[i] + (xs[i]-x)*p[i+1]) / den
+		}
+	}
+	return p[0], nil
+}
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs. tol is the absolute interval tolerance (Eps·|b−a| if
+// non-positive).
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(a) and f(b) have the same sign", ErrBadInput)
+	}
+	if tol <= 0 {
+		tol = Eps * math.Abs(b-a)
+	}
+	for math.Abs(b-a) > tol {
+		m := a + (b-a)/2
+		if m == a || m == b {
+			break // interval below floating-point resolution
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must bracket a root.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: root not bracketed", ErrBadInput)
+	}
+	if tol <= 0 {
+		tol = Eps
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b = b, a
+		fa, fb = fb, fa
+	}
+	c, fc := a, fa
+	var d, e float64 = b - a, b - a
+	for i := 0; i < 200; i++ {
+		if math.Abs(fc) < math.Abs(fb) {
+			a, b, c = b, c, b
+			fa, fb, fc = fb, fc, fb
+		}
+		tol1 := 2*math.Nextafter(math.Abs(b), math.Inf(1)) - 2*math.Abs(b) + tol/2
+		xm := (c - b) / 2
+		if math.Abs(xm) <= tol1 || fb == 0 {
+			return b, nil
+		}
+		if math.Abs(e) >= tol1 && math.Abs(fa) > math.Abs(fb) {
+			var p, q float64
+			s := fb / fa
+			if a == c {
+				p = 2 * xm * s
+				q = 1 - s
+			} else {
+				q = fa / fc
+				r := fb / fc
+				p = s * (2*xm*q*(q-r) - (b-a)*(r-1))
+				q = (q - 1) * (r - 1) * (s - 1)
+			}
+			if p > 0 {
+				q = -q
+			}
+			p = math.Abs(p)
+			if 2*p < math.Min(3*xm*q-math.Abs(tol1*q), math.Abs(e*q)) {
+				e, d = d, p/q
+			} else {
+				d = xm
+				e = d
+			}
+		} else {
+			d = xm
+			e = d
+		}
+		a, fa = b, fb
+		if math.Abs(d) > tol1 {
+			b += d
+		} else if xm > 0 {
+			b += tol1
+		} else {
+			b -= tol1
+		}
+		fb = f(b)
+		if math.Signbit(fb) == math.Signbit(fc) {
+			c, fc = a, fa
+			e = b - a
+			d = e
+		}
+	}
+	return b, nil
+}
+
+// Simpson integrates f over [a, b] using adaptive Simpson quadrature with
+// absolute tolerance tol (Eps if non-positive) and a recursion-depth cap.
+func Simpson(f func(float64) float64, a, b, tol float64) float64 {
+	if tol <= 0 {
+		tol = Eps
+	}
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	s := (b - a) / 6 * (fa + 4*fc + fb)
+	return adaptiveSimpson(f, a, b, fa, fb, fc, s, tol, 30)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fb, fc, whole, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	l, r := (a+c)/2, (c+b)/2
+	fl, fr := f(l), f(r)
+	left := (c - a) / 6 * (fa + 4*fl + fc)
+	right := (b - c) / 6 * (fc + 4*fr + fb)
+	if depth <= 0 || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return adaptiveSimpson(f, a, c, fa, fc, fl, left, tol/2, depth-1) +
+		adaptiveSimpson(f, c, b, fc, fb, fr, right, tol/2, depth-1)
+}
+
+// Linspace returns n evenly spaced points covering [a, b] inclusive. n must
+// be at least 2; Linspace panics otherwise, because a misuse is always a
+// programming error in this codebase.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("numeric.Linspace: n must be >= 2, got %d", n))
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b // exact endpoint despite rounding
+	return out
+}
+
+// IsSortedStrict reports whether xs is strictly increasing.
+func IsSortedStrict(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AlmostEqual reports whether a and b agree to within relative tolerance rel
+// (with an absolute floor of rel for values near zero).
+func AlmostEqual(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= rel*math.Max(scale, 1)
+}
+
+// Factorial returns n! as a float64 (exact up to n = 170, +Inf beyond).
+func Factorial(n int) float64 {
+	v := 1.0
+	for i := 2; i <= n; i++ {
+		v *= float64(i)
+	}
+	return v
+}
+
+// FiniteDiffDeriv estimates the k-th derivative (k = 1 or 2) of f at x with
+// central differences of step h.
+func FiniteDiffDeriv(f func(float64) float64, x, h float64, k int) float64 {
+	switch k {
+	case 1:
+		return (f(x+h) - f(x-h)) / (2 * h)
+	case 2:
+		return (f(x+h) - 2*f(x) + f(x-h)) / (h * h)
+	default:
+		panic(fmt.Sprintf("numeric.FiniteDiffDeriv: unsupported order %d", k))
+	}
+}

@@ -1,0 +1,463 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTridiagonalKnownSystem(t *testing.T) {
+	// System:
+	//  2x + y       = 5
+	//  x + 2y + z   = 10
+	//      y + 2z   = 11
+	// Solution: x=1.5, y=2, z=4.5.
+	a := []float64{0, 1, 1}
+	b := []float64{2, 2, 2}
+	c := []float64{1, 1, 0}
+	d := []float64{5, 10, 11}
+	x, err := SolveTridiagonal(a, b, c, d)
+	if err != nil {
+		t.Fatalf("SolveTridiagonal: %v", err)
+	}
+	want := []float64{1.5, 2, 4.5}
+	for i := range want {
+		if !AlmostEqual(x[i], want[i], 1e-12) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveTridiagonalSingleEquation(t *testing.T) {
+	x, err := SolveTridiagonal([]float64{0}, []float64{4}, []float64{0}, []float64{8})
+	if err != nil {
+		t.Fatalf("SolveTridiagonal: %v", err)
+	}
+	if x[0] != 2 {
+		t.Errorf("x[0] = %g, want 2", x[0])
+	}
+}
+
+func TestSolveTridiagonalErrors(t *testing.T) {
+	if _, err := SolveTridiagonal(nil, nil, nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty system: got %v, want ErrBadInput", err)
+	}
+	if _, err := SolveTridiagonal([]float64{0}, []float64{0}, []float64{0}, []float64{1}); !errors.Is(err, ErrSingular) {
+		t.Errorf("zero pivot: got %v, want ErrSingular", err)
+	}
+	if _, err := SolveTridiagonal([]float64{0, 1}, []float64{1}, []float64{0}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("length mismatch: got %v, want ErrBadInput", err)
+	}
+}
+
+// TestSolveTridiagonalProperty builds random diagonally dominant systems,
+// solves them, and checks the residual.
+func TestSolveTridiagonalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.Float64()*2 - 1
+			c[i] = rng.Float64()*2 - 1
+			b[i] = 3 + rng.Float64() // dominant
+			d[i] = rng.Float64()*10 - 5
+		}
+		x, err := SolveTridiagonal(a, b, c, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			r := b[i] * x[i]
+			if i > 0 {
+				r += a[i] * x[i-1]
+			}
+			if i < n-1 {
+				r += c[i] * x[i+1]
+			}
+			if !AlmostEqual(r, d[i], 1e-9) {
+				t.Fatalf("trial %d: residual row %d: %g vs %g", trial, i, r, d[i])
+			}
+		}
+	}
+}
+
+func TestSolveBandedSPDMatchesTridiagonal(t *testing.T) {
+	// A symmetric tridiagonal SPD system solved both ways must agree.
+	n := 12
+	rng := rand.New(rand.NewSource(7))
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sub[i] = rng.Float64()
+		diag[i] = 4 + rng.Float64()
+		d[i] = rng.Float64() * 5
+	}
+	band := make([][]float64, n)
+	for i := range band {
+		band[i] = make([]float64, 3)
+		band[i][0] = diag[i]
+		if i+1 < n {
+			band[i][1] = sub[i+1]
+		}
+	}
+	x1, err := SolveBandedSPD(band, d, 2)
+	if err != nil {
+		t.Fatalf("SolveBandedSPD: %v", err)
+	}
+	up := make([]float64, n)
+	copy(up, sub[1:])
+	x2, err := SolveTridiagonal(sub, diag, up, d)
+	if err != nil {
+		t.Fatalf("SolveTridiagonal: %v", err)
+	}
+	for i := range x1 {
+		if !AlmostEqual(x1[i], x2[i], 1e-9) {
+			t.Errorf("x[%d]: banded %g vs tridiag %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestSolveBandedSPDPentadiagonalResidual(t *testing.T) {
+	// Random SPD pentadiagonal built as B·Bᵀ + n·I for banded B.
+	n := 20
+	rng := rand.New(rand.NewSource(99))
+	full := make([][]float64, n)
+	for i := range full {
+		full[i] = make([]float64, n)
+	}
+	// Start from a banded symmetric matrix and make it dominant.
+	for i := 0; i < n; i++ {
+		full[i][i] = 10 + rng.Float64()
+		if i+1 < n {
+			v := rng.Float64() - 0.5
+			full[i][i+1], full[i+1][i] = v, v
+		}
+		if i+2 < n {
+			v := rng.Float64() - 0.5
+			full[i][i+2], full[i+2][i] = v, v
+		}
+	}
+	band := make([][]float64, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		band[i] = make([]float64, 3)
+		for j := 0; j <= 2; j++ {
+			if i+j < n {
+				band[i][j] = full[i][i+j]
+			}
+		}
+		d[i] = rng.Float64() * 3
+	}
+	x, err := SolveBandedSPD(band, d, 2)
+	if err != nil {
+		t.Fatalf("SolveBandedSPD: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		r := 0.0
+		for j := 0; j < n; j++ {
+			r += full[i][j] * x[j]
+		}
+		if !AlmostEqual(r, d[i], 1e-8) {
+			t.Errorf("residual row %d: %g vs %g", i, r, d[i])
+		}
+	}
+}
+
+func TestSolveBandedSPDErrors(t *testing.T) {
+	if _, err := SolveBandedSPD(nil, nil, 2); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: got %v", err)
+	}
+	band := [][]float64{{-1, 0, 0}}
+	if _, err := SolveBandedSPD(band, []float64{1}, 2); !errors.Is(err, ErrSingular) {
+		t.Errorf("negative pivot: got %v", err)
+	}
+}
+
+func TestHorner(t *testing.T) {
+	// p(x) = 1 + 2x + 3x²  → p(2) = 17
+	if got := Horner([]float64{1, 2, 3}, 2); got != 17 {
+		t.Errorf("Horner = %g, want 17", got)
+	}
+	if got := Horner(nil, 5); got != 0 {
+		t.Errorf("Horner(nil) = %g, want 0", got)
+	}
+}
+
+func TestHornerDeriv(t *testing.T) {
+	// p(x) = 4 - x + 2x³ → p'(x) = -1 + 6x²; at x=3: p=53, p'=53.
+	p, dp := HornerDeriv([]float64{4, -1, 0, 2}, 3)
+	if p != 55 {
+		t.Errorf("p(3) = %g, want 55", p)
+	}
+	if dp != 53 {
+		t.Errorf("p'(3) = %g, want 53", dp)
+	}
+}
+
+func TestHornerDerivMatchesFiniteDifference(t *testing.T) {
+	coef := []float64{0.5, -1.2, 0.3, 2.0, -0.7}
+	f := func(x float64) float64 { return Horner(coef, x) }
+	for _, x := range []float64{-2, -0.5, 0, 1.3, 4} {
+		_, dp := HornerDeriv(coef, x)
+		fd := FiniteDiffDeriv(f, x, 1e-5, 1)
+		if !AlmostEqual(dp, fd, 1e-5) {
+			t.Errorf("x=%g: analytic %g vs FD %g", x, dp, fd)
+		}
+	}
+}
+
+func TestNevilleReproducesPolynomial(t *testing.T) {
+	// Interpolating 4 points of a cubic must reproduce it exactly.
+	coef := []float64{2, -3, 0.5, 1}
+	xs := []float64{-1, 0, 2, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = Horner(coef, x)
+	}
+	for _, x := range []float64{-0.5, 1, 3.7} {
+		got, err := Neville(xs, ys, x)
+		if err != nil {
+			t.Fatalf("Neville: %v", err)
+		}
+		if want := Horner(coef, x); !AlmostEqual(got, want, 1e-10) {
+			t.Errorf("Neville(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestNevilleErrors(t *testing.T) {
+	if _, err := Neville(nil, nil, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Neville([]float64{1, 1}, []float64{0, 1}, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("duplicate abscissa: %v", err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !AlmostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("root = %g, want √2", root)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("same-sign bracket: %v", err)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if r, err := Bisect(f, 0, 1, 0); err != nil || r != 0 {
+		t.Errorf("root at a: %g, %v", r, err)
+	}
+	if r, err := Bisect(f, -1, 0, 0); err != nil || r != 0 {
+		t.Errorf("root at b: %g, %v", r, err)
+	}
+}
+
+func TestBrent(t *testing.T) {
+	root, err := Brent(func(x float64) float64 { return math.Cos(x) - x }, 0, 1, 1e-14)
+	if err != nil {
+		t.Fatalf("Brent: %v", err)
+	}
+	// The Dottie number.
+	if !AlmostEqual(root, 0.7390851332151607, 1e-9) {
+		t.Errorf("root = %.16g, want Dottie number", root)
+	}
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unbracketed: %v", err)
+	}
+}
+
+func TestBrentAgreesWithBisect(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) - 3*x*x }
+	r1, err := Brent(f, -1, 0, 1e-13)
+	if err != nil {
+		t.Fatalf("Brent: %v", err)
+	}
+	r2, err := Bisect(f, -1, 0, 1e-13)
+	if err != nil {
+		t.Fatalf("Bisect: %v", err)
+	}
+	if !AlmostEqual(r1, r2, 1e-9) {
+		t.Errorf("Brent %g vs Bisect %g", r1, r2)
+	}
+}
+
+func TestSimpson(t *testing.T) {
+	// ∫₀^π sin = 2
+	got := Simpson(math.Sin, 0, math.Pi, 1e-12)
+	if !AlmostEqual(got, 2, 1e-9) {
+		t.Errorf("∫sin = %.12g, want 2", got)
+	}
+	// ∫₀¹ x² = 1/3 (exact for Simpson)
+	got = Simpson(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if !AlmostEqual(got, 1.0/3.0, 1e-12) {
+		t.Errorf("∫x² = %.12g, want 1/3", got)
+	}
+	// Reversed interval gives the negated integral.
+	got = Simpson(math.Sin, math.Pi, 0, 1e-12)
+	if !AlmostEqual(got, -2, 1e-9) {
+		t.Errorf("reversed ∫sin = %.12g, want -2", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if xs[i] != want[i] {
+			t.Errorf("xs[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+	if xs := Linspace(3, 3, 2); xs[0] != 3 || xs[1] != 3 {
+		t.Errorf("degenerate interval: %v", xs)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(0,1,1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestIsSortedStrict(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want bool
+	}{
+		{nil, true},
+		{[]float64{1}, true},
+		{[]float64{1, 2, 3}, true},
+		{[]float64{1, 1, 2}, false},
+		{[]float64{3, 2}, false},
+	}
+	for _, c := range cases {
+		if got := IsSortedStrict(c.xs); got != c.want {
+			t.Errorf("IsSortedStrict(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(v, lo, hi)
+		return c >= lo && c <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	cases := map[int]float64{0: 1, 1: 1, 5: 120, 10: 3628800}
+	for n, want := range cases {
+		if got := Factorial(n); got != want {
+			t.Errorf("%d! = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestFiniteDiffDerivSecondOrder(t *testing.T) {
+	f := math.Exp
+	d2 := FiniteDiffDeriv(f, 1, 1e-4, 2)
+	if !AlmostEqual(d2, math.E, 1e-6) {
+		t.Errorf("f''(1) = %g, want e", d2)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 0) {
+		t.Error("identical values must compare equal at zero tolerance")
+	}
+	if AlmostEqual(1, 2, 1e-6) {
+		t.Error("1 and 2 are not almost equal")
+	}
+	if !AlmostEqual(1e-15, 0, 1e-12) {
+		t.Error("tiny values near zero should compare equal under the absolute floor")
+	}
+}
+
+func BenchmarkSolveTridiagonal(b *testing.B) {
+	n := 1024
+	a := make([]float64, n)
+	bb := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := range bb {
+		a[i], bb[i], c[i], d[i] = 1, 4, 1, float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveTridiagonal(a, bb, c, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1) + 5
+	}
+	best, v, err := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(best[0], 3, 1e-3) || !AlmostEqual(best[1], -1, 1e-3) {
+		t.Fatalf("minimum at %v, want (3, -1)", best)
+	}
+	if !AlmostEqual(v, 5, 1e-6) {
+		t.Fatalf("value %g, want 5", v)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	best, _, err := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 20000, Tol: 1e-14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(best[0], 1, 1e-2) || !AlmostEqual(best[1], 1, 1e-2) {
+		t.Fatalf("Rosenbrock minimum at %v, want (1, 1)", best)
+	}
+}
+
+func TestNelderMeadHandlesNaNAndErrors(t *testing.T) {
+	// NaN regions are treated as +Inf: the simplex avoids them.
+	f := func(x []float64) float64 {
+		if x[0] < 0 {
+			return math.NaN()
+		}
+		return (x[0] - 2) * (x[0] - 2)
+	}
+	best, _, err := NelderMead(f, []float64{1}, NelderMeadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(best[0], 2, 1e-3) {
+		t.Fatalf("minimum at %v, want 2", best)
+	}
+	if _, _, err := NelderMead(f, nil, NelderMeadOptions{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty start: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Histogram is an ASCII histogram of a sample (e.g. per-transaction response
+// times from a load test).
+type Histogram struct {
+	Title string
+	// Unit labels the bin edges ("ms", "s").
+	Unit string
+	// Bins is the bucket count (default 12).
+	Bins int
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+}
+
+// Render draws the histogram of xs.
+func (h *Histogram) Render(w io.Writer, xs []float64) error {
+	if len(xs) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", h.Title)
+		return err
+	}
+	bins := h.Bins
+	if bins <= 0 {
+		bins = 12
+	}
+	width := h.Width
+	if width <= 0 {
+		width = 50
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range xs {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	for i, c := range counts {
+		left := lo + float64(i)*(hi-lo)/float64(bins)
+		right := lo + float64(i+1)*(hi-lo)/float64(bins)
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*width/maxCount)
+		}
+		fmt.Fprintf(&b, "%10.3g–%-10.3g %s |%s %d\n", left, right, h.Unit, bar, c)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the histogram of xs to a string.
+func (h *Histogram) String(xs []float64) string {
+	var b strings.Builder
+	_ = h.Render(&b, xs)
+	return b.String()
+}

@@ -1,0 +1,256 @@
+// Package report renders experiment output: fixed-width ASCII tables in the
+// shape of the paper's Tables 2–5, simple ASCII line charts for the figure
+// reproductions, and CSV writers so the series can be re-plotted elsewhere.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-oriented table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloatRow appends a row of a label plus formatted floats.
+func (t *Table) AddFloatRow(label string, format string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf(format, v))
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (headers first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LineSeries is one named series of a chart.
+type LineSeries struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is an ASCII line chart of one or more series over a shared X axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+	// Width and Height are the plot-area dimensions in characters
+	// (default 72×20).
+	Width, Height int
+}
+
+// Add appends a series.
+func (c *Chart) Add(name string, xs, ys []float64) {
+	c.Series = append(c.Series, LineSeries{Name: name, X: xs, Y: ys})
+}
+
+// seriesMarks are the glyphs used for successive series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", c.Title)
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Always anchor Y at zero for throughput-style plots unless negative.
+	if ymin > 0 && ymin < ymax/2 {
+		ymin = 0
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row = height - 1 - row
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = mark
+		}
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Linear interpolation between sample points for line continuity.
+		for i := 0; i+1 < len(s.X); i++ {
+			steps := width / 2
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				plot(s.X[i]+(s.X[i+1]-s.X[i])*f, s.Y[i]+(s.Y[i+1]-s.Y[i])*f, mark)
+			}
+		}
+		if len(s.X) == 1 {
+			plot(s.X[0], s.Y[0], mark)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo := trimFloat(ymin)
+	yHi := trimFloat(ymax)
+	fmt.Fprintf(&b, "%s (top=%s, bottom=%s)\n", c.YLabel, yHi, yLo)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, " %s: %s .. %s\n", c.XLabel, trimFloat(xmin), trimFloat(xmax))
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "   %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits the chart's series as tidy CSV: series,x,y.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			rec := []string{s.Name, trimFloat(s.X[i]), trimFloat(s.Y[i])}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// trimFloat formats a float compactly.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Pct formats a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F formats a float with the given number of decimals.
+func F(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// IntsToFloats converts an int slice for charting.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := NewTable("Demo", "Users", "CPU", "Disk")
+	tab.AddRow("1", "2.5", "10.0")
+	tab.AddRow("1500", "35.2", "93.1")
+	out := tab.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "Users") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "CPU" column starts at the same offset in each line.
+	hdrIdx := strings.Index(lines[1], "CPU")
+	if hdrIdx < 0 {
+		t.Fatal("no CPU header")
+	}
+	if lines[4][hdrIdx:hdrIdx+4] != "35.2" {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadding(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("only")
+	if len(tab.Rows[0]) != 3 {
+		t.Errorf("row not padded: %v", tab.Rows[0])
+	}
+}
+
+func TestTableFloatRow(t *testing.T) {
+	tab := NewTable("", "name", "x", "y")
+	tab.AddFloatRow("r1", "%.2f", 1.234, 5.678)
+	if tab.Rows[0][1] != "1.23" || tab.Rows[0][2] != "5.68" {
+		t.Errorf("float row %v", tab.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n"
+	if buf.String() != want {
+		t.Errorf("CSV %q, want %q", buf.String(), want)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	var c Chart
+	c.Title = "Throughput"
+	c.XLabel = "users"
+	c.YLabel = "pages/s"
+	xs := []float64{1, 50, 100, 200}
+	c.Add("measured", xs, []float64{2, 80, 120, 140})
+	c.Add("mvasd", xs, []float64{2, 82, 118, 138})
+	out := c.String()
+	for _, want := range []string{"Throughput", "users", "pages/s", "measured", "mvasd", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// All chart rows bounded by the configured width.
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 90 {
+			t.Errorf("line too long (%d chars)", len(line))
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var c Chart
+	c.Title = "empty"
+	out := c.String()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("expected no-data notice:\n%s", out)
+	}
+}
+
+func TestChartSinglePointAndNaN(t *testing.T) {
+	var c Chart
+	c.Add("pt", []float64{5}, []float64{7})
+	c.Add("nan", []float64{1, 2}, []float64{math.NaN(), math.NaN()})
+	out := c.String()
+	if !strings.Contains(out, "pt") {
+		t.Errorf("single point series missing:\n%s", out)
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	var c Chart
+	c.Add("s", []float64{1, 2}, []float64{3, 4})
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\ns,1,3\ns,2,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV %q", buf.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(93.14159) != "93.1" {
+		t.Errorf("Pct = %q", Pct(93.14159))
+	}
+	if F(1.23456, 3) != "1.235" {
+		t.Errorf("F = %q", F(1.23456, 3))
+	}
+	fs := IntsToFloats([]int{1, 2})
+	if fs[0] != 1 || fs[1] != 2 {
+		t.Errorf("IntsToFloats = %v", fs)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := &Histogram{Title: "response times", Unit: "ms", Bins: 4, Width: 20}
+	xs := []float64{1, 1, 1, 2, 2, 3, 9}
+	out := h.String(xs)
+	if !strings.Contains(out, "response times") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + 4 bins
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// Bar heights are monotone in bin counts: bin 0 (5 values) longest.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Errorf("densest bin should have the full-width bar:\n%s", out)
+	}
+	if !strings.Contains(lines[4], " 1") {
+		t.Errorf("last bin should count the outlier:\n%s", out)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := &Histogram{}
+	if out := h.String(nil); !strings.Contains(out, "no data") {
+		t.Errorf("empty data:\n%s", out)
+	}
+	// All-equal samples must not divide by zero.
+	out := h.String([]float64{5, 5, 5})
+	if !strings.Contains(out, "3") {
+		t.Errorf("constant data:\n%s", out)
+	}
+}

@@ -1,0 +1,117 @@
+package simulation
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+)
+
+func TestOpenSimulatorMatchesMM1(t *testing.T) {
+	m := &queueing.Model{
+		Name: "mm1",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.1},
+		},
+	}
+	st, err := RunOpen(OpenConfig{
+		Model: m, Lambda: 5, Seed: 1, WarmupTime: 200, MeasureTime: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: W = 0.2, L = 1, ρ = 0.5.
+	if rel := metrics.RelErr(st.ResponseTime, 0.2); rel > 0.05 {
+		t.Errorf("W = %.4f, want 0.2 (%.1f%%)", st.ResponseTime, rel*100)
+	}
+	if rel := metrics.RelErr(st.Population, 1); rel > 0.05 {
+		t.Errorf("L = %.3f, want 1", st.Population)
+	}
+	if rel := metrics.RelErr(st.Utilization[0], 0.5); rel > 0.03 {
+		t.Errorf("ρ = %.3f, want 0.5", st.Utilization[0])
+	}
+	if rel := metrics.RelErr(st.ThroughputOut, 5); rel > 0.03 {
+		t.Errorf("departure rate %.3f, want 5", st.ThroughputOut)
+	}
+}
+
+func TestOpenSimulatorMatchesJacksonNetwork(t *testing.T) {
+	m := &queueing.Model{
+		Name: "jackson",
+		Stations: []queueing.Station{
+			{Name: "cpu", Kind: queueing.CPU, Servers: 3, Visits: 1, ServiceTime: 0.06},
+			{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 2, ServiceTime: 0.01},
+			{Name: "lan", Kind: queueing.Delay, Servers: 1, Visits: 1, ServiceTime: 0.02},
+		},
+	}
+	lambda := 25.0
+	analytic, err := core.OpenNetwork(m, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !analytic.Stable {
+		t.Fatal("test network should be stable")
+	}
+	st, err := RunOpen(OpenConfig{
+		Model: m, Lambda: lambda, Seed: 7, WarmupTime: 200, MeasureTime: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := metrics.RelErr(st.ResponseTime, analytic.ResponseTime); rel > 0.05 {
+		t.Errorf("W sim %.4f vs analytic %.4f (%.1f%%)",
+			st.ResponseTime, analytic.ResponseTime, rel*100)
+	}
+	if rel := metrics.RelErr(st.Population, analytic.Population); rel > 0.05 {
+		t.Errorf("N sim %.3f vs analytic %.3f", st.Population, analytic.Population)
+	}
+	for k := range m.Stations {
+		if m.Stations[k].Kind == queueing.Delay {
+			continue
+		}
+		if rel := metrics.RelErr(st.Utilization[k], analytic.Util[k]); rel > 0.05 {
+			t.Errorf("station %s: ρ sim %.3f vs %.3f",
+				m.Stations[k].Name, st.Utilization[k], analytic.Util[k])
+		}
+	}
+}
+
+func TestOpenSimulatorLittleLaw(t *testing.T) {
+	m := &queueing.Model{
+		Name: "little",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.05},
+		},
+	}
+	st, err := RunOpen(OpenConfig{
+		Model: m, Lambda: 20, Seed: 3, WarmupTime: 100, MeasureTime: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	implied := st.ThroughputOut * st.ResponseTime
+	if rel := metrics.RelErr(implied, st.Population); rel > 0.05 {
+		t.Errorf("Little: X·W = %.3f vs L = %.3f", implied, st.Population)
+	}
+}
+
+func TestOpenSimulatorErrors(t *testing.T) {
+	m := &queueing.Model{
+		Name: "err",
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.1},
+		},
+	}
+	cases := []OpenConfig{
+		{Model: nil, Lambda: 1, MeasureTime: 1},
+		{Model: m, Lambda: 0, MeasureTime: 1},
+		{Model: m, Lambda: 1, MeasureTime: 0},
+		{Model: &queueing.Model{}, Lambda: 1, MeasureTime: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := RunOpen(cfg); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}

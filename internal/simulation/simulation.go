@@ -1,0 +1,471 @@
+// Package simulation implements a deterministic discrete-event simulator for
+// closed queueing networks: the stand-in for the paper's physical multi-tier
+// testbed. A population of virtual users cycles between a think state and
+// visits to multi-server FCFS stations (CPU/Disk/Net queues of the tier
+// servers, Fig. 2 of the paper); the simulator measures throughput, response
+// time, per-station utilization and queue lengths over a steady-state
+// window, exactly the observables a Grinder load test plus vmstat/iostat/
+// netstat monitoring would produce.
+//
+// With exponential service and think times and constant demands the network
+// is product-form, so the simulator must agree with exact MVA — an
+// integration test enforces this, grounding the simulator before it is used
+// as the "measured" reference for the experiments.
+package simulation
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+)
+
+// Distribution selects a service/think time distribution.
+type Distribution int
+
+const (
+	// Exponential draws exponentially distributed times (product-form).
+	Exponential Distribution = iota
+	// Deterministic uses the mean exactly.
+	Deterministic
+	// Erlang2 draws the sum of two exponentials with half the mean each
+	// (coefficient of variation 1/√2, a middle ground).
+	Erlang2
+	// Uniform draws uniformly on [0, 2·mean].
+	Uniform
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Exponential:
+		return "exponential"
+	case Deterministic:
+		return "deterministic"
+	case Erlang2:
+		return "erlang-2"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// draw samples the distribution with the given mean.
+func (d Distribution) draw(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	switch d {
+	case Exponential:
+		return rng.ExpFloat64() * mean
+	case Deterministic:
+		return mean
+	case Erlang2:
+		return (rng.ExpFloat64() + rng.ExpFloat64()) * mean / 2
+	case Uniform:
+		return rng.Float64() * 2 * mean
+	default:
+		return mean
+	}
+}
+
+// Config controls a simulation run.
+type Config struct {
+	// Model is the closed network to simulate. Station service times are
+	// the per-visit means S_k; Visits are realised per cycle as
+	// floor(V_k) visits plus one more with probability frac(V_k).
+	Model *queueing.Model
+	// Population is the number of virtual users N.
+	Population int
+	// Seed makes the run reproducible.
+	Seed int64
+	// WarmupTime is discarded virtual time (seconds) before measuring.
+	WarmupTime float64
+	// MeasureTime is the measured virtual-time window (seconds).
+	MeasureTime float64
+	// ServiceDist is the service-time distribution (default Exponential).
+	ServiceDist Distribution
+	// ThinkDist is the think-time distribution (default Exponential).
+	ThinkDist Distribution
+	// StartTimes optionally staggers user activation (ramp-up): user i
+	// issues its first think at StartTimes[i]. Nil starts everyone at 0.
+	StartTimes []float64
+	// WindowSize is the TPS/RT time-series sampling window in seconds for
+	// the Grinder-style output (default 10 s; 0 disables the series).
+	WindowSize float64
+	// ResponseSampleCap, when positive, collects up to that many
+	// per-transaction response times by reservoir sampling, enabling
+	// percentile reporting (Stats.ResponsePercentile).
+	ResponseSampleCap int
+	// MaxRunsPerUser, when positive, retires each virtual user after that
+	// many completed transactions — grinder.runs semantics. The run still
+	// ends at WarmupTime+MeasureTime even if users retire earlier.
+	MaxRunsPerUser int
+}
+
+// Stats is the measured output of a run.
+type Stats struct {
+	// Population echoes N.
+	Population int
+	// Throughput is completed transactions per second in the window.
+	Throughput float64
+	// ResponseTime is the mean seconds from think-end to transaction
+	// completion.
+	ResponseTime float64
+	// CycleTime is ResponseTime plus the realised mean think time.
+	CycleTime float64
+	// Completed is the number of transactions measured.
+	Completed int
+	// Utilization[k] is station k's mean fraction of busy servers (0..1).
+	Utilization []float64
+	// TotalBusy[k] is the raw busy utilization on the 0..C_k scale — the
+	// quantity the Service Demand Law divides by X (paper eq. 3).
+	TotalBusy []float64
+	// QueueLen[k] is the time-average number of customers at station k
+	// (queued + in service).
+	QueueLen []float64
+	// StationThroughput[k] is completions/second at station k.
+	StationThroughput []float64
+	// TPSSeries / RTSeries are windowed time series over the whole run
+	// (including warm-up) — the Grinder Analyzer view of Fig. 1.
+	TPSSeries *metrics.Series
+	RTSeries  *metrics.Series
+	// ResponseSamples holds reservoir-sampled per-transaction response
+	// times when Config.ResponseSampleCap was set (else nil).
+	ResponseSamples []float64
+}
+
+// ResponsePercentile returns the p-th percentile (0..100) of the sampled
+// response times; an error when sampling was not enabled.
+func (s *Stats) ResponsePercentile(p float64) (float64, error) {
+	return metrics.Percentile(s.ResponseSamples, p)
+}
+
+// Demands extracts per-station service demands from the run via the Service
+// Demand Law D_k = U_k / X with U_k on the total-busy scale (paper eq. 3).
+func (s *Stats) Demands() []float64 {
+	out := make([]float64, len(s.TotalBusy))
+	for k, u := range s.TotalBusy {
+		out[k] = queueing.DemandFromUtilization(u, s.Throughput)
+	}
+	return out
+}
+
+// event kinds
+const (
+	evThinkDone = iota
+	evServiceDone
+)
+
+type event struct {
+	t    float64
+	seq  int64 // tie-breaker for determinism
+	kind int
+	user *user
+	stn  int // station index for evServiceDone
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+func (h eventHeap) Empty() bool   { return len(h) == 0 }
+
+// user is one virtual customer.
+type user struct {
+	id      int
+	plan    []int // remaining station visits this transaction
+	planPos int
+	txStart float64 // time the current transaction left the think state
+	runs    int     // completed transactions (for grinder.runs retirement)
+}
+
+// stationState is the runtime state of one queueing station.
+type stationState struct {
+	servers int
+	busy    int
+	queue   []*user
+	delay   bool
+	// accounting
+	busyIntegral  float64 // ∫ busy dt
+	queueIntegral float64 // ∫ (busy+queued) dt
+	lastT         float64
+	completions   int
+}
+
+func (st *stationState) advance(t float64) {
+	dt := t - st.lastT
+	if dt > 0 {
+		st.busyIntegral += float64(st.busy) * dt
+		st.queueIntegral += float64(st.busy+len(st.queue)) * dt
+		st.lastT = t
+	} else {
+		st.lastT = t
+	}
+}
+
+// Run executes the simulation and returns measured statistics.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("simulation: nil model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Population < 1 {
+		return nil, fmt.Errorf("simulation: population %d", cfg.Population)
+	}
+	if cfg.MeasureTime <= 0 {
+		return nil, fmt.Errorf("simulation: measure time %g", cfg.MeasureTime)
+	}
+	if cfg.StartTimes != nil && len(cfg.StartTimes) != cfg.Population {
+		return nil, fmt.Errorf("simulation: %d start times for %d users", len(cfg.StartTimes), cfg.Population)
+	}
+	m := cfg.Model
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	k := len(m.Stations)
+	stations := make([]*stationState, k)
+	for i, st := range m.Stations {
+		stations[i] = &stationState{
+			servers: st.Servers,
+			delay:   st.Kind == queueing.Delay,
+		}
+	}
+	var (
+		h       eventHeap
+		seq     int64
+		now     float64
+		measure = false
+	)
+	push := func(t float64, kind int, u *user, stn int) {
+		seq++
+		heap.Push(&h, &event{t: t, seq: seq, kind: kind, user: u, stn: stn})
+	}
+	// Windowed series over the whole run.
+	var tpsSeries, rtSeries *metrics.Series
+	var winCompl int
+	var winRTSum float64
+	var winEnd float64
+	if cfg.WindowSize > 0 {
+		tpsSeries = &metrics.Series{Name: "tps"}
+		rtSeries = &metrics.Series{Name: "response-time"}
+		winEnd = cfg.WindowSize
+	}
+	flushWindow := func(t float64) {
+		for cfg.WindowSize > 0 && t >= winEnd {
+			tpsSeries.Append(winEnd, float64(winCompl)/cfg.WindowSize)
+			if winCompl > 0 {
+				rtSeries.Append(winEnd, winRTSum/float64(winCompl))
+			} else {
+				rtSeries.Append(winEnd, 0)
+			}
+			winCompl, winRTSum = 0, 0
+			winEnd += cfg.WindowSize
+		}
+	}
+
+	// Measurement accumulators.
+	var (
+		completed   int
+		respSum     float64
+		thinkSumAll float64
+		thinkCntAll int
+		reservoir   []float64
+	)
+
+	// buildPlan realises the visit counts for one transaction.
+	buildPlan := func(u *user) {
+		u.plan = u.plan[:0]
+		for sIdx, st := range m.Stations {
+			v := int(st.Visits)
+			frac := st.Visits - float64(v)
+			if frac > 0 && rng.Float64() < frac {
+				v++
+			}
+			for i := 0; i < v; i++ {
+				u.plan = append(u.plan, sIdx)
+			}
+		}
+		u.planPos = 0
+	}
+
+	var startVisit func(u *user, t float64, sIdx int)
+
+	// nextStep advances a user to its next plan entry or completes the
+	// transaction.
+	nextStep := func(u *user, t float64) {
+		if u.planPos >= len(u.plan) {
+			// Transaction complete.
+			rt := t - u.txStart
+			if measure {
+				completed++
+				respSum += rt
+				if cfg.ResponseSampleCap > 0 {
+					// Vitter's reservoir sampling keeps a uniform sample
+					// of all measured response times in bounded memory.
+					if len(reservoir) < cfg.ResponseSampleCap {
+						reservoir = append(reservoir, rt)
+					} else if j := rng.Intn(completed); j < cfg.ResponseSampleCap {
+						reservoir[j] = rt
+					}
+				}
+			}
+			if cfg.WindowSize > 0 {
+				winCompl++
+				winRTSum += rt
+			}
+			u.runs++
+			if cfg.MaxRunsPerUser > 0 && u.runs >= cfg.MaxRunsPerUser {
+				return // grinder.runs reached: the user retires
+			}
+			z := cfg.ThinkDist.draw(rng, m.ThinkTime)
+			if measure {
+				thinkSumAll += z
+				thinkCntAll++
+			}
+			push(t+z, evThinkDone, u, -1)
+			return
+		}
+		sIdx := u.plan[u.planPos]
+		u.planPos++
+		startVisit(u, t, sIdx)
+	}
+
+	serve := func(u *user, t float64, sIdx int) {
+		s := cfg.ServiceDist.draw(rng, m.Stations[sIdx].ServiceTime)
+		push(t+s, evServiceDone, u, sIdx)
+	}
+
+	startVisit = func(u *user, t float64, sIdx int) {
+		st := stations[sIdx]
+		st.advance(t)
+		if st.delay {
+			st.busy++ // busy counts in-service customers at delay stations
+			serve(u, t, sIdx)
+			return
+		}
+		if st.busy < st.servers {
+			st.busy++
+			serve(u, t, sIdx)
+		} else {
+			st.queue = append(st.queue, u)
+		}
+	}
+
+	// Prime users.
+	users := make([]*user, cfg.Population)
+	for i := range users {
+		users[i] = &user{id: i}
+		start := 0.0
+		if cfg.StartTimes != nil {
+			start = cfg.StartTimes[i]
+		}
+		// The first think completes at start + Z-draw.
+		push(start+cfg.ThinkDist.draw(rng, m.ThinkTime), evThinkDone, users[i], -1)
+	}
+
+	endWarmup := cfg.WarmupTime
+	endRun := cfg.WarmupTime + cfg.MeasureTime
+
+	resetAccounting := func(t float64) {
+		for _, st := range stations {
+			st.advance(t)
+			st.busyIntegral = 0
+			st.queueIntegral = 0
+			st.completions = 0
+		}
+		completed, respSum = 0, 0
+		thinkSumAll, thinkCntAll = 0, 0
+		reservoir = reservoir[:0]
+	}
+
+	for !h.Empty() {
+		e := heap.Pop(&h).(*event)
+		if e.t > endRun {
+			now = endRun
+			break
+		}
+		now = e.t
+		flushWindow(now)
+		if !measure && now >= endWarmup {
+			measure = true
+			resetAccounting(endWarmup)
+		}
+		switch e.kind {
+		case evThinkDone:
+			u := e.user
+			u.txStart = now
+			buildPlan(u)
+			nextStep(u, now)
+		case evServiceDone:
+			u := e.user
+			st := stations[e.stn]
+			st.advance(now)
+			st.busy--
+			if measure {
+				st.completions++
+			}
+			if !st.delay && len(st.queue) > 0 {
+				nxt := st.queue[0]
+				st.queue = st.queue[1:]
+				st.busy++
+				serve(nxt, now, e.stn)
+			}
+			nextStep(u, now)
+		}
+	}
+	// Close accounting at end of run.
+	for _, st := range stations {
+		st.advance(endRun)
+	}
+	flushWindow(endRun)
+
+	window := cfg.MeasureTime
+	stats := &Stats{
+		Population:        cfg.Population,
+		Completed:         completed,
+		Utilization:       make([]float64, k),
+		TotalBusy:         make([]float64, k),
+		QueueLen:          make([]float64, k),
+		StationThroughput: make([]float64, k),
+		TPSSeries:         tpsSeries,
+		RTSeries:          rtSeries,
+		ResponseSamples:   reservoir,
+	}
+	stats.Throughput = float64(completed) / window
+	if completed > 0 {
+		stats.ResponseTime = respSum / float64(completed)
+	}
+	meanThink := m.ThinkTime
+	if thinkCntAll > 0 {
+		meanThink = thinkSumAll / float64(thinkCntAll)
+	}
+	stats.CycleTime = stats.ResponseTime + meanThink
+	for i, st := range stations {
+		stats.TotalBusy[i] = st.busyIntegral / window
+		stats.Utilization[i] = stats.TotalBusy[i] / float64(st.servers)
+		if st.delay {
+			// Per-server utilization is not meaningful for delay centres.
+			stats.Utilization[i] = 0
+		}
+		stats.QueueLen[i] = st.queueIntegral / window
+		stats.StationThroughput[i] = float64(st.completions) / window
+	}
+	if math.IsNaN(stats.Throughput) {
+		return nil, errors.New("simulation: produced NaN throughput")
+	}
+	return stats, nil
+}

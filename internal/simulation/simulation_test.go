@@ -1,0 +1,353 @@
+package simulation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+)
+
+func productFormModel() *queueing.Model {
+	return &queueing.Model{
+		Name:      "pf",
+		ThinkTime: 1,
+		Stations: []queueing.Station{
+			{Name: "app/cpu", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.004},
+			{Name: "db/cpu", Kind: queueing.CPU, Servers: 1, Visits: 1, ServiceTime: 0.003},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.010},
+		},
+	}
+}
+
+// TestSimulatorMatchesExactMVA is the grounding test: with exponential
+// service/think and constant demands the network is product-form, so the DES
+// must agree with exact MVA within tight statistical tolerance.
+func TestSimulatorMatchesExactMVA(t *testing.T) {
+	m := productFormModel()
+	mva, err := core.ExactMVA(m, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 10, 50, 120, 200} {
+		st, err := Run(Config{
+			Model: m, Population: n, Seed: int64(n),
+			WarmupTime: 200, MeasureTime: 3000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantX := mva.X[n-1]
+		if rel := metrics.RelErr(st.Throughput, wantX); rel > 0.02 {
+			t.Errorf("n=%d: sim X=%.3f vs MVA %.3f (%.1f%%)", n, st.Throughput, wantX, rel*100)
+		}
+		wantR := mva.R[n-1]
+		if rel := metrics.RelErr(st.ResponseTime, wantR); rel > 0.05 {
+			t.Errorf("n=%d: sim R=%.5f vs MVA %.5f (%.1f%%)", n, st.ResponseTime, wantR, rel*100)
+		}
+	}
+}
+
+// TestSimulatorMatchesLoadDependentMVA grounds the multi-server path against
+// the exact load-dependent solver.
+func TestSimulatorMatchesLoadDependentMVA(t *testing.T) {
+	m := &queueing.Model{
+		Name:      "ms",
+		ThinkTime: 0.5,
+		Stations: []queueing.Station{
+			{Name: "cpu16", Kind: queueing.CPU, Servers: 16, Visits: 1, ServiceTime: 0.05},
+			{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.002},
+		},
+	}
+	ld, err := core.LoadDependentMVA(m, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{5, 60, 150, 300} {
+		st, err := Run(Config{
+			Model: m, Population: n, Seed: 7 * int64(n),
+			WarmupTime: 100, MeasureTime: 2000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantX := ld.X[n-1]
+		if rel := metrics.RelErr(st.Throughput, wantX); rel > 0.02 {
+			t.Errorf("n=%d: sim X=%.3f vs LD-MVA %.3f (%.1f%%)", n, st.Throughput, wantX, rel*100)
+		}
+	}
+}
+
+func TestSimulatorDeterministicBySeed(t *testing.T) {
+	m := productFormModel()
+	cfg := Config{Model: m, Population: 40, Seed: 99, WarmupTime: 50, MeasureTime: 500}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.ResponseTime != b.ResponseTime || a.Completed != b.Completed {
+		t.Fatal("same seed must reproduce identical results")
+	}
+	cfg.Seed = 100
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput == c.Throughput && a.Completed == c.Completed {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestSimulatorUtilizationLaw(t *testing.T) {
+	// Measured utilization must equal X·D within noise (Utilization Law),
+	// and Demands() must recover the configured demands.
+	m := productFormModel()
+	st, err := Run(Config{Model: m, Population: 60, Seed: 3, WarmupTime: 100, MeasureTime: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, stn := range m.Stations {
+		wantU := st.Throughput * stn.Demand()
+		if rel := metrics.RelErr(st.TotalBusy[k], wantU); rel > 0.05 {
+			t.Errorf("station %s: U=%.4f, want %.4f", stn.Name, st.TotalBusy[k], wantU)
+		}
+	}
+	d := st.Demands()
+	for k, stn := range m.Stations {
+		if rel := metrics.RelErr(d[k], stn.Demand()); rel > 0.05 {
+			t.Errorf("station %s: extracted D=%.5f, want %.5f", stn.Name, d[k], stn.Demand())
+		}
+	}
+}
+
+func TestSimulatorLittleLaw(t *testing.T) {
+	// N = X·(R + Z) must hold for the measured means.
+	m := productFormModel()
+	for _, n := range []int{5, 80} {
+		st, err := Run(Config{Model: m, Population: n, Seed: 11, WarmupTime: 100, MeasureTime: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		implied := st.Throughput * st.CycleTime
+		if rel := metrics.RelErr(implied, float64(n)); rel > 0.03 {
+			t.Errorf("n=%d: X(R+Z) = %.2f", n, implied)
+		}
+	}
+}
+
+func TestSimulatorFractionalVisits(t *testing.T) {
+	// V = 2.5 must yield station throughput 2.5·X on average.
+	m := &queueing.Model{
+		Name:      "frac",
+		ThinkTime: 0.5,
+		Stations: []queueing.Station{
+			{Name: "q", Kind: queueing.CPU, Servers: 1, Visits: 2.5, ServiceTime: 0.002},
+		},
+	}
+	st, err := Run(Config{Model: m, Population: 20, Seed: 5, WarmupTime: 50, MeasureTime: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := st.StationThroughput[0] / st.Throughput
+	if math.Abs(ratio-2.5) > 0.05 {
+		t.Errorf("forced-flow ratio %.3f, want 2.5", ratio)
+	}
+}
+
+func TestSimulatorDelayStation(t *testing.T) {
+	// A delay station must never queue: its residence contribution is its
+	// demand. Model: one delay of 0.1 s, no queueing stations → R ≈ 0.1
+	// regardless of N.
+	m := &queueing.Model{
+		Name:      "delay",
+		ThinkTime: 0.2,
+		Stations: []queueing.Station{
+			{Name: "lan", Kind: queueing.Delay, Servers: 1, Visits: 1, ServiceTime: 0.1},
+		},
+	}
+	for _, n := range []int{1, 50} {
+		st, err := Run(Config{Model: m, Population: n, Seed: 2, WarmupTime: 50, MeasureTime: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := metrics.RelErr(st.ResponseTime, 0.1); rel > 0.05 {
+			t.Errorf("n=%d: delay R=%.4f, want 0.1", n, st.ResponseTime)
+		}
+	}
+}
+
+func TestSimulatorRampUpSeries(t *testing.T) {
+	// Staggered starts: the TPS series should climb during the ramp and the
+	// steady-state tail should exceed the early windows (Fig. 1 shape).
+	m := productFormModel()
+	n := 100
+	starts := make([]float64, n)
+	for i := range starts {
+		starts[i] = float64(i) * 2 // one user every 2 s → 200 s ramp
+	}
+	st, err := Run(Config{
+		Model: m, Population: n, Seed: 4,
+		WarmupTime: 300, MeasureTime: 1000,
+		StartTimes: starts, WindowSize: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TPSSeries == nil || len(st.TPSSeries.Points) < 50 {
+		t.Fatal("missing TPS series")
+	}
+	early, err := metrics.Summarize(st.TPSSeries.Values()[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lateVals := st.TPSSeries.After(400).Values()
+	late, err := metrics.Summarize(lateVals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.Mean <= early.Mean*1.5 {
+		t.Errorf("ramp not visible: early TPS %.2f vs late %.2f", early.Mean, late.Mean)
+	}
+}
+
+func TestSimulatorDistributions(t *testing.T) {
+	// The mean must be distribution-invariant for the think station;
+	// deterministic service in an M/D/1-like setting still satisfies
+	// Little's law on means.
+	m := productFormModel()
+	for _, dist := range []Distribution{Exponential, Deterministic, Erlang2, Uniform} {
+		st, err := Run(Config{
+			Model: m, Population: 30, Seed: 21,
+			WarmupTime: 100, MeasureTime: 1500,
+			ServiceDist: dist, ThinkDist: Deterministic,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		implied := st.Throughput * st.CycleTime
+		if rel := metrics.RelErr(implied, 30); rel > 0.03 {
+			t.Errorf("%v: Little's law X(R+Z)=%.2f, want 30", dist, implied)
+		}
+	}
+}
+
+func TestSimulatorConfigErrors(t *testing.T) {
+	m := productFormModel()
+	cases := []Config{
+		{Model: nil, Population: 1, MeasureTime: 1},
+		{Model: m, Population: 0, MeasureTime: 1},
+		{Model: m, Population: 1, MeasureTime: 0},
+		{Model: m, Population: 2, MeasureTime: 1, StartTimes: []float64{0}},
+		{Model: &queueing.Model{}, Population: 1, MeasureTime: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	names := map[Distribution]string{
+		Exponential: "exponential", Deterministic: "deterministic",
+		Erlang2: "erlang-2", Uniform: "uniform",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q", d, d.String())
+		}
+	}
+	if Distribution(9).String() == "" {
+		t.Error("unknown distribution should still print")
+	}
+}
+
+func TestDistributionMeans(t *testing.T) {
+	// Every distribution must have the configured mean (law of large numbers).
+	rngModel := productFormModel()
+	_ = rngModel
+	for _, d := range []Distribution{Exponential, Deterministic, Erlang2, Uniform} {
+		// Use the think station of a tiny simulation to exercise draw via
+		// the public API: a delay-only model's R equals the service mean.
+		m := &queueing.Model{
+			Name:      "mean-check",
+			ThinkTime: 0.1,
+			Stations: []queueing.Station{
+				{Name: "d", Kind: queueing.Delay, Servers: 1, Visits: 1, ServiceTime: 0.25},
+			},
+		}
+		st, err := Run(Config{
+			Model: m, Population: 10, Seed: 31,
+			WarmupTime: 20, MeasureTime: 2000, ServiceDist: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := metrics.RelErr(st.ResponseTime, 0.25); rel > 0.03 {
+			t.Errorf("%v: mean %.4f, want 0.25", d, st.ResponseTime)
+		}
+	}
+}
+
+func BenchmarkSimulation100Users(b *testing.B) {
+	m := productFormModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{
+			Model: m, Population: 100, Seed: int64(i),
+			WarmupTime: 10, MeasureTime: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestResponsePercentiles(t *testing.T) {
+	m := productFormModel()
+	st, err := Run(Config{
+		Model: m, Population: 40, Seed: 8,
+		WarmupTime: 100, MeasureTime: 1500, ResponseSampleCap: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.ResponseSamples) == 0 {
+		t.Fatal("no response samples collected")
+	}
+	if len(st.ResponseSamples) > 5000 {
+		t.Fatalf("reservoir overflowed: %d", len(st.ResponseSamples))
+	}
+	p50, err := st.ResponsePercentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, err := st.ResponsePercentile(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p50 > 0 && p99 > p50) {
+		t.Fatalf("percentile ordering: P50=%g P99=%g", p50, p99)
+	}
+	// The sample mean must agree with the exact mean accumulator.
+	sum := 0.0
+	for _, v := range st.ResponseSamples {
+		sum += v
+	}
+	mean := sum / float64(len(st.ResponseSamples))
+	if metrics.RelErr(mean, st.ResponseTime) > 0.10 {
+		t.Fatalf("sampled mean %g vs true mean %g", mean, st.ResponseTime)
+	}
+	// Disabled sampling yields an error from the percentile accessor.
+	st2, err := Run(Config{Model: m, Population: 5, Seed: 8, WarmupTime: 10, MeasureTime: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.ResponsePercentile(50); err == nil {
+		t.Error("percentile without sampling should error")
+	}
+}

@@ -1,0 +1,167 @@
+package spline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// randKnots turns arbitrary quick-generated data into a valid knot set:
+// 4..12 strictly increasing abscissae with bounded ordinates.
+func randKnots(seed int64) (xs, ys []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(9)
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	x := rng.Float64()*10 - 5
+	for i := 0; i < n; i++ {
+		x += 0.1 + rng.Float64()*3
+		xs[i] = x
+		ys[i] = rng.Float64()*20 - 10
+	}
+	return xs, ys
+}
+
+// TestQuickAllVariantsInterpolate: every interpolating constructor passes
+// through its knots for arbitrary valid data.
+func TestQuickAllVariantsInterpolate(t *testing.T) {
+	constructors := map[string]func(xs, ys []float64) (*Cubic, error){
+		"natural":    NewNatural,
+		"not-a-knot": NewNotAKnot,
+		"pchip":      NewPCHIP,
+		"akima":      NewAkima,
+		"linear":     NewLinear,
+	}
+	f := func(seed int64) bool {
+		xs, ys := randKnots(seed)
+		for name, ctor := range constructors {
+			s, err := ctor(xs, ys)
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			for i := range xs {
+				if !numeric.AlmostEqual(s.Eval(xs[i]), ys[i], 1e-8) {
+					t.Logf("%s misses knot %d: %g vs %g", name, i, s.Eval(xs[i]), ys[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPCHIPMonotone: PCHIP through monotone data is monotone for
+// arbitrary decreasing sequences (the service-demand shape).
+func TestQuickPCHIPMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		x, y := 1.0, 1.0+rng.Float64()
+		for i := 0; i < n; i++ {
+			x += 0.5 + rng.Float64()*40
+			y -= rng.Float64() * 0.1 // non-increasing
+			xs[i], ys[i] = x, y
+		}
+		s, err := NewPCHIP(xs, ys)
+		if err != nil {
+			return false
+		}
+		prev := s.Eval(xs[0])
+		for _, xq := range numeric.Linspace(xs[0], xs[n-1], 200)[1:] {
+			cur := s.Eval(xq)
+			if cur > prev+1e-10 {
+				t.Logf("seed %d: not monotone at %g", seed, xq)
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConstantExtrapolationBounds: under eq.-14 pegging the spline is
+// constant outside the knot range for arbitrary data.
+func TestQuickConstantExtrapolationBounds(t *testing.T) {
+	f := func(seed int64, probe float64) bool {
+		xs, ys := randKnots(seed)
+		s, err := NewNatural(xs, ys)
+		if err != nil {
+			return false
+		}
+		lo, hi := s.Domain()
+		probe = math.Mod(math.Abs(probe), 1e6) + 1
+		left := lo - probe
+		right := hi + probe
+		// The right boundary value is the last segment's polynomial
+		// evaluated at its end, equal to the knot ordinate only up to
+		// rounding.
+		return numeric.AlmostEqual(s.Eval(left), ys[0], 1e-12) &&
+			numeric.AlmostEqual(s.Eval(right), ys[len(ys)-1], 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSmoothingNeverIncreasesRoughness: for any λ2 > λ1 the smoothing
+// spline's roughness does not increase.
+func TestQuickSmoothingMonotoneInLambda(t *testing.T) {
+	f := func(seed int64, l1, l2 float64) bool {
+		xs, ys := randKnots(seed)
+		// Map the raw inputs into a numerically sane λ range; λ of order
+		// 1e308 overflows the banded system and is rejected upstream.
+		a := math.Mod(math.Abs(l1), 1e8)
+		b := math.Mod(math.Abs(l2), 1e8)
+		if a > b {
+			a, b = b, a
+		}
+		s1, err := NewSmoothing(xs, ys, a)
+		if err != nil {
+			return false
+		}
+		s2, err := NewSmoothing(xs, ys, b)
+		if err != nil {
+			return false
+		}
+		return s2.Roughness() <= s1.Roughness()*(1+1e-9)+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntegralAdditivity: ∫ₐᵇ + ∫ᵇᶜ = ∫ₐᶜ for arbitrary split points.
+func TestQuickIntegralAdditivity(t *testing.T) {
+	f := func(seed int64, f1, f2 float64) bool {
+		xs, ys := randKnots(seed)
+		s, err := NewNatural(xs, ys)
+		if err != nil {
+			return false
+		}
+		lo, hi := s.Domain()
+		// Map f1, f2 into the domain.
+		u1 := lo + math.Mod(math.Abs(f1), 1)*(hi-lo)
+		u2 := lo + math.Mod(math.Abs(f2), 1)*(hi-lo)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		whole := s.Integrate(lo, hi)
+		split := s.Integrate(lo, u1) + s.Integrate(u1, u2) + s.Integrate(u2, hi)
+		return numeric.AlmostEqual(whole, split, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

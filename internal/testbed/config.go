@@ -1,0 +1,203 @@
+package testbed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/queueing"
+)
+
+// Config is the JSON representation of a testbed profile, letting users
+// define custom multi-tier environments for the load generator and the
+// experiment tooling without recompiling.
+//
+//	{
+//	  "name": "myapp",
+//	  "thinkTime": 1.0,
+//	  "pagesPerWorkflow": 5,
+//	  "maxUsers": 500,
+//	  "testConcurrencies": [1, 50, 150, 300, 500],
+//	  "servers": [
+//	    {"name": "web", "resources": [
+//	      {"name": "cpu", "kind": "cpu", "servers": 8,
+//	       "d1": 0.010, "dInf": 0.007, "tau": 80}
+//	    ]}
+//	  ]
+//	}
+type Config struct {
+	Name              string         `json:"name"`
+	ThinkTime         float64        `json:"thinkTime"`
+	PagesPerWorkflow  int            `json:"pagesPerWorkflow"`
+	MaxUsers          int            `json:"maxUsers"`
+	TestConcurrencies []int          `json:"testConcurrencies"`
+	Servers           []ServerConfig `json:"servers"`
+}
+
+// ServerConfig is one tier box in a Config.
+type ServerConfig struct {
+	Name      string           `json:"name"`
+	Resources []ResourceConfig `json:"resources"`
+}
+
+// ResourceConfig is one queueing resource in a Config.
+type ResourceConfig struct {
+	Name    string                `json:"name"`
+	Kind    queueing.ResourceKind `json:"kind"`
+	Servers int                   `json:"servers"`
+	D1      float64               `json:"d1"`
+	DInf    float64               `json:"dInf"`
+	Tau     float64               `json:"tau"`
+}
+
+// ErrBadConfig wraps every configuration validation failure.
+var ErrBadConfig = errors.New("testbed: invalid profile config")
+
+// Validate checks the configuration for structural soundness.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: missing name", ErrBadConfig)
+	}
+	if c.ThinkTime < 0 {
+		return fmt.Errorf("%w: negative think time", ErrBadConfig)
+	}
+	if c.MaxUsers < 1 {
+		return fmt.Errorf("%w: maxUsers %d", ErrBadConfig, c.MaxUsers)
+	}
+	if len(c.Servers) == 0 {
+		return fmt.Errorf("%w: no servers", ErrBadConfig)
+	}
+	for _, n := range c.TestConcurrencies {
+		if n < 1 || n > c.MaxUsers {
+			return fmt.Errorf("%w: test concurrency %d outside [1, %d]", ErrBadConfig, n, c.MaxUsers)
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range c.Servers {
+		if s.Name == "" {
+			return fmt.Errorf("%w: unnamed server", ErrBadConfig)
+		}
+		if len(s.Resources) == 0 {
+			return fmt.Errorf("%w: server %q has no resources", ErrBadConfig, s.Name)
+		}
+		for _, r := range s.Resources {
+			full := s.Name + "/" + r.Name
+			if r.Name == "" {
+				return fmt.Errorf("%w: unnamed resource on server %q", ErrBadConfig, s.Name)
+			}
+			if seen[full] {
+				return fmt.Errorf("%w: duplicate resource %q", ErrBadConfig, full)
+			}
+			seen[full] = true
+			if r.Servers < 1 {
+				return fmt.Errorf("%w: %s has %d servers", ErrBadConfig, full, r.Servers)
+			}
+			if r.D1 <= 0 || r.DInf <= 0 {
+				return fmt.Errorf("%w: %s has non-positive demand parameters", ErrBadConfig, full)
+			}
+			if r.Tau < 0 {
+				return fmt.Errorf("%w: %s has negative tau", ErrBadConfig, full)
+			}
+		}
+	}
+	return nil
+}
+
+// Build converts the configuration into a Profile.
+func (c *Config) Build() (*Profile, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Name:              c.Name,
+		ThinkTime:         c.ThinkTime,
+		PagesPerWorkflow:  c.PagesPerWorkflow,
+		MaxUsers:          c.MaxUsers,
+		TestConcurrencies: append([]int(nil), c.TestConcurrencies...),
+	}
+	if p.PagesPerWorkflow < 1 {
+		p.PagesPerWorkflow = 1
+	}
+	if len(p.TestConcurrencies) == 0 {
+		// Default sample points: geometric spread to MaxUsers.
+		for n := 1; n < p.MaxUsers; n = n*3 + 1 {
+			p.TestConcurrencies = append(p.TestConcurrencies, n)
+		}
+		p.TestConcurrencies = append(p.TestConcurrencies, p.MaxUsers)
+	}
+	for _, s := range c.Servers {
+		srv := Server{Name: s.Name}
+		for _, r := range s.Resources {
+			kind := r.Kind
+			if kind == "" {
+				kind = queueing.Other
+			}
+			srv.Resources = append(srv.Resources, Resource{
+				Name:    r.Name,
+				Kind:    kind,
+				Servers: r.Servers,
+				Demand:  DemandCurve{D1: r.D1, DInf: r.DInf, Tau: r.Tau},
+			})
+		}
+		p.Servers = append(p.Servers, srv)
+	}
+	return p, nil
+}
+
+// LoadProfile reads a profile configuration from a JSON file.
+func LoadProfile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	defer f.Close()
+	return ReadProfile(f)
+}
+
+// ReadProfile decodes a profile configuration from a reader.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("testbed: decoding profile: %w", err)
+	}
+	return c.Build()
+}
+
+// ConfigOf reconstructs the JSON configuration of a profile (the inverse of
+// Build), so built-in profiles can be exported, tweaked and reloaded.
+func ConfigOf(p *Profile) *Config {
+	c := &Config{
+		Name:              p.Name,
+		ThinkTime:         p.ThinkTime,
+		PagesPerWorkflow:  p.PagesPerWorkflow,
+		MaxUsers:          p.MaxUsers,
+		TestConcurrencies: append([]int(nil), p.TestConcurrencies...),
+	}
+	for _, s := range p.Servers {
+		sc := ServerConfig{Name: s.Name}
+		for _, r := range s.Resources {
+			sc.Resources = append(sc.Resources, ResourceConfig{
+				Name: r.Name, Kind: r.Kind, Servers: r.Servers,
+				D1: r.Demand.D1, DInf: r.Demand.DInf, Tau: r.Demand.Tau,
+			})
+		}
+		c.Servers = append(c.Servers, sc)
+	}
+	return c
+}
+
+// SaveProfile writes a profile's configuration to a JSON file.
+func SaveProfile(path string, p *Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("testbed: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ConfigOf(p))
+}

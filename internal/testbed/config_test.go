@@ -1,0 +1,141 @@
+package testbed
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+func validConfig() *Config {
+	return &Config{
+		Name:              "custom",
+		ThinkTime:         0.5,
+		PagesPerWorkflow:  3,
+		MaxUsers:          200,
+		TestConcurrencies: []int{1, 50, 200},
+		Servers: []ServerConfig{
+			{Name: "web", Resources: []ResourceConfig{
+				{Name: "cpu", Kind: queueing.CPU, Servers: 8, D1: 0.01, DInf: 0.007, Tau: 60},
+				{Name: "disk", Kind: queueing.Disk, Servers: 1, D1: 0.004, DInf: 0.003, Tau: 50},
+			}},
+		},
+	}
+}
+
+func TestConfigBuildAndRoundTrip(t *testing.T) {
+	p, err := validConfig().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.StationCount() != 2 || p.Name != "custom" {
+		t.Fatalf("profile: %+v", p)
+	}
+	m := p.Model(50)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Save and reload through the file round trip.
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := SaveProfile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Name != p.Name || p2.StationCount() != p.StationCount() || p2.MaxUsers != p.MaxUsers {
+		t.Fatalf("round trip mismatch: %+v", p2)
+	}
+	d1 := p.TrueDemands(77)
+	d2 := p2.TrueDemands(77)
+	for k := range d1 {
+		if d1[k] != d2[k] {
+			t.Fatalf("demand %d: %g vs %g", k, d1[k], d2[k])
+		}
+	}
+}
+
+func TestBuiltinProfilesSurviveConfigRoundTrip(t *testing.T) {
+	for name, p := range Profiles() {
+		cfg := ConfigOf(p)
+		rebuilt, err := cfg.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, n := range []int{1, 100, p.MaxUsers} {
+			a, b := p.TrueDemands(n), rebuilt.TrueDemands(n)
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("%s N=%d station %d: %g vs %g", name, n, k, a[k], b[k])
+				}
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"no name":        func(c *Config) { c.Name = "" },
+		"negative think": func(c *Config) { c.ThinkTime = -1 },
+		"zero users":     func(c *Config) { c.MaxUsers = 0 },
+		"no servers":     func(c *Config) { c.Servers = nil },
+		"bad test point": func(c *Config) { c.TestConcurrencies = []int{0} },
+		"point > max":    func(c *Config) { c.TestConcurrencies = []int{999} },
+		"unnamed server": func(c *Config) { c.Servers[0].Name = "" },
+		"no resources":   func(c *Config) { c.Servers[0].Resources = nil },
+		"unnamed res":    func(c *Config) { c.Servers[0].Resources[0].Name = "" },
+		"dup resource": func(c *Config) {
+			c.Servers[0].Resources[1].Name = c.Servers[0].Resources[0].Name
+		},
+		"zero servers": func(c *Config) { c.Servers[0].Resources[0].Servers = 0 },
+		"zero demand":  func(c *Config) { c.Servers[0].Resources[0].D1 = 0 },
+		"zero dinf":    func(c *Config) { c.Servers[0].Resources[0].DInf = 0 },
+		"negative tau": func(c *Config) { c.Servers[0].Resources[0].Tau = -1 },
+	}
+	for name, mutate := range mutations {
+		c := validConfig()
+		mutate(c)
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: got %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := validConfig()
+	c.TestConcurrencies = nil
+	c.PagesPerWorkflow = 0
+	p, err := c.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PagesPerWorkflow != 1 {
+		t.Errorf("default pages %d", p.PagesPerWorkflow)
+	}
+	if len(p.TestConcurrencies) < 3 {
+		t.Errorf("default test points %v", p.TestConcurrencies)
+	}
+	last := p.TestConcurrencies[len(p.TestConcurrencies)-1]
+	if last != p.MaxUsers {
+		t.Errorf("default points should end at MaxUsers: %v", p.TestConcurrencies)
+	}
+}
+
+func TestReadProfileRejectsJunk(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      "{",
+		"unknown field": `{"name":"x","bogus":1}`,
+		"invalid":       `{"name":"x","maxUsers":0,"servers":[]}`,
+	}
+	for name, body := range cases {
+		if _, err := ReadProfile(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := LoadProfile("/does/not/exist.json"); err == nil {
+		t.Error("missing file should error")
+	}
+}

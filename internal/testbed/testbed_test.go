@@ -1,0 +1,192 @@
+package testbed
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+func TestDemandCurveShape(t *testing.T) {
+	c := DemandCurve{D1: 0.01, DInf: 0.006, Tau: 100}
+	if got := c.At(1); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("D(1) = %g, want D1", got)
+	}
+	if got := c.At(1e9); math.Abs(got-0.006) > 1e-9 {
+		t.Errorf("D(∞) = %g, want DInf", got)
+	}
+	// Monotone decreasing.
+	prev := c.At(1)
+	for n := 2.0; n <= 2000; n *= 1.5 {
+		cur := c.At(n)
+		if cur > prev {
+			t.Fatalf("demand increased at n=%g", n)
+		}
+		prev = cur
+	}
+	// Degenerate Tau: constant at DInf.
+	flat := DemandCurve{D1: 0.01, DInf: 0.007, Tau: 0}
+	if flat.At(5) != 0.007 {
+		t.Errorf("flat curve At = %g", flat.At(5))
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for name, p := range Profiles() {
+		for _, n := range []int{1, 50, p.MaxUsers} {
+			m := p.Model(n)
+			if err := m.Validate(); err != nil {
+				t.Errorf("%s model at N=%d invalid: %v", name, n, err)
+			}
+		}
+		if p.StationCount() != 12 {
+			t.Errorf("%s: %d stations, want 12 (3 servers × 4 resources)", name, p.StationCount())
+		}
+		if len(p.StationNames()) != 12 {
+			t.Errorf("%s: station names mismatch", name)
+		}
+		if p.ThinkTime != 1 {
+			t.Errorf("%s: think time %g, want 1 s (paper)", name, p.ThinkTime)
+		}
+	}
+}
+
+func TestVINSStructureMatchesPaper(t *testing.T) {
+	p := VINS()
+	if p.PagesPerWorkflow != 7 {
+		t.Errorf("VINS pages = %d, want 7 (Renew Policy)", p.PagesPerWorkflow)
+	}
+	if p.MaxUsers != 1500 {
+		t.Errorf("VINS max users = %d, want 1500", p.MaxUsers)
+	}
+	// Disk-heavy: the bottleneck is the database disk.
+	name, idx := p.Bottleneck()
+	if name != "db/disk" {
+		t.Errorf("VINS bottleneck %q (index %d), want db/disk", name, idx)
+	}
+	// DB CPU per-core utilization at the capacity throughput stays well
+	// below saturation (~35% in the paper's Table 2).
+	xCap := p.MaxThroughput()
+	m := p.Model(p.MaxUsers)
+	dbCPU := m.StationIndex("db/cpu")
+	util := xCap * m.Stations[dbCPU].Demand() / float64(m.Stations[dbCPU].Servers)
+	if util < 0.25 || util > 0.5 {
+		t.Errorf("VINS db/cpu utilization at capacity = %.2f, want ≈0.35", util)
+	}
+	// Load-injector disk is the secondary hot spot (> 80% at capacity).
+	loadDisk := m.StationIndex("load/disk")
+	u2 := xCap * m.Stations[loadDisk].Demand()
+	if u2 < 0.8 || u2 > 1.0 {
+		t.Errorf("VINS load/disk utilization at capacity = %.2f, want high but < 1", u2)
+	}
+}
+
+func TestJPetStoreStructureMatchesPaper(t *testing.T) {
+	p := JPetStore()
+	if p.PagesPerWorkflow != 14 {
+		t.Errorf("JPetStore pages = %d, want 14", p.PagesPerWorkflow)
+	}
+	// CPU-heavy: the database CPU is the bottleneck.
+	name, _ := p.Bottleneck()
+	if name != "db/cpu" {
+		t.Errorf("JPetStore bottleneck %q, want db/cpu", name)
+	}
+	// Saturation sets in around 140 users: the asymptotic saturation
+	// population N* = (ΣD+Z)/Dmax should be in that neighbourhood.
+	m := p.Model(140)
+	b := queueing.Bounds(m, 140)
+	if b.NStar < 120 || b.NStar > 200 {
+		t.Errorf("JPetStore N* = %.0f, want ≈140–170", b.NStar)
+	}
+	// Disk close behind CPU: at capacity the db disk runs ≥ 85%.
+	xCap := p.MaxThroughput()
+	dbDisk := m.StationIndex("db/disk")
+	u := xCap * p.TrueDemands(p.MaxUsers)[dbDisk]
+	if u < 0.85 || u > 1.0 {
+		t.Errorf("JPetStore db/disk utilization at capacity = %.2f", u)
+	}
+}
+
+func TestTrueDemandsMatchModel(t *testing.T) {
+	p := VINS()
+	for _, n := range []int{1, 203, 1500} {
+		d := p.TrueDemands(n)
+		m := p.Model(n)
+		for k, st := range m.Stations {
+			if math.Abs(d[k]-st.Demand()) > 1e-15 {
+				t.Errorf("N=%d station %s: TrueDemands %g vs model %g", n, st.Name, d[k], st.Demand())
+			}
+		}
+	}
+}
+
+func TestTrueDemandModelAdapters(t *testing.T) {
+	p := JPetStore()
+	dm := p.TrueDemandModel()
+	if dm.Stations() != 12 || dm.DependsOnThroughput() {
+		t.Fatal("TrueDemandModel metadata wrong")
+	}
+	d := p.TrueDemands(70)
+	for k := 0; k < 12; k++ {
+		if got := dm.DemandAt(k, 70, 0); math.Abs(got-d[k]) > 1e-15 {
+			t.Errorf("station %d: %g vs %g", k, got, d[k])
+		}
+	}
+}
+
+// TestMVASDOracleOnProfiles sanity-checks the whole analytical path on the
+// testbed profiles: MVASD fed the oracle demand curves must produce valid
+// trajectories that approach each profile's capacity.
+func TestMVASDOracleOnProfiles(t *testing.T) {
+	for name, p := range Profiles() {
+		res, err := core.MVASD(p.Model(1), p.MaxUsers, p.TrueDemandModel(), core.MVASDOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		xMax, _ := res.MaxThroughput()
+		cap := p.MaxThroughput()
+		if xMax > cap*(1+1e-6) {
+			t.Errorf("%s: X=%.1f exceeds capacity %.1f", name, xMax, cap)
+		}
+		if xMax < cap*0.9 {
+			t.Errorf("%s: X=%.1f too far below capacity %.1f", name, xMax, cap)
+		}
+	}
+}
+
+func TestStationNamesFormat(t *testing.T) {
+	for _, n := range VINS().StationNames() {
+		if !strings.Contains(n, "/") {
+			t.Errorf("station name %q not server/resource", n)
+		}
+	}
+}
+
+func TestTestConcurrenciesMatchPaperLabels(t *testing.T) {
+	vins := VINS().TestConcurrencies
+	// The paper's VINS "MVA i" labels include i = 203.
+	found := false
+	for _, n := range vins {
+		if n == 203 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("VINS test concurrencies must include 203 (the paper's MVA 203)")
+	}
+	jp := JPetStore().TestConcurrencies
+	want := []int{1, 14, 28, 70, 140, 168, 210}
+	if len(jp) != len(want) {
+		t.Fatalf("JPetStore concurrencies %v, want %v", jp, want)
+	}
+	for i := range want {
+		if jp[i] != want[i] {
+			t.Fatalf("JPetStore concurrencies %v, want %v (paper Fig. 12)", jp, want)
+		}
+	}
+}

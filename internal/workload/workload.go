@@ -1,0 +1,243 @@
+// Package workload models web-application workloads at page granularity:
+// the paper's VINS application exposes four workflows (Registration,
+// New Policy, Renew Policy — the 7-page flow its experiments use — and
+// Read Policy Details), and JPetStore a 14-page buy flow. A Workflow is a
+// sequence of Pages, each with a per-station demand vector; workflows
+// aggregate to single-class queueing models (the paper's usage: one page =
+// one transaction) or combine as a Mix into the exact multi-class MVA
+// (an extension for mixed-traffic what-if analysis).
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+// Page is one HTTP page view with its per-station service demands.
+type Page struct {
+	// Name identifies the page ("login", "renew-quote", …).
+	Name string
+	// Demands[k] is the service demand at station k in seconds.
+	Demands []float64
+}
+
+// Workflow is an ordered sequence of pages a user session walks through.
+type Workflow struct {
+	// Name identifies the workflow ("Renew Policy").
+	Name string
+	// Pages in visit order.
+	Pages []Page
+	// ThinkTime is the per-page user think time in seconds.
+	ThinkTime float64
+}
+
+// Validate checks structural consistency (equal demand-vector lengths).
+func (w *Workflow) Validate() error {
+	if len(w.Pages) == 0 {
+		return fmt.Errorf("workload: workflow %q has no pages", w.Name)
+	}
+	if w.ThinkTime < 0 {
+		return fmt.Errorf("workload: workflow %q negative think time", w.Name)
+	}
+	k := len(w.Pages[0].Demands)
+	if k == 0 {
+		return fmt.Errorf("workload: workflow %q has empty demand vectors", w.Name)
+	}
+	for _, p := range w.Pages {
+		if len(p.Demands) != k {
+			return fmt.Errorf("workload: page %q has %d demands, want %d", p.Name, len(p.Demands), k)
+		}
+		for i, d := range p.Demands {
+			if d < 0 {
+				return fmt.Errorf("workload: page %q station %d negative demand", p.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// PageCount returns the number of pages.
+func (w *Workflow) PageCount() int { return len(w.Pages) }
+
+// TotalDemands sums the per-station demands over the whole workflow — the
+// demand vector of one complete user session.
+func (w *Workflow) TotalDemands() []float64 {
+	if len(w.Pages) == 0 {
+		return nil
+	}
+	out := make([]float64, len(w.Pages[0].Demands))
+	for _, p := range w.Pages {
+		for k, d := range p.Demands {
+			out[k] += d
+		}
+	}
+	return out
+}
+
+// MeanPageDemands averages the per-station demands per page — the demand
+// vector of the "one transaction = one page" model the paper's throughput
+// (pages/second) uses.
+func (w *Workflow) MeanPageDemands() []float64 {
+	tot := w.TotalDemands()
+	for k := range tot {
+		tot[k] /= float64(len(w.Pages))
+	}
+	return tot
+}
+
+// PageModel builds the single-class closed model in which one customer
+// cycle is one page view (think time between pages), on the given station
+// skeleton (names/kinds/servers are taken from skel; demands from the
+// workflow's per-page means).
+func (w *Workflow) PageModel(skel *queueing.Model) (*queueing.Model, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(skel.Stations) != len(w.Pages[0].Demands) {
+		return nil, fmt.Errorf("workload: workflow %q has %d stations, skeleton %d",
+			w.Name, len(w.Pages[0].Demands), len(skel.Stations))
+	}
+	m := &queueing.Model{Name: skel.Name + "/" + w.Name, ThinkTime: w.ThinkTime}
+	mean := w.MeanPageDemands()
+	m.Stations = append([]queueing.Station(nil), skel.Stations...)
+	for k := range m.Stations {
+		m.Stations[k].Visits = 1
+		m.Stations[k].ServiceTime = mean[k]
+	}
+	return m, nil
+}
+
+// SessionModel builds the single-class closed model in which one customer
+// cycle is a full session (all pages, with the total inter-page think time
+// folded into Z).
+func (w *Workflow) SessionModel(skel *queueing.Model) (*queueing.Model, error) {
+	m, err := w.PageModel(skel)
+	if err != nil {
+		return nil, err
+	}
+	tot := w.TotalDemands()
+	for k := range m.Stations {
+		m.Stations[k].ServiceTime = tot[k]
+	}
+	m.ThinkTime = w.ThinkTime * float64(len(w.Pages))
+	return m, nil
+}
+
+// MixEntry pairs a workflow with its concurrent session population.
+type MixEntry struct {
+	Workflow   *Workflow
+	Population int
+}
+
+// Mix is a set of workflows running concurrently — e.g. VINS users split
+// across Registration / New Policy / Renew Policy / Read Policy.
+type Mix struct {
+	Name    string
+	Entries []MixEntry
+}
+
+// Solve runs the exact multi-class MVA over the mix on the given station
+// skeleton (single-server stations only — multi-class MVA's product-form
+// recursion requires it; fold multi-server stations with
+// core.NormalizeServers first). Each workflow is one customer class whose
+// cycle is a full session.
+func (mx *Mix) Solve(skel *queueing.Model) (*core.MulticlassResult, error) {
+	if len(mx.Entries) == 0 {
+		return nil, errors.New("workload: empty mix")
+	}
+	classes := make([]core.ClassSpec, len(mx.Entries))
+	for i, e := range mx.Entries {
+		if err := e.Workflow.Validate(); err != nil {
+			return nil, err
+		}
+		classes[i] = core.ClassSpec{
+			Name:       e.Workflow.Name,
+			Population: e.Population,
+			ThinkTime:  e.Workflow.ThinkTime * float64(len(e.Workflow.Pages)),
+			Demands:    e.Workflow.TotalDemands(),
+		}
+	}
+	return core.MulticlassMVA(skel, classes)
+}
+
+// scalePages builds pages from a base demand vector with per-page
+// multipliers, spreading a workflow's weight across its steps.
+func scalePages(names []string, base []float64, weights []float64) []Page {
+	pages := make([]Page, len(names))
+	for i, name := range names {
+		d := make([]float64, len(base))
+		for k := range base {
+			d[k] = base[k] * weights[i]
+		}
+		pages[i] = Page{Name: name, Demands: d}
+	}
+	return pages
+}
+
+// VINSWorkflows returns the four VINS workflows the paper describes, with
+// per-page demand vectors over the supplied station base vector (typically
+// a testbed profile's demands at some concurrency). The Renew Policy flow
+// has the paper's 7 pages and per-page mean equal to the base vector; the
+// other flows are lighter or heavier variants of the same resources.
+func VINSWorkflows(base []float64, thinkTime float64) []*Workflow {
+	renew := &Workflow{
+		Name:      "Renew Policy",
+		ThinkTime: thinkTime,
+		Pages: scalePages(
+			[]string{"login", "lookup-policy", "policy-details", "renewal-quote",
+				"premium-calc", "payment", "confirmation"},
+			base,
+			// Per-page weights averaging 1.0: the quote/premium pages are
+			// the database-heavy steps.
+			[]float64{0.5, 0.9, 0.8, 1.4, 1.6, 1.0, 0.8},
+		),
+	}
+	registration := &Workflow{
+		Name:      "Registration",
+		ThinkTime: thinkTime,
+		Pages: scalePages(
+			[]string{"login", "personal-details", "vehicle-details", "submit", "confirmation"},
+			base,
+			[]float64{0.5, 1.1, 1.2, 1.5, 0.7},
+		),
+	}
+	newPolicy := &Workflow{
+		Name:      "New Policy",
+		ThinkTime: thinkTime,
+		Pages: scalePages(
+			[]string{"login", "select-vehicle", "coverage-options", "quote", "payment", "confirmation"},
+			base,
+			[]float64{0.5, 0.9, 1.0, 1.5, 1.1, 0.8},
+		),
+	}
+	readPolicy := &Workflow{
+		Name:      "Read Policy Details",
+		ThinkTime: thinkTime,
+		Pages: scalePages(
+			[]string{"login", "lookup-policy", "policy-details"},
+			base,
+			[]float64{0.5, 0.8, 0.9},
+		),
+	}
+	return []*Workflow{registration, newPolicy, renew, readPolicy}
+}
+
+// JPetStoreWorkflow returns the 14-page buy flow of the paper's e-commerce
+// application over the supplied station base vector.
+func JPetStoreWorkflow(base []float64, thinkTime float64) *Workflow {
+	return &Workflow{
+		Name:      "Buy Pets",
+		ThinkTime: thinkTime,
+		Pages: scalePages(
+			[]string{"home", "login", "category-birds", "category-fish",
+				"category-reptiles", "category-cats", "category-dogs",
+				"product-list", "product-details", "add-to-cart", "view-cart",
+				"checkout", "payment", "order-confirmation"},
+			base,
+			[]float64{0.4, 0.6, 0.9, 0.9, 0.9, 0.9, 0.9, 1.3, 1.2, 1.1, 1.0, 1.4, 1.5, 1.0},
+		),
+	}
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/queueing"
+	"repro/internal/testbed"
+)
+
+func baseVector() []float64 {
+	return testbed.VINS().TrueDemands(203)
+}
+
+func skeleton() *queueing.Model {
+	return testbed.VINS().Model(203)
+}
+
+func TestVINSWorkflowsStructure(t *testing.T) {
+	flows := VINSWorkflows(baseVector(), 1)
+	if len(flows) != 4 {
+		t.Fatalf("%d workflows, want 4 (paper lists four)", len(flows))
+	}
+	names := map[string]int{
+		"Registration": 5, "New Policy": 6, "Renew Policy": 7, "Read Policy Details": 3,
+	}
+	for _, w := range flows {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		want, ok := names[w.Name]
+		if !ok {
+			t.Errorf("unexpected workflow %q", w.Name)
+			continue
+		}
+		if w.PageCount() != want {
+			t.Errorf("%s has %d pages, want %d", w.Name, w.PageCount(), want)
+		}
+	}
+}
+
+func TestRenewPolicyMeanEqualsBase(t *testing.T) {
+	// The Renew Policy page weights average 1.0, so the per-page mean
+	// demand equals the base vector — keeping the workflow consistent with
+	// the paper's page-granularity measurements.
+	base := baseVector()
+	flows := VINSWorkflows(base, 1)
+	var renew *Workflow
+	for _, w := range flows {
+		if w.Name == "Renew Policy" {
+			renew = w
+		}
+	}
+	mean := renew.MeanPageDemands()
+	for k := range base {
+		if !numeric.AlmostEqual(mean[k], base[k], 1e-9) {
+			t.Fatalf("station %d: mean %g vs base %g", k, mean[k], base[k])
+		}
+	}
+}
+
+func TestJPetStoreWorkflow14Pages(t *testing.T) {
+	w := JPetStoreWorkflow(testbed.JPetStore().TrueDemands(70), 1)
+	if w.PageCount() != 14 {
+		t.Fatalf("%d pages, want 14", w.PageCount())
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalAndMeanDemands(t *testing.T) {
+	w := &Workflow{
+		Name:      "toy",
+		ThinkTime: 1,
+		Pages: []Page{
+			{Name: "a", Demands: []float64{0.01, 0.02}},
+			{Name: "b", Demands: []float64{0.03, 0.00}},
+		},
+	}
+	tot := w.TotalDemands()
+	if tot[0] != 0.04 || tot[1] != 0.02 {
+		t.Fatalf("TotalDemands = %v", tot)
+	}
+	mean := w.MeanPageDemands()
+	if mean[0] != 0.02 || mean[1] != 0.01 {
+		t.Fatalf("MeanPageDemands = %v", mean)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []*Workflow{
+		{Name: "empty"},
+		{Name: "neg-think", ThinkTime: -1, Pages: []Page{{Name: "p", Demands: []float64{1}}}},
+		{Name: "empty-demands", Pages: []Page{{Name: "p"}}},
+		{Name: "ragged", Pages: []Page{
+			{Name: "p", Demands: []float64{1, 2}},
+			{Name: "q", Demands: []float64{1}},
+		}},
+		{Name: "negative", Pages: []Page{{Name: "p", Demands: []float64{-1}}}},
+	}
+	for _, w := range cases {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s should fail validation", w.Name)
+		}
+	}
+}
+
+func TestPageModelMatchesPaperUsage(t *testing.T) {
+	// The page model of Renew Policy on the VINS skeleton must equal the
+	// profile's own model at the same concurrency (demands identical), so
+	// the workflow layer is a faithful re-expression of the paper's
+	// one-transaction-per-page accounting.
+	skel := skeleton()
+	flows := VINSWorkflows(baseVector(), 1)
+	var renew *Workflow
+	for _, w := range flows {
+		if w.Name == "Renew Policy" {
+			renew = w
+		}
+	}
+	m, err := renew.PageModel(skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k := range skel.Stations {
+		if !numeric.AlmostEqual(m.Stations[k].Demand(), skel.Stations[k].Demand(), 1e-9) {
+			t.Fatalf("station %s: %g vs %g", skel.Stations[k].Name,
+				m.Stations[k].Demand(), skel.Stations[k].Demand())
+		}
+	}
+	// Same MVA solution as the profile model.
+	a, err := core.ExactMVA(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.ExactMVA(skel, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.X[99]-b.X[99]) > 1e-9*b.X[99] {
+		t.Fatalf("X mismatch %g vs %g", a.X[99], b.X[99])
+	}
+}
+
+func TestSessionModelConsistency(t *testing.T) {
+	// A session model's zero-load response time is PageCount times the page
+	// model's, and its think time folds the per-page thinks.
+	skel := skeleton()
+	w := VINSWorkflows(baseVector(), 1)[2] // Renew Policy
+	page, err := w.PageModel(skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := w.SessionModel(skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.AlmostEqual(session.TotalDemand(), page.TotalDemand()*7, 1e-9) {
+		t.Fatalf("session demand %g, want 7× page demand %g", session.TotalDemand(), page.TotalDemand())
+	}
+	if session.ThinkTime != 7 {
+		t.Fatalf("session think %g, want 7", session.ThinkTime)
+	}
+	// Throughput in sessions/second ≈ pages/second ÷ 7 at equal population.
+	ps, err := core.ExactMVA(page, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.ExactMVA(session, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := ps.X[199] / ss.X[199]
+	if math.Abs(ratio-7) > 0.7 {
+		t.Fatalf("pages/sessions ratio %g, want ≈7", ratio)
+	}
+}
+
+func TestMixSolve(t *testing.T) {
+	// A mixed VINS population across the four workflows on the normalized
+	// (single-server) skeleton; workflow demands come from the same folded
+	// model so class demands and stations stay consistent.
+	skel := core.NormalizeServers(skeleton())
+	flows := VINSWorkflows(skel.Demands(), 1)
+	mix := &Mix{Name: "vins-mix", Entries: []MixEntry{
+		{Workflow: flows[0], Population: 5},
+		{Workflow: flows[1], Population: 5},
+		{Workflow: flows[2], Population: 10},
+		{Workflow: flows[3], Population: 10},
+	}}
+	res, err := mix.Solve(skel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) != 4 {
+		t.Fatalf("%d classes", len(res.X))
+	}
+	// Little's law per class.
+	for c, e := range mix.Entries {
+		z := e.Workflow.ThinkTime * float64(e.Workflow.PageCount())
+		implied := res.X[c] * (res.R[c] + z)
+		if math.Abs(implied-float64(e.Population)) > 1e-6*float64(e.Population) {
+			t.Fatalf("class %s: Little's law gives N=%g, want %d", e.Workflow.Name, implied, e.Population)
+		}
+	}
+	// The short Read Policy flow completes sessions faster per customer
+	// than the long Renew Policy flow at equal population.
+	if res.X[3] <= res.X[2] {
+		t.Errorf("Read Policy X %g should exceed Renew Policy X %g", res.X[3], res.X[2])
+	}
+	// Utilizations sane.
+	for k, u := range res.Util {
+		if u < 0 || u > 1+1e-9 {
+			t.Errorf("station %d utilization %g", k, u)
+		}
+	}
+}
+
+func TestMixErrors(t *testing.T) {
+	skel := core.NormalizeServers(skeleton())
+	if _, err := (&Mix{}).Solve(skel); err == nil {
+		t.Error("empty mix should error")
+	}
+	bad := &Mix{Entries: []MixEntry{{Workflow: &Workflow{Name: "x"}, Population: 1}}}
+	if _, err := bad.Solve(skel); err == nil {
+		t.Error("invalid workflow should error")
+	}
+}
+
+func TestPageModelStationMismatch(t *testing.T) {
+	w := &Workflow{Name: "w", Pages: []Page{{Name: "p", Demands: []float64{0.1}}}}
+	if _, err := w.PageModel(skeleton()); err == nil {
+		t.Error("station-count mismatch should error")
+	}
+}
