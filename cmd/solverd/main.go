@@ -1,0 +1,118 @@
+// Command solverd runs the model-solving HTTP service (internal/server): a
+// JSON API over the library's MVA solvers with an LRU solve cache, in-flight
+// deduplication, a bounded worker pool and Prometheus-text metrics.
+//
+// Usage:
+//
+//	solverd [-addr :8080] [-cache 256] [-workers 8] [-max-n 100000]
+//	        [-timeout 30s] [-shutdown-timeout 15s]
+//	solverd -dump-profile vins [-nodes 7] [-out dir]
+//
+// The server listens until SIGINT/SIGTERM and then drains in-flight
+// requests. -dump-profile does not serve: it writes <profile>-model.json and
+// <profile>-samples.json (the true demand curves sampled at Chebyshev
+// concurrencies) so the README's curl examples have real request bodies to
+// point at.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/chebyshev"
+	"repro/internal/core"
+	"repro/internal/modelio"
+	"repro/internal/server"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "solverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("solverd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache", 256, "solve cache entries (negative disables)")
+	workers := fs.Int("workers", 0, "max concurrent solves (default GOMAXPROCS)")
+	maxN := fs.Int("max-n", 100_000, "largest population a request may ask for")
+	maxSweep := fs.Int("max-sweep-points", 1024, "largest sweep grid size")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
+	shutdown := fs.Duration("shutdown-timeout", 15*time.Second, "graceful drain bound")
+	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
+	nodes := fs.Int("nodes", 7, "Chebyshev sample count for -dump-profile")
+	outDir := fs.String("out", ".", "output directory for -dump-profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dump != "" {
+		return dumpProfile(*dump, *nodes, *outDir, out)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return server.New(server.Config{
+		Addr:            *addr,
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		MaxN:            *maxN,
+		MaxSweepPoints:  *maxSweep,
+		RequestTimeout:  *timeout,
+		ShutdownTimeout: *shutdown,
+	}).Run(ctx)
+}
+
+// dumpProfile writes <name>-model.json and <name>-samples.json: the profile's
+// single-user model plus its true demand curves sampled at Chebyshev
+// concurrency points, i.e. what a paper-style load-test campaign would have
+// measured.
+func dumpProfile(name string, nodes int, dir string, out io.Writer) error {
+	p, ok := testbed.Profiles()[name]
+	if !ok {
+		return fmt.Errorf("unknown profile %q (want vins or jpetstore)", name)
+	}
+	points, err := chebyshev.IntegerNodesOn(1, float64(p.MaxUsers), nodes)
+	if err != nil {
+		return err
+	}
+	model := p.Model(1)
+	model.Name = p.Name
+	at := make([]float64, len(points))
+	for i, n := range points {
+		at[i] = float64(n)
+	}
+	arrays := make([]core.DemandSamples, p.StationCount())
+	for i := range arrays {
+		arrays[i] = core.DemandSamples{At: at, Demands: make([]float64, len(points))}
+	}
+	for j, n := range points {
+		for i, d := range p.TrueDemands(n) {
+			arrays[i].Demands[j] = d
+		}
+	}
+	samples, err := modelio.FromDemandSamples(model, arrays)
+	if err != nil {
+		return err
+	}
+	modelPath := filepath.Join(dir, name+"-model.json")
+	samplesPath := filepath.Join(dir, name+"-samples.json")
+	if err := modelio.SaveModel(modelPath, model); err != nil {
+		return err
+	}
+	if err := modelio.SaveSamples(samplesPath, samples); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d stations) and %s (sampled at N=%v)\n",
+		modelPath, len(model.Stations), samplesPath, points)
+	return nil
+}

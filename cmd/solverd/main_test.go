@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/modelio"
+)
+
+func TestDumpProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-dump-profile", "vins", "-nodes", "5", "-out", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vins-model.json") {
+		t.Errorf("output: %s", buf.String())
+	}
+
+	// The dumped pair must load cleanly and drive an MVASD solve.
+	m, err := modelio.LoadModel(filepath.Join(dir, "vins-model.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := modelio.LoadSamples(filepath.Join(dir, "vins-samples.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrays, err := sf.ToDemandSamples(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := core.NewCurveDemands(interp.CubicNotAKnot, arrays, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MVASD(m, 100, dm, core.MVASDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[99] <= 0 {
+		t.Errorf("X(100) = %g", res.X[99])
+	}
+}
+
+func TestDumpProfileUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-dump-profile", "nope"}, &buf); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+// TestConcurrentSolves runs every solver from many goroutines over shared
+// queueing.Model and DemandModel values. Run under -race (as CI does), it
+// proves the solvers keep all mutable recursion state private and are safe to
+// share behind a server: the solverd service solves the same *queueing.Model
+// from concurrent requests.
+func TestConcurrentSolves(t *testing.T) {
+	m := ctxTestModel() // shared by every goroutine, never copied
+	samples := make([]DemandSamples, len(m.Stations))
+	for k, st := range m.Stations {
+		d := st.Demand()
+		samples[k] = DemandSamples{
+			At:      []float64{1, 50, 100, 200},
+			Demands: []float64{d, 0.9 * d, 0.85 * d, 0.8 * d},
+		}
+	}
+	curve, err := NewCurveDemands(interp.CubicNotAKnot, samples, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	constant := ConstantDemands(m.Demands())
+
+	const goroutines = 16
+	const maxN = 200
+	type outcome struct {
+		x float64
+		r float64
+	}
+	solvers := map[string]func() (*Result, error){
+		"exact":      func() (*Result, error) { return ExactMVA(m, maxN) },
+		"schweitzer": func() (*Result, error) { return Schweitzer(m, maxN, SchweitzerOptions{}) },
+		"multiserver": func() (*Result, error) {
+			res, _, err := ExactMVAMultiServer(m, maxN, MultiServerOptions{TraceStation: -1})
+			return res, err
+		},
+		"mvasd":          func() (*Result, error) { return MVASD(m, maxN, curve, MVASDOptions{}) },
+		"mvasd-constant": func() (*Result, error) { return MVASD(m, maxN, constant, MVASDOptions{}) },
+		"mvasd-1s":       func() (*Result, error) { return MVASDSingleServer(m, maxN, curve, MVASDOptions{}) },
+	}
+	for name, solve := range solvers {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			results := make([]outcome, goroutines)
+			errs := make([]error, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					res, err := solve()
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					results[g] = outcome{x: res.X[maxN-1], r: res.R[maxN-1]}
+				}(g)
+			}
+			wg.Wait()
+			for g := 0; g < goroutines; g++ {
+				if errs[g] != nil {
+					t.Fatalf("goroutine %d: %v", g, errs[g])
+				}
+				if results[g] != results[0] {
+					t.Fatalf("goroutine %d diverged: %+v vs %+v", g, results[g], results[0])
+				}
+			}
+		})
+	}
+	// The model must come through untouched.
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

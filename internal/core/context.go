@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/queueing"
+)
+
+// The *WithContext solver variants accept a context whose cancellation or
+// deadline aborts the recursion between population steps (and, for MVASD's
+// throughput mode, between fixed-point iterations). The plain entry points
+// remain non-cancellable and allocate nothing extra; a solver service (see
+// internal/server) threads per-request deadlines through these variants so a
+// maxN in the tens of thousands cannot pin a worker forever.
+
+// stepCancel returns a cheap per-step cancellation probe for ctx, or nil when
+// the context can never be cancelled (context.Background() and friends), so
+// the hot loops pay a single nil check in the common case.
+func stepCancel(ctx context.Context) func(n int) error {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func(n int) error {
+		select {
+		case <-done:
+			return fmt.Errorf("core: solve cancelled at population %d: %w", n, context.Cause(ctx))
+		default:
+			return nil
+		}
+	}
+}
+
+// ExactMVAWithContext is ExactMVA with per-population-step cancellation.
+func ExactMVAWithContext(ctx context.Context, m *queueing.Model, maxN int) (*Result, error) {
+	return exactMVA(ctx, m, maxN)
+}
+
+// SchweitzerWithContext is Schweitzer with per-population-step cancellation
+// (each population's fixed point is checked once per population, which bounds
+// the overrun to one population's MaxIter iterations).
+func SchweitzerWithContext(ctx context.Context, m *queueing.Model, maxN int, opts SchweitzerOptions) (*Result, error) {
+	return schweitzer(ctx, m, maxN, opts)
+}
+
+// ExactMVAMultiServerWithContext is ExactMVAMultiServer with
+// per-population-step cancellation.
+func ExactMVAMultiServerWithContext(ctx context.Context, m *queueing.Model, maxN int, opts MultiServerOptions) (*Result, *MarginalTrace, error) {
+	return exactMVAMultiServer(ctx, m, maxN, opts)
+}
+
+// MVASDWithContext is MVASD with cancellation checked at every population
+// step and, in the demand-vs-throughput mode, at every fixed-point iteration,
+// so even a slowly converging step aborts promptly.
+func MVASDWithContext(ctx context.Context, m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
+	return mvasd(ctx, m, maxN, dm, opts)
+}
+
+// MVASDSingleServerWithContext is MVASDSingleServer with per-population-step
+// cancellation.
+func MVASDSingleServerWithContext(ctx context.Context, m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
+	return mvasdSingleServer(ctx, m, maxN, dm, opts)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/queueing"
@@ -169,9 +170,14 @@ type MarginalTrace struct {
 // whatever demands the model carries, typically measured at one concurrency
 // level i). The returned trace is non-nil when opts.TraceStation >= 0.
 func ExactMVAMultiServer(m *queueing.Model, maxN int, opts MultiServerOptions) (*Result, *MarginalTrace, error) {
+	return exactMVAMultiServer(context.Background(), m, maxN, opts)
+}
+
+func exactMVAMultiServer(ctx context.Context, m *queueing.Model, maxN int, opts MultiServerOptions) (*Result, *MarginalTrace, error) {
 	if err := validateRun(m, maxN); err != nil {
 		return nil, nil, err
 	}
+	stop := stepCancel(ctx)
 	res := newResult("exact-mva-multiserver", m, maxN)
 	st := newMultiServerState(m)
 	demands := m.Demands()
@@ -184,6 +190,11 @@ func ExactMVAMultiServer(m *queueing.Model, maxN int, opts MultiServerOptions) (
 		}
 	}
 	for n := 1; n <= maxN; n++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return nil, nil, err
+			}
+		}
 		x, rTotal := multiServerStep(m, st, demands, n, opts.Verbatim, res.Residence[n-1])
 		commitRow(res, m, n, x, rTotal, demands, st)
 		if trace != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -52,13 +53,23 @@ func validateRun(m *queueing.Model, n int) error {
 // NormalizeServers) for multi-core resources. Delay stations contribute
 // their demand without queueing.
 func ExactMVA(m *queueing.Model, maxN int) (*Result, error) {
+	return exactMVA(context.Background(), m, maxN)
+}
+
+func exactMVA(ctx context.Context, m *queueing.Model, maxN int) (*Result, error) {
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
+	stop := stepCancel(ctx)
 	k := len(m.Stations)
 	res := newResult("exact-mva", m, maxN)
 	q := make([]float64, k)
 	for n := 1; n <= maxN; n++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return nil, err
+			}
+		}
 		rTotal := 0.0
 		resid := res.Residence[n-1]
 		for i, st := range m.Stations {
@@ -126,13 +137,23 @@ func (o *SchweitzerOptions) defaults() {
 // the target population is solved exactly; intermediate rows of the Result
 // are each solved independently so the trajectory remains meaningful.
 func Schweitzer(m *queueing.Model, maxN int, opts SchweitzerOptions) (*Result, error) {
+	return schweitzer(context.Background(), m, maxN, opts)
+}
+
+func schweitzer(ctx context.Context, m *queueing.Model, maxN int, opts SchweitzerOptions) (*Result, error) {
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
 	opts.defaults()
+	stop := stepCancel(ctx)
 	res := newResult("schweitzer-amva", m, maxN)
 	k := len(m.Stations)
 	for n := 1; n <= maxN; n++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return nil, err
+			}
+		}
 		// Start from the balanced initial guess Q_k = n/K.
 		q := make([]float64, k)
 		for i := range q {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,6 +48,10 @@ func (o *MVASDOptions) defaults() {
 // (Section-7 mode), each step solves the demand/throughput fixed point by
 // damped iteration before committing the recursion state.
 func MVASD(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
+	return mvasd(context.Background(), m, maxN, dm, opts)
+}
+
+func mvasd(ctx context.Context, m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
@@ -58,11 +63,17 @@ func MVASD(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Res
 			ErrBadRun, dm.Stations(), len(m.Stations))
 	}
 	opts.defaults()
+	stop := stepCancel(ctx)
 	res := newResult("mvasd", m, maxN)
 	st := newMultiServerState(m)
 	demands := make([]float64, len(m.Stations))
 	x := 0.0
 	for n := 1; n <= maxN; n++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return nil, err
+			}
+		}
 		if !dm.DependsOnThroughput() {
 			for k := range demands {
 				demands[k] = dm.DemandAt(k, n, 0)
@@ -87,6 +98,11 @@ func MVASD(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Res
 		}
 		var committed bool
 		for iter := 0; iter < opts.FixedPointMaxIter; iter++ {
+			if stop != nil {
+				if err := stop(n); err != nil {
+					return nil, err
+				}
+			}
 			for k := range demands {
 				demands[k] = dm.DemandAt(k, n, guess)
 			}
@@ -118,6 +134,10 @@ func MVASD(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Res
 // marginal-probability correction. The paper shows this under-performs the
 // multi-server model, especially when the bottleneck is a multi-core CPU.
 func MVASDSingleServer(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
+	return mvasdSingleServer(context.Background(), m, maxN, dm, opts)
+}
+
+func mvasdSingleServer(ctx context.Context, m *queueing.Model, maxN int, dm DemandModel, opts MVASDOptions) (*Result, error) {
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
@@ -129,11 +149,17 @@ func MVASDSingleServer(m *queueing.Model, maxN int, dm DemandModel, opts MVASDOp
 			ErrBadRun, dm.Stations(), len(m.Stations))
 	}
 	opts.defaults()
+	stop := stepCancel(ctx)
 	res := newResult("mvasd-single-server", m, maxN)
 	k := len(m.Stations)
 	q := make([]float64, k)
 	demands := make([]float64, k)
 	for n := 1; n <= maxN; n++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return nil, err
+			}
+		}
 		rTotal := 0.0
 		resid := res.Residence[n-1]
 		for i, stn := range m.Stations {

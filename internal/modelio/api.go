@@ -1,0 +1,452 @@
+package modelio
+
+// This file holds the HTTP API schemas for the solverd service (cmd/solverd,
+// internal/server): request bodies reuse the package's model and samples
+// formats, responses carry compact trajectories rather than the full
+// per-station matrices of core.Result. Keeping the wire types here — next to
+// the file formats the CLIs already exchange — means a saved model.json is a
+// valid "model" field verbatim.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/planning"
+	"repro/internal/queueing"
+)
+
+// Algorithm names accepted by SolveRequest (matching the mvasd CLI).
+const (
+	AlgoExact             = "exact"       // Algorithm 1, single-server exact MVA
+	AlgoSchweitzer        = "schweitzer"  // Bard–Schweitzer approximate MVA
+	AlgoMultiServer       = "multiserver" // Algorithm 2, exact multi-server MVA
+	AlgoMVASD             = "mvasd"       // Algorithm 3, varying demands (needs samples)
+	AlgoMVASDSingleServer = "mvasd-1s"    // Fig.-8 single-server baseline (needs samples)
+)
+
+// Algorithms lists every accepted algorithm name.
+func Algorithms() []string {
+	return []string{AlgoExact, AlgoSchweitzer, AlgoMultiServer, AlgoMVASD, AlgoMVASDSingleServer}
+}
+
+// SolveRequest is the POST /v1/solve body.
+type SolveRequest struct {
+	// Algorithm selects the solver (default multiserver).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Model is the closed network, in the package's model format.
+	Model *queueing.Model `json:"model"`
+	// Samples supplies the measured demand arrays for mvasd / mvasd-1s.
+	Samples *SamplesFile `json:"samples,omitempty"`
+	// MaxN is the largest population to solve.
+	MaxN int `json:"maxN"`
+	// Interp is the sample interpolation method (default cubic-not-a-knot).
+	Interp string `json:"interp,omitempty"`
+	// Every decimates the returned trajectory to every k-th population
+	// (the final population is always kept); 0 returns every row.
+	Every int `json:"every,omitempty"`
+	// TimeoutMS caps this request's solve time; 0 uses the server default.
+	// It is not part of the cache key: it bounds work, not the answer.
+	TimeoutMS int `json:"timeoutMs,omitempty"`
+}
+
+// Normalize fills defaults and validates the request.
+func (r *SolveRequest) Normalize() error {
+	if r.Algorithm == "" {
+		r.Algorithm = AlgoMultiServer
+	}
+	known := false
+	for _, a := range Algorithms() {
+		if r.Algorithm == a {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("modelio: unknown algorithm %q (want one of %v)", r.Algorithm, Algorithms())
+	}
+	if r.Model == nil {
+		return fmt.Errorf("modelio: solve request has no model")
+	}
+	if err := r.Model.Validate(); err != nil {
+		return err
+	}
+	if r.MaxN < 1 {
+		return fmt.Errorf("modelio: maxN %d (want >= 1)", r.MaxN)
+	}
+	if r.Interp == "" {
+		r.Interp = string(interp.CubicNotAKnot)
+	}
+	if r.NeedsSamples() {
+		if r.Samples == nil {
+			return fmt.Errorf("modelio: algorithm %q requires samples", r.Algorithm)
+		}
+		if err := r.Samples.Validate(); err != nil {
+			return err
+		}
+		// Fail alignment problems at validation time, not solve time.
+		if _, err := r.Samples.ToDemandSamples(r.Model); err != nil {
+			return err
+		}
+	}
+	if r.Every < 0 || r.TimeoutMS < 0 {
+		return fmt.Errorf("modelio: negative every/timeoutMs")
+	}
+	return nil
+}
+
+// NeedsSamples reports whether the algorithm consumes demand samples.
+func (r *SolveRequest) NeedsSamples() bool {
+	return r.Algorithm == AlgoMVASD || r.Algorithm == AlgoMVASDSingleServer
+}
+
+// DemandModel builds the interpolated demand model for mvasd / mvasd-1s.
+func (r *SolveRequest) DemandModel() (core.DemandModel, error) {
+	samples, err := r.Samples.ToDemandSamples(r.Model)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewCurveDemands(interp.Method(r.Interp), samples, interp.Options{})
+}
+
+// cacheableSolve is the canonical key material: everything that changes the
+// solver's answer, and nothing that doesn't (timeout, decimation).
+type cacheableSolve struct {
+	Algorithm string
+	Model     *queueing.Model
+	Samples   *SamplesFile `json:",omitempty"`
+	MaxN      int
+	Interp    string
+}
+
+// CacheKey returns a canonical hash of (algorithm, model, samples, interp,
+// maxN) — the solve-cache key. Call Normalize first so defaulted and
+// explicitly spelled-out requests hash identically.
+func (r *SolveRequest) CacheKey() (string, error) {
+	c := cacheableSolve{
+		Algorithm: r.Algorithm,
+		Model:     r.Model,
+		MaxN:      r.MaxN,
+		Interp:    r.Interp,
+	}
+	if r.NeedsSamples() {
+		c.Samples = r.Samples
+	}
+	// encoding/json writes struct fields in declaration order and map-free
+	// types deterministically, so the encoding is canonical.
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("modelio: cache key: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Trajectory is the compact solve output: the X(n)/R(n) curves plus the
+// final-population station metrics, dropping the per-station matrices of
+// core.Result that dominate its size.
+type Trajectory struct {
+	Algorithm    string    `json:"algorithm"`
+	ModelName    string    `json:"modelName"`
+	ThinkTime    float64   `json:"thinkTime"`
+	StationNames []string  `json:"stationNames"`
+	N            []int     `json:"n"`
+	X            []float64 `json:"x"`
+	R            []float64 `json:"r"`
+	Cycle        []float64 `json:"cycle"`
+	// FinalUtil and FinalQueueLen are the per-station rows at the largest
+	// solved population (not affected by decimation).
+	FinalUtil     []float64 `json:"finalUtil"`
+	FinalQueueLen []float64 `json:"finalQueueLen"`
+	// MaxX is the trajectory's peak throughput, attained at population MaxXAt.
+	MaxX   float64 `json:"maxX"`
+	MaxXAt int     `json:"maxXAt"`
+}
+
+// NewTrajectory extracts a (possibly decimated) trajectory from a Result.
+func NewTrajectory(res *core.Result, every int) *Trajectory {
+	t := &Trajectory{
+		Algorithm:     res.Algorithm,
+		ModelName:     res.ModelName,
+		ThinkTime:     res.ThinkTime,
+		StationNames:  append([]string(nil), res.StationNames...),
+		FinalUtil:     res.FinalUtilization(),
+		FinalQueueLen: append([]float64(nil), res.QueueLen[len(res.QueueLen)-1]...),
+	}
+	t.MaxX, t.MaxXAt = res.MaxThroughput()
+	if every < 1 {
+		every = 1
+	}
+	last := len(res.N) - 1
+	for i := 0; i < len(res.N); i += every {
+		t.N = append(t.N, res.N[i])
+		t.X = append(t.X, res.X[i])
+		t.R = append(t.R, res.R[i])
+		t.Cycle = append(t.Cycle, res.Cycle[i])
+	}
+	if (last % every) != 0 { // always keep the final population
+		t.N = append(t.N, res.N[last])
+		t.X = append(t.X, res.X[last])
+		t.R = append(t.R, res.R[last])
+		t.Cycle = append(t.Cycle, res.Cycle[last])
+	}
+	return t
+}
+
+// SolveResponse is the POST /v1/solve reply.
+type SolveResponse struct {
+	// Cached reports whether the result came from the solve cache.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the server-side handling time in milliseconds.
+	ElapsedMS  float64     `json:"elapsedMs"`
+	Trajectory *Trajectory `json:"trajectory"`
+}
+
+// SweepRequest is the POST /v1/sweep body: one base solve fanned out over a
+// parameter grid. MaxN is derived from Populations and may be omitted.
+type SweepRequest struct {
+	SolveRequest
+	// Populations are the user counts reported per grid point (the solve
+	// runs to the largest).
+	Populations []int `json:"populations"`
+	// ThinkTimes optionally overrides the model's think time, one grid
+	// axis value each; empty keeps the model's.
+	ThinkTimes []float64 `json:"thinkTimes,omitempty"`
+	// Servers optionally sweeps named stations' server counts; every
+	// combination across stations is a grid point.
+	Servers map[string][]int `json:"servers,omitempty"`
+}
+
+// GridPoint is one parameter combination of a sweep.
+type GridPoint struct {
+	ThinkTime float64        `json:"thinkTime"`
+	Servers   map[string]int `json:"servers,omitempty"`
+}
+
+// Normalize fills defaults and validates the sweep.
+func (r *SweepRequest) Normalize() error {
+	if len(r.Populations) == 0 {
+		return fmt.Errorf("modelio: sweep request has no populations")
+	}
+	maxN := 0
+	for _, n := range r.Populations {
+		if n < 1 {
+			return fmt.Errorf("modelio: sweep population %d (want >= 1)", n)
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	r.MaxN = maxN
+	if r.Model == nil {
+		return fmt.Errorf("modelio: sweep request has no model")
+	}
+	for name, counts := range r.Servers {
+		if r.Model.StationIndex(name) < 0 {
+			return fmt.Errorf("modelio: sweep servers: no station %q", name)
+		}
+		if len(counts) == 0 {
+			return fmt.Errorf("modelio: sweep servers: empty axis for %q", name)
+		}
+		for _, c := range counts {
+			if c < 1 {
+				return fmt.Errorf("modelio: sweep servers: station %q count %d", name, c)
+			}
+		}
+	}
+	for _, z := range r.ThinkTimes {
+		if z < 0 {
+			return fmt.Errorf("modelio: sweep think time %g", z)
+		}
+	}
+	return r.SolveRequest.Normalize()
+}
+
+// Expand enumerates the grid (cartesian product of think times and server
+// axes) in a deterministic order, refusing grids larger than limit.
+func (r *SweepRequest) Expand(limit int) ([]GridPoint, error) {
+	thinks := r.ThinkTimes
+	if len(thinks) == 0 {
+		thinks = []float64{r.Model.ThinkTime}
+	}
+	// Deterministic station order for the server axes.
+	names := make([]string, 0, len(r.Servers))
+	for name := range r.Servers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	points := []GridPoint{{}}
+	for _, name := range names {
+		var next []GridPoint
+		for _, p := range points {
+			for _, c := range r.Servers[name] {
+				servers := make(map[string]int, len(p.Servers)+1)
+				for k, v := range p.Servers {
+					servers[k] = v
+				}
+				servers[name] = c
+				next = append(next, GridPoint{Servers: servers})
+			}
+		}
+		points = next
+		if limit > 0 && len(points)*len(thinks) > limit {
+			return nil, fmt.Errorf("modelio: sweep grid exceeds %d points", limit)
+		}
+	}
+	var out []GridPoint
+	for _, z := range thinks {
+		for _, p := range points {
+			out = append(out, GridPoint{ThinkTime: z, Servers: p.Servers})
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		return nil, fmt.Errorf("modelio: sweep grid exceeds %d points", limit)
+	}
+	return out, nil
+}
+
+// PointRequest derives the grid point's solve request: the base request with
+// the model's think time and server counts overridden.
+func (r *SweepRequest) PointRequest(p GridPoint) *SolveRequest {
+	m := *r.Model
+	m.Stations = append([]queueing.Station(nil), r.Model.Stations...)
+	m.ThinkTime = p.ThinkTime
+	for name, c := range p.Servers {
+		m.Stations[m.StationIndex(name)].Servers = c
+	}
+	req := r.SolveRequest
+	req.Model = &m
+	return &req
+}
+
+// SweepRow is one reported population of one grid point.
+type SweepRow struct {
+	N     int     `json:"n"`
+	X     float64 `json:"x"`
+	R     float64 `json:"r"`
+	Cycle float64 `json:"cycle"`
+	// BottleneckUtil is the highest per-server station utilization.
+	BottleneckUtil float64 `json:"bottleneckUtil"`
+}
+
+// SweepPointResult is one grid point's outcome.
+type SweepPointResult struct {
+	Point GridPoint `json:"point"`
+	// Bottleneck names the station with the highest final utilization.
+	Bottleneck string     `json:"bottleneck,omitempty"`
+	Rows       []SweepRow `json:"rows,omitempty"`
+	Cached     bool       `json:"cached"`
+	// Error is set when this point's solve failed; other points still solve.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResponse is the POST /v1/sweep reply. Points follow Expand's order.
+type SweepResponse struct {
+	GridSize  int                `json:"gridSize"`
+	Points    []SweepPointResult `json:"points"`
+	ElapsedMS float64            `json:"elapsedMs"`
+}
+
+// SLASpec is the wire form of planning.SLA.
+type SLASpec struct {
+	MaxResponseTime float64            `json:"maxResponseTime,omitempty"`
+	MaxCycleTime    float64            `json:"maxCycleTime,omitempty"`
+	MinThroughput   float64            `json:"minThroughput,omitempty"`
+	MaxUtilization  float64            `json:"maxUtilization,omitempty"`
+	StationCaps     map[string]float64 `json:"stationCaps,omitempty"`
+}
+
+// ToSLA converts to the planning package's type.
+func (s SLASpec) ToSLA() planning.SLA {
+	return planning.SLA{
+		MaxResponseTime: s.MaxResponseTime,
+		MaxCycleTime:    s.MaxCycleTime,
+		MinThroughput:   s.MinThroughput,
+		MaxUtilization:  s.MaxUtilization,
+		StationCaps:     s.StationCaps,
+	}
+}
+
+// PlanRequest is the POST /v1/plan body: the planning package's SLA queries.
+type PlanRequest struct {
+	Model *queueing.Model `json:"model"`
+	// Samples optionally supplies varying demands (MVASD); nil plans with
+	// the model's constant demands.
+	Samples *SamplesFile `json:"samples,omitempty"`
+	Interp  string       `json:"interp,omitempty"`
+	// Users is the population the SLA is checked at.
+	Users int `json:"users"`
+	// Limit, when > 0, additionally scans 1..Limit for the largest
+	// SLA-compliant population.
+	Limit     int     `json:"limit,omitempty"`
+	SLA       SLASpec `json:"sla"`
+	TimeoutMS int     `json:"timeoutMs,omitempty"`
+}
+
+// Normalize fills defaults and validates the plan request.
+func (r *PlanRequest) Normalize() error {
+	if r.Model == nil {
+		return fmt.Errorf("modelio: plan request has no model")
+	}
+	if err := r.Model.Validate(); err != nil {
+		return err
+	}
+	if r.Users < 1 {
+		return fmt.Errorf("modelio: plan users %d (want >= 1)", r.Users)
+	}
+	if r.Limit < 0 || r.TimeoutMS < 0 {
+		return fmt.Errorf("modelio: negative limit/timeoutMs")
+	}
+	if r.Interp == "" {
+		r.Interp = string(interp.CubicNotAKnot)
+	}
+	if r.Samples != nil {
+		if err := r.Samples.Validate(); err != nil {
+			return err
+		}
+		if _, err := r.Samples.ToDemandSamples(r.Model); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan builds the planning.Plan (with an interpolated demand model when
+// samples are present).
+func (r *PlanRequest) Plan() (*planning.Plan, error) {
+	p := &planning.Plan{Model: r.Model}
+	if r.Samples != nil {
+		samples, err := r.Samples.ToDemandSamples(r.Model)
+		if err != nil {
+			return nil, err
+		}
+		dm, err := core.NewCurveDemands(interp.Method(r.Interp), samples, interp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		p.Demands = dm
+	}
+	return p, nil
+}
+
+// ViolationOut is the wire form of planning.Violation.
+type ViolationOut struct {
+	Clause string  `json:"clause"`
+	Have   float64 `json:"have"`
+	Want   float64 `json:"want"`
+}
+
+// PlanResponse is the POST /v1/plan reply.
+type PlanResponse struct {
+	Users      int            `json:"users"`
+	Compliant  bool           `json:"compliant"`
+	Violations []ViolationOut `json:"violations,omitempty"`
+	// MaxUsers is the largest compliant population in [1, limit]; present
+	// only when the request set a limit.
+	MaxUsers  *int    `json:"maxUsers,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}

@@ -92,16 +92,44 @@ func ReadSamples(r io.Reader) (*SamplesFile, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("modelio: decoding samples: %w", err)
 	}
-	if len(s.Stations) == 0 {
-		return nil, fmt.Errorf("modelio: samples file has no stations")
-	}
-	for i, st := range s.Stations {
-		if len(st.At) == 0 || len(st.At) != len(st.Demands) {
-			return nil, fmt.Errorf("modelio: station %d (%q): %d abscissae, %d demands",
-				i, st.Name, len(st.At), len(st.Demands))
-		}
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	return &s, nil
+}
+
+// Validate checks the structural soundness the interpolators rely on: at
+// least one station, every station's At and Demands arrays the same non-zero
+// length, and At strictly increasing. Errors name the offending station.
+func (s *SamplesFile) Validate() error {
+	if len(s.Stations) == 0 {
+		return fmt.Errorf("modelio: samples file has no stations")
+	}
+	for i, st := range s.Stations {
+		if err := st.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks one station's arrays; i is its position for error text.
+func (st *StationSamples) validate(i int) error {
+	label := fmt.Sprintf("station %d", i)
+	if st.Name != "" {
+		label = fmt.Sprintf("station %d (%q)", i, st.Name)
+	}
+	if len(st.At) == 0 || len(st.At) != len(st.Demands) {
+		return fmt.Errorf("modelio: %s: %d abscissae, %d demands",
+			label, len(st.At), len(st.Demands))
+	}
+	for j := 1; j < len(st.At); j++ {
+		if !(st.At[j] > st.At[j-1]) { // also catches NaN
+			return fmt.Errorf("modelio: %s: abscissae not strictly increasing at index %d (%g after %g)",
+				label, j, st.At[j], st.At[j-1])
+		}
+	}
+	return nil
 }
 
 // SaveSamples writes a demand-sample file.

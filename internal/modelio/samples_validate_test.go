@@ -1,0 +1,57 @@
+package modelio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSamplesRejectsNonIncreasingAt(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{
+			name: "decreasing",
+			src:  `{"stations":[{"name":"db/disk","at":[1,50,40],"demands":[0.1,0.09,0.08]}]}`,
+			want: `station 0 ("db/disk")`,
+		},
+		{
+			name: "duplicate abscissa",
+			src:  `{"stations":[{"at":[1,1],"demands":[0.1,0.1]}]}`,
+			want: "station 0",
+		},
+		{
+			name: "NaN abscissa",
+			src:  `{"stations":[{"name":"app/cpu","at":[1,"NaN"],"demands":[0.1,0.1]}]}`,
+			want: "", // json decode error is fine too; must just fail
+		},
+		{
+			name: "second station offends",
+			src:  `{"stations":[{"name":"a","at":[1,2],"demands":[0.1,0.1]},{"name":"b","at":[2,2],"demands":[0.1,0.1]}]}`,
+			want: `station 1 ("b")`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSamples(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending station (%q)", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadSamplesAcceptsIncreasingAt(t *testing.T) {
+	src := `{"stations":[{"name":"app/cpu","at":[1,50,100],"demands":[0.02,0.018,0.017]}]}`
+	s, err := ReadSamples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

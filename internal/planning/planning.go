@@ -12,6 +12,7 @@
 package planning
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -59,20 +60,31 @@ type Plan struct {
 
 // solve runs the appropriate solver to maxN.
 func (p *Plan) solve(maxN int) (*core.Result, error) {
+	return p.solveContext(context.Background(), maxN)
+}
+
+// solveContext runs the appropriate solver to maxN under ctx.
+func (p *Plan) solveContext(ctx context.Context, maxN int) (*core.Result, error) {
 	if p.Model == nil {
 		return nil, errors.New("planning: nil model")
 	}
 	if p.Demands != nil {
-		return core.MVASD(p.Model, maxN, p.Demands, p.Options)
+		return core.MVASDWithContext(ctx, p.Model, maxN, p.Demands, p.Options)
 	}
-	res, _, err := core.ExactMVAMultiServer(p.Model, maxN, core.MultiServerOptions{TraceStation: -1})
+	res, _, err := core.ExactMVAMultiServerWithContext(ctx, p.Model, maxN, core.MultiServerOptions{TraceStation: -1})
 	return res, err
 }
 
 // Check evaluates the SLA at population n and returns all violations
 // (empty slice = compliant).
 func (p *Plan) Check(n int, sla SLA) ([]Violation, error) {
-	res, err := p.solve(n)
+	return p.CheckContext(context.Background(), n, sla)
+}
+
+// CheckContext is Check with a cancellable solve, for callers (like the
+// solverd service) that impose per-request deadlines.
+func (p *Plan) CheckContext(ctx context.Context, n int, sla SLA) ([]Violation, error) {
+	res, err := p.solveContext(ctx, n)
 	if err != nil {
 		return nil, err
 	}
@@ -115,10 +127,15 @@ func checkAt(res *core.Result, m *queueing.Model, n int, sla SLA) []Violation {
 // constant demands; with varying demands the first violating population is
 // still what a capacity planner wants, so the scan stops there.
 func (p *Plan) MaxUsersUnderSLA(limit int, sla SLA) (int, error) {
+	return p.MaxUsersUnderSLAContext(context.Background(), limit, sla)
+}
+
+// MaxUsersUnderSLAContext is MaxUsersUnderSLA with a cancellable solve.
+func (p *Plan) MaxUsersUnderSLAContext(ctx context.Context, limit int, sla SLA) (int, error) {
 	if limit < 1 {
 		return 0, fmt.Errorf("planning: limit %d", limit)
 	}
-	res, err := p.solve(limit)
+	res, err := p.solveContext(ctx, limit)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// solveCache is the LRU solve cache with singleflight deduplication: results
+// are keyed by the canonical request hash (modelio.SolveRequest.CacheKey),
+// and concurrent identical requests share one solver run instead of racing.
+// Results are immutable once cached — handlers only read them.
+type solveCache struct {
+	mu     sync.Mutex
+	max    int                      // entry cap; <= 0 disables storage (dedup still applies)
+	ll     *list.List               // front = most recently used, of *cacheEntry
+	items  map[string]*list.Element // key → element
+	flight map[string]*flightCall   // key → in-progress solve
+}
+
+type cacheEntry struct {
+	key string
+	res *core.Result
+}
+
+// flightCall is one in-progress solve; followers block on done.
+type flightCall struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+func newSolveCache(max int) *solveCache {
+	return &solveCache{
+		max:    max,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+		flight: make(map[string]*flightCall),
+	}
+}
+
+// len returns the number of cached entries.
+func (c *solveCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// do returns the cached result for key, or computes it with fn exactly once
+// across concurrent callers. hit is true when the result came from the cache
+// or from another caller's in-flight solve. Errors are never cached; a
+// follower whose leader failed with a cancellation error retries with its own
+// context rather than inheriting the leader's deadline.
+func (c *solveCache) do(ctx context.Context, key string, fn func() (*core.Result, error)) (res *core.Result, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.items[key]; ok {
+			c.ll.MoveToFront(el)
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true, nil
+		}
+		if fc, ok := c.flight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-fc.done:
+				if fc.err == nil {
+					return fc.res, true, nil
+				}
+				if ctx.Err() != nil {
+					return nil, false, context.Cause(ctx)
+				}
+				continue // leader failed but we can still try
+			case <-ctx.Done():
+				return nil, false, context.Cause(ctx)
+			}
+		}
+		fc := &flightCall{done: make(chan struct{})}
+		c.flight[key] = fc
+		c.mu.Unlock()
+
+		res, err := fn()
+		c.mu.Lock()
+		delete(c.flight, key)
+		if err == nil && c.max > 0 {
+			c.store(key, res)
+		}
+		c.mu.Unlock()
+		fc.res, fc.err = res, err
+		close(fc.done)
+		return res, false, err
+	}
+}
+
+// store inserts key (mu held), evicting from the LRU tail past the cap.
+func (c *solveCache) store(key string, res *core.Result) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func dummyResult(tag string) *core.Result {
+	return &core.Result{Algorithm: tag}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newSolveCache(2)
+	ctx := context.Background()
+	for _, k := range []string{"a", "b"} {
+		k := k
+		if _, hit, err := c.do(ctx, k, func() (*core.Result, error) { return dummyResult(k), nil }); err != nil || hit {
+			t.Fatalf("priming %q: hit=%v err=%v", k, hit, err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim.
+	if _, hit, _ := c.do(ctx, "a", nil); !hit {
+		t.Fatal("expected hit for a")
+	}
+	if _, hit, err := c.do(ctx, "c", func() (*core.Result, error) { return dummyResult("c"), nil }); err != nil || hit {
+		t.Fatalf("inserting c: hit=%v err=%v", hit, err)
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	if _, hit, _ := c.do(ctx, "a", nil); !hit {
+		t.Error("a was evicted despite being recently used")
+	}
+	recomputed := false
+	if _, hit, _ := c.do(ctx, "b", func() (*core.Result, error) {
+		recomputed = true
+		return dummyResult("b"), nil
+	}); hit || !recomputed {
+		t.Error("b was not evicted as the LRU entry")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newSolveCache(8)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const goroutines = 12
+	var wg sync.WaitGroup
+	hits := make([]bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, hit, err := c.do(context.Background(), "k", func() (*core.Result, error) {
+				calls.Add(1)
+				<-gate // hold every concurrent caller in the dedup path
+				return dummyResult("k"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			hits[g] = hit
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("solver ran %d times for identical concurrent requests", n)
+	}
+	nhits := 0
+	for _, h := range hits {
+		if h {
+			nhits++
+		}
+	}
+	if nhits != goroutines-1 {
+		t.Errorf("%d of %d callers shared the leader's run", nhits, goroutines-1)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newSolveCache(8)
+	boom := errors.New("boom")
+	if _, _, err := c.do(context.Background(), "k", func() (*core.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	if _, hit, err := c.do(context.Background(), "k", func() (*core.Result, error) { return dummyResult("k"), nil }); hit || err != nil {
+		t.Fatalf("retry after error: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCacheFollowerSurvivesLeaderCancellation: a follower with a healthy
+// context must not inherit a leader's deadline error — it retries itself.
+func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
+	c := newSolveCache(8)
+	leaderIn := make(chan struct{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader: fails with its own cancellation
+		defer wg.Done()
+		_, _, err := c.do(leaderCtx, "k", func() (*core.Result, error) {
+			close(leaderIn)
+			<-leaderCtx.Done()
+			return nil, context.Cause(leaderCtx)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-leaderIn
+
+	wg.Add(1)
+	go func() { // follower: joins the flight, then recovers from the failure
+		defer wg.Done()
+		res, _, err := c.do(context.Background(), "k", func() (*core.Result, error) {
+			return dummyResult("retry"), nil
+		})
+		if err != nil || res.Algorithm != "retry" {
+			t.Errorf("follower: res=%+v err=%v", res, err)
+		}
+	}()
+
+	cancelLeader()
+	wg.Wait()
+}
+
+func TestCacheDisabledStillDeduplicates(t *testing.T) {
+	c := newSolveCache(-1)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, hit, _ := c.do(ctx, "k", func() (*core.Result, error) { return dummyResult("k"), nil }); hit {
+			t.Error("disabled cache produced a hit")
+		}
+	}
+	if c.len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}

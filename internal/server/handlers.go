@@ -1,0 +1,290 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modelio"
+	"repro/internal/queueing"
+)
+
+// maxBodyBytes caps request bodies; demand-sample files are small, so 8 MiB
+// is generous.
+const maxBodyBytes = 8 << 20
+
+// decodeBody strictly decodes the JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("decoding request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// statusOf maps a solve error to an HTTP status: deadline/cancellation →
+// 504, invalid input the validators missed → 400, anything else → 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrBadRun), errors.Is(err, queueing.ErrInvalidModel),
+		errors.Is(err, core.ErrDemandModel):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// runSolve dispatches a normalized request to the matching context-aware
+// solver.
+func (s *Server) runSolve(ctx context.Context, req *modelio.SolveRequest) (*core.Result, error) {
+	if s.testHookSolveStart != nil {
+		s.testHookSolveStart(ctx)
+	}
+	switch req.Algorithm {
+	case modelio.AlgoExact:
+		return core.ExactMVAWithContext(ctx, req.Model, req.MaxN)
+	case modelio.AlgoSchweitzer:
+		return core.SchweitzerWithContext(ctx, req.Model, req.MaxN, core.SchweitzerOptions{})
+	case modelio.AlgoMultiServer:
+		res, _, err := core.ExactMVAMultiServerWithContext(ctx, req.Model, req.MaxN,
+			core.MultiServerOptions{TraceStation: -1})
+		return res, err
+	case modelio.AlgoMVASD, modelio.AlgoMVASDSingleServer:
+		dm, err := req.DemandModel()
+		if err != nil {
+			return nil, err
+		}
+		if req.Algorithm == modelio.AlgoMVASD {
+			return core.MVASDWithContext(ctx, req.Model, req.MaxN, dm, core.MVASDOptions{})
+		}
+		return core.MVASDSingleServerWithContext(ctx, req.Model, req.MaxN, dm, core.MVASDOptions{})
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+}
+
+// solveCached runs req through the cache, the in-flight deduplicator and the
+// worker pool, and keeps the cache hit/miss counters and in-flight gauge.
+func (s *Server) solveCached(ctx context.Context, req *modelio.SolveRequest) (res *core.Result, hit bool, err error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, false, err
+	}
+	res, hit, err = s.cache.do(ctx, key, func() (*core.Result, error) {
+		if err := s.pool.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.release()
+		s.metrics.solveStarted()
+		defer s.metrics.solveFinished()
+		return s.runSolve(ctx, req)
+	})
+	if hit {
+		s.metrics.cacheHits.Add(1)
+	} else if err == nil {
+		s.metrics.cacheMisses.Add(1)
+	}
+	return res, hit, err
+}
+
+// handleSolve serves POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req modelio.SolveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.MaxN > s.cfg.MaxN {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("maxN %d exceeds the server cap %d", req.MaxN, s.cfg.MaxN))
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	res, hit, err := s.solveCached(ctx, &req)
+	if err != nil {
+		s.writeError(w, statusOf(err), err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, modelio.SolveResponse{
+		Cached:     hit,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Trajectory: modelio.NewTrajectory(res, req.Every),
+	})
+}
+
+// handleSweep serves POST /v1/sweep: every grid point becomes one cached
+// solve, fanned out concurrently but bounded by the worker pool.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req modelio.SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.MaxN > s.cfg.MaxN {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("max population %d exceeds the server cap %d", req.MaxN, s.cfg.MaxN))
+		return
+	}
+	points, err := req.Expand(s.cfg.MaxSweepPoints)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	results := make([]modelio.SweepPointResult, len(points))
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p modelio.GridPoint) {
+			defer wg.Done()
+			results[i] = s.solvePoint(ctx, &req, p)
+		}(i, p)
+	}
+	wg.Wait()
+	// A request-wide deadline trumps partial results: the client asked for
+	// the grid, not a fragment of it.
+	if ctx.Err() != nil {
+		s.writeError(w, http.StatusGatewayTimeout, context.Cause(ctx).Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, modelio.SweepResponse{
+		GridSize:  len(points),
+		Points:    results,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// solvePoint solves one grid point; its failure is recorded inline so the
+// rest of the sweep still completes.
+func (s *Server) solvePoint(ctx context.Context, req *modelio.SweepRequest, p modelio.GridPoint) modelio.SweepPointResult {
+	out := modelio.SweepPointResult{Point: p}
+	res, hit, err := s.solveCached(ctx, req.PointRequest(p))
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.Cached = hit
+	finalUtil := res.FinalUtilization()
+	bottleneck, worst := "", -1.0
+	for k, u := range finalUtil {
+		if u > worst {
+			worst, bottleneck = u, res.StationNames[k]
+		}
+	}
+	out.Bottleneck = bottleneck
+	for _, n := range req.Populations {
+		x, resp, cycle, err := res.At(n)
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		bu := 0.0
+		for _, u := range res.Util[n-1] {
+			if u > bu {
+				bu = u
+			}
+		}
+		out.Rows = append(out.Rows, modelio.SweepRow{
+			N: n, X: x, R: resp, Cycle: cycle, BottleneckUtil: bu,
+		})
+	}
+	return out
+}
+
+// handlePlan serves POST /v1/plan.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req modelio.PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Users > s.cfg.MaxN || req.Limit > s.cfg.MaxN {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("users/limit exceed the server cap %d", s.cfg.MaxN))
+		return
+	}
+	plan, err := req.Plan()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	if err := s.pool.acquire(ctx); err != nil {
+		s.writeError(w, statusOf(err), err.Error())
+		return
+	}
+	defer s.pool.release()
+	s.metrics.solveStarted()
+	defer s.metrics.solveFinished()
+	if s.testHookSolveStart != nil {
+		s.testHookSolveStart(ctx)
+	}
+
+	sla := req.SLA.ToSLA()
+	violations, err := plan.CheckContext(ctx, req.Users, sla)
+	if err != nil {
+		s.writeError(w, statusOf(err), err.Error())
+		return
+	}
+	resp := modelio.PlanResponse{Users: req.Users, Compliant: len(violations) == 0}
+	for _, v := range violations {
+		resp.Violations = append(resp.Violations, modelio.ViolationOut{
+			Clause: v.Clause, Have: v.Have, Want: v.Want,
+		})
+	}
+	if req.Limit > 0 {
+		maxUsers, err := plan.MaxUsersUnderSLAContext(ctx, req.Limit, sla)
+		if err != nil {
+			s.writeError(w, statusOf(err), err.Error())
+			return
+		}
+		resp.MaxUsers = &maxUsers
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.writePrometheus(w, s.cache.len()); err != nil {
+		s.cfg.Logger.Printf("solverd: writing metrics: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/report"
+)
+
+// serverMetrics is the service's observability state, rendered on /metrics in
+// the Prometheus text exposition format: per-handler request counters and
+// latency histograms (report.FixedHistogram), solve-cache hit/miss counters,
+// and an in-flight solve gauge.
+type serverMetrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]uint64
+	latency  map[string]*report.FixedHistogram
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	inFlight    atomic.Int64
+}
+
+type reqKey struct {
+	handler string
+	code    int
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests: make(map[reqKey]uint64),
+		latency:  make(map[string]*report.FixedHistogram),
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (m *serverMetrics) observeRequest(handler string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{handler, code}]++
+	h, ok := m.latency[handler]
+	if !ok {
+		h, _ = report.NewFixedHistogram(report.DefaultLatencyBounds()...)
+		m.latency[handler] = h
+	}
+	h.Observe(seconds)
+}
+
+// solveStarted/solveFinished bracket one solver run for the in-flight gauge.
+func (m *serverMetrics) solveStarted()  { m.inFlight.Add(1) }
+func (m *serverMetrics) solveFinished() { m.inFlight.Add(-1) }
+
+// writePrometheus renders every metric. cacheEntries is sampled by the caller
+// (the cache owns its own lock).
+func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP solverd_requests_total HTTP requests served, by handler and status code.")
+	fmt.Fprintln(w, "# TYPE solverd_requests_total counter")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].handler != keys[j].handler {
+			return keys[i].handler < keys[j].handler
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "solverd_requests_total{handler=%q,code=\"%d\"} %d\n", k.handler, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP solverd_request_duration_seconds Request latency, by handler.")
+	fmt.Fprintln(w, "# TYPE solverd_request_duration_seconds histogram")
+	handlers := make([]string, 0, len(m.latency))
+	for h := range m.latency {
+		handlers = append(handlers, h)
+	}
+	sort.Strings(handlers)
+	for _, h := range handlers {
+		labels := fmt.Sprintf("handler=%q", h)
+		if err := m.latency[h].WritePrometheus(w, "solverd_request_duration_seconds", labels); err != nil {
+			return err
+		}
+	}
+
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	fmt.Fprintln(w, "# HELP solverd_cache_hits_total Solves served from the cache or a shared in-flight run.")
+	fmt.Fprintln(w, "# TYPE solverd_cache_hits_total counter")
+	fmt.Fprintf(w, "solverd_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP solverd_cache_misses_total Solves that ran the solver.")
+	fmt.Fprintln(w, "# TYPE solverd_cache_misses_total counter")
+	fmt.Fprintf(w, "solverd_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP solverd_cache_hit_ratio Hits over lookups since start (0 when no lookups).")
+	fmt.Fprintln(w, "# TYPE solverd_cache_hit_ratio gauge")
+	ratio := 0.0
+	if total := hits + misses; total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	fmt.Fprintf(w, "solverd_cache_hit_ratio %g\n", ratio)
+	fmt.Fprintln(w, "# HELP solverd_cache_entries Results currently cached.")
+	fmt.Fprintln(w, "# TYPE solverd_cache_entries gauge")
+	fmt.Fprintf(w, "solverd_cache_entries %d\n", cacheEntries)
+	fmt.Fprintln(w, "# HELP solverd_in_flight_solves Solver runs executing right now.")
+	fmt.Fprintln(w, "# TYPE solverd_in_flight_solves gauge")
+	_, err := fmt.Fprintf(w, "solverd_in_flight_solves %d\n", m.inFlight.Load())
+	return err
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with method enforcement, panic recovery and
+// request metrics (counter + latency histogram, labelled by name).
+func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Logger.Printf("solverd: %s: panic: %v\n%s", name, p, debug.Stack())
+				// Best effort: if the handler already wrote, this is a no-op.
+				http.Error(rec, "internal error", http.StatusInternalServerError)
+			}
+			s.metrics.observeRequest(name, rec.code, time.Since(start).Seconds())
+		}()
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			s.writeError(rec, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
+			return
+		}
+		h(rec, r)
+	})
+}
+
+// writeJSON writes v with the given status code.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logger.Printf("solverd: writing response: %v", err)
+	}
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError writes a JSON error response.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorBody{Error: msg})
+}

@@ -1,0 +1,36 @@
+package server
+
+import "context"
+
+// workerPool bounds the number of solver runs executing at once, so a sweep
+// fanning out hundreds of grid points (or a burst of concurrent requests)
+// degrades to queueing rather than thrashing the scheduler. It is a counting
+// semaphore: acquisition respects the request context, so a caller whose
+// deadline expires while queued gives up its place instead of solving dead
+// work.
+type workerPool struct {
+	sem chan struct{}
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &workerPool{sem: make(chan struct{}, workers)}
+}
+
+// cap returns the pool's concurrency bound.
+func (p *workerPool) cap() int { return cap(p.sem) }
+
+// acquire blocks until a slot frees or ctx is done.
+func (p *workerPool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// release returns a slot; must follow a successful acquire.
+func (p *workerPool) release() { <-p.sem }

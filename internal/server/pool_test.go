@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := newWorkerPool(workers)
+	if p.cap() != workers {
+		t.Fatalf("cap = %d", p.cap())
+	}
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			defer p.release()
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > workers {
+		t.Errorf("peak concurrency %d exceeds pool size %d", peak.Load(), workers)
+	}
+}
+
+func TestWorkerPoolAcquireRespectsContext(t *testing.T) {
+	p := newWorkerPool(1)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer p.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire on a full pool with a dead context: %v", err)
+	}
+}
+
+func TestWorkerPoolMinimumSize(t *testing.T) {
+	if p := newWorkerPool(0); p.cap() != 1 {
+		t.Errorf("zero-worker pool cap = %d, want 1", p.cap())
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/modelio"
+)
+
+// TestGracefulShutdownDrainsInFlight cancels Serve's context while a solve is
+// executing: the in-flight request must still complete with 200 and Serve
+// must return nil (clean drain).
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	s := New(Config{
+		Logger:          log.New(io.Discard, "", 0),
+		ShutdownTimeout: 5 * time.Second,
+	})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookSolveStart = func(context.Context) {
+		close(started)
+		<-release
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+
+	body, err := json.Marshal(modelio.SolveRequest{Model: testModel(), MaxN: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		code int
+		err  error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/solve",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			reqDone <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- result{resp.StatusCode, nil}
+	}()
+
+	<-started // the request is in the solver
+	cancel()  // SIGTERM equivalent: begin the graceful drain
+
+	// The server must not return while the request is still in flight.
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned %v before the in-flight request finished", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release) // let the solve finish
+	r := <-reqDone
+	if r.err != nil || r.code != http.StatusOK {
+		t.Fatalf("in-flight request: code=%d err=%v", r.code, r.err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after a clean drain", err)
+	}
+
+	// And the listener really is closed.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Error("listener still accepting connections after shutdown")
+	}
+}

@@ -1,0 +1,159 @@
+// Package server implements solverd, the long-running model-solving HTTP
+// service: the JSON API of cmd/solverd. It exposes
+//
+//	POST /v1/solve   one model solved by any MVA-family algorithm
+//	POST /v1/sweep   a parameter grid fanned out over a bounded worker pool
+//	POST /v1/plan    the planning package's SLA queries
+//	GET  /healthz    liveness probe
+//	GET  /metrics    Prometheus-text counters, latency histograms, gauges
+//
+// Request bodies reuse the modelio model/samples formats. Identical solves
+// are deduplicated in flight and served from an LRU cache; per-request
+// deadlines are threaded into the solver recursions (core.*WithContext) so
+// a runaway maxN cancels instead of pinning a worker; SIGTERM-driven
+// shutdown drains in-flight requests.
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the service. The zero value is usable: every field defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// CacheSize caps the solve cache's entry count (default 256; negative
+	// disables caching, in-flight deduplication remains).
+	CacheSize int
+	// Workers bounds concurrently executing solves (default GOMAXPROCS).
+	Workers int
+	// MaxN caps any request's population (default 100000) — the hard
+	// ceiling on per-request work alongside RequestTimeout.
+	MaxN int
+	// MaxSweepPoints caps a sweep's grid size (default 1024).
+	MaxSweepPoints int
+	// RequestTimeout caps each request's solve time (default 30s); a
+	// request's timeoutMs may shorten it but never extend it.
+	RequestTimeout time.Duration
+	// ShutdownTimeout bounds the graceful drain (default 15s).
+	ShutdownTimeout time.Duration
+	// Logger receives request-level errors (default log.Default()).
+	Logger *log.Logger
+}
+
+func (c *Config) defaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 100_000
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 15 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+}
+
+// Server is the solverd HTTP service.
+type Server struct {
+	cfg     Config
+	cache   *solveCache
+	pool    *workerPool
+	metrics *serverMetrics
+	mux     *http.ServeMux
+
+	// testHookSolveStart, when set, runs at the start of every solver
+	// execution with the request context — tests use it to hold solves
+	// in flight deterministically.
+	testHookSolveStart func(context.Context)
+}
+
+// New builds a Server from cfg (zero value fine).
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newSolveCache(cfg.CacheSize),
+		pool:    newWorkerPool(cfg.Workers),
+		metrics: newServerMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.Handle("/v1/solve", s.instrument("solve", http.MethodPost, s.handleSolve))
+	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
+	s.mux.Handle("/v1/plan", s.instrument("plan", http.MethodPost, s.handlePlan))
+	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests drain (bounded by
+// cfg.ShutdownTimeout), and Run returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.Logger.Printf("solverd: listening on %s (workers=%d, cache=%d, maxN=%d)",
+		ln.Addr(), s.pool.cap(), s.cfg.CacheSize, s.cfg.MaxN)
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run over a caller-supplied listener (which it takes ownership of).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          s.cfg.Logger,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logger.Printf("solverd: shutting down, draining in-flight requests")
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	err := srv.Shutdown(shCtx)
+	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}
+
+// requestContext derives the solve context: the server-wide cap, shortened by
+// the request's own timeoutMs when given.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}

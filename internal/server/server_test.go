@@ -1,0 +1,455 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modelio"
+	"repro/internal/queueing"
+)
+
+func testModel() *queueing.Model {
+	return &queueing.Model{
+		Name:      "srv-test",
+		ThinkTime: 1,
+		Stations: []queueing.Station{
+			{Name: "app/cpu", Kind: queueing.CPU, Servers: 4, Visits: 1, ServiceTime: 0.02},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 2, ServiceTime: 0.01},
+		},
+	}
+}
+
+func testSamples() *modelio.SamplesFile {
+	return &modelio.SamplesFile{Stations: []modelio.StationSamples{
+		{Name: "app/cpu", At: []float64{1, 100, 200}, Demands: []float64{0.02, 0.018, 0.017}},
+		{Name: "db/disk", At: []float64{1, 100, 200}, Demands: []float64{0.02, 0.019, 0.018}},
+	}}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	m := testModel()
+	resp, body := postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{
+		Algorithm: modelio.AlgoExact, Model: m, MaxN: 50,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out modelio.SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Error("first solve claims to be cached")
+	}
+	want, err := core.ExactMVA(m, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Trajectory
+	if tr == nil || len(tr.X) != 50 {
+		t.Fatalf("trajectory missing or truncated: %+v", tr)
+	}
+	if tr.X[49] != want.X[49] || tr.R[49] != want.R[49] {
+		t.Errorf("served X=%g R=%g, library X=%g R=%g", tr.X[49], tr.R[49], want.X[49], want.R[49])
+	}
+	if len(tr.FinalUtil) != 2 || tr.StationNames[0] != "app/cpu" {
+		t.Errorf("final station metrics wrong: %+v", tr)
+	}
+}
+
+func TestSolveCacheHitAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := modelio.SolveRequest{Model: testModel(), MaxN: 40}
+	resp1, body1 := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first solve: %d %s", resp1.StatusCode, body1)
+	}
+	var out1, out2 modelio.SolveResponse
+	if err := json.Unmarshal(body1, &out1); err != nil {
+		t.Fatal(err)
+	}
+	_, body2 := postJSON(t, ts.URL+"/v1/solve", req)
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.Cached || !out2.Cached {
+		t.Errorf("cached flags: first=%v second=%v, want false/true", out1.Cached, out2.Cached)
+	}
+	if out1.Trajectory.X[39] != out2.Trajectory.X[39] {
+		t.Error("cached solve diverged from the original")
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"solverd_cache_hits_total 1",
+		"solverd_cache_misses_total 1",
+		"solverd_cache_hit_ratio 0.5",
+		"solverd_cache_entries 1",
+		`solverd_requests_total{handler="solve",code="200"} 2`,
+		`solverd_request_duration_seconds_bucket{handler="solve",le="+Inf"} 2`,
+		"solverd_in_flight_solves 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestSolveMVASD(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{
+		Algorithm: modelio.AlgoMVASD, Model: testModel(), Samples: testSamples(),
+		MaxN: 200, Every: 50,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out modelio.SolveResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Decimated rows: 1, 51, 101, 151 plus the forced final population 200.
+	if n := out.Trajectory.N; len(n) != 5 || n[len(n)-1] != 200 {
+		t.Errorf("decimated populations: %v", n)
+	}
+	if out.Trajectory.Algorithm != "mvasd" {
+		t.Errorf("algorithm = %q", out.Trajectory.Algorithm)
+	}
+}
+
+func TestSolveRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxN: 1000})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"syntax", `{`},
+		{"unknown field", `{"model":{"name":"x","stations":[]},"maxN":5,"bogus":1}`},
+		{"unknown algorithm", `{"algorithm":"simplex","model":{"name":"x","thinkTime":1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]},"maxN":5}`},
+		{"missing samples", `{"algorithm":"mvasd","model":{"name":"x","thinkTime":1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]},"maxN":5}`},
+		{"non-increasing samples", `{"algorithm":"mvasd","model":{"name":"x","thinkTime":1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]},"maxN":5,"samples":{"stations":[{"name":"q","at":[5,2],"demands":[0.1,0.1]}]}}`},
+		{"maxN over cap", `{"model":{"name":"x","thinkTime":1,"stations":[{"name":"q","kind":"cpu","servers":1,"visits":1,"serviceTime":0.1}]},"maxN":100000}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSweepFanOut(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"model":       testModel(),
+		"populations": []int{25, 50},
+		"thinkTimes":  []float64{1, 2},
+		"servers":     map[string][]int{"app/cpu": {2, 4, 8}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out modelio.SweepResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.GridSize != 6 || len(out.Points) != 6 {
+		t.Fatalf("grid size %d / %d points, want 6", out.GridSize, len(out.Points))
+	}
+	for i, p := range out.Points {
+		if p.Error != "" {
+			t.Fatalf("point %d failed: %s", i, p.Error)
+		}
+		if len(p.Rows) != 2 || p.Rows[0].N != 25 || p.Rows[1].N != 50 {
+			t.Fatalf("point %d rows: %+v", i, p.Rows)
+		}
+		if p.Bottleneck == "" {
+			t.Errorf("point %d has no bottleneck", i)
+		}
+	}
+	// Cross-check one grid point against a direct library solve.
+	pt := out.Points[0] // thinkTime=1, app/cpu=2
+	m := testModel()
+	m.Stations[0].Servers = 2
+	want, _, err := core.ExactMVAMultiServer(m, 50, core.MultiServerOptions{TraceStation: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Rows[1].X != want.X[49] {
+		t.Errorf("grid point X=%g, library X=%g", pt.Rows[1].X, want.X[49])
+	}
+	// Every grid point was its own cache entry.
+	if got := s.cache.len(); got != 6 {
+		t.Errorf("cache holds %d entries after the sweep, want 6", got)
+	}
+
+	// A repeated sweep is served entirely from the cache.
+	_, body2 := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"model":       testModel(),
+		"populations": []int{25, 50},
+		"thinkTimes":  []float64{1, 2},
+		"servers":     map[string][]int{"app/cpu": {2, 4, 8}},
+	})
+	var out2 modelio.SweepResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range out2.Points {
+		if !p.Cached {
+			t.Errorf("repeat sweep point %d not served from cache", i)
+		}
+	}
+}
+
+func TestSweepRejectsOversizedGrid(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepPoints: 4})
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"model":       testModel(),
+		"populations": []int{10},
+		"thinkTimes":  []float64{1, 2, 3},
+		"servers":     map[string][]int{"app/cpu": {1, 2}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSolveDeadlineReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Hold the solve until its context expires: the solver's first per-step
+	// cancellation check must then abort the run.
+	s.testHookSolveStart = func(ctx context.Context) { <-ctx.Done() }
+	resp, body := postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{
+		Model: testModel(), MaxN: 50, TimeoutMS: 20,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("error body: %s (%v)", body, err)
+	}
+
+	// The failed solve must not have been cached; with the hook removed the
+	// same request now succeeds.
+	s.testHookSolveStart = nil
+	resp2, body2 := postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{
+		Model: testModel(), MaxN: 50, TimeoutMS: 20,
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry after timeout: %d %s", resp2.StatusCode, body2)
+	}
+	var out modelio.SolveResponse
+	if err := json.Unmarshal(body2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Error("timed-out solve left a cache entry")
+	}
+}
+
+func TestSweepDeadlineReturns504(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	s.testHookSolveStart = func(ctx context.Context) { <-ctx.Done() }
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"model":       testModel(),
+		"populations": []int{10},
+		"thinkTimes":  []float64{1, 2},
+		"timeoutMs":   20,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/plan", modelio.PlanRequest{
+		Model: testModel(), Users: 10, Limit: 500,
+		SLA: modelio.SLASpec{MaxCycleTime: 1.5},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out modelio.PlanResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Compliant || len(out.Violations) != 0 {
+		t.Errorf("10 users should meet a 1.5s cycle SLA: %+v", out)
+	}
+	if out.MaxUsers == nil {
+		t.Fatal("limit was set but maxUsers missing")
+	}
+	// Cross-check against the planning library.
+	req := modelio.PlanRequest{Model: testModel(), Users: 10, Limit: 500, SLA: modelio.SLASpec{MaxCycleTime: 1.5}}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := req.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.MaxUsersUnderSLA(500, req.SLA.ToSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out.MaxUsers != want {
+		t.Errorf("maxUsers = %d, library says %d", *out.MaxUsers, want)
+	}
+
+	// And a violating population: beyond maxUsers the SLA must fail.
+	resp, body = postJSON(t, ts.URL+"/v1/plan", modelio.PlanRequest{
+		Model: testModel(), Users: want + 50,
+		SLA: modelio.SLASpec{MaxCycleTime: 1.5},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Compliant || len(out.Violations) == 0 {
+		t.Errorf("expected a cycle-time violation at %d users: %+v", want+50, out)
+	} else if out.Violations[0].Clause != "cycle time" {
+		t.Errorf("violation clause = %q", out.Violations[0].Clause)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsContentType(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, _ := getBody(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+// TestConcurrentIdenticalSolves drives the in-flight deduplication through
+// the full HTTP stack: concurrent identical requests must produce exactly one
+// solver execution.
+func TestConcurrentIdenticalSolves(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s.testHookSolveStart = func(ctx context.Context) {
+		close(started)
+		<-release
+	}
+	req := modelio.SolveRequest{Model: testModel(), MaxN: 30}
+
+	type reply struct {
+		code   int
+		cached bool
+	}
+	replies := make(chan reply, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			resp, body := postJSON(t, ts.URL+"/v1/solve", req)
+			var out modelio.SolveResponse
+			json.Unmarshal(body, &out)
+			replies <- reply{resp.StatusCode, out.Cached}
+		}()
+	}
+	<-started // the single leader is executing
+	// Give followers a moment to join the flight, then let the leader go.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	leaders, hits := 0, 0
+	for i := 0; i < 4; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("status %d", r.code)
+		}
+		if r.cached {
+			hits++
+		} else {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d solver executions for 4 identical concurrent requests", leaders)
+	}
+	_ = fmt.Sprintf("%d", hits)
+}
