@@ -1,0 +1,265 @@
+// Solver-engine microbenchmarks: the perf counterpart to the paper-artefact
+// benchmarks in bench_test.go. These track the resumable-solver work — cold
+// solves per algorithm, in-place extension (the amortized per-population step
+// cost, which must stay allocation-free), service-level prefix hits, and the
+// sweep planner's one-solve-per-model-group collapse versus a naive
+// point-by-point sweep:
+//
+//	go test -bench=Solver -benchmem
+//
+// Every solver benchmark also appends a record to BENCH_solver.json (written
+// by TestMain after the run) so the perf trajectory is diffable across
+// commits; `benchstat old.txt new.txt` over saved `-bench=Solver` output
+// gives significance-tested deltas.
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/modelio"
+	"repro/internal/queueing"
+	"repro/internal/server"
+)
+
+// benchSolverModel is the three-tier model the solver benchmarks share: a
+// multi-core app tier, a single-server disk and a delay-center LAN, the
+// shape of the paper's testbeds.
+func benchSolverModel() *queueing.Model {
+	return &queueing.Model{
+		Name:      "bench-solver",
+		ThinkTime: 1,
+		Stations: []queueing.Station{
+			{Name: "app/cpu", Kind: queueing.CPU, Servers: 4, Visits: 1, ServiceTime: 0.02},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 3, ServiceTime: 0.005},
+			{Name: "lan", Kind: queueing.Delay, Servers: 1, Visits: 1, ServiceTime: 0.004},
+		},
+	}
+}
+
+// benchRecord is one line of BENCH_solver.json.
+type benchRecord struct {
+	Name     string  `json:"name"`
+	N        int     `json:"iterations"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	ExtraKey string  `json:"extra_key,omitempty"`
+	Extra    float64 `json:"extra,omitempty"`
+}
+
+var (
+	benchRecMu  sync.Mutex
+	benchRecods []benchRecord
+)
+
+// recordBench captures the benchmark's own timing for BENCH_solver.json.
+// Call it at the end of the benchmark body, after the timed work.
+func recordBench(b *testing.B, extraKey string, extra float64) {
+	b.Helper()
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	benchRecods = append(benchRecods, benchRecord{
+		Name:     b.Name(),
+		N:        b.N,
+		NsPerOp:  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		ExtraKey: extraKey,
+		Extra:    extra,
+	})
+}
+
+// TestMain writes BENCH_solver.json when any solver benchmark ran; plain
+// test runs leave no artefact behind.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchRecMu.Lock()
+	recs := benchRecods
+	benchRecMu.Unlock()
+	if len(recs) > 0 {
+		if buf, err := json.MarshalIndent(struct {
+			Benchmarks []benchRecord `json:"benchmarks"`
+		}{recs}, "", "  "); err == nil {
+			if err := os.WriteFile("BENCH_solver.json", append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "writing BENCH_solver.json:", err)
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkSolverCold measures a full build→Run(N)→Release cycle per
+// algorithm: the cache-miss cost of the service.
+func BenchmarkSolverCold(b *testing.B) {
+	const maxN = 200
+	m := benchSolverModel()
+	dm := core.FuncDemands{K: len(m.Stations), F: func(k, n int) float64 {
+		return m.Stations[k].Visits * m.Stations[k].ServiceTime * (1 + 0.001*float64(n))
+	}}
+	makers := []struct {
+		name string
+		make func() (*core.Solver, error)
+	}{
+		{"exact", func() (*core.Solver, error) { return core.NewExactMVASolver(m) }},
+		{"schweitzer", func() (*core.Solver, error) { return core.NewSchweitzerSolver(m, core.SchweitzerOptions{}) }},
+		{"multiserver", func() (*core.Solver, error) {
+			return core.NewMultiServerSolver(m, core.MultiServerOptions{TraceStation: -1})
+		}},
+		{"mvasd", func() (*core.Solver, error) { return core.NewMVASDSolver(m, dm, core.MVASDOptions{}) }},
+		{"loaddep", func() (*core.Solver, error) { return core.NewLoadDependentSolver(m, nil) }},
+	}
+	for _, mk := range makers {
+		b.Run(mk.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := mk.make()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Run(maxN); err != nil {
+					b.Fatal(err)
+				}
+				s.Release()
+			}
+			recordBench(b, "max_n", maxN)
+		})
+	}
+}
+
+// BenchmarkSolverExtend measures the amortized cost of extending an exact
+// solver by one population — the hot step the AllocsPerRun test pins at
+// zero allocations. The solver is rebuilt every `window` steps so memory
+// stays bounded regardless of b.N.
+func BenchmarkSolverExtend(b *testing.B) {
+	const window = 512
+	m := benchSolverModel()
+	newSolver := func() *core.Solver {
+		s, err := core.NewExactMVASolver(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Reserve(window)
+		return s
+	}
+	s := newSolver()
+	defer func() { s.Release() }()
+	n := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n == window {
+			b.StopTimer()
+			s.Release()
+			s = newSolver()
+			n = 0
+			b.StartTimer()
+		}
+		n++
+		if err := s.Extend(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	recordBench(b, "window", window)
+}
+
+// benchPostJSON posts a JSON body and drains the response.
+func benchPostJSON(b *testing.B, url string, body any) (*http.Response, []byte) {
+	b.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return resp, out
+}
+
+// BenchmarkSolverPrefixHit measures the full service path of a cache hit: a
+// /v1/solve request answered from a longer cached trajectory's prefix,
+// never touching the solver or the worker pool.
+func BenchmarkSolverPrefixHit(b *testing.B) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	post := func(maxN int) {
+		resp, body := benchPostJSON(b, ts.URL+"/v1/solve",
+			modelio.SolveRequest{Model: benchSolverModel(), MaxN: maxN})
+		if resp.StatusCode != 200 {
+			b.Fatalf("solve: %d %s", resp.StatusCode, body)
+		}
+	}
+	post(400) // prime the cache past every benchmark request
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post(200)
+	}
+	b.StopTimer()
+	recordBench(b, "cached_n", 400)
+}
+
+// sweepPopulations is the shared grid for the planned-vs-naive pair: eight
+// populations of one model, i.e. one planner group.
+var sweepPopulations = []int{50, 100, 150, 200, 250, 300, 350, 400}
+
+// BenchmarkSolverSweepNaive solves every population of the grid from
+// scratch — what the service did before the sweep planner.
+func BenchmarkSolverSweepNaive(b *testing.B) {
+	m := benchSolverModel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, n := range sweepPopulations {
+			s, err := core.NewMultiServerSolver(m, core.MultiServerOptions{TraceStation: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(n); err != nil {
+				b.Fatal(err)
+			}
+			res := s.Result()
+			if _, _, _, err := res.At(n); err != nil {
+				b.Fatal(err)
+			}
+			s.Release()
+		}
+	}
+	recordBench(b, "grid_points", float64(len(sweepPopulations)))
+}
+
+// BenchmarkSolverSweepPlanned solves the grid the planner's way: one solve
+// at the largest population, every point's row read off the shared
+// trajectory.
+func BenchmarkSolverSweepPlanned(b *testing.B) {
+	m := benchSolverModel()
+	maxN := sweepPopulations[len(sweepPopulations)-1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewMultiServerSolver(m, core.MultiServerOptions{TraceStation: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Run(maxN); err != nil {
+			b.Fatal(err)
+		}
+		res := s.Result()
+		for _, n := range sweepPopulations {
+			if _, _, _, err := res.At(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Release()
+	}
+	recordBench(b, "grid_points", float64(len(sweepPopulations)))
+}

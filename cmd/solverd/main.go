@@ -5,7 +5,7 @@
 // Usage:
 //
 //	solverd [-addr :8080] [-cache 256] [-workers 8] [-max-n 100000]
-//	        [-timeout 30s] [-shutdown-timeout 15s]
+//	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
 //	solverd -dump-profile vins [-nodes 7] [-out dir]
 //
 // The server listens until SIGINT/SIGTERM and then drains in-flight
@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	maxSweep := fs.Int("max-sweep-points", 1024, "largest sweep grid size")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	shutdown := fs.Duration("shutdown-timeout", 15*time.Second, "graceful drain bound")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
 	nodes := fs.Int("nodes", 7, "Chebyshev sample count for -dump-profile")
 	outDir := fs.String("out", ".", "output directory for -dump-profile")
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		MaxSweepPoints:  *maxSweep,
 		RequestTimeout:  *timeout,
 		ShutdownTimeout: *shutdown,
+		EnablePprof:     *pprofOn,
 	}).Run(ctx)
 }
 

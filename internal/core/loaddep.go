@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,6 +27,157 @@ func MultiServerRate(c int) RateFunc {
 // SingleServerRate is the constant-rate function of a plain queue.
 func SingleServerRate() RateFunc { return func(int) float64 { return 1 } }
 
+// loadDepStepper carries the full marginal queue-length distribution through
+// the population recursion; the rows grow with n.
+type loadDepStepper struct {
+	m       *queueing.Model
+	rates   []RateFunc
+	demands []float64
+	// p[k][j] = p_k(j | n−1); row k has length n after step n completes
+	// (p[k][0] = 1 for the empty network).
+	p [][]float64
+}
+
+func (s *loadDepStepper) step(res *Result, n int, _ func(int) error) error {
+	m, demands, p := s.m, s.demands, s.p
+	// Make room for index n in every marginal row. The newly exposed slot
+	// may hold stale pool data, which is fine: the W sum reads only indices
+	// < n, and the tail-down update writes p[i][n] before anything reads it.
+	for k := range p {
+		if cap(p[k]) <= n {
+			grown := make([]float64, n+1, 2*(n+1))
+			copy(grown, p[k])
+			p[k] = grown
+		} else {
+			p[k] = p[k][:n+1]
+		}
+	}
+	// Physical throughput cap at this population: no station can complete
+	// faster than its current peak rate α(n)/D. Computing it per step (not
+	// from the run's target population) keeps the recursion independent of
+	// maxN, so an extended solve is bit-identical to a cold one; it is also
+	// the tighter bound, since at most n customers can be present. The
+	// numerically guarded recursion (see below) can otherwise drift slightly
+	// above the bound near saturation.
+	xCap := math.Inf(1)
+	for i, st := range m.Stations {
+		if st.Kind == queueing.Delay || demands[i] <= 0 {
+			continue
+		}
+		xCap = minf(xCap, s.rates[i](n)/demands[i])
+	}
+	rTotal := 0.0
+	resid := res.Residence[n-1]
+	for i, st := range m.Stations {
+		if st.Kind == queueing.Delay {
+			resid[i] = demands[i]
+			rTotal += resid[i]
+			continue
+		}
+		w := 0.0
+		for j := 1; j <= n; j++ {
+			a := s.rates[i](j)
+			if a <= 0 {
+				return fmt.Errorf("%w: station %q rate alpha(%d)=%g", ErrBadRun, st.Name, j, a)
+			}
+			w += float64(j) / a * p[i][j-1]
+		}
+		resid[i] = demands[i] * w
+		rTotal += resid[i]
+	}
+	x := float64(n) / (rTotal + m.ThinkTime)
+	if x > xCap {
+		// Clamp to the capacity bound and restore Little's law by
+		// growing the response time, scaling residence times to match.
+		x = xCap
+		newR := float64(n)/x - m.ThinkTime
+		if rTotal > 0 {
+			scale := newR / rTotal
+			for i := range resid {
+				resid[i] *= scale
+			}
+		}
+		rTotal = newR
+	}
+	for i, st := range m.Stations {
+		if st.Kind == queueing.Delay {
+			res.QueueLen[n-1][i] = x * demands[i]
+			res.Util[n-1][i] = 0
+			res.Demands[n-1][i] = demands[i]
+			continue
+		}
+		// Update the marginal distribution from the tail down so the
+		// j−1 terms still refer to population n−1.
+		sum := 0.0
+		for j := n; j >= 1; j-- {
+			p[i][j] = x * demands[i] / s.rates[i](j) * p[i][j-1]
+			sum += p[i][j]
+		}
+		// The textbook recursion computes p(0|n) = 1 − Σ_{j≥1} p(j|n),
+		// which suffers catastrophic cancellation as the station
+		// saturates (the well-known numerical instability of exact
+		// MVA-LD). Guard it by renormalising the distribution whenever
+		// the accumulated mass exceeds 1: this keeps p a valid
+		// distribution and degrades gracefully instead of collapsing.
+		if sum >= 1 {
+			inv := 1 / sum
+			for j := 1; j <= n; j++ {
+				p[i][j] *= inv
+			}
+			p[i][0] = 0
+		} else {
+			p[i][0] = 1 - sum
+		}
+		res.QueueLen[n-1][i] = x * resid[i]
+		res.Util[n-1][i] = minf(x*demands[i]/float64(st.Servers), 1)
+		res.Demands[n-1][i] = demands[i]
+	}
+	res.X[n-1] = x
+	res.R[n-1] = rTotal
+	res.Cycle[n-1] = rTotal + m.ThinkTime
+	return nil
+}
+
+func (s *loadDepStepper) release() {
+	putVec(s.demands)
+	s.demands = nil
+	for k := range s.p {
+		putVec(s.p[k])
+		s.p[k] = nil
+	}
+}
+
+// NewLoadDependentSolver returns a resumable exact load-dependent MVA
+// solver. rates may be nil or contain nil entries, which default to each
+// station's MultiServerRate.
+func NewLoadDependentSolver(m *queueing.Model, rates []RateFunc) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(m.Stations)
+	if rates == nil {
+		rates = make([]RateFunc, k)
+	}
+	if len(rates) != k {
+		return nil, fmt.Errorf("%w: %d rate functions for %d stations", ErrBadRun, len(rates), k)
+	}
+	resolved := make([]RateFunc, k)
+	for i, st := range m.Stations {
+		resolved[i] = rates[i]
+		if resolved[i] == nil {
+			resolved[i] = MultiServerRate(st.Servers)
+		}
+	}
+	demands := getVec(k)
+	copy(demands, m.Demands())
+	alg := &loadDepStepper{m: m, rates: resolved, demands: demands, p: make([][]float64, k)}
+	for i := range alg.p {
+		alg.p[i] = getVec(1)
+		alg.p[i][0] = 1
+	}
+	return newSolver("load-dependent-mva", newEmptyResult("load-dependent-mva", m, 0), alg), nil
+}
+
 // LoadDependentMVA solves the closed network with the textbook *exact*
 // load-dependent MVA (Reiser & Lavenberg): the full marginal queue-length
 // distribution p_k(j|n) is carried through the population recursion,
@@ -45,112 +197,11 @@ func LoadDependentMVA(m *queueing.Model, maxN int, rates []RateFunc) (*Result, e
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
-	k := len(m.Stations)
-	if rates == nil {
-		rates = make([]RateFunc, k)
+	s, err := NewLoadDependentSolver(m, rates)
+	if err != nil {
+		return nil, err
 	}
-	if len(rates) != k {
-		return nil, fmt.Errorf("%w: %d rate functions for %d stations", ErrBadRun, len(rates), k)
-	}
-	for i, st := range m.Stations {
-		if rates[i] == nil {
-			rates[i] = MultiServerRate(st.Servers)
-		}
-	}
-	res := newResult("load-dependent-mva", m, maxN)
-	demands := m.Demands()
-	// Physical throughput cap: no station can complete faster than its
-	// peak rate α(N)/D. The numerically guarded recursion (see below) can
-	// otherwise drift slightly above the bound near saturation.
-	xCap := math.Inf(1)
-	for i, st := range m.Stations {
-		if st.Kind == queueing.Delay || demands[i] <= 0 {
-			continue
-		}
-		r := rates[i]
-		if r == nil {
-			r = MultiServerRate(st.Servers)
-		}
-		xCap = math.Min(xCap, r(maxN)/demands[i])
-	}
-	// p[k][j] = p_k(j | n−1); grows with n. p[k][0] = 1 initially.
-	p := make([][]float64, k)
-	for i := range p {
-		p[i] = make([]float64, maxN+1)
-		p[i][0] = 1
-	}
-	for n := 1; n <= maxN; n++ {
-		rTotal := 0.0
-		resid := res.Residence[n-1]
-		for i, st := range m.Stations {
-			if st.Kind == queueing.Delay {
-				resid[i] = demands[i]
-				rTotal += resid[i]
-				continue
-			}
-			w := 0.0
-			for j := 1; j <= n; j++ {
-				a := rates[i](j)
-				if a <= 0 {
-					return nil, fmt.Errorf("%w: station %q rate alpha(%d)=%g", ErrBadRun, st.Name, j, a)
-				}
-				w += float64(j) / a * p[i][j-1]
-			}
-			resid[i] = demands[i] * w
-			rTotal += resid[i]
-		}
-		x := float64(n) / (rTotal + m.ThinkTime)
-		if x > xCap {
-			// Clamp to the capacity bound and restore Little's law by
-			// growing the response time, scaling residence times to match.
-			x = xCap
-			newR := float64(n)/x - m.ThinkTime
-			if rTotal > 0 {
-				scale := newR / rTotal
-				for i := range resid {
-					resid[i] *= scale
-				}
-			}
-			rTotal = newR
-		}
-		for i, st := range m.Stations {
-			if st.Kind == queueing.Delay {
-				res.QueueLen[n-1][i] = x * demands[i]
-				res.Util[n-1][i] = 0
-				res.Demands[n-1][i] = demands[i]
-				continue
-			}
-			// Update the marginal distribution from the tail down so the
-			// j−1 terms still refer to population n−1.
-			sum := 0.0
-			for j := n; j >= 1; j-- {
-				p[i][j] = x * demands[i] / rates[i](j) * p[i][j-1]
-				sum += p[i][j]
-			}
-			// The textbook recursion computes p(0|n) = 1 − Σ_{j≥1} p(j|n),
-			// which suffers catastrophic cancellation as the station
-			// saturates (the well-known numerical instability of exact
-			// MVA-LD). Guard it by renormalising the distribution whenever
-			// the accumulated mass exceeds 1: this keeps p a valid
-			// distribution and degrades gracefully instead of collapsing.
-			if sum >= 1 {
-				inv := 1 / sum
-				for j := 1; j <= n; j++ {
-					p[i][j] *= inv
-				}
-				p[i][0] = 0
-			} else {
-				p[i][0] = 1 - sum
-			}
-			res.QueueLen[n-1][i] = x * resid[i]
-			res.Util[n-1][i] = minf(x*demands[i]/float64(st.Servers), 1)
-			res.Demands[n-1][i] = demands[i]
-		}
-		res.X[n-1] = x
-		res.R[n-1] = rTotal
-		res.Cycle[n-1] = rTotal + m.ThinkTime
-	}
-	return res, nil
+	return runToCompletion(context.Background(), s, maxN)
 }
 
 func minf(a, b float64) float64 {

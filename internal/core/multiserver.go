@@ -18,29 +18,37 @@ type multiServerState struct {
 	p     [][]float64 // p[k][j-1] = p_k(j), length C_k
 }
 
+// newMultiServerState builds the empty-network state from pooled vectors;
+// release returns them.
 func newMultiServerState(m *queueing.Model) *multiServerState {
 	s := &multiServerState{
-		queue: make([]float64, len(m.Stations)),
+		queue: getVec(len(m.Stations)),
 		p:     make([][]float64, len(m.Stations)),
 	}
 	for k, st := range m.Stations {
-		s.p[k] = make([]float64, st.Servers)
+		s.p[k] = getVec(st.Servers)
 		s.p[k][0] = 1 // empty network: P(0 customers) = 1
 	}
 	return s
 }
 
-// clone deep-copies the state (needed by the fixed-point demand-vs-throughput
-// mode, which must re-run a step from the same pre-step state).
-func (s *multiServerState) clone() *multiServerState {
-	c := &multiServerState{
-		queue: append([]float64(nil), s.queue...),
-		p:     make([][]float64, len(s.p)),
-	}
+func (s *multiServerState) release() {
+	putVec(s.queue)
+	s.queue = nil
 	for k := range s.p {
-		c.p[k] = append([]float64(nil), s.p[k]...)
+		putVec(s.p[k])
+		s.p[k] = nil
 	}
-	return c
+}
+
+// copyFrom overwrites s with src's values. Both must come from the same
+// model (needed by the fixed-point demand-vs-throughput mode, which re-runs
+// a step from the same pre-step state without allocating a clone).
+func (s *multiServerState) copyFrom(src *multiServerState) {
+	copy(s.queue, src.queue)
+	for k := range s.p {
+		copy(s.p[k], src.p[k])
+	}
 }
 
 // MultiServerOptions tunes Algorithm 2 / Algorithm 3 behaviour.
@@ -71,11 +79,12 @@ type MultiServerOptions struct {
 	TraceStation int
 }
 
-// step performs one population step of the multi-server exact MVA (the body
-// of Algorithm 2) using the supplied per-station demands. It mutates st and
-// returns the step's throughput, response time and per-station residence
-// times. demands[k] is D_k = V_k·S_k for this step. st.p[k][m] holds
-// P_k(m | n−1), the marginal probability of m customers at station k.
+// multiServerStep performs one population step of the multi-server exact MVA
+// (the body of Algorithm 2) using the supplied per-station demands. It
+// mutates st and returns the step's throughput, response time and
+// per-station residence times. demands[k] is D_k = V_k·S_k for this step.
+// st.p[k][m] holds P_k(m | n−1), the marginal probability of m customers at
+// station k.
 func multiServerStep(m *queueing.Model, st *multiServerState, demands []float64, n int, verbatim bool, resid []float64) (x, rTotal float64) {
 	for k, stn := range m.Stations {
 		if stn.Kind == queueing.Delay {
@@ -160,6 +169,59 @@ type MarginalTrace struct {
 	P [][]float64
 }
 
+// multiServerStepper is the resumable form of Algorithm 2: constant demands,
+// multiServerState carried across populations.
+type multiServerStepper struct {
+	m        *queueing.Model
+	st       *multiServerState
+	demands  []float64
+	verbatim bool
+	traceAt  int
+	trace    *MarginalTrace
+}
+
+func (s *multiServerStepper) step(res *Result, n int, _ func(int) error) error {
+	x, rTotal := multiServerStep(s.m, s.st, s.demands, n, s.verbatim, res.Residence[n-1])
+	commitRow(res, s.m, n, x, rTotal, s.demands, s.st)
+	if s.trace != nil {
+		s.trace.P = append(s.trace.P, append([]float64(nil), s.st.p[s.traceAt]...))
+	}
+	return nil
+}
+
+func (s *multiServerStepper) release() {
+	s.st.release()
+	putVec(s.demands)
+	s.demands = nil
+}
+
+// NewMultiServerSolver returns a resumable Algorithm-2 solver for m. When
+// opts.TraceStation is a valid station index, Solver.Trace exposes the
+// marginal-probability trace.
+func NewMultiServerSolver(m *queueing.Model, opts MultiServerOptions) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	demands := getVec(len(m.Stations))
+	for i, st := range m.Stations {
+		demands[i] = st.Demand()
+	}
+	alg := &multiServerStepper{
+		m:        m,
+		st:       newMultiServerState(m),
+		demands:  demands,
+		verbatim: opts.Verbatim,
+		traceAt:  opts.TraceStation,
+	}
+	if opts.TraceStation >= 0 && opts.TraceStation < len(m.Stations) {
+		alg.trace = &MarginalTrace{
+			Station: m.Stations[opts.TraceStation].Name,
+			Servers: m.Stations[opts.TraceStation].Servers,
+		}
+	}
+	return newSolver("exact-mva-multiserver", newEmptyResult("exact-mva-multiserver", m, 0), alg), nil
+}
+
 // ExactMVAMultiServer solves the network with the paper's Algorithm 2:
 // exact MVA extended with multi-server queues through the marginal
 // queue-size probabilities p_k(j) and the correction factor
@@ -177,29 +239,14 @@ func exactMVAMultiServer(ctx context.Context, m *queueing.Model, maxN int, opts 
 	if err := validateRun(m, maxN); err != nil {
 		return nil, nil, err
 	}
-	stop := stepCancel(ctx)
-	res := newResult("exact-mva-multiserver", m, maxN)
-	st := newMultiServerState(m)
-	demands := m.Demands()
-	var trace *MarginalTrace
-	if opts.TraceStation >= 0 && opts.TraceStation < len(m.Stations) {
-		trace = &MarginalTrace{
-			Station: m.Stations[opts.TraceStation].Name,
-			Servers: m.Stations[opts.TraceStation].Servers,
-			P:       make([][]float64, maxN),
-		}
+	s, err := NewMultiServerSolver(m, opts)
+	if err != nil {
+		return nil, nil, err
 	}
-	for n := 1; n <= maxN; n++ {
-		if stop != nil {
-			if err := stop(n); err != nil {
-				return nil, nil, err
-			}
-		}
-		x, rTotal := multiServerStep(m, st, demands, n, opts.Verbatim, res.Residence[n-1])
-		commitRow(res, m, n, x, rTotal, demands, st)
-		if trace != nil {
-			trace.P[n-1] = append([]float64(nil), st.p[opts.TraceStation]...)
-		}
+	trace := s.Trace()
+	res, err := runToCompletion(ctx, s, maxN)
+	if err != nil {
+		return nil, nil, err
 	}
 	return res, trace, nil
 }

@@ -39,6 +39,52 @@ func validateRun(m *queueing.Model, n int) error {
 	return nil
 }
 
+// exactStepper is the per-population body of Algorithm 1. Its only recursion
+// state is the previous step's queue-length vector.
+type exactStepper struct {
+	m *queueing.Model
+	q []float64 // Q_k at the previous population
+}
+
+func (e *exactStepper) step(res *Result, n int, _ func(int) error) error {
+	m, q := e.m, e.q
+	rTotal := 0.0
+	resid := res.Residence[n-1]
+	for i, st := range m.Stations {
+		if st.Kind == queueing.Delay {
+			resid[i] = st.Demand()
+		} else {
+			resid[i] = st.Demand() * (1 + q[i])
+		}
+		rTotal += resid[i]
+	}
+	x := float64(n) / (rTotal + m.ThinkTime)
+	for i, st := range m.Stations {
+		q[i] = x * resid[i]
+		res.QueueLen[n-1][i] = q[i]
+		res.Util[n-1][i] = stationUtil(st, x)
+		res.Demands[n-1][i] = st.Demand()
+	}
+	res.X[n-1] = x
+	res.R[n-1] = rTotal
+	res.Cycle[n-1] = rTotal + m.ThinkTime
+	return nil
+}
+
+func (e *exactStepper) release() {
+	putVec(e.q)
+	e.q = nil
+}
+
+// NewExactMVASolver returns a resumable Algorithm-1 solver for m.
+func NewExactMVASolver(m *queueing.Model) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return newSolver("exact-mva", newEmptyResult("exact-mva", m, 0),
+		&exactStepper{m: m, q: getVec(len(m.Stations))}), nil
+}
+
 // ExactMVA solves the closed network with the exact single-server MVA
 // (paper Algorithm 1): for each population step
 //
@@ -60,38 +106,11 @@ func exactMVA(ctx context.Context, m *queueing.Model, maxN int) (*Result, error)
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
-	stop := stepCancel(ctx)
-	k := len(m.Stations)
-	res := newResult("exact-mva", m, maxN)
-	q := make([]float64, k)
-	for n := 1; n <= maxN; n++ {
-		if stop != nil {
-			if err := stop(n); err != nil {
-				return nil, err
-			}
-		}
-		rTotal := 0.0
-		resid := res.Residence[n-1]
-		for i, st := range m.Stations {
-			if st.Kind == queueing.Delay {
-				resid[i] = st.Demand()
-			} else {
-				resid[i] = st.Demand() * (1 + q[i])
-			}
-			rTotal += resid[i]
-		}
-		x := float64(n) / (rTotal + m.ThinkTime)
-		for i, st := range m.Stations {
-			q[i] = x * resid[i]
-			res.QueueLen[n-1][i] = q[i]
-			res.Util[n-1][i] = stationUtil(st, x)
-			res.Demands[n-1][i] = st.Demand()
-		}
-		res.X[n-1] = x
-		res.R[n-1] = rTotal
-		res.Cycle[n-1] = rTotal + m.ThinkTime
+	s, err := NewExactMVASolver(m)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return runToCompletion(ctx, s, maxN)
 }
 
 // NormalizeServers returns a copy of the model in which every multi-server
@@ -127,6 +146,77 @@ func (o *SchweitzerOptions) defaults() {
 	}
 }
 
+// schweitzerStepper solves each population's fixed point independently (the
+// balanced initial guess makes every step self-contained, so the "recursion
+// state" is just reusable scratch).
+type schweitzerStepper struct {
+	m    *queueing.Model
+	opts SchweitzerOptions
+	q    []float64
+}
+
+func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error) error {
+	m, q := s.m, s.q
+	k := len(m.Stations)
+	// Start from the balanced initial guess Q_k = n/K.
+	for i := range q {
+		q[i] = float64(n) / float64(k)
+	}
+	var x, rTotal float64
+	converged := false
+	for iter := 0; iter < s.opts.MaxIter; iter++ {
+		rTotal = 0
+		resid := res.Residence[n-1]
+		for i, st := range m.Stations {
+			if st.Kind == queueing.Delay {
+				resid[i] = st.Demand()
+			} else {
+				arr := float64(n-1) / float64(n) * q[i]
+				resid[i] = st.Demand() * (1 + arr)
+			}
+			rTotal += resid[i]
+		}
+		x = float64(n) / (rTotal + m.ThinkTime)
+		worst := 0.0
+		for i := range m.Stations {
+			nq := x * resid[i]
+			worst = math.Max(worst, math.Abs(nq-q[i])/math.Max(q[i], 1e-12))
+			q[i] = nq
+		}
+		if worst < s.opts.Tol {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return fmt.Errorf("%w: schweitzer did not converge at n=%d", ErrBadRun, n)
+	}
+	for i, st := range m.Stations {
+		res.QueueLen[n-1][i] = q[i]
+		res.Util[n-1][i] = stationUtil(st, x)
+		res.Demands[n-1][i] = st.Demand()
+	}
+	res.X[n-1] = x
+	res.R[n-1] = rTotal
+	res.Cycle[n-1] = rTotal + m.ThinkTime
+	return nil
+}
+
+func (s *schweitzerStepper) release() {
+	putVec(s.q)
+	s.q = nil
+}
+
+// NewSchweitzerSolver returns a resumable Bard–Schweitzer solver for m.
+func NewSchweitzerSolver(m *queueing.Model, opts SchweitzerOptions) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	return newSolver("schweitzer-amva", newEmptyResult("schweitzer-amva", m, 0),
+		&schweitzerStepper{m: m, opts: opts, q: getVec(len(m.Stations))}), nil
+}
+
 // Schweitzer solves the network with the Bard–Schweitzer approximate MVA:
 // the exact arrival theorem term Q_k(n−1) is approximated by
 //
@@ -144,58 +234,9 @@ func schweitzer(ctx context.Context, m *queueing.Model, maxN int, opts Schweitze
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
-	opts.defaults()
-	stop := stepCancel(ctx)
-	res := newResult("schweitzer-amva", m, maxN)
-	k := len(m.Stations)
-	for n := 1; n <= maxN; n++ {
-		if stop != nil {
-			if err := stop(n); err != nil {
-				return nil, err
-			}
-		}
-		// Start from the balanced initial guess Q_k = n/K.
-		q := make([]float64, k)
-		for i := range q {
-			q[i] = float64(n) / float64(k)
-		}
-		var x, rTotal float64
-		converged := false
-		for iter := 0; iter < opts.MaxIter; iter++ {
-			rTotal = 0
-			resid := res.Residence[n-1]
-			for i, st := range m.Stations {
-				if st.Kind == queueing.Delay {
-					resid[i] = st.Demand()
-				} else {
-					arr := float64(n-1) / float64(n) * q[i]
-					resid[i] = st.Demand() * (1 + arr)
-				}
-				rTotal += resid[i]
-			}
-			x = float64(n) / (rTotal + m.ThinkTime)
-			worst := 0.0
-			for i := range m.Stations {
-				nq := x * resid[i]
-				worst = math.Max(worst, math.Abs(nq-q[i])/math.Max(q[i], 1e-12))
-				q[i] = nq
-			}
-			if worst < opts.Tol {
-				converged = true
-				break
-			}
-		}
-		if !converged {
-			return nil, fmt.Errorf("%w: schweitzer did not converge at n=%d", ErrBadRun, n)
-		}
-		for i, st := range m.Stations {
-			res.QueueLen[n-1][i] = q[i]
-			res.Util[n-1][i] = stationUtil(st, x)
-			res.Demands[n-1][i] = st.Demand()
-		}
-		res.X[n-1] = x
-		res.R[n-1] = rTotal
-		res.Cycle[n-1] = rTotal + m.ThinkTime
+	s, err := NewSchweitzerSolver(m, opts)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return runToCompletion(ctx, s, maxN)
 }

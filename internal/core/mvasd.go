@@ -35,6 +35,112 @@ func (o *MVASDOptions) defaults() {
 	}
 }
 
+// validateDemandModel performs the MVASD-specific entry checks.
+func validateDemandModel(m *queueing.Model, dm DemandModel) error {
+	if dm == nil {
+		return fmt.Errorf("%w: nil demand model", ErrBadRun)
+	}
+	if dm.Stations() != len(m.Stations) {
+		return fmt.Errorf("%w: demand model covers %d stations, model has %d",
+			ErrBadRun, dm.Stations(), len(m.Stations))
+	}
+	return nil
+}
+
+// mvasdStepper is the resumable form of Algorithm 3. In throughput mode each
+// step runs its fixed point on the trial state double-buffer, so the
+// committed state is only advanced by a converged step — a failed or
+// cancelled step leaves the prefix resumable.
+type mvasdStepper struct {
+	m     *queueing.Model
+	dm    DemandModel
+	opts  MVASDOptions
+	st    *multiServerState
+	trial *multiServerState // fixed-point scratch, reused every iteration
+	dems  []float64
+	x     float64 // previous step's throughput: warm start for the fixed point
+}
+
+func (s *mvasdStepper) step(res *Result, n int, stop func(int) error) error {
+	m, dm, demands := s.m, s.dm, s.dems
+	if !dm.DependsOnThroughput() {
+		for k := range demands {
+			demands[k] = dm.DemandAt(k, n, 0)
+		}
+		xn, rTotal := multiServerStep(m, s.st, demands, n, s.opts.Verbatim, res.Residence[n-1])
+		commitRow(res, m, n, xn, rTotal, demands, s.st)
+		s.x = xn
+		return nil
+	}
+	// Fixed point: demands depend on the throughput this step produces.
+	guess := s.x
+	if guess <= 0 {
+		// Cold start: optimistic zero-queue estimate at n=1 demands.
+		for k := range demands {
+			demands[k] = dm.DemandAt(k, n, 0)
+		}
+		sum := 0.0
+		for _, d := range demands {
+			sum += d
+		}
+		guess = float64(n) / (sum + m.ThinkTime)
+	}
+	for iter := 0; iter < s.opts.FixedPointMaxIter; iter++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return err
+			}
+		}
+		for k := range demands {
+			demands[k] = dm.DemandAt(k, n, guess)
+		}
+		s.trial.copyFrom(s.st)
+		xn, rTotal := multiServerStep(m, s.trial, demands, n, s.opts.Verbatim, res.Residence[n-1])
+		if math.Abs(xn-guess) <= s.opts.FixedPointTol*math.Max(guess, 1e-12) {
+			s.st, s.trial = s.trial, s.st
+			commitRow(res, m, n, xn, rTotal, demands, s.st)
+			s.x = xn
+			return nil
+		}
+		guess += s.opts.Damping * (xn - guess)
+	}
+	return fmt.Errorf("%w: demand/throughput fixed point did not converge at n=%d", ErrBadRun, n)
+}
+
+func (s *mvasdStepper) release() {
+	s.st.release()
+	if s.trial != nil {
+		s.trial.release()
+	}
+	putVec(s.dems)
+	s.dems = nil
+}
+
+// NewMVASDSolver returns a resumable Algorithm-3 solver: demands come from
+// dm at every population step (the model's station demands are ignored).
+func NewMVASDSolver(m *queueing.Model, dm DemandModel, opts MVASDOptions) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateDemandModel(m, dm); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	alg := &mvasdStepper{
+		m:    m,
+		dm:   dm,
+		opts: opts,
+		st:   newMultiServerState(m),
+		dems: getVec(len(m.Stations)),
+	}
+	name := "mvasd"
+	if dm.DependsOnThroughput() {
+		name = "mvasd-vs-throughput"
+		alg.trial = newMultiServerState(m)
+	}
+	return newSolver(name, newEmptyResult(name, m, 0), alg), nil
+}
+
 // MVASD solves the network with the paper's Algorithm 3: exact multi-server
 // MVA in which the service demand of every station is re-evaluated at each
 // population step from an interpolated array of measured demands,
@@ -55,77 +161,72 @@ func mvasd(ctx context.Context, m *queueing.Model, maxN int, dm DemandModel, opt
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
-	if dm == nil {
-		return nil, fmt.Errorf("%w: nil demand model", ErrBadRun)
+	s, err := NewMVASDSolver(m, dm, opts)
+	if err != nil {
+		return nil, err
 	}
-	if dm.Stations() != len(m.Stations) {
-		return nil, fmt.Errorf("%w: demand model covers %d stations, model has %d",
-			ErrBadRun, dm.Stations(), len(m.Stations))
+	return runToCompletion(ctx, s, maxN)
+}
+
+// mvasdSingleStepper is the Fig.-8 baseline step: eq. 8 with demands
+// normalised by the server count.
+type mvasdSingleStepper struct {
+	m    *queueing.Model
+	dm   DemandModel
+	q    []float64
+	dems []float64
+}
+
+func (s *mvasdSingleStepper) step(res *Result, n int, _ func(int) error) error {
+	m, dm, q, demands := s.m, s.dm, s.q, s.dems
+	rTotal := 0.0
+	resid := res.Residence[n-1]
+	for i, stn := range m.Stations {
+		demands[i] = dm.DemandAt(i, n, 0)
+		norm := demands[i] / float64(stn.Servers)
+		if stn.Kind == queueing.Delay {
+			resid[i] = demands[i]
+		} else {
+			resid[i] = norm * (1 + q[i])
+		}
+		rTotal += resid[i]
+	}
+	x := float64(n) / (rTotal + m.ThinkTime)
+	for i, stn := range m.Stations {
+		q[i] = x * resid[i]
+		res.QueueLen[n-1][i] = q[i]
+		if stn.Kind == queueing.Delay {
+			res.Util[n-1][i] = 0
+		} else {
+			res.Util[n-1][i] = math.Min(x*demands[i]/float64(stn.Servers), 1)
+		}
+		res.Demands[n-1][i] = demands[i]
+	}
+	res.X[n-1] = x
+	res.R[n-1] = rTotal
+	res.Cycle[n-1] = rTotal + m.ThinkTime
+	return nil
+}
+
+func (s *mvasdSingleStepper) release() {
+	putVec(s.q)
+	putVec(s.dems)
+	s.q, s.dems = nil, nil
+}
+
+// NewMVASDSingleServerSolver returns a resumable solver for the paper's
+// single-server MVASD baseline.
+func NewMVASDSingleServerSolver(m *queueing.Model, dm DemandModel, opts MVASDOptions) (*Solver, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateDemandModel(m, dm); err != nil {
+		return nil, err
 	}
 	opts.defaults()
-	stop := stepCancel(ctx)
-	res := newResult("mvasd", m, maxN)
-	st := newMultiServerState(m)
-	demands := make([]float64, len(m.Stations))
-	x := 0.0
-	for n := 1; n <= maxN; n++ {
-		if stop != nil {
-			if err := stop(n); err != nil {
-				return nil, err
-			}
-		}
-		if !dm.DependsOnThroughput() {
-			for k := range demands {
-				demands[k] = dm.DemandAt(k, n, 0)
-			}
-			xn, rTotal := multiServerStep(m, st, demands, n, opts.Verbatim, res.Residence[n-1])
-			commitRow(res, m, n, xn, rTotal, demands, st)
-			x = xn
-			continue
-		}
-		// Fixed point: demands depend on the throughput this step produces.
-		guess := x
-		if guess <= 0 {
-			// Cold start: optimistic zero-queue estimate at n=1 demands.
-			for k := range demands {
-				demands[k] = dm.DemandAt(k, n, 0)
-			}
-			sum := 0.0
-			for _, d := range demands {
-				sum += d
-			}
-			guess = float64(n) / (sum + m.ThinkTime)
-		}
-		var committed bool
-		for iter := 0; iter < opts.FixedPointMaxIter; iter++ {
-			if stop != nil {
-				if err := stop(n); err != nil {
-					return nil, err
-				}
-			}
-			for k := range demands {
-				demands[k] = dm.DemandAt(k, n, guess)
-			}
-			trial := st.clone()
-			xn, rTotal := multiServerStep(m, trial, demands, n, opts.Verbatim, res.Residence[n-1])
-			if math.Abs(xn-guess) <= opts.FixedPointTol*math.Max(guess, 1e-12) {
-				*st = *trial
-				commitRow(res, m, n, xn, rTotal, demands, st)
-				x = xn
-				committed = true
-				break
-			}
-			guess += opts.Damping * (xn - guess)
-		}
-		if !committed {
-			return nil, fmt.Errorf("%w: demand/throughput fixed point did not converge at n=%d", ErrBadRun, n)
-		}
-	}
-	res.Algorithm = "mvasd"
-	if dm.DependsOnThroughput() {
-		res.Algorithm = "mvasd-vs-throughput"
-	}
-	return res, nil
+	k := len(m.Stations)
+	return newSolver("mvasd-single-server", newEmptyResult("mvasd-single-server", m, 0),
+		&mvasdSingleStepper{m: m, dm: dm, q: getVec(k), dems: getVec(k)}), nil
 }
 
 // MVASDSingleServer is the paper's Fig.-8 baseline: the same varying-demand
@@ -141,51 +242,9 @@ func mvasdSingleServer(ctx context.Context, m *queueing.Model, maxN int, dm Dema
 	if err := validateRun(m, maxN); err != nil {
 		return nil, err
 	}
-	if dm == nil {
-		return nil, fmt.Errorf("%w: nil demand model", ErrBadRun)
+	s, err := NewMVASDSingleServerSolver(m, dm, opts)
+	if err != nil {
+		return nil, err
 	}
-	if dm.Stations() != len(m.Stations) {
-		return nil, fmt.Errorf("%w: demand model covers %d stations, model has %d",
-			ErrBadRun, dm.Stations(), len(m.Stations))
-	}
-	opts.defaults()
-	stop := stepCancel(ctx)
-	res := newResult("mvasd-single-server", m, maxN)
-	k := len(m.Stations)
-	q := make([]float64, k)
-	demands := make([]float64, k)
-	for n := 1; n <= maxN; n++ {
-		if stop != nil {
-			if err := stop(n); err != nil {
-				return nil, err
-			}
-		}
-		rTotal := 0.0
-		resid := res.Residence[n-1]
-		for i, stn := range m.Stations {
-			demands[i] = dm.DemandAt(i, n, 0)
-			norm := demands[i] / float64(stn.Servers)
-			if stn.Kind == queueing.Delay {
-				resid[i] = demands[i]
-			} else {
-				resid[i] = norm * (1 + q[i])
-			}
-			rTotal += resid[i]
-		}
-		x := float64(n) / (rTotal + m.ThinkTime)
-		for i, stn := range m.Stations {
-			q[i] = x * resid[i]
-			res.QueueLen[n-1][i] = q[i]
-			if stn.Kind == queueing.Delay {
-				res.Util[n-1][i] = 0
-			} else {
-				res.Util[n-1][i] = math.Min(x*demands[i]/float64(stn.Servers), 1)
-			}
-			res.Demands[n-1][i] = demands[i]
-		}
-		res.X[n-1] = x
-		res.R[n-1] = rTotal
-		res.Cycle[n-1] = rTotal + m.ThinkTime
-	}
-	return res, nil
+	return runToCompletion(ctx, s, maxN)
 }

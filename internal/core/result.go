@@ -16,6 +16,10 @@
 // All solvers return a Result holding the full X(n), R(n) trajectories plus
 // per-station queue lengths and utilizations, which the experiment layer
 // compares against "measured" load tests from the simulator.
+//
+// Every algorithm is also available in resumable form through the Solver
+// type: Run(n) solves to population n, a later Extend(n') continues the
+// recursion from the checkpointed state without re-solving the prefix.
 package core
 
 import (
@@ -27,6 +31,12 @@ import (
 
 // Result is the trajectory of a closed-network solution for populations
 // n = 1..N. Slices indexed by n use position n-1.
+//
+// The two-dimensional metrics are strided views into flat backing buffers so
+// a Solver can grow the trajectory geometrically: extending to a larger
+// population appends rows without copying or re-solving the prefix. The
+// public slice headers below are resliced on growth; rows already handed out
+// via Prefix keep pointing at their original backing and stay immutable.
 type Result struct {
 	// Algorithm names the solver that produced the result.
 	Algorithm string
@@ -56,36 +66,155 @@ type Result struct {
 	// Demands[i][k] is the service demand used at step i for station k —
 	// constant for classic MVA, varying for MVASD.
 	Demands [][]float64
+
+	// Growable backing. Each [][]float64 metric is a prefix of its row-header
+	// array (qRows etc.), whose rows are non-overlapping k-wide windows into
+	// one flat buffer. appendRow only reslices the public headers, so a step
+	// inside reserved capacity allocates nothing.
+	k       int // stations per row
+	capRows int // allocated population capacity
+
+	nBuf   []int
+	xBuf   []float64
+	rBuf   []float64
+	cycBuf []float64
+
+	qFlat, uFlat, resFlat, dFlat []float64
+	qRows, uRows, resRows, dRows [][]float64
 }
 
-// newResult allocates a Result for K stations and N population steps.
-func newResult(algorithm string, m *queueing.Model, n int) *Result {
+// newEmptyResult allocates a zero-length Result for m with room for capHint
+// population steps (0 means lazily allocate on the first appendRow).
+func newEmptyResult(algorithm string, m *queueing.Model, capHint int) *Result {
 	k := len(m.Stations)
 	r := &Result{
 		Algorithm:    algorithm,
 		ModelName:    m.Name,
 		ThinkTime:    m.ThinkTime,
 		StationNames: make([]string, k),
-		N:            make([]int, n),
-		X:            make([]float64, n),
-		R:            make([]float64, n),
-		Cycle:        make([]float64, n),
-		QueueLen:     make([][]float64, n),
-		Util:         make([][]float64, n),
-		Residence:    make([][]float64, n),
-		Demands:      make([][]float64, n),
+		k:            k,
 	}
 	for i, st := range m.Stations {
 		r.StationNames[i] = st.Name
 	}
-	for i := 0; i < n; i++ {
-		r.N[i] = i + 1
-		r.QueueLen[i] = make([]float64, k)
-		r.Util[i] = make([]float64, k)
-		r.Residence[i] = make([]float64, k)
-		r.Demands[i] = make([]float64, k)
+	if capHint > 0 {
+		r.reserve(capHint)
 	}
 	return r
+}
+
+// newResult allocates a Result for K stations with N materialized population
+// steps (rows zeroed, ready for direct writes by the legacy solver bodies).
+func newResult(algorithm string, m *queueing.Model, n int) *Result {
+	r := newEmptyResult(algorithm, m, n)
+	for i := 0; i < n; i++ {
+		r.appendRow()
+	}
+	return r
+}
+
+// reserve grows the backing buffers to hold at least n population steps.
+// Growth is geometric and allocates fresh buffers: rows previously exposed
+// through Prefix keep their old backing, so concurrent readers of a published
+// prefix never observe writes from a later extension.
+func (r *Result) reserve(n int) {
+	if n <= r.capRows {
+		return
+	}
+	newCap := 2 * r.capRows
+	if newCap < n {
+		newCap = n
+	}
+	if newCap < 8 {
+		newCap = 8
+	}
+	rows, k := len(r.N), r.k
+
+	nBuf := make([]int, newCap)
+	copy(nBuf, r.nBuf[:rows])
+	xBuf := make([]float64, newCap)
+	copy(xBuf, r.xBuf[:rows])
+	rBuf := make([]float64, newCap)
+	copy(rBuf, r.rBuf[:rows])
+	cycBuf := make([]float64, newCap)
+	copy(cycBuf, r.cycBuf[:rows])
+	r.nBuf, r.xBuf, r.rBuf, r.cycBuf = nBuf, xBuf, rBuf, cycBuf
+
+	grow := func(flat []float64) ([]float64, [][]float64) {
+		nf := make([]float64, newCap*k)
+		copy(nf, flat[:rows*k])
+		hdr := make([][]float64, newCap)
+		for i := range hdr {
+			hdr[i] = nf[i*k : (i+1)*k : (i+1)*k]
+		}
+		return nf, hdr
+	}
+	r.qFlat, r.qRows = grow(r.qFlat)
+	r.uFlat, r.uRows = grow(r.uFlat)
+	r.resFlat, r.resRows = grow(r.resFlat)
+	r.dFlat, r.dRows = grow(r.dFlat)
+
+	r.capRows = newCap
+	r.reslice(rows)
+}
+
+// reslice points the public views at the first n rows of the backing.
+func (r *Result) reslice(n int) {
+	r.N = r.nBuf[:n]
+	r.X = r.xBuf[:n]
+	r.R = r.rBuf[:n]
+	r.Cycle = r.cycBuf[:n]
+	r.QueueLen = r.qRows[:n]
+	r.Util = r.uRows[:n]
+	r.Residence = r.resRows[:n]
+	r.Demands = r.dRows[:n]
+}
+
+// appendRow exposes the next population row for the solver step to fill.
+// Within reserved capacity this is a pure reslice and allocates nothing.
+func (r *Result) appendRow() {
+	rows := len(r.N)
+	if rows == r.capRows {
+		r.reserve(rows + 1)
+	}
+	r.nBuf[rows] = rows + 1
+	r.reslice(rows + 1)
+}
+
+// truncate drops rows beyond population n (used to discard a failed step so
+// the completed prefix stays consistent and resumable).
+func (r *Result) truncate(n int) {
+	if n >= 0 && n < len(r.N) {
+		r.reslice(n)
+	}
+}
+
+// Len returns the number of solved population steps.
+func (r *Result) Len() int { return len(r.N) }
+
+// Prefix returns a read-only view of the first n population steps. The view
+// shares row storage with r but is safe against later extensions: appends
+// within capacity only touch rows ≥ n, and growth reallocates, leaving the
+// view's backing untouched. Mutating a view corrupts the parent; treat it as
+// immutable.
+func (r *Result) Prefix(n int) (*Result, error) {
+	if n < 1 || n > len(r.N) {
+		return nil, fmt.Errorf("core: prefix %d outside solved range 1..%d", n, len(r.N))
+	}
+	return &Result{
+		Algorithm:    r.Algorithm,
+		ModelName:    r.ModelName,
+		ThinkTime:    r.ThinkTime,
+		StationNames: r.StationNames,
+		N:            r.N[:n:n],
+		X:            r.X[:n:n],
+		R:            r.R[:n:n],
+		Cycle:        r.Cycle[:n:n],
+		QueueLen:     r.QueueLen[:n:n],
+		Util:         r.Util[:n:n],
+		Residence:    r.Residence[:n:n],
+		Demands:      r.Demands[:n:n],
+	}, nil
 }
 
 // At returns the (X, R, Cycle) triple at population n, or an error if n is

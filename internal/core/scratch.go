@@ -1,0 +1,31 @@
+package core
+
+import "sync"
+
+// vecPool recycles the float64 scratch vectors that back solver recursion
+// state (queue lengths, demand rows, marginal-probability rows). Solvers are
+// created per request in the service; pooling keeps a steady-state workload
+// from allocating fresh state on every solve. Vectors are boxed as *[]float64
+// so Put does not allocate an interface header per call.
+var vecPool sync.Pool
+
+// getVec returns a zeroed scratch vector of length n, reusing pooled
+// capacity when possible.
+func getVec(n int) []float64 {
+	if p, ok := vecPool.Get().(*[]float64); ok && cap(*p) >= n {
+		v := (*p)[:n]
+		clear(v)
+		return v
+	}
+	return make([]float64, n)
+}
+
+// putVec returns a vector obtained from getVec to the pool. The caller must
+// not use v afterwards.
+func putVec(v []float64) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:0]
+	vecPool.Put(&v)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// stepper is the per-population step of one MVA variant. step solves
+// population n (rows < n are already committed, res.Residence[n-1] and
+// friends are ready to be filled) and mutates the stepper's own recursion
+// state only on success, so a failed or cancelled step can be retried.
+// stop is the per-step cancellation probe (nil when non-cancellable); only
+// steppers with inner fixed-point loops consult it.
+type stepper interface {
+	step(res *Result, n int, stop func(int) error) error
+	// release returns pooled scratch. The stepper must not be used after.
+	release()
+}
+
+// Solver is a resumable MVA engine: it owns the recursion state of one
+// algorithm over one model and grows its Result trajectory incrementally.
+//
+//	s, _ := NewExactMVASolver(m)
+//	s.Run(100)     // solves n = 1..100
+//	s.Extend(1500) // continues from the checkpoint: solves only 101..1500
+//
+// Extending never re-solves or copies the prefix, and the trajectory is
+// bit-identical to a cold solve at the final population: the population
+// recursion depends only on the previous step's state, never on the target.
+//
+// A Solver is not safe for concurrent use. Release returns its scratch
+// buffers to the package pool; the Result remains valid afterwards.
+type Solver struct {
+	res      *Result
+	alg      stepper
+	released bool
+}
+
+func newSolver(algorithm string, res *Result, alg stepper) *Solver {
+	res.Algorithm = algorithm
+	return &Solver{res: res, alg: alg}
+}
+
+// N returns the largest population solved so far (0 for a fresh solver).
+func (s *Solver) N() int { return s.res.Len() }
+
+// Result returns the trajectory solved so far. The same Result is grown in
+// place by later Run/Extend calls; use Result().Prefix(n) for a stable
+// snapshot.
+func (s *Solver) Result() *Result { return s.res }
+
+// Reserve pre-allocates trajectory capacity for n population steps so
+// subsequent steps inside that capacity allocate nothing.
+func (s *Solver) Reserve(n int) {
+	if n > 0 {
+		s.res.reserve(n)
+	}
+}
+
+// Run solves the recursion up to population maxN. Populations already solved
+// are kept as-is; Run(maxN ≤ N()) is a no-op. Run is resumable: after an
+// error (including cancellation in RunContext) the completed prefix remains
+// valid and a later call continues from it.
+func (s *Solver) Run(maxN int) error { return s.RunContext(context.Background(), maxN) }
+
+// Extend is Run, named for the resuming call site.
+func (s *Solver) Extend(maxN int) error { return s.RunContext(context.Background(), maxN) }
+
+// RunContext is Run with per-population-step cancellation (and, for MVASD's
+// throughput mode, per-fixed-point-iteration cancellation).
+func (s *Solver) RunContext(ctx context.Context, maxN int) error {
+	if s.released {
+		return fmt.Errorf("%w: solver already released", ErrBadRun)
+	}
+	if maxN < 1 {
+		return fmt.Errorf("%w: population %d", ErrBadRun, maxN)
+	}
+	if maxN <= s.res.Len() {
+		return nil
+	}
+	stop := stepCancel(ctx)
+	s.res.reserve(maxN)
+	for n := s.res.Len() + 1; n <= maxN; n++ {
+		if stop != nil {
+			if err := stop(n); err != nil {
+				return err
+			}
+		}
+		s.res.appendRow()
+		if err := s.alg.step(s.res, n, stop); err != nil {
+			s.res.truncate(n - 1)
+			return err
+		}
+	}
+	return nil
+}
+
+// Release returns the solver's scratch state to the package pool. The
+// trajectory in Result stays valid; the solver itself must not be run again.
+// Release is idempotent.
+func (s *Solver) Release() {
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	s.alg.release()
+}
+
+// Trace returns the marginal-probability trace of a multi-server solver
+// built with MultiServerOptions.TraceStation ≥ 0, or nil for every other
+// configuration. The trace grows together with the trajectory.
+func (s *Solver) Trace() *MarginalTrace {
+	if ms, ok := s.alg.(*multiServerStepper); ok {
+		return ms.trace
+	}
+	return nil
+}
+
+// runToCompletion is the shared body of the one-shot solver entry points:
+// reserve, run under ctx, release scratch, and surface the Result only on
+// success.
+func runToCompletion(ctx context.Context, s *Solver, maxN int) (*Result, error) {
+	defer s.Release()
+	s.Reserve(maxN)
+	if err := s.RunContext(ctx, maxN); err != nil {
+		return nil, err
+	}
+	return s.Result(), nil
+}

@@ -9,9 +9,11 @@ package modelio
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/core"
@@ -114,23 +116,36 @@ func (r *SolveRequest) DemandModel() (core.DemandModel, error) {
 }
 
 // cacheableSolve is the canonical key material: everything that changes the
-// solver's answer, and nothing that doesn't (timeout, decimation).
+// solver's *recursion*, and nothing that doesn't. MaxN is deliberately
+// excluded — the population recursion at n depends only on n' < n, so one
+// cached trajectory answers every request for the same model at any maxN
+// (serving smaller maxN from the prefix, extending in place for larger).
+// Timeout and decimation bound work and shape output, not the answer.
 type cacheableSolve struct {
 	Algorithm string
 	Model     *queueing.Model
 	Samples   *SamplesFile `json:",omitempty"`
-	MaxN      int
 	Interp    string
 }
 
-// CacheKey returns a canonical hash of (algorithm, model, samples, interp,
-// maxN) — the solve-cache key. Call Normalize first so defaulted and
+// CacheKey returns a canonical hash of (algorithm, model, samples, interp) —
+// the solve-cache key. Requests that differ only in maxN share a key by
+// design (see cacheableSolve). Call Normalize first so defaulted and
 // explicitly spelled-out requests hash identically.
 func (r *SolveRequest) CacheKey() (string, error) {
+	b, err := r.keyBytes()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// keyBytes is the canonical serialization behind CacheKey.
+func (r *SolveRequest) keyBytes() ([]byte, error) {
 	c := cacheableSolve{
 		Algorithm: r.Algorithm,
 		Model:     r.Model,
-		MaxN:      r.MaxN,
 		Interp:    r.Interp,
 	}
 	if r.NeedsSamples() {
@@ -140,10 +155,9 @@ func (r *SolveRequest) CacheKey() (string, error) {
 	// types deterministically, so the encoding is canonical.
 	b, err := json.Marshal(c)
 	if err != nil {
-		return "", fmt.Errorf("modelio: cache key: %w", err)
+		return nil, fmt.Errorf("modelio: cache key: %w", err)
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:]), nil
+	return b, nil
 }
 
 // Trajectory is the compact solve output: the X(n)/R(n) curves plus the
@@ -321,6 +335,89 @@ func (r *SweepRequest) PointRequest(p GridPoint) *SolveRequest {
 	req := r.SolveRequest
 	req.Model = &m
 	return &req
+}
+
+// SweepGroup is one solve's worth of a planned sweep: the expanded grid
+// points (by index) that resolve to the same model. Populations are not a
+// grid axis — every member is answered from one trajectory solved to the
+// sweep's MaxN — so points that differ only in population (or in a server
+// override equal to the model's own count) collapse into one group.
+type SweepGroup struct {
+	// Point is the representative grid point (the first member in Expand
+	// order); PointRequest(Point) is the group's solve.
+	Point GridPoint
+	// Members are indices into the expanded grid, in Expand order.
+	Members []int
+}
+
+// PlanSweep groups the expanded grid points of r by resolved model identity:
+// think time plus the fully resolved per-station server counts. Groups are
+// returned in first-appearance (Expand) order.
+func (r *SweepRequest) PlanSweep(points []GridPoint) []SweepGroup {
+	index := make(map[string]int, len(points))
+	var groups []SweepGroup
+	var sig []byte
+	for i, p := range points {
+		sig = r.appendPointSignature(sig[:0], p)
+		g, ok := index[string(sig)]
+		if !ok {
+			g = len(groups)
+			index[string(sig)] = g
+			groups = append(groups, SweepGroup{Point: p})
+		}
+		groups[g].Members = append(groups[g].Members, i)
+	}
+	return groups
+}
+
+// appendPointSignature appends the resolved identity of a grid point: the
+// think time's bit pattern and every station's effective server count. Two
+// points with equal signatures yield identical PointRequest models.
+func (r *SweepRequest) appendPointSignature(sig []byte, p GridPoint) []byte {
+	var u [8]byte
+	binary.BigEndian.PutUint64(u[:], math.Float64bits(p.ThinkTime))
+	sig = append(sig, u[:]...)
+	for _, st := range r.Model.Stations {
+		c := st.Servers
+		if o, ok := p.Servers[st.Name]; ok {
+			c = o
+		}
+		binary.BigEndian.PutUint64(u[:], uint64(c))
+		sig = append(sig, u[:]...)
+	}
+	return sig
+}
+
+// SweepKeyBase caches the expensive part of a sweep's cache keys: the hash
+// of (algorithm, interp, samples, base model) is computed once per request,
+// and each group's key mixes in only its resolved point signature — instead
+// of re-serializing the shared model (and sample arrays) for every grid
+// point.
+type SweepKeyBase struct {
+	req  *SweepRequest
+	base [sha256.Size]byte
+}
+
+// KeyBase canonicalizes the sweep's shared key material. Call after
+// Normalize.
+func (r *SweepRequest) KeyBase() (*SweepKeyBase, error) {
+	b, err := r.SolveRequest.keyBytes()
+	if err != nil {
+		return nil, err
+	}
+	return &SweepKeyBase{req: r, base: sha256.Sum256(b)}, nil
+}
+
+// GroupKey returns the cache key of one planned group's solve. Keys are
+// domain-separated from plain CacheKey hashes: a sweep group and a /v1/solve
+// request for the same resolved model cache independently (the delta-hash
+// construction trades that overlap for never re-serializing the base model).
+func (k *SweepKeyBase) GroupKey(p GridPoint) string {
+	h := sha256.New()
+	h.Write([]byte("sweep-point\x00"))
+	h.Write(k.base[:])
+	h.Write(k.req.appendPointSignature(nil, p))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // SweepRow is one reported population of one grid point.

@@ -81,13 +81,15 @@ func TestCacheKeyCanonical(t *testing.T) {
 		t.Errorf("timeout/every/defaulting changed the cache key: %s vs %s", ka, kb)
 	}
 
+	// maxN is deliberately NOT key material: the cached trajectory serves
+	// any population via its prefix or an in-place extension.
 	c := &SolveRequest{Model: apiTestModel(), MaxN: 51}
 	if err := c.Normalize(); err != nil {
 		t.Fatal(err)
 	}
 	kc, _ := c.CacheKey()
-	if kc == ka {
-		t.Error("different maxN hashed to the same key")
+	if kc != ka {
+		t.Error("maxN changed the cache key; prefix reuse requires maxN-independent keys")
 	}
 
 	// Samples participate in the key only for sample-consuming algorithms.
@@ -181,6 +183,117 @@ func TestSweepExpand(t *testing.T) {
 	}
 	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Errorf("unknown sweep station accepted: %v", err)
+	}
+}
+
+func TestPlanSweepGroupsByResolvedModel(t *testing.T) {
+	r := &SweepRequest{
+		SolveRequest: SolveRequest{Model: apiTestModel()},
+		Populations:  []int{50, 100},
+		ThinkTimes:   []float64{1, 2},
+		// 4 and the explicit base count resolve identically: the axis has
+		// only two *distinct* models per think time.
+		Servers: map[string][]int{"app/cpu": {2, 4}},
+	}
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	points, err := r.Expand(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("grid size %d, want 4", len(points))
+	}
+	groups := r.PlanSweep(points)
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d, want 4 (2 thinks × 2 server counts)", len(groups))
+	}
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		for _, i := range g.Members {
+			if seen[i] {
+				t.Fatalf("point %d appears in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(points) {
+		t.Fatalf("planner covered %d of %d points", len(seen), len(points))
+	}
+
+	// An override equal to the base model's server count collapses with the
+	// no-override point, and duplicated axis values collapse too.
+	dup := &SweepRequest{
+		SolveRequest: SolveRequest{Model: apiTestModel()},
+		Populations:  []int{10},
+		Servers:      map[string][]int{"app/cpu": {4, 4, 8}},
+	}
+	if err := dup.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	dupPoints, err := dup.Expand(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dupGroups := dup.PlanSweep(dupPoints)
+	if len(dupGroups) != 2 {
+		t.Fatalf("duplicate axis values: %d groups, want 2", len(dupGroups))
+	}
+	if len(dupGroups[0].Members) != 2 {
+		t.Errorf("collapsed group members = %v, want the two identical points", dupGroups[0].Members)
+	}
+}
+
+func TestSweepKeyBase(t *testing.T) {
+	r := &SweepRequest{
+		SolveRequest: SolveRequest{Model: apiTestModel()},
+		Populations:  []int{50},
+		ThinkTimes:   []float64{1, 2},
+		Servers:      map[string][]int{"app/cpu": {2, 4}},
+	}
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	kb, err := r.KeyBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := r.Expand(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]int)
+	for i, p := range points {
+		keys[kb.GroupKey(p)] = i
+	}
+	if len(keys) != len(points) {
+		t.Fatalf("distinct points share keys: %d keys for %d points", len(keys), len(points))
+	}
+	// Identical resolved points produce identical keys across calls.
+	if kb.GroupKey(points[0]) != kb.GroupKey(points[0]) {
+		t.Error("GroupKey is not deterministic")
+	}
+	// An override equal to the base count keys the same as no override.
+	same := GridPoint{ThinkTime: 1, Servers: map[string]int{"app/cpu": 4}}
+	bare := GridPoint{ThinkTime: 1}
+	if kb.GroupKey(same) != kb.GroupKey(bare) {
+		t.Error("base-equal server override changed the key")
+	}
+	// A different base model (or algorithm) changes every key.
+	other := &SweepRequest{
+		SolveRequest: SolveRequest{Model: apiTestModel(), Algorithm: AlgoExact},
+		Populations:  []int{50},
+	}
+	if err := other.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	okb, err := other.KeyBase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okb.GroupKey(bare) == kb.GroupKey(bare) {
+		t.Error("different algorithm produced the same group key")
 	}
 }
 

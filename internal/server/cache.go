@@ -4,40 +4,56 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
 
-// solveCache is the LRU solve cache with singleflight deduplication: results
-// are keyed by the canonical request hash (modelio.SolveRequest.CacheKey),
-// and concurrent identical requests share one solver run instead of racing.
-// Results are immutable once cached — handlers only read them.
+// solveCache is the prefix-reusing LRU solve cache. Entries are keyed by the
+// canonical request hash *without* the population (modelio.SolveRequest
+// .CacheKey / SweepKeyBase.GroupKey): one entry owns a resumable core.Solver
+// whose trajectory answers every maxN for that model —
+//
+//   - maxN ≤ cached N: served lock-free from the published prefix snapshot,
+//   - maxN > cached N: the solver is extended in place under the entry's
+//     lock (which doubles as singleflight: concurrent identical requests
+//     queue behind one extension and then hit the refreshed snapshot).
+//
+// Snapshots are immutable core.Result prefix views; extension only writes
+// rows beyond every published snapshot and capacity growth reallocates, so
+// readers never observe a write.
 type solveCache struct {
-	mu     sync.Mutex
-	max    int                      // entry cap; <= 0 disables storage (dedup still applies)
-	ll     *list.List               // front = most recently used, of *cacheEntry
-	items  map[string]*list.Element // key → element
-	flight map[string]*flightCall   // key → in-progress solve
+	mu    sync.Mutex
+	max   int                    // entry cap; <= 0 disables storage (dedup still applies)
+	ll    *list.List             // front = most recently used, of *cacheEntry
+	items map[string]*cacheEntry // key → entry (transient when disabled)
 }
 
 type cacheEntry struct {
 	key string
-	res *core.Result
-}
+	el  *list.Element // nil when the cache is disabled (transient entry)
 
-// flightCall is one in-progress solve; followers block on done.
-type flightCall struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
+	// lock serializes build/extend on the solver (cap-1 channel so waiting
+	// respects the caller's context). The solver field is only touched while
+	// holding it.
+	lock   chan struct{}
+	solver *core.Solver
+
+	// traj is the published trajectory: a stable prefix snapshot covering
+	// every solved population, readable without the entry lock.
+	traj atomic.Pointer[core.Result]
+
+	// evicted marks an entry removed from the LRU; lock holders release the
+	// solver's scratch on their way out and lock waiters retry on a fresh
+	// entry.
+	evicted atomic.Bool
 }
 
 func newSolveCache(max int) *solveCache {
 	return &solveCache{
-		max:    max,
-		ll:     list.New(),
-		items:  make(map[string]*list.Element),
-		flight: make(map[string]*flightCall),
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*cacheEntry),
 	}
 }
 
@@ -48,63 +64,154 @@ func (c *solveCache) len() int {
 	return c.ll.Len()
 }
 
-// do returns the cached result for key, or computes it with fn exactly once
-// across concurrent callers. hit is true when the result came from the cache
-// or from another caller's in-flight solve. Errors are never cached; a
-// follower whose leader failed with a cancellation error retries with its own
-// context rather than inheriting the leader's deadline.
-func (c *solveCache) do(ctx context.Context, key string, fn func() (*core.Result, error)) (res *core.Result, hit bool, err error) {
-	for {
-		c.mu.Lock()
-		if el, ok := c.items[key]; ok {
-			c.ll.MoveToFront(el)
-			res := el.Value.(*cacheEntry).res
-			c.mu.Unlock()
-			return res, true, nil
+// lookup returns the entry for key, creating it if needed. Created entries
+// enter the LRU immediately (evicting past the cap) so concurrent requests
+// converge on one entry; an entry that never produces a trajectory is
+// removed again by finish.
+func (c *solveCache) lookup(key string) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		if e.el != nil {
+			c.ll.MoveToFront(e.el)
 		}
-		if fc, ok := c.flight[key]; ok {
-			c.mu.Unlock()
-			select {
-			case <-fc.done:
-				if fc.err == nil {
-					return fc.res, true, nil
-				}
-				if ctx.Err() != nil {
-					return nil, false, context.Cause(ctx)
-				}
-				continue // leader failed but we can still try
-			case <-ctx.Done():
-				return nil, false, context.Cause(ctx)
-			}
+		return e
+	}
+	e := &cacheEntry{key: key, lock: make(chan struct{}, 1)}
+	c.items[key] = e
+	if c.max > 0 {
+		e.el = c.ll.PushFront(e)
+		for c.ll.Len() > c.max {
+			c.evictLRU()
 		}
-		fc := &flightCall{done: make(chan struct{})}
-		c.flight[key] = fc
-		c.mu.Unlock()
+	}
+	return e
+}
 
-		res, err := fn()
-		c.mu.Lock()
-		delete(c.flight, key)
-		if err == nil && c.max > 0 {
-			c.store(key, res)
+// evictLRU removes the tail entry (mu held). The solver's scratch is
+// reclaimed here when the entry is idle; otherwise the current lock holder
+// reclaims it in unlockEntry.
+func (c *solveCache) evictLRU() {
+	back := c.ll.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*cacheEntry)
+	c.ll.Remove(back)
+	delete(c.items, e.key)
+	e.evicted.Store(true)
+	select {
+	case e.lock <- struct{}{}: // idle: reclaim now
+		c.unlockEntry(e)
+	default: // busy: the holder's unlockEntry reclaims
+	}
+}
+
+// unlockEntry releases the entry lock, first returning an evicted entry's
+// solver scratch to the pool (safe: we hold the lock, and no later caller
+// can reach the solver — lock waiters see evicted and retry elsewhere).
+func (c *solveCache) unlockEntry(e *cacheEntry) {
+	if e.evicted.Load() && e.solver != nil {
+		e.solver.Release()
+		e.solver = nil
+	}
+	<-e.lock
+}
+
+// drop removes an entry that failed before producing any trajectory, so
+// errors are not cached (mu taken here).
+func (c *solveCache) drop(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.items[e.key]; ok && cur == e {
+		delete(c.items, e.key)
+		if e.el != nil {
+			c.ll.Remove(e.el)
 		}
-		c.mu.Unlock()
-		fc.res, fc.err = res, err
-		close(fc.done)
+		e.evicted.Store(true)
+	}
+}
+
+// do answers a solve for key at population maxN. build constructs the
+// entry's resumable solver on first use; run executes/extends it to maxN
+// (acquiring the worker pool and threading ctx). hit reports that the
+// request was answered without running the solver — from the published
+// prefix or from a concurrent caller's completed run.
+func (c *solveCache) do(ctx context.Context, key string, maxN int,
+	build func() (*core.Solver, error),
+	run func(ctx context.Context, s *core.Solver, maxN int) error,
+) (res *core.Result, hit bool, err error) {
+	for {
+		e := c.lookup(key)
+		// Lock-free fast path: the published snapshot already covers maxN.
+		if t := e.traj.Load(); t != nil && t.Len() >= maxN {
+			res, err := t.Prefix(maxN)
+			return res, true, err
+		}
+		select {
+		case e.lock <- struct{}{}:
+		case <-ctx.Done():
+			return nil, false, context.Cause(ctx)
+		}
+		if e.evicted.Load() {
+			// Evicted while we waited; retry on a fresh entry.
+			c.unlockEntry(e)
+			continue
+		}
+		// Recheck under the lock: a concurrent leader may have extended far
+		// enough while we waited — that shared run counts as a hit.
+		if t := e.traj.Load(); t != nil && t.Len() >= maxN {
+			c.unlockEntry(e)
+			res, err := t.Prefix(maxN)
+			return res, true, err
+		}
+		if e.solver == nil {
+			s, err := build()
+			if err != nil {
+				c.finish(e, false)
+				return nil, false, err
+			}
+			e.solver = s
+		}
+		runErr := run(ctx, e.solver, maxN)
+		// Publish whatever progress was made — a partial trajectory still
+		// serves smaller populations and resumes on retry. Errors are never
+		// published: an entry with no progress is dropped.
+		progressed := false
+		if n := e.solver.N(); n > 0 {
+			if t := e.traj.Load(); t == nil || n > t.Len() {
+				if snap, err := e.solver.Result().Prefix(n); err == nil {
+					e.traj.Store(snap)
+				}
+			}
+			progressed = true
+		}
+		c.finish(e, progressed)
+		if runErr != nil {
+			return nil, false, runErr
+		}
+		res, err := e.traj.Load().Prefix(maxN)
 		return res, false, err
 	}
 }
 
-// store inserts key (mu held), evicting from the LRU tail past the cap.
-func (c *solveCache) store(key string, res *core.Result) {
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
-		return
+// finish ends a leader's turn: transient entries (disabled cache) and
+// entries that never made progress leave the map so errors are not cached
+// and the disabled cache stores nothing.
+func (c *solveCache) finish(e *cacheEntry, progressed bool) {
+	if e.el == nil || !progressed {
+		if e.el == nil {
+			// Disabled cache: the solver is abandoned to the GC un-Released —
+			// a concurrent waiter may still be about to extend it.
+			c.mu.Lock()
+			if cur, ok := c.items[e.key]; ok && cur == e {
+				delete(c.items, e.key)
+			}
+			c.mu.Unlock()
+			<-e.lock
+			return
+		}
+		c.drop(e)
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
-	for c.ll.Len() > c.max {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*cacheEntry).key)
-	}
+	c.unlockEntry(e)
 }

@@ -10,38 +10,58 @@ import (
 	"repro/internal/core"
 )
 
-func dummyResult(tag string) *core.Result {
-	return &core.Result{Algorithm: tag}
+// exactBuilder returns a build callback producing a fresh exact-MVA solver
+// over the shared test model, counting constructions.
+func exactBuilder(builds *atomic.Int64) func() (*core.Solver, error) {
+	return func() (*core.Solver, error) {
+		if builds != nil {
+			builds.Add(1)
+		}
+		return core.NewExactMVASolver(testModel())
+	}
+}
+
+// runSolver is the plain run callback: no pool, no metrics, just the solve.
+func runSolver(ctx context.Context, s *core.Solver, maxN int) error {
+	return s.RunContext(ctx, maxN)
+}
+
+func mustDo(t *testing.T, c *solveCache, key string, maxN int) (*core.Result, bool) {
+	t.Helper()
+	res, hit, err := c.do(context.Background(), key, maxN, exactBuilder(nil), runSolver)
+	if err != nil {
+		t.Fatalf("do(%q, %d): %v", key, maxN, err)
+	}
+	return res, hit
 }
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := newSolveCache(2)
-	ctx := context.Background()
 	for _, k := range []string{"a", "b"} {
-		k := k
-		if _, hit, err := c.do(ctx, k, func() (*core.Result, error) { return dummyResult(k), nil }); err != nil || hit {
-			t.Fatalf("priming %q: hit=%v err=%v", k, hit, err)
+		if _, hit := mustDo(t, c, k, 5); hit {
+			t.Fatalf("priming %q was a hit", k)
 		}
 	}
 	// Touch "a" so "b" is the LRU victim.
-	if _, hit, _ := c.do(ctx, "a", nil); !hit {
+	if _, hit := mustDo(t, c, "a", 5); !hit {
 		t.Fatal("expected hit for a")
 	}
-	if _, hit, err := c.do(ctx, "c", func() (*core.Result, error) { return dummyResult("c"), nil }); err != nil || hit {
-		t.Fatalf("inserting c: hit=%v err=%v", hit, err)
+	if _, hit := mustDo(t, c, "c", 5); hit {
+		t.Fatal("inserting c was a hit")
 	}
 	if c.len() != 2 {
 		t.Fatalf("cache len = %d, want 2", c.len())
 	}
-	if _, hit, _ := c.do(ctx, "a", nil); !hit {
+	if _, hit := mustDo(t, c, "a", 5); !hit {
 		t.Error("a was evicted despite being recently used")
 	}
-	recomputed := false
-	if _, hit, _ := c.do(ctx, "b", func() (*core.Result, error) {
-		recomputed = true
-		return dummyResult("b"), nil
-	}); hit || !recomputed {
-		t.Error("b was not evicted as the LRU entry")
+	var rebuilds atomic.Int64
+	_, hit, err := c.do(context.Background(), "b", 5, exactBuilder(&rebuilds), runSolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || rebuilds.Load() != 1 {
+		t.Errorf("b was not evicted as the LRU entry: hit=%v rebuilds=%d", hit, rebuilds.Load())
 	}
 }
 
@@ -56,11 +76,11 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			_, hit, err := c.do(context.Background(), "k", func() (*core.Result, error) {
-				calls.Add(1)
-				<-gate // hold every concurrent caller in the dedup path
-				return dummyResult("k"), nil
-			})
+			_, hit, err := c.do(context.Background(), "k", 20, exactBuilder(&calls),
+				func(ctx context.Context, s *core.Solver, maxN int) error {
+					<-gate // hold every concurrent caller in the dedup path
+					return s.RunContext(ctx, maxN)
+				})
 			if err != nil {
 				t.Error(err)
 			}
@@ -70,7 +90,7 @@ func TestCacheSingleflight(t *testing.T) {
 	close(gate)
 	wg.Wait()
 	if n := calls.Load(); n != 1 {
-		t.Errorf("solver ran %d times for identical concurrent requests", n)
+		t.Errorf("solver was built %d times for identical concurrent requests", n)
 	}
 	nhits := 0
 	for _, h := range hits {
@@ -86,14 +106,34 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheErrorsNotCached(t *testing.T) {
 	c := newSolveCache(8)
 	boom := errors.New("boom")
-	if _, _, err := c.do(context.Background(), "k", func() (*core.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+	_, _, err := c.do(context.Background(), "k", 10, exactBuilder(nil),
+		func(context.Context, *core.Solver, int) error { return boom })
+	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.len() != 0 {
 		t.Fatal("error result was cached")
 	}
-	if _, hit, err := c.do(context.Background(), "k", func() (*core.Result, error) { return dummyResult("k"), nil }); hit || err != nil {
-		t.Fatalf("retry after error: hit=%v err=%v", hit, err)
+	if _, hit := mustDo(t, c, "k", 10); hit {
+		t.Fatal("retry after error was a hit")
+	}
+}
+
+// TestCacheBuildErrorsNotCached: a build failure (bad model/algorithm) must
+// not leave a poisoned entry behind.
+func TestCacheBuildErrorsNotCached(t *testing.T) {
+	c := newSolveCache(8)
+	boom := errors.New("bad model")
+	_, _, err := c.do(context.Background(), "k", 10,
+		func() (*core.Solver, error) { return nil, boom }, runSolver)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.len() != 0 {
+		t.Fatal("build error was cached")
+	}
+	if _, hit := mustDo(t, c, "k", 10); hit {
+		t.Fatal("retry after build error was a hit")
 	}
 }
 
@@ -106,13 +146,14 @@ func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
 
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { // leader: fails with its own cancellation
+	go func() { // leader: fails with its own cancellation before any progress
 		defer wg.Done()
-		_, _, err := c.do(leaderCtx, "k", func() (*core.Result, error) {
-			close(leaderIn)
-			<-leaderCtx.Done()
-			return nil, context.Cause(leaderCtx)
-		})
+		_, _, err := c.do(leaderCtx, "k", 10, exactBuilder(nil),
+			func(ctx context.Context, s *core.Solver, maxN int) error {
+				close(leaderIn)
+				<-ctx.Done()
+				return context.Cause(ctx)
+			})
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("leader err = %v", err)
 		}
@@ -122,10 +163,8 @@ func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
 	wg.Add(1)
 	go func() { // follower: joins the flight, then recovers from the failure
 		defer wg.Done()
-		res, _, err := c.do(context.Background(), "k", func() (*core.Result, error) {
-			return dummyResult("retry"), nil
-		})
-		if err != nil || res.Algorithm != "retry" {
+		res, _, err := c.do(context.Background(), "k", 10, exactBuilder(nil), runSolver)
+		if err != nil || res.Len() != 10 {
 			t.Errorf("follower: res=%+v err=%v", res, err)
 		}
 	}()
@@ -136,13 +175,174 @@ func TestCacheFollowerSurvivesLeaderCancellation(t *testing.T) {
 
 func TestCacheDisabledStillDeduplicates(t *testing.T) {
 	c := newSolveCache(-1)
-	ctx := context.Background()
+	var builds atomic.Int64
 	for i := 0; i < 2; i++ {
-		if _, hit, _ := c.do(ctx, "k", func() (*core.Result, error) { return dummyResult("k"), nil }); hit {
+		_, hit, err := c.do(context.Background(), "k", 10, exactBuilder(&builds), runSolver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit {
 			t.Error("disabled cache produced a hit")
 		}
 	}
+	if builds.Load() != 2 {
+		t.Errorf("disabled cache reused a solver across requests: %d builds", builds.Load())
+	}
 	if c.len() != 0 {
 		t.Error("disabled cache stored an entry")
+	}
+}
+
+// TestCachePrefixHitBelowCachedN: once a trajectory is cached at N, any
+// smaller population is a hit served from the stored prefix — the solver
+// never runs again.
+func TestCachePrefixHitBelowCachedN(t *testing.T) {
+	c := newSolveCache(8)
+	if _, hit := mustDo(t, c, "k", 40); hit {
+		t.Fatal("cold solve was a hit")
+	}
+	var reruns atomic.Int64
+	res, hit, err := c.do(context.Background(), "k", 25, exactBuilder(nil),
+		func(ctx context.Context, s *core.Solver, maxN int) error {
+			reruns.Add(1)
+			return s.RunContext(ctx, maxN)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || reruns.Load() != 0 {
+		t.Fatalf("maxN below cached N: hit=%v reruns=%d", hit, reruns.Load())
+	}
+	if res.Len() != 25 {
+		t.Fatalf("prefix length = %d, want 25", res.Len())
+	}
+	cold, err := core.ExactMVA(testModel(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 25; n++ {
+		if res.X[n] != cold.X[n] || res.R[n] != cold.R[n] {
+			t.Fatalf("prefix row %d differs from a cold solve", n+1)
+		}
+	}
+	if c.len() != 1 {
+		t.Errorf("cache len = %d, want 1 (prefix reuse, not per-maxN entries)", c.len())
+	}
+}
+
+// TestCacheExtendAboveCachedN: a larger population resumes the cached solver
+// in place instead of re-solving from population 1.
+func TestCacheExtendAboveCachedN(t *testing.T) {
+	c := newSolveCache(8)
+	if _, hit := mustDo(t, c, "k", 20); hit {
+		t.Fatal("cold solve was a hit")
+	}
+	var resumedFrom atomic.Int64
+	res, hit, err := c.do(context.Background(), "k", 50, exactBuilder(nil),
+		func(ctx context.Context, s *core.Solver, maxN int) error {
+			resumedFrom.Store(int64(s.N()))
+			return s.RunContext(ctx, maxN)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("extension counted as a hit")
+	}
+	if got := resumedFrom.Load(); got != 20 {
+		t.Errorf("extension resumed from N=%d, want 20", got)
+	}
+	if res.Len() != 50 {
+		t.Fatalf("extended length = %d, want 50", res.Len())
+	}
+	cold, err := core.ExactMVA(testModel(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 50; n++ {
+		if res.X[n] != cold.X[n] || res.R[n] != cold.R[n] {
+			t.Fatalf("extended row %d differs from a cold solve", n+1)
+		}
+	}
+	if c.len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.len())
+	}
+}
+
+// TestCachePartialProgressResumes: a run that fails after making progress
+// keeps the partial trajectory — smaller populations hit it and a retry
+// extends it rather than starting over.
+func TestCachePartialProgressResumes(t *testing.T) {
+	c := newSolveCache(8)
+	boom := errors.New("boom")
+	_, _, err := c.do(context.Background(), "k", 30, exactBuilder(nil),
+		func(ctx context.Context, s *core.Solver, maxN int) error {
+			if err := s.RunContext(ctx, 12); err != nil { // partial progress, then failure
+				return err
+			}
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.len() != 1 {
+		t.Fatalf("partial progress dropped: len = %d", c.len())
+	}
+	if res, hit := mustDo(t, c, "k", 12); !hit || res.Len() != 12 {
+		t.Errorf("partial trajectory not served: hit=%v len=%d", hit, res.Len())
+	}
+	var resumedFrom atomic.Int64
+	res, _, err := c.do(context.Background(), "k", 30, exactBuilder(nil),
+		func(ctx context.Context, s *core.Solver, maxN int) error {
+			resumedFrom.Store(int64(s.N()))
+			return s.RunContext(ctx, maxN)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedFrom.Load() != 12 || res.Len() != 30 {
+		t.Errorf("retry: resumed from %d (want 12), len %d (want 30)", resumedFrom.Load(), res.Len())
+	}
+}
+
+// TestCacheConcurrentExtends: racing requests at mixed populations on one
+// key must serialize extensions, serve prefixes lock-free, and leave one
+// entry whose trajectory is bit-identical to a cold solve.
+func TestCacheConcurrentExtends(t *testing.T) {
+	c := newSolveCache(8)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			maxN := 5 + 7*g // mixed targets: prefix hits and extensions interleave
+			res, _, err := c.do(context.Background(), "k", maxN, exactBuilder(nil), runSolver)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Len() != maxN {
+				t.Errorf("goroutine %d: len = %d, want %d", g, res.Len(), maxN)
+			}
+		}(g)
+	}
+	wg.Wait()
+	maxN := 5 + 7*(goroutines-1)
+	res, hit := mustDo(t, c, "k", maxN)
+	if !hit {
+		t.Error("final full-length request missed")
+	}
+	cold, err := core.ExactMVA(testModel(), maxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < maxN; n++ {
+		if res.X[n] != cold.X[n] {
+			t.Fatalf("row %d differs from a cold solve after concurrent extends", n+1)
+		}
+	}
+	if c.len() != 1 {
+		t.Errorf("cache len = %d, want 1", c.len())
 	}
 }

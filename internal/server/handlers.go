@@ -46,51 +46,62 @@ func statusOf(err error) int {
 	}
 }
 
-// runSolve dispatches a normalized request to the matching context-aware
-// solver.
-func (s *Server) runSolve(ctx context.Context, req *modelio.SolveRequest) (*core.Result, error) {
-	if s.testHookSolveStart != nil {
-		s.testHookSolveStart(ctx)
-	}
+// newSolverFor builds the resumable solver matching a normalized request.
+func newSolverFor(req *modelio.SolveRequest) (*core.Solver, error) {
 	switch req.Algorithm {
 	case modelio.AlgoExact:
-		return core.ExactMVAWithContext(ctx, req.Model, req.MaxN)
+		return core.NewExactMVASolver(req.Model)
 	case modelio.AlgoSchweitzer:
-		return core.SchweitzerWithContext(ctx, req.Model, req.MaxN, core.SchweitzerOptions{})
+		return core.NewSchweitzerSolver(req.Model, core.SchweitzerOptions{})
 	case modelio.AlgoMultiServer:
-		res, _, err := core.ExactMVAMultiServerWithContext(ctx, req.Model, req.MaxN,
-			core.MultiServerOptions{TraceStation: -1})
-		return res, err
+		return core.NewMultiServerSolver(req.Model, core.MultiServerOptions{TraceStation: -1})
 	case modelio.AlgoMVASD, modelio.AlgoMVASDSingleServer:
 		dm, err := req.DemandModel()
 		if err != nil {
 			return nil, err
 		}
 		if req.Algorithm == modelio.AlgoMVASD {
-			return core.MVASDWithContext(ctx, req.Model, req.MaxN, dm, core.MVASDOptions{})
+			return core.NewMVASDSolver(req.Model, dm, core.MVASDOptions{})
 		}
-		return core.MVASDSingleServerWithContext(ctx, req.Model, req.MaxN, dm, core.MVASDOptions{})
+		return core.NewMVASDSingleServerSolver(req.Model, dm, core.MVASDOptions{})
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
 }
 
-// solveCached runs req through the cache, the in-flight deduplicator and the
-// worker pool, and keeps the cache hit/miss counters and in-flight gauge.
+// solveCached runs req through the prefix cache and the worker pool, keeping
+// the cache hit/miss counters and in-flight gauge.
 func (s *Server) solveCached(ctx context.Context, req *modelio.SolveRequest) (res *core.Result, hit bool, err error) {
 	key, err := req.CacheKey()
 	if err != nil {
 		return nil, false, err
 	}
-	res, hit, err = s.cache.do(ctx, key, func() (*core.Result, error) {
-		if err := s.pool.acquire(ctx); err != nil {
-			return nil, err
-		}
-		defer s.pool.release()
-		s.metrics.solveStarted()
-		defer s.metrics.solveFinished()
-		return s.runSolve(ctx, req)
-	})
+	return s.solveWithKey(ctx, key, req)
+}
+
+// solveWithKey is solveCached with the cache key supplied by the caller
+// (sweeps derive per-group keys from a shared base instead of re-hashing the
+// model). The worker pool is acquired only inside the miss path, so requests
+// answered from a cached prefix never queue behind in-flight solves.
+func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.SolveRequest) (res *core.Result, hit bool, err error) {
+	res, hit, err = s.cache.do(ctx, key, req.MaxN,
+		func() (*core.Solver, error) { return newSolverFor(req) },
+		func(ctx context.Context, sol *core.Solver, maxN int) error {
+			if err := s.pool.acquire(ctx); err != nil {
+				return err
+			}
+			defer s.pool.release()
+			s.metrics.solveStarted()
+			defer s.metrics.solveFinished()
+			if s.testHookSolveStart != nil {
+				s.testHookSolveStart(ctx)
+			}
+			s.metrics.solveRuns.Add(1)
+			if sol.N() > 0 {
+				s.metrics.solveExtends.Add(1)
+			}
+			return sol.RunContext(ctx, maxN)
+		})
 	if hit {
 		s.metrics.cacheHits.Add(1)
 	} else if err == nil {
@@ -130,8 +141,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSweep serves POST /v1/sweep: every grid point becomes one cached
-// solve, fanned out concurrently but bounded by the worker pool.
+// handleSweep serves POST /v1/sweep. The expanded grid is planned first:
+// points resolving to the same model (differing only in population, or in
+// overrides equal to the base model) form one group, each group is one
+// cached solve at the sweep's largest population, and every member's rows
+// fan out from the shared trajectory. Fan-out is per group, bounded by the
+// worker pool; fully cached groups never touch the pool.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req modelio.SweepRequest
@@ -153,17 +168,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Hash the shared key material (algorithm, interp, samples, base model)
+	// once; per-group keys mix in only the point's resolved signature.
+	keyBase, err := req.KeyBase()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	groups := req.PlanSweep(points)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
 	results := make([]modelio.SweepPointResult, len(points))
 	var wg sync.WaitGroup
-	for i, p := range points {
+	for _, g := range groups {
 		wg.Add(1)
-		go func(i int, p modelio.GridPoint) {
+		go func(g modelio.SweepGroup) {
 			defer wg.Done()
-			results[i] = s.solvePoint(ctx, &req, p)
-		}(i, p)
+			s.solveGroup(ctx, &req, keyBase, g, points, results)
+		}(g)
 	}
 	wg.Wait()
 	// A request-wide deadline trumps partial results: the client asked for
@@ -179,16 +202,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// solvePoint solves one grid point; its failure is recorded inline so the
+// solveGroup solves one planned group and fans the shared trajectory out to
+// every member point; a failure is recorded on each member inline so the
 // rest of the sweep still completes.
-func (s *Server) solvePoint(ctx context.Context, req *modelio.SweepRequest, p modelio.GridPoint) modelio.SweepPointResult {
-	out := modelio.SweepPointResult{Point: p}
-	res, hit, err := s.solveCached(ctx, req.PointRequest(p))
-	if err != nil {
-		out.Error = err.Error()
-		return out
+func (s *Server) solveGroup(ctx context.Context, req *modelio.SweepRequest, keyBase *modelio.SweepKeyBase,
+	g modelio.SweepGroup, points []modelio.GridPoint, results []modelio.SweepPointResult) {
+	res, hit, err := s.solveWithKey(ctx, keyBase.GroupKey(g.Point), req.PointRequest(g.Point))
+	for _, i := range g.Members {
+		if err != nil {
+			results[i] = modelio.SweepPointResult{Point: points[i], Error: err.Error()}
+			continue
+		}
+		results[i] = pointResult(res, points[i], req.Populations, hit)
 	}
-	out.Cached = hit
+}
+
+// pointResult extracts one grid point's rows from its group's trajectory.
+func pointResult(res *core.Result, p modelio.GridPoint, populations []int, hit bool) modelio.SweepPointResult {
+	out := modelio.SweepPointResult{Point: p, Cached: hit}
 	finalUtil := res.FinalUtilization()
 	bottleneck, worst := "", -1.0
 	for k, u := range finalUtil {
@@ -197,7 +228,7 @@ func (s *Server) solvePoint(ctx context.Context, req *modelio.SweepRequest, p mo
 		}
 	}
 	out.Bottleneck = bottleneck
-	for _, n := range req.Populations {
+	for _, n := range populations {
 		x, resp, cycle, err := res.At(n)
 		if err != nil {
 			out.Error = err.Error()

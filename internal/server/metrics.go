@@ -22,6 +22,12 @@ type serverMetrics struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 	inFlight    atomic.Int64
+
+	// solveRuns counts solver executions (cold runs and extensions alike);
+	// solveExtends counts the subset that resumed a cached trajectory
+	// instead of starting from population 1.
+	solveRuns    atomic.Uint64
+	solveExtends atomic.Uint64
 }
 
 type reqKey struct {
@@ -106,6 +112,12 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int) error {
 	fmt.Fprintln(w, "# HELP solverd_cache_entries Results currently cached.")
 	fmt.Fprintln(w, "# TYPE solverd_cache_entries gauge")
 	fmt.Fprintf(w, "solverd_cache_entries %d\n", cacheEntries)
+	fmt.Fprintln(w, "# HELP solverd_solves_total Solver executions (cold runs plus extensions).")
+	fmt.Fprintln(w, "# TYPE solverd_solves_total counter")
+	fmt.Fprintf(w, "solverd_solves_total %d\n", m.solveRuns.Load())
+	fmt.Fprintln(w, "# HELP solverd_solve_extends_total Solver executions that resumed a cached trajectory.")
+	fmt.Fprintln(w, "# TYPE solverd_solve_extends_total counter")
+	fmt.Fprintf(w, "solverd_solve_extends_total %d\n", m.solveExtends.Load())
 	fmt.Fprintln(w, "# HELP solverd_in_flight_solves Solver runs executing right now.")
 	fmt.Fprintln(w, "# TYPE solverd_in_flight_solves gauge")
 	_, err := fmt.Fprintf(w, "solverd_in_flight_solves %d\n", m.inFlight.Load())

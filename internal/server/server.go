@@ -20,6 +20,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 )
@@ -43,6 +44,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// ShutdownTimeout bounds the graceful drain (default 15s).
 	ShutdownTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default off:
+	// the profiling endpoints expose internals and cost CPU when scraped,
+	// so they are opt-in via solverd's -pprof flag).
+	EnablePprof bool
 	// Logger receives request-level errors (default log.Default()).
 	Logger *log.Logger
 }
@@ -103,6 +108,16 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/plan", s.instrument("plan", http.MethodPost, s.handlePlan))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	if cfg.EnablePprof {
+		// Registered on the server's own mux (not the global DefaultServeMux
+		// that importing net/http/pprof would populate), so profiling is
+		// genuinely absent unless enabled.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
