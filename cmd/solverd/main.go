@@ -6,6 +6,7 @@
 //
 //	solverd [-addr :8080] [-cache 256] [-workers 8] [-max-n 100000]
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
+//	        [-log-format text|json] [-log-level debug|info|warn|error]
 //	solverd -dump-profile vins [-nodes 7] [-out dir]
 //
 // The server listens until SIGINT/SIGTERM and then drains in-flight
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -50,6 +52,8 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	shutdown := fs.Duration("shutdown-timeout", 15*time.Second, "graceful drain bound")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
 	nodes := fs.Int("nodes", 7, "Chebyshev sample count for -dump-profile")
 	outDir := fs.String("out", ".", "output directory for -dump-profile")
@@ -58,6 +62,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *dump != "" {
 		return dumpProfile(*dump, *nodes, *outDir, out)
+	}
+	logger, err := newLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,7 +79,26 @@ func run(args []string, out io.Writer) error {
 		RequestTimeout:  *timeout,
 		ShutdownTimeout: *shutdown,
 		EnablePprof:     *pprofOn,
+		Logger:          logger,
 	}).Run(ctx)
+}
+
+// newLogger builds the slog logger selected by -log-format/-log-level. At
+// debug level the server additionally emits one record per finished span.
+func newLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }
 
 // dumpProfile writes <name>-model.json and <name>-samples.json: the profile's

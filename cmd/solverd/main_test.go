@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -51,5 +52,46 @@ func TestDumpProfileUnknown(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-dump-profile", "nope"}, &buf); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+
+	logger, err := newLogger(&buf, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("hello", "k", "v")
+	if out := buf.String(); !strings.Contains(out, "msg=hello") || !strings.Contains(out, "k=v") {
+		t.Errorf("text output: %q", out)
+	}
+
+	buf.Reset()
+	logger, err = newLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger.Info("dropped")
+	logger.Warn("kept")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json output %q: %v", buf.String(), err)
+	}
+	if rec["msg"] != "kept" || rec["level"] != "WARN" {
+		t.Errorf("json record: %v", rec)
+	}
+	if strings.Contains(buf.String(), "dropped") {
+		t.Errorf("info record survived -log-level warn: %q", buf.String())
+	}
+}
+
+func TestNewLoggerRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := newLogger(&buf, "xml", "info"); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+	if _, err := newLogger(&buf, "text", "loud"); err == nil {
+		t.Error("bad -log-level accepted")
 	}
 }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/queueing"
+)
+
+// xDemands is a throughput-dependent demand model for hook tests.
+type xDemands struct {
+	k int
+	f func(station int, x float64) float64
+}
+
+func (d xDemands) DemandAt(station, _ int, x float64) float64 { return d.f(station, x) }
+func (xDemands) DependsOnThroughput() bool                    { return true }
+func (d xDemands) Stations() int                              { return d.k }
+
+func hooksTestModel() *queueing.Model {
+	return &queueing.Model{
+		Name:      "hooks-test",
+		ThinkTime: 1,
+		Stations: []queueing.Station{
+			{Name: "cpu", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.05},
+			{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.03},
+		},
+	}
+}
+
+func TestOnStepFiresPerPopulation(t *testing.T) {
+	s, err := NewExactMVASolver(hooksTestModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	var ns []int
+	var xs []float64
+	s.SetHooks(&SolveHooks{OnStep: func(n int, x float64) {
+		ns = append(ns, n)
+		xs = append(xs, x)
+	}})
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 10 {
+		t.Fatalf("OnStep fired %d times, want 10", len(ns))
+	}
+	for i, n := range ns {
+		if n != i+1 {
+			t.Fatalf("OnStep order: got n=%d at call %d", n, i)
+		}
+		if xs[i] != s.Result().X[i] {
+			t.Errorf("OnStep x at n=%d: %g, want %g", n, xs[i], s.Result().X[i])
+		}
+	}
+
+	// Extending fires only for the new populations.
+	ns = ns[:0]
+	if err := s.Extend(15); err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 5 || ns[0] != 11 || ns[4] != 15 {
+		t.Fatalf("OnStep after Extend(15): %v", ns)
+	}
+
+	// Clearing hooks silences the observer.
+	s.SetHooks(nil)
+	ns = ns[:0]
+	if err := s.Extend(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 0 {
+		t.Fatalf("OnStep fired %d times after SetHooks(nil)", len(ns))
+	}
+}
+
+func TestSchweitzerFixedPointHook(t *testing.T) {
+	s, err := NewSchweitzerSolver(hooksTestModel(), SchweitzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	calls := 0
+	s.SetHooks(&SolveHooks{OnFixedPoint: func(n, iters int, resid float64, converged bool) {
+		calls++
+		if !converged {
+			t.Errorf("n=%d reported non-convergence", n)
+		}
+		if iters < 1 {
+			t.Errorf("n=%d: iters = %d", n, iters)
+		}
+		if resid < 0 {
+			t.Errorf("n=%d: resid = %g", n, resid)
+		}
+	}})
+	if err := s.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 8 {
+		t.Fatalf("OnFixedPoint fired %d times, want 8 (one per population)", calls)
+	}
+}
+
+func TestMVASDFixedPointHookConverged(t *testing.T) {
+	m := hooksTestModel()
+	dm := xDemands{k: 2, f: func(station int, x float64) float64 {
+		// Mildly throughput-dependent demands: converges in a few iterations.
+		base := []float64{0.05, 0.03}[station]
+		return base / (1 + 0.01*x)
+	}}
+	s, err := NewMVASDSolver(m, dm, MVASDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	total, calls := 0, 0
+	s.SetHooks(&SolveHooks{OnFixedPoint: func(n, iters int, resid float64, converged bool) {
+		calls++
+		total += iters
+		if !converged {
+			t.Errorf("n=%d did not converge (iters=%d resid=%g)", n, iters, resid)
+		}
+	}})
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 {
+		t.Fatalf("OnFixedPoint fired %d times, want 20", calls)
+	}
+	if total < calls {
+		t.Fatalf("total iterations %d < %d resolutions", total, calls)
+	}
+}
+
+func TestMVASDFixedPointHookFailure(t *testing.T) {
+	m := hooksTestModel()
+	dm := xDemands{k: 2, f: func(station int, x float64) float64 {
+		base := []float64{0.05, 0.03}[station]
+		return base * (1 + 5/(1+x))
+	}}
+	// One iteration with a tight tolerance cannot converge.
+	s, err := NewMVASDSolver(m, dm, MVASDOptions{FixedPointMaxIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	var failed bool
+	s.SetHooks(&SolveHooks{OnFixedPoint: func(n, iters int, resid float64, converged bool) {
+		if !converged {
+			failed = true
+			if iters != 1 {
+				t.Errorf("failure reported %d iters, want the cap 1", iters)
+			}
+			if resid <= 0 {
+				t.Errorf("failure residual = %g, want > 0", resid)
+			}
+		}
+	}})
+	if err := s.Run(5); !errors.Is(err, ErrBadRun) {
+		t.Fatalf("Run err = %v, want ErrBadRun", err)
+	}
+	if !failed {
+		t.Fatal("OnFixedPoint never reported the convergence failure")
+	}
+}
+
+// TestExactMVAStepAllocsWithHooks mirrors the hot-path guard with hooks
+// installed: the server instruments every solve, so the observed step must
+// stay allocation-free too.
+func TestExactMVAStepAllocsWithHooks(t *testing.T) {
+	s, err := NewExactMVASolver(solverTestModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	var steps int
+	s.SetHooks(&SolveHooks{OnStep: func(int, float64) { steps++ }})
+	const runs = 200
+	s.Reserve(runs + 2)
+	n := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		n++
+		if err := s.Extend(n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hooked exact-MVA step allocates %.2f objects/op, want 0", allocs)
+	}
+	if steps == 0 {
+		t.Fatal("OnStep never fired")
+	}
+}

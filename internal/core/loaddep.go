@@ -38,7 +38,7 @@ type loadDepStepper struct {
 	p [][]float64
 }
 
-func (s *loadDepStepper) step(res *Result, n int, _ func(int) error) error {
+func (s *loadDepStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
 	m, demands, p := s.m, s.demands, s.p
 	// Make room for index n in every marginal row. The newly exposed slot
 	// may hold stale pool data, which is fine: the W sum reads only indices

@@ -180,7 +180,7 @@ type multiServerStepper struct {
 	trace    *MarginalTrace
 }
 
-func (s *multiServerStepper) step(res *Result, n int, _ func(int) error) error {
+func (s *multiServerStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
 	x, rTotal := multiServerStep(s.m, s.st, s.demands, n, s.verbatim, res.Residence[n-1])
 	commitRow(res, s.m, n, x, rTotal, s.demands, s.st)
 	if s.trace != nil {

@@ -46,7 +46,7 @@ type exactStepper struct {
 	q []float64 // Q_k at the previous population
 }
 
-func (e *exactStepper) step(res *Result, n int, _ func(int) error) error {
+func (e *exactStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
 	m, q := e.m, e.q
 	rTotal := 0.0
 	resid := res.Residence[n-1]
@@ -155,16 +155,17 @@ type schweitzerStepper struct {
 	q    []float64
 }
 
-func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error) error {
+func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error, hooks *SolveHooks) error {
 	m, q := s.m, s.q
 	k := len(m.Stations)
 	// Start from the balanced initial guess Q_k = n/K.
 	for i := range q {
 		q[i] = float64(n) / float64(k)
 	}
-	var x, rTotal float64
-	converged := false
+	var x, rTotal, worst float64
+	converged, iters := false, 0
 	for iter := 0; iter < s.opts.MaxIter; iter++ {
+		iters = iter + 1
 		rTotal = 0
 		resid := res.Residence[n-1]
 		for i, st := range m.Stations {
@@ -177,7 +178,7 @@ func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error) error {
 			rTotal += resid[i]
 		}
 		x = float64(n) / (rTotal + m.ThinkTime)
-		worst := 0.0
+		worst = 0.0
 		for i := range m.Stations {
 			nq := x * resid[i]
 			worst = math.Max(worst, math.Abs(nq-q[i])/math.Max(q[i], 1e-12))
@@ -188,6 +189,7 @@ func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error) error {
 			break
 		}
 	}
+	hooks.fixedPoint(n, iters, worst, converged)
 	if !converged {
 		return fmt.Errorf("%w: schweitzer did not converge at n=%d", ErrBadRun, n)
 	}

@@ -61,7 +61,7 @@ type mvasdStepper struct {
 	x     float64 // previous step's throughput: warm start for the fixed point
 }
 
-func (s *mvasdStepper) step(res *Result, n int, stop func(int) error) error {
+func (s *mvasdStepper) step(res *Result, n int, stop func(int) error, hooks *SolveHooks) error {
 	m, dm, demands := s.m, s.dm, s.dems
 	if !dm.DependsOnThroughput() {
 		for k := range demands {
@@ -85,6 +85,7 @@ func (s *mvasdStepper) step(res *Result, n int, stop func(int) error) error {
 		}
 		guess = float64(n) / (sum + m.ThinkTime)
 	}
+	resid := 0.0
 	for iter := 0; iter < s.opts.FixedPointMaxIter; iter++ {
 		if stop != nil {
 			if err := stop(n); err != nil {
@@ -96,14 +97,17 @@ func (s *mvasdStepper) step(res *Result, n int, stop func(int) error) error {
 		}
 		s.trial.copyFrom(s.st)
 		xn, rTotal := multiServerStep(m, s.trial, demands, n, s.opts.Verbatim, res.Residence[n-1])
+		resid = math.Abs(xn-guess) / math.Max(guess, 1e-12)
 		if math.Abs(xn-guess) <= s.opts.FixedPointTol*math.Max(guess, 1e-12) {
 			s.st, s.trial = s.trial, s.st
 			commitRow(res, m, n, xn, rTotal, demands, s.st)
 			s.x = xn
+			hooks.fixedPoint(n, iter+1, resid, true)
 			return nil
 		}
 		guess += s.opts.Damping * (xn - guess)
 	}
+	hooks.fixedPoint(n, s.opts.FixedPointMaxIter, resid, false)
 	return fmt.Errorf("%w: demand/throughput fixed point did not converge at n=%d", ErrBadRun, n)
 }
 
@@ -177,7 +181,7 @@ type mvasdSingleStepper struct {
 	dems []float64
 }
 
-func (s *mvasdSingleStepper) step(res *Result, n int, _ func(int) error) error {
+func (s *mvasdSingleStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
 	m, dm, q, demands := s.m, s.dm, s.q, s.dems
 	rTotal := 0.0
 	resid := res.Residence[n-1]

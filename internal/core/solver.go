@@ -10,11 +10,37 @@ import (
 // friends are ready to be filled) and mutates the stepper's own recursion
 // state only on success, so a failed or cancelled step can be retried.
 // stop is the per-step cancellation probe (nil when non-cancellable); only
-// steppers with inner fixed-point loops consult it.
+// steppers with inner fixed-point loops consult it. hooks is the solver's
+// observer (nil when uninstrumented); steppers with inner fixed points
+// report their iteration counts through it.
 type stepper interface {
-	step(res *Result, n int, stop func(int) error) error
+	step(res *Result, n int, stop func(int) error, hooks *SolveHooks) error
 	// release returns pooled scratch. The stepper must not be used after.
 	release()
+}
+
+// SolveHooks observes a Solver's progress. Every field is optional; a nil
+// hooks pointer (the default) costs the hot loop a single nil check per
+// population step, preserving the exact-MVA zero-allocation guarantee.
+// Callbacks run synchronously on the solving goroutine and must be fast;
+// they must not call back into the Solver.
+type SolveHooks struct {
+	// OnStep fires after population step n commits, with the step's
+	// throughput — per-population progress for long solves.
+	OnStep func(n int, x float64)
+	// OnFixedPoint fires once per inner fixed-point resolution (Schweitzer's
+	// queue-length iteration, MVASD's demand/throughput iteration) at
+	// population n: iters iterations were executed and resid is the final
+	// relative residual. converged=false reports a convergence failure (the
+	// step returns an error immediately after).
+	OnFixedPoint func(n, iters int, resid float64, converged bool)
+}
+
+// fixedPoint invokes OnFixedPoint when set; safe on a nil receiver.
+func (h *SolveHooks) fixedPoint(n, iters int, resid float64, converged bool) {
+	if h != nil && h.OnFixedPoint != nil {
+		h.OnFixedPoint(n, iters, resid, converged)
+	}
 }
 
 // Solver is a resumable MVA engine: it owns the recursion state of one
@@ -33,6 +59,7 @@ type stepper interface {
 type Solver struct {
 	res      *Result
 	alg      stepper
+	hooks    *SolveHooks
 	released bool
 }
 
@@ -43,6 +70,12 @@ func newSolver(algorithm string, res *Result, alg stepper) *Solver {
 
 // N returns the largest population solved so far (0 for a fresh solver).
 func (s *Solver) N() int { return s.res.Len() }
+
+// SetHooks installs (or, with nil, clears) the solver's progress observer.
+// Like the solver itself, SetHooks is not safe for concurrent use with a
+// running Run/Extend; install hooks before starting and clear them after so
+// a pooled solver does not retain callbacks from a finished request.
+func (s *Solver) SetHooks(h *SolveHooks) { s.hooks = h }
 
 // Result returns the trajectory solved so far. The same Result is grown in
 // place by later Run/Extend calls; use Result().Prefix(n) for a stable
@@ -87,9 +120,12 @@ func (s *Solver) RunContext(ctx context.Context, maxN int) error {
 			}
 		}
 		s.res.appendRow()
-		if err := s.alg.step(s.res, n, stop); err != nil {
+		if err := s.alg.step(s.res, n, stop, s.hooks); err != nil {
 			s.res.truncate(n - 1)
 			return err
+		}
+		if s.hooks != nil && s.hooks.OnStep != nil {
+			s.hooks.OnStep(n, s.res.X[n-1])
 		}
 	}
 	return nil

@@ -36,6 +36,16 @@ func Algorithms() []string {
 	return []string{AlgoExact, AlgoSchweitzer, AlgoMultiServer, AlgoMVASD, AlgoMVASDSingleServer}
 }
 
+// Demand-sample abscissa interpretations for SolveRequest.DemandAxis.
+const (
+	// AxisConcurrency reads Samples.At as concurrency levels: MVASD
+	// evaluates the spline at each population step directly (Algorithm 3).
+	AxisConcurrency = "concurrency"
+	// AxisThroughput reads Samples.At as throughput levels: every step
+	// runs the demand/throughput fixed point (the paper's Fig.-20 mode).
+	AxisThroughput = "throughput"
+)
+
 // SolveRequest is the POST /v1/solve body.
 type SolveRequest struct {
 	// Algorithm selects the solver (default multiserver).
@@ -48,6 +58,10 @@ type SolveRequest struct {
 	MaxN int `json:"maxN"`
 	// Interp is the sample interpolation method (default cubic-not-a-knot).
 	Interp string `json:"interp,omitempty"`
+	// DemandAxis says what Samples.At indexes: "concurrency" (default) or
+	// "throughput". The latter is mvasd-only — each population step then
+	// resolves a demand/throughput fixed point.
+	DemandAxis string `json:"demandAxis,omitempty"`
 	// Every decimates the returned trajectory to every k-th population
 	// (the final population is always kept); 0 returns every row.
 	Every int `json:"every,omitempty"`
@@ -94,6 +108,22 @@ func (r *SolveRequest) Normalize() error {
 		if _, err := r.Samples.ToDemandSamples(r.Model); err != nil {
 			return err
 		}
+		switch r.DemandAxis {
+		case "":
+			r.DemandAxis = AxisConcurrency
+		case AxisConcurrency:
+		case AxisThroughput:
+			// mvasd-1s evaluates demands without a throughput estimate, so
+			// throughput-indexed samples would silently read the curve at 0.
+			if r.Algorithm != AlgoMVASD {
+				return fmt.Errorf("modelio: demandAxis %q requires algorithm %q", AxisThroughput, AlgoMVASD)
+			}
+		default:
+			return fmt.Errorf("modelio: unknown demandAxis %q (want %q or %q)",
+				r.DemandAxis, AxisConcurrency, AxisThroughput)
+		}
+	} else if r.DemandAxis != "" {
+		return fmt.Errorf("modelio: demandAxis is only meaningful with sample-driven algorithms")
 	}
 	if r.Every < 0 || r.TimeoutMS < 0 {
 		return fmt.Errorf("modelio: negative every/timeoutMs")
@@ -112,6 +142,9 @@ func (r *SolveRequest) DemandModel() (core.DemandModel, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.DemandAxis == AxisThroughput {
+		return core.NewThroughputDemands(interp.Method(r.Interp), samples, interp.Options{})
+	}
 	return core.NewCurveDemands(interp.Method(r.Interp), samples, interp.Options{})
 }
 
@@ -126,6 +159,9 @@ type cacheableSolve struct {
 	Model     *queueing.Model
 	Samples   *SamplesFile `json:",omitempty"`
 	Interp    string
+	// DemandAxis is keyed only when it changes the recursion (throughput
+	// mode), so pre-existing concurrency-mode keys are unchanged.
+	DemandAxis string `json:",omitempty"`
 }
 
 // CacheKey returns a canonical hash of (algorithm, model, samples, interp) —
@@ -150,6 +186,9 @@ func (r *SolveRequest) keyBytes() ([]byte, error) {
 	}
 	if r.NeedsSamples() {
 		c.Samples = r.Samples
+		if r.DemandAxis == AxisThroughput {
+			c.DemandAxis = r.DemandAxis
+		}
 	}
 	// encoding/json writes struct fields in declaration order and map-free
 	// types deterministically, so the encoding is canonical.

@@ -103,6 +103,60 @@ func TestCacheKeyCanonical(t *testing.T) {
 	}
 }
 
+func TestDemandAxis(t *testing.T) {
+	// Defaults to concurrency and builds the spline-vs-population model.
+	conc := &SolveRequest{Model: apiTestModel(), MaxN: 10, Algorithm: AlgoMVASD, Samples: apiTestSamples()}
+	if err := conc.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if conc.DemandAxis != AxisConcurrency {
+		t.Errorf("DemandAxis defaulted to %q", conc.DemandAxis)
+	}
+	dm, err := conc.DemandModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.DependsOnThroughput() {
+		t.Error("concurrency axis produced a throughput-dependent model")
+	}
+
+	// Throughput mode builds the fixed-point demand model (Fig.-20 mode)
+	// and must not share a cache key with the concurrency solve.
+	thr := &SolveRequest{Model: apiTestModel(), MaxN: 10, Algorithm: AlgoMVASD,
+		Samples: apiTestSamples(), DemandAxis: AxisThroughput}
+	if err := thr.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	dm, err = thr.DemandModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dm.DependsOnThroughput() {
+		t.Error("throughput axis produced a concurrency-indexed model")
+	}
+	kc, _ := conc.CacheKey()
+	kt, _ := thr.CacheKey()
+	if kc == kt {
+		t.Error("demandAxis did not change the cache key; the recursions differ")
+	}
+
+	bad := []SolveRequest{
+		{Model: apiTestModel(), MaxN: 10, Algorithm: AlgoMVASD,
+			Samples: apiTestSamples(), DemandAxis: "users"},
+		// mvasd-1s evaluates without a throughput estimate.
+		{Model: apiTestModel(), MaxN: 10, Algorithm: AlgoMVASDSingleServer,
+			Samples: apiTestSamples(), DemandAxis: AxisThroughput},
+		// Meaningless without samples.
+		{Model: apiTestModel(), MaxN: 10, Algorithm: AlgoMultiServer,
+			DemandAxis: AxisConcurrency},
+	}
+	for i := range bad {
+		if err := bad[i].Normalize(); err == nil {
+			t.Errorf("case %d: bad demandAxis accepted", i)
+		}
+	}
+}
+
 func TestTrajectoryDecimation(t *testing.T) {
 	m := apiTestModel()
 	res, err := core.ExactMVA(m, 10)

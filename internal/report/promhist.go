@@ -44,6 +44,14 @@ func DefaultLatencyBounds() []float64 {
 	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 }
 
+// DefaultIterationBounds are upper bounds suited to inner fixed-point
+// iteration counts (MVASD's demand/throughput resolution, capped at 200 by
+// default): roughly logarithmic from "converged immediately" to "hit the
+// iteration cap".
+func DefaultIterationBounds() []float64 {
+	return []float64{1, 2, 3, 5, 10, 20, 50, 100, 200}
+}
+
 // Observe counts one value.
 func (h *FixedHistogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (bucket is "le")

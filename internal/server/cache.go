@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -32,6 +33,10 @@ type solveCache struct {
 type cacheEntry struct {
 	key string
 	el  *list.Element // nil when the cache is disabled (transient entry)
+
+	// lastAccess is the entry's most recent lookup time, guarded by the
+	// cache's mu (lookup already holds it); exposed on /v1/status.
+	lastAccess time.Time
 
 	// lock serializes build/extend on the solver (cap-1 channel so waiting
 	// respects the caller's context). The solver field is only touched while
@@ -64,6 +69,33 @@ func (c *solveCache) len() int {
 	return c.ll.Len()
 }
 
+// cacheEntrySnapshot is the /v1/status view of one cache entry. Algorithm
+// and Population are zero-valued while the entry's first solve is still in
+// flight (no trajectory published yet).
+type cacheEntrySnapshot struct {
+	Key        string    `json:"key"`
+	Algorithm  string    `json:"algorithm,omitempty"`
+	Population int       `json:"population"`
+	LastAccess time.Time `json:"lastAccess"`
+}
+
+// entries snapshots the cache for introspection, most recently used first.
+func (c *solveCache) entries() []cacheEntrySnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntrySnapshot, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		snap := cacheEntrySnapshot{Key: e.key, LastAccess: e.lastAccess}
+		if t := e.traj.Load(); t != nil {
+			snap.Algorithm = t.Algorithm
+			snap.Population = t.Len()
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
 // lookup returns the entry for key, creating it if needed. Created entries
 // enter the LRU immediately (evicting past the cap) so concurrent requests
 // converge on one entry; an entry that never produces a trajectory is
@@ -75,9 +107,10 @@ func (c *solveCache) lookup(key string) *cacheEntry {
 		if e.el != nil {
 			c.ll.MoveToFront(e.el)
 		}
+		e.lastAccess = time.Now()
 		return e
 	}
-	e := &cacheEntry{key: key, lock: make(chan struct{}, 1)}
+	e := &cacheEntry{key: key, lock: make(chan struct{}, 1), lastAccess: time.Now()}
 	c.items[key] = e
 	if c.max > 0 {
 		e.el = c.ll.PushFront(e)

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/modelio"
 	"repro/internal/queueing"
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes caps request bodies; demand-sample files are small, so 8 MiB
@@ -83,7 +85,16 @@ func (s *Server) solveCached(ctx context.Context, req *modelio.SolveRequest) (re
 // (sweeps derive per-group keys from a shared base instead of re-hashing the
 // model). The worker pool is acquired only inside the miss path, so requests
 // answered from a cached prefix never queue behind in-flight solves.
+//
+// The request's trace (when present) gets a "cache" span covering the lookup
+// and any wait for the worker pool or a concurrent leader, a "solve" span
+// covering the solver run, and a "cache" attribute with the outcome
+// (hit/extend/miss). The solver is instrumented for the run's duration with
+// hooks feeding the step counter, the in-flight progress registry and — for
+// MVASD algorithms — the fixed-point iteration histogram.
 func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.SolveRequest) (res *core.Result, hit bool, err error) {
+	tr := telemetry.FromContext(ctx)
+	cacheSpan := tr.StartSpan("cache")
 	res, hit, err = s.cache.do(ctx, key, req.MaxN,
 		func() (*core.Solver, error) { return newSolverFor(req) },
 		func(ctx context.Context, sol *core.Solver, maxN int) error {
@@ -91,19 +102,48 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 				return err
 			}
 			defer s.pool.release()
+			cacheSpan.End() // cache phase over: lookup + pool wait
 			s.metrics.solveStarted()
 			defer s.metrics.solveFinished()
+			s.metrics.solveRuns.Add(1)
+			outcome := "miss"
+			if sol.N() > 0 {
+				s.metrics.solveExtends.Add(1)
+				outcome = "extend"
+			}
+			tr.SetAttr("cache", outcome)
+
+			span := tr.StartSpan("solve")
+			defer span.End()
+			alg := sol.Result().Algorithm
+			span.SetAttr("algorithm", alg)
+			span.SetAttr("from_n", sol.N())
+			span.SetAttr("to_n", maxN)
+
+			fl := s.inflight.add(tr.ID(), alg, sol.N(), maxN)
+			defer s.inflight.remove(fl)
+			hooks := &core.SolveHooks{OnStep: func(n int, _ float64) {
+				s.metrics.stepPops.Add(1)
+				fl.cur.Store(int64(n))
+			}}
+			if strings.HasPrefix(alg, "mvasd") {
+				hooks.OnFixedPoint = func(_, iters int, _ float64, converged bool) {
+					s.metrics.observeFixedPoint(iters, converged)
+				}
+			}
+			sol.SetHooks(hooks)
+			defer sol.SetHooks(nil)
+			// After the in-flight registration so tests that block here can
+			// observe the run on /v1/status and the progress gauge.
 			if s.testHookSolveStart != nil {
 				s.testHookSolveStart(ctx)
 			}
-			s.metrics.solveRuns.Add(1)
-			if sol.N() > 0 {
-				s.metrics.solveExtends.Add(1)
-			}
 			return sol.RunContext(ctx, maxN)
 		})
+	cacheSpan.End() // idempotent: closes the span on the hit path
 	if hit {
 		s.metrics.cacheHits.Add(1)
+		tr.SetAttr("cache", "hit")
 	} else if err == nil {
 		s.metrics.cacheMisses.Add(1)
 	}
@@ -127,6 +167,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("maxN %d exceeds the server cap %d", req.MaxN, s.cfg.MaxN))
 		return
 	}
+	telemetry.FromContext(r.Context()).SetAttr("algorithm", req.Algorithm)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 	res, hit, err := s.solveCached(ctx, &req)
@@ -281,6 +322,8 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	if s.testHookSolveStart != nil {
 		s.testHookSolveStart(ctx)
 	}
+	planSpan := telemetry.FromContext(r.Context()).StartSpan("plan")
+	defer planSpan.End()
 
 	sla := req.SLA.ToSLA()
 	violations, err := plan.CheckContext(ctx, req.Users, sla)
@@ -302,6 +345,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.MaxUsers = &maxUsers
 	}
+	planSpan.End() // before writeJSON so the span makes the Server-Timing header
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -315,7 +359,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves GET /metrics in the Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.metrics.writePrometheus(w, s.cache.len()); err != nil {
-		s.cfg.Logger.Printf("solverd: writing metrics: %v", err)
+	if err := s.metrics.writePrometheus(w, s.cache.len(), s.inflight.snapshot()); err != nil {
+		s.cfg.Logger.Error("solverd: writing metrics", "error", err)
 	}
 }

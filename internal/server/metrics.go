@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,19 @@ type serverMetrics struct {
 	// instead of starting from population 1.
 	solveRuns    atomic.Uint64
 	solveExtends atomic.Uint64
+
+	// stepPops counts committed population steps across every solver run —
+	// the solver-side unit of work (a 1500-population cold solve adds 1500).
+	stepPops atomic.Uint64
+
+	// fpHist records MVASD demand/throughput fixed-point iteration counts;
+	// fpFailures counts the resolutions that hit the iteration cap.
+	fpMu       sync.Mutex
+	fpHist     *report.FixedHistogram
+	fpFailures atomic.Uint64
+
+	// goVersion/revision label the solverd_build_info gauge.
+	goVersion, revision string
 }
 
 type reqKey struct {
@@ -36,9 +50,24 @@ type reqKey struct {
 }
 
 func newServerMetrics() *serverMetrics {
+	fpHist, _ := report.NewFixedHistogram(report.DefaultIterationBounds()...)
+	goVersion, revision := buildInfo()
 	return &serverMetrics{
-		requests: make(map[reqKey]uint64),
-		latency:  make(map[string]*report.FixedHistogram),
+		requests:  make(map[reqKey]uint64),
+		latency:   make(map[string]*report.FixedHistogram),
+		fpHist:    fpHist,
+		goVersion: goVersion,
+		revision:  revision,
+	}
+}
+
+// observeFixedPoint records one inner fixed-point resolution.
+func (m *serverMetrics) observeFixedPoint(iters int, converged bool) {
+	m.fpMu.Lock()
+	m.fpHist.Observe(float64(iters))
+	m.fpMu.Unlock()
+	if !converged {
+		m.fpFailures.Add(1)
 	}
 }
 
@@ -59,9 +88,9 @@ func (m *serverMetrics) observeRequest(handler string, code int, seconds float64
 func (m *serverMetrics) solveStarted()  { m.inFlight.Add(1) }
 func (m *serverMetrics) solveFinished() { m.inFlight.Add(-1) }
 
-// writePrometheus renders every metric. cacheEntries is sampled by the caller
-// (the cache owns its own lock).
-func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int) error {
+// writePrometheus renders every metric. cacheEntries and solves are sampled
+// by the caller (the cache and the in-flight registry own their own locks).
+func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int, solves []inflightSnapshot) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -120,6 +149,42 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int) error {
 	fmt.Fprintf(w, "solverd_solve_extends_total %d\n", m.solveExtends.Load())
 	fmt.Fprintln(w, "# HELP solverd_in_flight_solves Solver runs executing right now.")
 	fmt.Fprintln(w, "# TYPE solverd_in_flight_solves gauge")
-	_, err := fmt.Fprintf(w, "solverd_in_flight_solves %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "solverd_in_flight_solves %d\n", m.inFlight.Load())
+
+	fmt.Fprintln(w, "# HELP solverd_solve_step_populations_total Committed population steps across all solver runs.")
+	fmt.Fprintln(w, "# TYPE solverd_solve_step_populations_total counter")
+	fmt.Fprintf(w, "solverd_solve_step_populations_total %d\n", m.stepPops.Load())
+
+	fmt.Fprintln(w, "# HELP solverd_mvasd_fixedpoint_iterations Iterations per MVASD demand/throughput fixed-point resolution.")
+	fmt.Fprintln(w, "# TYPE solverd_mvasd_fixedpoint_iterations histogram")
+	m.fpMu.Lock()
+	err := m.fpHist.WritePrometheus(w, "solverd_mvasd_fixedpoint_iterations", "")
+	m.fpMu.Unlock()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "# HELP solverd_mvasd_fixedpoint_failures_total Fixed-point resolutions that hit the iteration cap without converging.")
+	fmt.Fprintln(w, "# TYPE solverd_mvasd_fixedpoint_failures_total counter")
+	fmt.Fprintf(w, "solverd_mvasd_fixedpoint_failures_total %d\n", m.fpFailures.Load())
+
+	fmt.Fprintln(w, "# HELP solverd_solve_progress Current population of each in-flight solver run.")
+	fmt.Fprintln(w, "# TYPE solverd_solve_progress gauge")
+	for _, f := range solves {
+		fmt.Fprintf(w, "solverd_solve_progress{id=%q,algorithm=%q,target=\"%d\"} %d\n",
+			f.ID, f.Algorithm, f.TargetN, f.CurrentN)
+	}
+
+	fmt.Fprintln(w, "# HELP solverd_build_info Build metadata; always 1.")
+	fmt.Fprintln(w, "# TYPE solverd_build_info gauge")
+	fmt.Fprintf(w, "solverd_build_info{go_version=%q,revision=%q} 1\n", m.goVersion, m.revision)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintln(w, "# HELP solverd_goroutines Goroutines currently running.")
+	fmt.Fprintln(w, "# TYPE solverd_goroutines gauge")
+	fmt.Fprintf(w, "solverd_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintln(w, "# HELP solverd_heap_inuse_bytes Bytes in in-use heap spans.")
+	fmt.Fprintln(w, "# TYPE solverd_heap_inuse_bytes gauge")
+	_, err = fmt.Fprintf(w, "solverd_heap_inuse_bytes %d\n", ms.HeapInuse)
 	return err
 }

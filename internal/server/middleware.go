@@ -2,35 +2,64 @@ package server
 
 import (
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics and injects the
+// trace's Server-Timing header at WriteHeader time, when every span that can
+// appear in it has already ended.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	trace *telemetry.Trace
+	code  int
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if st := r.trace.ServerTiming(); st != "" {
+		r.Header().Set("Server-Timing", st)
+	}
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with method enforcement, panic recovery and
-// request metrics (counter + latency histogram, labelled by name).
+// instrument wraps a handler with method enforcement, panic recovery,
+// request tracing and request metrics (counter + latency histogram, labelled
+// by name). The trace ID is taken from a valid X-Request-Id header (generated
+// otherwise), echoed back in the response, propagated via the request
+// context, and keys one structured access-log line per request.
 func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		id := r.Header.Get("X-Request-Id")
+		if !telemetry.ValidID(id) {
+			id = telemetry.NewID()
+		}
+		tr := telemetry.New(id, s.cfg.Logger)
+		r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+		rec := &statusRecorder{ResponseWriter: w, trace: tr, code: http.StatusOK}
+		rec.Header().Set("X-Request-Id", id)
 		defer func() {
 			if p := recover(); p != nil {
-				s.cfg.Logger.Printf("solverd: %s: panic: %v\n%s", name, p, debug.Stack())
+				s.cfg.Logger.Error("solverd: handler panic",
+					"id", id, "handler", name, "panic", p, "stack", string(debug.Stack()))
 				// Best effort: if the handler already wrote, this is a no-op.
 				http.Error(rec, "internal error", http.StatusInternalServerError)
 			}
-			s.metrics.observeRequest(name, rec.code, time.Since(start).Seconds())
+			elapsed := time.Since(start)
+			s.metrics.observeRequest(name, rec.code, elapsed.Seconds())
+			attrs := make([]slog.Attr, 0, 8)
+			attrs = append(attrs,
+				slog.String("id", id),
+				slog.String("handler", name),
+				slog.Int("status", rec.code),
+				slog.Float64("dur_ms", float64(elapsed)/float64(time.Millisecond)))
+			attrs = append(attrs, tr.Attrs()...)
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}()
 		if r.Method != method {
 			rec.Header().Set("Allow", method)
@@ -46,7 +75,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.cfg.Logger.Printf("solverd: writing response: %v", err)
+		s.cfg.Logger.Error("solverd: writing response", "error", err)
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"testing"
@@ -19,7 +19,7 @@ import (
 // must return nil (clean drain).
 func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	s := New(Config{
-		Logger:          log.New(io.Discard, "", 0),
+		Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
 		ShutdownTimeout: 5 * time.Second,
 	})
 	started := make(chan struct{})

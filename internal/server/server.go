@@ -4,6 +4,7 @@
 //	POST /v1/solve   one model solved by any MVA-family algorithm
 //	POST /v1/sweep   a parameter grid fanned out over a bounded worker pool
 //	POST /v1/plan    the planning package's SLA queries
+//	GET  /v1/status  introspection: build info, cache entries, in-flight solves
 //	GET  /healthz    liveness probe
 //	GET  /metrics    Prometheus-text counters, latency histograms, gauges
 //
@@ -12,12 +13,18 @@
 // deadlines are threaded into the solver recursions (core.*WithContext) so
 // a runaway maxN cancels instead of pinning a worker; SIGTERM-driven
 // shutdown drains in-flight requests.
+//
+// Every request is traced (internal/telemetry): the trace ID comes from the
+// caller's X-Request-Id header when valid and is generated otherwise, is
+// echoed back in X-Request-Id, keys one structured access-log line, and ties
+// the debug-level span events together. Responses carry a Server-Timing
+// header with the cache and solve phases.
 package server
 
 import (
 	"context"
 	"errors"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -48,8 +55,9 @@ type Config struct {
 	// the profiling endpoints expose internals and cost CPU when scraped,
 	// so they are opt-in via solverd's -pprof flag).
 	EnablePprof bool
-	// Logger receives request-level errors (default log.Default()).
-	Logger *log.Logger
+	// Logger receives the structured access log, span events (debug level)
+	// and request-level errors (default slog.Default()).
+	Logger *slog.Logger
 }
 
 func (c *Config) defaults() {
@@ -75,17 +83,19 @@ func (c *Config) defaults() {
 		c.ShutdownTimeout = 15 * time.Second
 	}
 	if c.Logger == nil {
-		c.Logger = log.Default()
+		c.Logger = slog.Default()
 	}
 }
 
 // Server is the solverd HTTP service.
 type Server struct {
-	cfg     Config
-	cache   *solveCache
-	pool    *workerPool
-	metrics *serverMetrics
-	mux     *http.ServeMux
+	cfg      Config
+	cache    *solveCache
+	pool     *workerPool
+	metrics  *serverMetrics
+	inflight *inflightRegistry
+	mux      *http.ServeMux
+	start    time.Time
 
 	// testHookSolveStart, when set, runs at the start of every solver
 	// execution with the request context — tests use it to hold solves
@@ -97,15 +107,18 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   newSolveCache(cfg.CacheSize),
-		pool:    newWorkerPool(cfg.Workers),
-		metrics: newServerMetrics(),
-		mux:     http.NewServeMux(),
+		cfg:      cfg,
+		cache:    newSolveCache(cfg.CacheSize),
+		pool:     newWorkerPool(cfg.Workers),
+		metrics:  newServerMetrics(),
+		inflight: newInflightRegistry(),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
 	}
 	s.mux.Handle("/v1/solve", s.instrument("solve", http.MethodPost, s.handleSolve))
 	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
 	s.mux.Handle("/v1/plan", s.instrument("plan", http.MethodPost, s.handlePlan))
+	s.mux.Handle("/v1/status", s.instrument("status", http.MethodGet, s.handleStatus))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	if cfg.EnablePprof {
@@ -132,8 +145,9 @@ func (s *Server) Run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	s.cfg.Logger.Printf("solverd: listening on %s (workers=%d, cache=%d, maxN=%d)",
-		ln.Addr(), s.pool.cap(), s.cfg.CacheSize, s.cfg.MaxN)
+	s.cfg.Logger.Info("solverd: listening",
+		"addr", ln.Addr().String(), "workers", s.pool.cap(),
+		"cache", s.cfg.CacheSize, "max_n", s.cfg.MaxN)
 	return s.Serve(ctx, ln)
 }
 
@@ -142,7 +156,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
-		ErrorLog:          s.cfg.Logger,
+		ErrorLog:          slog.NewLogLogger(s.cfg.Logger.Handler(), slog.LevelError),
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -151,7 +165,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.cfg.Logger.Printf("solverd: shutting down, draining in-flight requests")
+	s.cfg.Logger.Info("solverd: shutting down, draining in-flight requests")
 	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
 	err := srv.Shutdown(shCtx)

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -39,7 +39,7 @@ func testSamples() *modelio.SamplesFile {
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Logger == nil {
-		cfg.Logger = log.New(io.Discard, "", 0)
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())

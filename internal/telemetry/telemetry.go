@@ -1,0 +1,266 @@
+// Package telemetry provides the request-tracing primitives used by the
+// solverd service (internal/server): context-propagated trace IDs,
+// lightweight in-process spans, and rendering of finished spans as a
+// Server-Timing response header.
+//
+// The package is deliberately small and stdlib-only — it is not a
+// distributed-tracing client. A Trace is one request's record: its ID (taken
+// from the caller's X-Request-Id header or generated), the spans opened while
+// serving it, and a set of request-scoped attributes (cache outcome,
+// algorithm, …) that the access log emits. All methods are safe for
+// concurrent use (sweep handlers fan one request out over goroutines) and are
+// no-ops on a nil receiver, so instrumented call sites never need nil checks.
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NewID returns a fresh 128-bit random trace ID in lowercase hex.
+func NewID() string {
+	var b [16]byte
+	// crypto/rand.Read cannot fail on supported platforms (it aborts the
+	// program instead of returning a partial read).
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// ValidID reports whether s is acceptable as a caller-supplied request ID:
+// 1–64 characters drawn from [A-Za-z0-9._-]. Anything else (empty, too long,
+// exotic bytes that could corrupt log lines or metric labels) is rejected and
+// the server generates its own ID instead.
+func ValidID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Trace is one request's telemetry record.
+type Trace struct {
+	id     string
+	start  time.Time
+	logger *slog.Logger
+
+	mu    sync.Mutex
+	spans []*Span
+	attrs []slog.Attr
+}
+
+// New builds a Trace with the given ID. logger, when non-nil and enabled at
+// debug level, receives one "span" record per finished span.
+func New(id string, logger *slog.Logger) *Trace {
+	return &Trace{id: id, start: time.Now(), logger: logger}
+}
+
+// ID returns the trace ID ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's creation time (zero for a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// SetAttr records a request-scoped attribute, replacing any previous value
+// for the same key. The access log appends these to its per-request line.
+func (t *Trace) SetAttr(key string, value any) {
+	if t == nil {
+		return
+	}
+	a := slog.Any(key, value)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.attrs {
+		if t.attrs[i].Key == key {
+			t.attrs[i] = a
+			return
+		}
+	}
+	t.attrs = append(t.attrs, a)
+}
+
+// Attrs returns a copy of the recorded attributes in insertion order.
+func (t *Trace) Attrs() []slog.Attr {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]slog.Attr(nil), t.attrs...)
+}
+
+// Attr returns the value recorded for key and whether it is set.
+func (t *Trace) Attr(key string) (slog.Value, bool) {
+	if t == nil {
+		return slog.Value{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.attrs {
+		if t.attrs[i].Key == key {
+			return t.attrs[i].Value, true
+		}
+	}
+	return slog.Value{}, false
+}
+
+// StartSpan opens a named span on the trace. The returned span must be
+// finished with End; an unfinished span is excluded from ServerTiming.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// SpanSnapshot is one span's immutable state as seen by Spans.
+type SpanSnapshot struct {
+	Name     string
+	Duration time.Duration
+	Ended    bool
+}
+
+// Spans returns a snapshot of every span opened so far, in start order.
+func (t *Trace) Spans() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanSnapshot, len(t.spans))
+	for i, sp := range t.spans {
+		sp.mu.Lock()
+		out[i] = SpanSnapshot{Name: sp.name, Duration: sp.dur, Ended: sp.ended}
+		sp.mu.Unlock()
+	}
+	return out
+}
+
+// ServerTiming renders the finished spans as a Server-Timing header value,
+// aggregating spans that share a name (a sweep runs many "solve" spans) into
+// one metric in first-start order: "cache;dur=0.412, solve;dur=17.204".
+// Durations are milliseconds. Returns "" when no span has finished.
+func (t *Trace) ServerTiming() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var order []string
+	durs := make(map[string]time.Duration, len(t.spans))
+	for _, sp := range t.spans {
+		sp.mu.Lock()
+		ended, d := sp.ended, sp.dur
+		sp.mu.Unlock()
+		if !ended {
+			continue
+		}
+		if _, ok := durs[sp.name]; !ok {
+			order = append(order, sp.name)
+		}
+		durs[sp.name] += d
+	}
+	var b strings.Builder
+	for i, name := range order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", name, float64(durs[name])/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// Span is one timed phase of a traced request.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	attrs []slog.Attr
+	dur   time.Duration
+	ended bool
+}
+
+// SetAttr records a span attribute, emitted with the span's debug record.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, slog.Any(key, value))
+	s.mu.Unlock()
+}
+
+// End finishes the span, fixing its duration. End is idempotent: only the
+// first call takes effect. If the trace's logger is enabled at debug level,
+// one "span" record is emitted carrying the trace ID, span name, duration
+// and span attributes.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	attrs := append([]slog.Attr(nil), s.attrs...)
+	dur := s.dur
+	s.mu.Unlock()
+
+	lg := s.tr.logger
+	if lg == nil || !lg.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	rec := make([]slog.Attr, 0, len(attrs)+3)
+	rec = append(rec, slog.String("id", s.tr.id), slog.String("span", s.name),
+		slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)))
+	rec = append(rec, attrs...)
+	lg.LogAttrs(context.Background(), slog.LevelDebug, "span", rec...)
+}
+
+// ctxKey is the private context key for trace propagation.
+type ctxKey struct{}
+
+// WithTrace returns ctx carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. All Trace and Span
+// methods tolerate the nil result, so untraced contexts cost one map lookup.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewID(t *testing.T) {
+	a, b := NewID(), NewID()
+	if a == b {
+		t.Fatalf("two IDs collided: %s", a)
+	}
+	for _, id := range []string{a, b} {
+		if len(id) != 32 {
+			t.Errorf("ID %q has length %d, want 32", id, len(id))
+		}
+		if _, err := hex.DecodeString(id); err != nil {
+			t.Errorf("ID %q is not hex: %v", id, err)
+		}
+		if !ValidID(id) {
+			t.Errorf("generated ID %q does not pass ValidID", id)
+		}
+	}
+}
+
+func TestValidID(t *testing.T) {
+	for _, tc := range []struct {
+		id   string
+		want bool
+	}{
+		{"", false},
+		{"abc-123_x.Y", true},
+		{"deadbeefdeadbeefdeadbeefdeadbeef", true},
+		{strings.Repeat("a", 64), true},
+		{strings.Repeat("a", 65), false},
+		{"has space", false},
+		{"quote\"x", false},
+		{"new\nline", false},
+		{"unicode-é", false},
+	} {
+		if got := ValidID(tc.id); got != tc.want {
+			t.Errorf("ValidID(%q) = %v, want %v", tc.id, got, tc.want)
+		}
+	}
+}
+
+func TestTraceSpansAndServerTiming(t *testing.T) {
+	tr := New("abc", nil)
+	if tr.ID() != "abc" {
+		t.Fatalf("ID = %q", tr.ID())
+	}
+	sp := tr.StartSpan("cache")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // idempotent: duration must not change
+	open := tr.StartSpan("solve")
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans() = %d entries, want 2", len(spans))
+	}
+	if !spans[0].Ended || spans[0].Duration <= 0 {
+		t.Errorf("cache span: %+v", spans[0])
+	}
+	if spans[1].Ended {
+		t.Errorf("solve span reported ended before End")
+	}
+
+	st := tr.ServerTiming()
+	if !strings.HasPrefix(st, "cache;dur=") {
+		t.Errorf("ServerTiming = %q, want cache;dur= prefix", st)
+	}
+	if strings.Contains(st, "solve") {
+		t.Errorf("ServerTiming %q includes the unfinished span", st)
+	}
+	open.End()
+	st = tr.ServerTiming()
+	if !strings.Contains(st, "solve;dur=") {
+		t.Errorf("ServerTiming after End = %q, want solve;dur=", st)
+	}
+}
+
+func TestServerTimingAggregatesByName(t *testing.T) {
+	tr := New("x", nil)
+	for i := 0; i < 3; i++ {
+		tr.StartSpan("solve").End()
+	}
+	tr.StartSpan("cache").End()
+	st := tr.ServerTiming()
+	if got := strings.Count(st, "solve;dur="); got != 1 {
+		t.Errorf("ServerTiming %q has %d solve entries, want 1 (aggregated)", st, got)
+	}
+	// First-start order: solve was opened before cache.
+	if !strings.HasPrefix(st, "solve;dur=") {
+		t.Errorf("ServerTiming %q not in first-start order", st)
+	}
+}
+
+func TestTraceAttrs(t *testing.T) {
+	tr := New("x", nil)
+	tr.SetAttr("cache", "miss")
+	tr.SetAttr("algorithm", "mvasd")
+	tr.SetAttr("cache", "extend") // replaces, keeps position
+	attrs := tr.Attrs()
+	if len(attrs) != 2 {
+		t.Fatalf("Attrs() = %v, want 2 entries", attrs)
+	}
+	if attrs[0].Key != "cache" || attrs[0].Value.String() != "extend" {
+		t.Errorf("attrs[0] = %v, want cache=extend", attrs[0])
+	}
+	if v, ok := tr.Attr("algorithm"); !ok || v.String() != "mvasd" {
+		t.Errorf("Attr(algorithm) = %v, %v", v, ok)
+	}
+	if _, ok := tr.Attr("nope"); ok {
+		t.Error("Attr(nope) reported set")
+	}
+}
+
+func TestNilTraceIsInert(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.ServerTiming() != "" || tr.Attrs() != nil || tr.Spans() != nil {
+		t.Error("nil trace returned non-zero values")
+	}
+	tr.SetAttr("k", "v")
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatalf("nil trace returned span %v", sp)
+	}
+	sp.SetAttr("k", "v")
+	sp.End() // must not panic
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("background context carries a trace")
+	}
+	tr := New("x", nil)
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+}
+
+func TestSpanDebugLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := New("trace-1", logger)
+	sp := tr.StartSpan("solve")
+	sp.SetAttr("to_n", 100)
+	sp.End()
+	out := buf.String()
+	for _, want := range []string{"msg=span", "id=trace-1", "span=solve", "to_n=100", "dur_ms="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("debug record %q missing %q", out, want)
+		}
+	}
+
+	// At info level the span record is suppressed.
+	buf.Reset()
+	tr = New("trace-2", slog.New(slog.NewTextHandler(&buf, nil)))
+	tr.StartSpan("solve").End()
+	if buf.Len() != 0 {
+		t.Errorf("span logged at info level: %q", buf.String())
+	}
+}
+
+// TestTraceConcurrency exercises the mutex paths under -race: sweep handlers
+// open spans and set attributes from many goroutines against one trace.
+func TestTraceConcurrency(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := New("conc", logger)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := tr.StartSpan("solve")
+				sp.SetAttr("worker", i)
+				tr.SetAttr("cache", "miss")
+				sp.End()
+				_ = tr.ServerTiming()
+				_ = tr.Spans()
+				_ = tr.Attrs()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 16*50 {
+		t.Errorf("recorded %d spans, want %d", got, 16*50)
+	}
+}
