@@ -7,13 +7,19 @@
 //	solverd [-addr :8080] [-cache 256] [-workers 8] [-max-n 100000]
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
+//	solverd -peers host1:8080,host2:8080,host3:8080 -advertise host1:8080
+//	        [-replication 2]
+//	solverd -version
 //	solverd -dump-profile vins [-nodes 7] [-out dir]
 //
 // The server listens until SIGINT/SIGTERM and then drains in-flight
-// requests. -dump-profile does not serve: it writes <profile>-model.json and
-// <profile>-samples.json (the true demand curves sampled at Chebyshev
-// concurrencies) so the README's curl examples have real request bodies to
-// point at.
+// requests. With -peers the node joins a solve fabric (internal/cluster): a
+// consistent-hash ring routes /v1/solve and /v1/sweep to each key's owner,
+// and trajectories cached anywhere in the fabric warm-start cold solves
+// everywhere. -version prints build info and exits. -dump-profile does not
+// serve: it writes <profile>-model.json and <profile>-samples.json (the true
+// demand curves sampled at Chebyshev concurrencies) so the README's curl
+// examples have real request bodies to point at.
 package main
 
 import (
@@ -25,10 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/chebyshev"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/modelio"
 	"repro/internal/server"
@@ -57,8 +65,17 @@ func run(args []string, out io.Writer) error {
 	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
 	nodes := fs.Int("nodes", 7, "Chebyshev sample count for -dump-profile")
 	outDir := fs.String("out", ".", "output directory for -dump-profile")
+	peers := fs.String("peers", "", "comma-separated cluster member list (host:port, every node incl. this one); empty runs standalone")
+	advertise := fs.String("advertise", "", "this node's host:port as peers reach it (required with -peers)")
+	replication := fs.Int("replication", 2, "nodes holding each key in cluster mode (owner + replicas)")
+	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		goVersion, revision := server.BuildInfo()
+		fmt.Fprintf(out, "solverd %s %s\n", goVersion, revision)
+		return nil
 	}
 	if *dump != "" {
 		return dumpProfile(*dump, *nodes, *outDir, out)
@@ -70,7 +87,7 @@ func run(args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return server.New(server.Config{
+	srv := server.New(server.Config{
 		Addr:            *addr,
 		CacheSize:       *cacheSize,
 		Workers:         *workers,
@@ -80,7 +97,32 @@ func run(args []string, out io.Writer) error {
 		ShutdownTimeout: *shutdown,
 		EnablePprof:     *pprofOn,
 		Logger:          logger,
-	}).Run(ctx)
+	})
+	if *peers != "" {
+		if *advertise == "" {
+			return fmt.Errorf("-peers requires -advertise (this node's host:port as peers reach it)")
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		gw, err := cluster.New(srv, cluster.Config{
+			Self:        *advertise,
+			Peers:       members,
+			Replication: *replication,
+			Logger:      logger,
+		})
+		if err != nil {
+			return err
+		}
+		gw.Start(ctx)
+		defer gw.Stop()
+		logger.Info("solverd: cluster mode",
+			"self", *advertise, "peers", len(members), "replication", *replication)
+	}
+	return srv.Run(ctx)
 }
 
 // newLogger builds the slog logger selected by -log-format/-log-level. At

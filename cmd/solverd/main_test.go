@@ -95,3 +95,21 @@ func TestNewLoggerRejectsBadFlags(t *testing.T) {
 		t.Error("bad -log-level accepted")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "solverd go") {
+		t.Errorf("version output: %q", buf.String())
+	}
+}
+
+func TestPeersRequiresAdvertise(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-peers", "a:1,b:2"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-advertise") {
+		t.Fatalf("expected an -advertise error, got %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Cluster: boot a 3-node solverd fabric in one process (each node a real
+// HTTP server on a loopback port), route solves and a planned sweep through
+// one node's gateway, and show the consistent-hash ring doing its job —
+// every model lands on its owner, repeated requests hit the owner's cache,
+// and a trajectory solved on one node warm-starts an extension on another.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/modelio"
+	"repro/internal/queueing"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Listeners first: every node needs the full member list before serving.
+	const n = 3
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	gateways := make([]*cluster.Gateway, n)
+	for i := range listeners {
+		srv := server.New(server.Config{Logger: logger})
+		gw, err := cluster.New(srv, cluster.Config{
+			Self:          peers[i],
+			Peers:         peers,
+			Replication:   2,
+			ProbeInterval: 100 * time.Millisecond,
+			Logger:        logger,
+		})
+		if err != nil {
+			return err
+		}
+		gw.Start(ctx)
+		defer gw.Stop()
+		gateways[i] = gw
+		go srv.Serve(ctx, listeners[i])
+	}
+	entry := peers[0]
+	fmt.Printf("3-node fabric up: %v (entry point %s)\n\n", peers, entry)
+
+	// Distinct models route to distinct owners.
+	fmt.Println("== key affinity: each model lands on its ring owner ==")
+	for i := 0; i < 4; i++ {
+		req := &modelio.SolveRequest{
+			Algorithm: "multiserver",
+			Model:     demoModel(0.5 + 0.25*float64(i)),
+			MaxN:      200,
+		}
+		owner, served, cached, err := solveVia(entry, gateways[0], req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model Z=%.2fs  owner=%s  served-by=%s  cached=%v\n",
+			req.Model.ThinkTime, owner, served, cached)
+	}
+
+	// The same model again: a cache hit on its owner, wherever asked.
+	fmt.Println("\n== repeat request: answered from the owner's cache ==")
+	again := &modelio.SolveRequest{Algorithm: "multiserver", Model: demoModel(0.75), MaxN: 200}
+	_, served, cached, err := solveVia(entry, gateways[0], again)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model Z=0.75s  served-by=%s  cached=%v\n", served, cached)
+
+	// A planned sweep fans groups out to their owners across the fabric.
+	fmt.Println("\n== planned sweep through the gateway ==")
+	sweep := &modelio.SweepRequest{
+		SolveRequest: modelio.SolveRequest{Algorithm: "multiserver", Model: demoModel(1.0)},
+		Populations:  []int{50, 150},
+		ThinkTimes:   []float64{0.5, 1.0},
+		Servers:      map[string][]int{"web/cpu": {4, 8}},
+	}
+	var sweepResp modelio.SweepResponse
+	if _, err := postJSON(entry, "/v1/sweep", sweep, &sweepResp); err != nil {
+		return err
+	}
+	fmt.Printf("grid of %d points:\n", sweepResp.GridSize)
+	for _, p := range sweepResp.Points {
+		for _, row := range p.Rows {
+			fmt.Printf("  Z=%.2fs cpu=%d N=%-4d  X=%7.2f req/s  R=%6.4f s  bottleneck=%s (%.0f%%)\n",
+				p.Point.ThinkTime, p.Point.Servers["web/cpu"], row.N, row.X, row.R,
+				p.Bottleneck, 100*row.BottleneckUtil)
+		}
+	}
+
+	// Peer cache fill: extend on a node that never solved the model.
+	fmt.Println("\n== peer cache fill: node B extends node A's trajectory ==")
+	extreq := &modelio.SolveRequest{Algorithm: "multiserver", Model: demoModel(0.75), MaxN: 800}
+	extOwner, _, _, err := solveVia(entry, gateways[0], &modelio.SolveRequest{
+		Algorithm: "multiserver", Model: demoModel(0.75), MaxN: 200})
+	if err != nil {
+		return err
+	}
+	other := peers[0]
+	for _, p := range peers {
+		if p != extOwner {
+			other = p
+			break
+		}
+	}
+	hdr := map[string]string{"X-Cluster-Forwarded": "demo"} // force local serving on B
+	var extResp modelio.SolveResponse
+	if _, err := postJSONHeaders(other, "/v1/solve", extreq, hdr, &extResp); err != nil {
+		return err
+	}
+	last := len(extResp.Trajectory.N) - 1
+	fmt.Printf("extended to N=%d on %s: X=%.2f req/s (cold solve avoided: restored N=200 from its owner)\n",
+		extResp.Trajectory.N[last], other, extResp.Trajectory.X[last])
+
+	// The cluster metrics tell the story.
+	fmt.Println("\n== cluster counters ==")
+	for i, p := range peers {
+		body, err := get(p, "/metrics")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d (%s): %s %s %s\n", i, p,
+			pick(body, "solverd_cluster_forwards_total"),
+			pick(body, "solverd_cluster_peer_fill_hits_total"),
+			pick(body, "solverd_solve_extends_total"))
+	}
+	return nil
+}
+
+func demoModel(thinkTime float64) *queueing.Model {
+	return &queueing.Model{
+		Name:      "cluster-demo",
+		ThinkTime: thinkTime,
+		Stations: []queueing.Station{
+			{Name: "web/cpu", Kind: queueing.CPU, Servers: 8, Visits: 1, ServiceTime: 0.012},
+			{Name: "db/cpu", Kind: queueing.CPU, Servers: 8, Visits: 1, ServiceTime: 0.020},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.009},
+		},
+	}
+}
+
+// solveVia posts a solve through addr's gateway and reports the key's ring
+// owner, who actually served, and whether the answer came from cache.
+func solveVia(addr string, gw *cluster.Gateway, req *modelio.SolveRequest) (owner, served string, cached bool, err error) {
+	norm := *req
+	norm.Model = &*req.Model
+	if err := norm.Normalize(); err != nil {
+		return "", "", false, err
+	}
+	key, err := norm.CacheKey()
+	if err != nil {
+		return "", "", false, err
+	}
+	owner = gw.Ring().Owner(key)
+	var resp modelio.SolveResponse
+	httpResp, err := postJSON(addr, "/v1/solve", req, &resp)
+	if err != nil {
+		return "", "", false, err
+	}
+	return owner, httpResp.Header.Get("X-Cluster-Peer"), resp.Cached, nil
+}
+
+func postJSON(addr, path string, body, into any) (*http.Response, error) {
+	return postJSONHeaders(addr, path, body, nil, into)
+}
+
+func postJSONHeaders(addr, path string, body any, headers map[string]string, into any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, out)
+	}
+	return resp, json.Unmarshal(out, into)
+}
+
+func get(addr, path string) (string, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return string(out), err
+}
+
+// pick extracts one metric line from a Prometheus exposition.
+func pick(body, series string) string {
+	for _, line := range bytes.Split([]byte(body), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte(series+" ")) {
+			return string(line)
+		}
+	}
+	return series + " ?"
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker. threshold consecutive failures open
+// it; while open every allow is refused until cooldown passes, then exactly
+// one probe request is let through (half-open). The probe's success closes
+// the breaker, its failure re-opens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state    breakerState
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	// opens counts transitions into the open state (metrics).
+	opens uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request to the peer may proceed right now.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed request to the peer.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed request; it returns true when this failure opened
+// the breaker (for the breaker-opens metric).
+func (b *breaker) failure(now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.opens++
+		return true
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.opens++
+		return true
+	}
+	return false
+}
+
+// snapshot returns the state and open count for status/metrics.
+func (b *breaker) snapshot() (breakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fwdResult is one peer's answer to a forwarded request.
+type fwdResult struct {
+	peer        string
+	status      int
+	contentType string
+	body        []byte
+	err         error
+}
+
+// good reports whether the result should be returned to the client: a clean
+// round-trip with a non-5xx status. Peer 4xx responses are "good" — they are
+// the request's fault, not the peer's, and retrying elsewhere cannot fix
+// them — while transport errors and 5xx feed the failover ladder.
+func (r fwdResult) good() bool { return r.err == nil && r.status < 500 }
+
+// peerErrorMessage extracts the error text of a peer's non-200 JSON reply.
+func peerErrorMessage(r fwdResult) string {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(r.body, &body); err == nil && body.Error != "" {
+		return body.Error
+	}
+	return fmt.Sprintf("peer %s returned status %d", r.peer, r.status)
+}
+
+// forward pushes one request through the key's remote candidates: up to
+// MaxAttempts rounds over the candidate list (exponential backoff with
+// jitter between rounds), and within a round a hedged race — the primary
+// peer gets a head start of its own recent latency percentile, then the next
+// candidate is launched alongside it. Per-peer circuit breakers gate every
+// attempt. ok=false means every candidate is down, broken or failing and the
+// caller should serve locally.
+func (g *Gateway) forward(ctx context.Context, key, path string, body []byte, candidates []string) (fwdResult, bool) {
+	remotes := make([]string, 0, len(candidates))
+	for _, c := range candidates {
+		if c != g.cfg.Self {
+			remotes = append(remotes, c)
+		}
+	}
+	if len(remotes) == 0 {
+		return fwdResult{}, false
+	}
+	backoff := g.cfg.RetryBackoff
+	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter on top of the doubled base keeps retry rounds from
+			// synchronizing across gateways hammering the same dead peer.
+			delay := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+			backoff *= 2
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return fwdResult{}, false
+			}
+		}
+		if res, ok := g.forwardRound(ctx, path, body, remotes); ok {
+			return res, true
+		}
+		if ctx.Err() != nil {
+			return fwdResult{}, false
+		}
+	}
+	g.cfg.Logger.Warn("cluster: all forward candidates failed",
+		"path", path, "key", key, "candidates", remotes)
+	return fwdResult{}, false
+}
+
+// forwardRound races one hedged pass over the candidates: launch the first
+// allowed peer, arm the hedge timer with its latency percentile, and on
+// fire (or on a failure) launch the next. The first good result wins; the
+// round fails when every candidate has failed or is breaker-blocked.
+func (g *Gateway) forwardRound(parent context.Context, path string, body []byte, candidates []string) (fwdResult, bool) {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel() // reels in the loser of the hedge race
+
+	results := make(chan fwdResult, len(candidates))
+	launched := 0
+	launch := func(peer string, hedge bool) {
+		ps := g.peer(peer)
+		if !ps.breaker.allow(time.Now()) {
+			return
+		}
+		launched++
+		if hedge {
+			g.metrics.hedges.Add(1)
+		}
+		go func() { results <- g.forwardOne(ctx, peer, path, body) }()
+	}
+	next := 0
+	for next < len(candidates) && launched == 0 {
+		launch(candidates[next], false)
+		next++
+	}
+	if launched == 0 {
+		return fwdResult{}, false // every candidate breaker-blocked
+	}
+	hedgeTimer := time.NewTimer(g.hedgeDelay(candidates[next-1]))
+	defer hedgeTimer.Stop()
+
+	outstanding := launched
+	for {
+		select {
+		case <-hedgeTimer.C:
+			for next < len(candidates) {
+				before := launched
+				launch(candidates[next], true)
+				next++
+				if launched > before {
+					outstanding++
+					break
+				}
+			}
+		case res := <-results:
+			outstanding--
+			ps := g.peer(res.peer)
+			if res.good() {
+				ps.breaker.success()
+				return res, true
+			}
+			g.metrics.forwardFailures.Add(1)
+			if opened := ps.breaker.failure(time.Now()); opened {
+				g.cfg.Logger.Warn("cluster: circuit breaker opened", "peer", res.peer)
+			}
+			// Fail fast to the next candidate instead of waiting out the
+			// hedge timer.
+			for next < len(candidates) {
+				before := launched
+				launch(candidates[next], false)
+				next++
+				if launched > before {
+					outstanding++
+					break
+				}
+			}
+			if outstanding == 0 {
+				return fwdResult{}, false
+			}
+		case <-parent.Done():
+			return fwdResult{}, false
+		}
+	}
+}
+
+// hedgeDelay picks how long the primary peer runs alone: its recent latency
+// percentile, clamped to [HedgeMin, HedgeMax]; with no history yet, HedgeMin
+// (an unknown peer earns no head start).
+func (g *Gateway) hedgeDelay(peer string) time.Duration {
+	d, ok := g.peer(peer).latency.percentile(g.cfg.HedgePercentile)
+	if !ok || d < g.cfg.HedgeMin {
+		return g.cfg.HedgeMin
+	}
+	if d > g.cfg.HedgeMax {
+		return g.cfg.HedgeMax
+	}
+	return d
+}
+
+// forwardOne performs one POST to one peer, propagating X-Request-Id and
+// marking the hop so the peer serves locally. Each call is one telemetry
+// span on the requesting node.
+func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte) fwdResult {
+	tr := telemetry.FromContext(ctx)
+	span := tr.StartSpan("forward")
+	span.SetAttr("peer", peer)
+	span.SetAttr("path", path)
+	defer span.End()
+
+	g.metrics.forwards.Add(1)
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+path, bytes.NewReader(body))
+	if err != nil {
+		return fwdResult{peer: peer, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(headerForwarded, g.cfg.Self)
+	if id := tr.ID(); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return fwdResult{peer: peer, err: err}
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return fwdResult{peer: peer, err: err}
+	}
+	if int64(len(respBody)) > maxResponseBytes {
+		err := fmt.Errorf("cluster: peer response exceeds %d bytes", int64(maxResponseBytes))
+		span.SetAttr("error", err.Error())
+		return fwdResult{peer: peer, err: err}
+	}
+	g.peer(peer).latency.observe(time.Since(start))
+	span.SetAttr("status", resp.StatusCode)
+	return fwdResult{
+		peer:        peer,
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		body:        respBody,
+	}
+}
+
+// maxResponseBytes caps a peer response read (trajectories are row-major
+// float matrices; 256 MiB is far past any configured MaxN).
+const maxResponseBytes = 256 << 20

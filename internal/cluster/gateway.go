@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/modelio"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultReplication  = 2
+	DefaultVirtualNodes = 64
+)
+
+// headerForwarded marks an intra-cluster hop: a request carrying it is served
+// locally, never re-routed, so forwarding cannot loop even when two nodes
+// briefly disagree about the ring.
+const headerForwarded = "X-Cluster-Forwarded"
+
+// headerPeer reports, on gateway responses, which node actually served.
+const headerPeer = "X-Cluster-Peer"
+
+// Config tunes one node's gateway.
+type Config struct {
+	// Self is this node's advertised host:port — the name its peers know it
+	// by; it must appear in Peers.
+	Self string
+	// Peers lists every cluster member (Self included) as host:port.
+	Peers []string
+	// Replication is how many nodes hold each key: the owner plus R−1
+	// replicas (default 2, capped at the member count).
+	Replication int
+	// VirtualNodes is the ring positions per member (default 64).
+	VirtualNodes int
+	// ProbeInterval spaces the /healthz probes per peer (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip (default 1s).
+	ProbeTimeout time.Duration
+	// FailAfter marks a peer down after this many consecutive probe
+	// failures (default 2); RecoverAfter brings it back after this many
+	// consecutive successes (default 1).
+	FailAfter, RecoverAfter int
+	// MaxAttempts caps forwarding rounds over a key's candidate peers
+	// before falling back to a local solve (default 2).
+	MaxAttempts int
+	// RetryBackoff is the base delay between forwarding rounds; each round
+	// doubles it and adds up to 50% jitter (default 25ms).
+	RetryBackoff time.Duration
+	// HedgePercentile picks the hedge trigger from the target peer's recent
+	// latency window (default 0.9: hedge when the request outlives the
+	// peer's p90), clamped to [HedgeMin, HedgeMax] (defaults 25ms, 2s).
+	HedgePercentile    float64
+	HedgeMin, HedgeMax time.Duration
+	// BreakerThreshold consecutive failures open a peer's circuit breaker
+	// (default 3); BreakerCooldown is how long it stays open before one
+	// half-open probe is allowed (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ForwardTimeout bounds one forwarded request (default 35s — past the
+	// server's default solve deadline).
+	ForwardTimeout time.Duration
+	// FillTimeout bounds a peer cache fill lookup on the cold-solve path
+	// (default 2s); fills are best effort, a slow peer must not stall the
+	// solve it is trying to speed up.
+	FillTimeout time.Duration
+	// Logger defaults to slog.Default().
+	Logger *slog.Logger
+}
+
+func (c *Config) defaults() error {
+	if c.Self == "" {
+		return errors.New("cluster: config needs Self")
+	}
+	found := false
+	for _, p := range c.Peers {
+		if p == c.Self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: Self %q is not in Peers %v", c.Self, c.Peers)
+	}
+	if c.Replication <= 0 {
+		c.Replication = DefaultReplication
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile > 1 {
+		c.HedgePercentile = 0.9
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 35 * time.Second
+	}
+	if c.FillTimeout <= 0 {
+		c.FillTimeout = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return nil
+}
+
+// peerState is the per-remote-peer forwarding state.
+type peerState struct {
+	breaker *breaker
+	latency *latencyTracker
+}
+
+// Gateway fronts one solverd node with cluster routing. It installs itself
+// as the node's root handler (server.Mount): /v1/solve and /v1/sweep are
+// routed by cache key across the ring, /cluster/v1/* serve the fabric's own
+// protocol, and every other path falls through to the local mux unchanged.
+type Gateway struct {
+	cfg         Config
+	local       *server.Server
+	mux         *http.ServeMux
+	members     *membership
+	remotePeers []string // cfg.Peers minus Self, sorted
+	peers       map[string]*peerState
+	client      *http.Client
+	metrics     clusterMetrics
+}
+
+// New wires a gateway onto srv: it mounts itself as the root handler,
+// installs the peer cache filler and registers the cluster metrics section.
+// Call Start to begin health probing (before serving traffic).
+func New(srv *server.Server, cfg Config) (*Gateway, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		local: srv,
+		mux:   http.NewServeMux(),
+		peers: make(map[string]*peerState),
+		client: &http.Client{
+			Timeout: cfg.ForwardTimeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		if _, dup := g.peers[p]; dup {
+			continue
+		}
+		g.remotePeers = append(g.remotePeers, p)
+		g.peers[p] = &peerState{
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			latency: newLatencyTracker(),
+		}
+	}
+	sort.Strings(g.remotePeers)
+	probeClient := &http.Client{Timeout: cfg.ProbeTimeout}
+	g.members = newMembership(cfg.Self, g.remotePeers, cfg.VirtualNodes,
+		cfg.ProbeInterval, cfg.FailAfter, cfg.RecoverAfter, probeClient, cfg.Logger)
+
+	g.mux.Handle("/v1/solve", srv.Instrument("cluster-solve", http.MethodPost, g.handleSolve))
+	g.mux.Handle("/v1/sweep", srv.Instrument("cluster-sweep", http.MethodPost, g.handleSweep))
+	g.mux.Handle("/cluster/v1/export", srv.Instrument("cluster-export", http.MethodPost, g.handleExport))
+	g.mux.Handle("/cluster/v1/status", srv.Instrument("cluster-status", http.MethodGet, g.handleClusterStatus))
+	g.mux.Handle("/", srv.Handler())
+
+	srv.Mount(g)
+	srv.SetPeerFiller(&peerFiller{g: g})
+	srv.RegisterMetrics(g.writeMetrics)
+	return g, nil
+}
+
+// Start begins health probing; probes stop when ctx ends or Stop is called.
+func (g *Gateway) Start(ctx context.Context) { g.members.start(ctx) }
+
+// Stop halts probing and waits for the probe goroutines.
+func (g *Gateway) Stop() { g.members.stopMembership() }
+
+// Ring returns the current routing ring (for tests and status).
+func (g *Gateway) Ring() *Ring { return g.members.Ring() }
+
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) peer(name string) *peerState { return g.peers[name] }
+
+// maxBodyBytes mirrors the local server's request body cap.
+const maxBodyBytes = 8 << 20
+
+// readBody drains the request body under the cluster's own MaxBytesReader
+// (the gateway needs the raw bytes to forward verbatim).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+}
+
+// bodyStatus maps a readBody/decode error to 413 or 400.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// decodeStrict is the gateway-side twin of the server's strict decoding.
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return errors.New("decoding request: trailing data after JSON body")
+	}
+	return nil
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		g.cfg.Logger.Error("cluster: writing response", "error", err)
+	}
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, code int, msg string) {
+	g.writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+// handleSolve routes POST /v1/solve: a forwarded hop (or a key this node
+// owns) solves locally through the server engine; anything else forwards to
+// the key's owner with hedging, retries and breaker-aware failover, and
+// falls back to a local solve when every remote candidate fails — the
+// client never sees a 5xx for a routing-layer failure.
+func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		g.writeError(w, bodyStatus(err), err.Error())
+		return
+	}
+	var req modelio.SolveRequest
+	if err := decodeStrict(body, &req); err != nil {
+		g.writeError(w, bodyStatus(err), err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		g.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	telemetry.FromContext(r.Context()).SetAttr("algorithm", req.Algorithm)
+	key, err := req.CacheKey()
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	local := func() {
+		ctx, cancel := g.local.SolveContext(r.Context(), req.TimeoutMS)
+		defer cancel()
+		resp, err := g.local.Solve(ctx, &req)
+		if err != nil {
+			g.writeError(w, errStatus(err), err.Error())
+			return
+		}
+		w.Header().Set(headerPeer, g.cfg.Self)
+		g.writeJSON(w, http.StatusOK, resp)
+	}
+	if r.Header.Get(headerForwarded) != "" {
+		local()
+		return
+	}
+	g.route(w, r, key, "/v1/solve", body, local)
+}
+
+// handleSweep routes POST /v1/sweep. The gateway plans the sweep exactly as
+// the local engine would — expand the grid, group points by resolved model —
+// then routes each group to its own key's owner as a single-point sub-sweep,
+// so a grid's groups land on (and warm the caches of) their owners across
+// the fabric. Member rows are reassembled in grid order.
+func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		g.writeError(w, bodyStatus(err), err.Error())
+		return
+	}
+	var req modelio.SweepRequest
+	if err := decodeStrict(body, &req); err != nil {
+		g.writeError(w, bodyStatus(err), err.Error())
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		g.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.Header.Get(headerForwarded) != "" {
+		g.serveSweepLocal(w, r, &req)
+		return
+	}
+	start := time.Now()
+	maxN, maxPoints := g.local.Limits()
+	if req.MaxN > maxN {
+		g.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("max population %d exceeds the server cap %d", req.MaxN, maxN))
+		return
+	}
+	points, err := req.Expand(maxPoints)
+	if err != nil {
+		g.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	groups := req.PlanSweep(points)
+	ctx, cancel := g.local.SolveContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+
+	results := make([]modelio.SweepPointResult, len(points))
+	var wg sync.WaitGroup
+	for _, grp := range groups {
+		wg.Add(1)
+		go func(grp modelio.SweepGroup) {
+			defer wg.Done()
+			g.solveGroupRouted(ctx, &req, grp, points, results)
+		}(grp)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		g.writeError(w, http.StatusGatewayTimeout, context.Cause(ctx).Error())
+		return
+	}
+	g.writeJSON(w, http.StatusOK, modelio.SweepResponse{
+		GridSize:  len(points),
+		Points:    results,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (g *Gateway) serveSweepLocal(w http.ResponseWriter, r *http.Request, req *modelio.SweepRequest) {
+	ctx, cancel := g.local.SolveContext(r.Context(), req.TimeoutMS)
+	defer cancel()
+	resp, err := g.local.Sweep(ctx, req)
+	if err != nil {
+		g.writeError(w, errStatus(err), err.Error())
+		return
+	}
+	w.Header().Set(headerPeer, g.cfg.Self)
+	g.writeJSON(w, http.StatusOK, resp)
+}
+
+// subSweep derives one group's single-point sweep: the group's resolved
+// model with the parent's populations. The owner plans it to the identical
+// group key the gateway routed by, so its cache entry is addressable
+// cluster-wide.
+func subSweep(req *modelio.SweepRequest, p modelio.GridPoint) *modelio.SweepRequest {
+	return &modelio.SweepRequest{
+		SolveRequest: *req.PointRequest(p),
+		Populations:  req.Populations,
+	}
+}
+
+// groupRouteKey computes the key the sub-sweep's server will cache its one
+// group under — the routing key must match the serving key or peer export
+// lookups would miss.
+func groupRouteKey(sub *modelio.SweepRequest, maxPoints int) (string, error) {
+	pts, err := sub.Expand(maxPoints)
+	if err != nil {
+		return "", err
+	}
+	kb, err := sub.KeyBase()
+	if err != nil {
+		return "", err
+	}
+	return kb.GroupKey(pts[0]), nil
+}
+
+// solveGroupRouted answers one planned group through the fabric and fans the
+// rows out to the group's member points.
+func (g *Gateway) solveGroupRouted(ctx context.Context, req *modelio.SweepRequest,
+	grp modelio.SweepGroup, points []modelio.GridPoint, results []modelio.SweepPointResult) {
+	fail := func(err error) {
+		for _, i := range grp.Members {
+			results[i] = modelio.SweepPointResult{Point: points[i], Error: err.Error()}
+		}
+	}
+	sub := subSweep(req, grp.Point)
+	_, maxPoints := g.local.Limits()
+	key, err := groupRouteKey(sub, maxPoints)
+	if err != nil {
+		fail(err)
+		return
+	}
+	resp, err := g.sweepViaOwner(ctx, key, sub)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if len(resp.Points) != 1 {
+		fail(fmt.Errorf("cluster: sub-sweep returned %d points (want 1)", len(resp.Points)))
+		return
+	}
+	for _, i := range grp.Members {
+		pr := resp.Points[0]
+		pr.Point = points[i]
+		results[i] = pr
+	}
+}
+
+// sweepViaOwner answers one sub-sweep: locally when this node owns the key
+// (or the ring is empty of remotes), otherwise forwarded through the key's
+// candidates with local fallback.
+func (g *Gateway) sweepViaOwner(ctx context.Context, key string, sub *modelio.SweepRequest) (*modelio.SweepResponse, error) {
+	serveLocal := func() (*modelio.SweepResponse, error) {
+		return g.local.Sweep(ctx, sub)
+	}
+	candidates := g.members.Ring().Owners(key, g.cfg.Replication)
+	if len(candidates) == 0 || candidates[0] == g.cfg.Self {
+		return serveLocal()
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := g.forward(ctx, key, "/v1/sweep", body, candidates)
+	if !ok {
+		g.metrics.localFallbacks.Add(1)
+		return serveLocal()
+	}
+	if res.status != http.StatusOK {
+		return nil, errors.New(peerErrorMessage(res))
+	}
+	var resp modelio.SweepResponse
+	if err := json.Unmarshal(res.body, &resp); err != nil {
+		return nil, fmt.Errorf("cluster: decoding peer sweep response: %w", err)
+	}
+	return &resp, nil
+}
+
+// route answers one solve-path request: locally when this node is the key's
+// owner, otherwise forwarded to the owner (then replicas) with the full
+// failover ladder, and locally as the last resort.
+func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key, path string, body []byte, local func()) {
+	candidates := g.members.Ring().Owners(key, g.cfg.Replication)
+	if len(candidates) == 0 || candidates[0] == g.cfg.Self {
+		local()
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.ForwardTimeout)
+	defer cancel()
+	res, ok := g.forward(ctx, key, path, body, candidates)
+	if !ok {
+		g.metrics.localFallbacks.Add(1)
+		telemetry.FromContext(r.Context()).SetAttr("cluster", "local-fallback")
+		local()
+		return
+	}
+	telemetry.FromContext(r.Context()).SetAttr("cluster", "forwarded")
+	w.Header().Set(headerPeer, res.peer)
+	if ct := res.contentType; ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// handleExport serves POST /cluster/v1/export: the peer-fill protocol. A
+// known, settled key returns its full trajectory state; anything else is a
+// 404 so the asking node just solves cold.
+func (g *Gateway) handleExport(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		g.writeError(w, bodyStatus(err), err.Error())
+		return
+	}
+	var req modelio.ExportRequest
+	if err := decodeStrict(body, &req); err != nil {
+		g.writeError(w, bodyStatus(err), err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		g.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.FillTimeout)
+	defer cancel()
+	res, cp, ok := g.local.ExportCached(ctx, req.Key)
+	if !ok {
+		g.writeError(w, http.StatusNotFound, "no cached trajectory for key")
+		return
+	}
+	state, err := modelio.NewTrajectoryState(res, cp)
+	if err != nil {
+		g.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	g.writeJSON(w, http.StatusOK, state)
+}
+
+// clusterStatus is the GET /cluster/v1/status body.
+type clusterStatus struct {
+	Self        string           `json:"self"`
+	Replication int              `json:"replication"`
+	RingNodes   []string         `json:"ringNodes"`
+	Peers       []peerStatusView `json:"peers"`
+}
+
+type peerStatusView struct {
+	Peer    string `json:"peer"`
+	Up      bool   `json:"up"`
+	Breaker string `json:"breaker"`
+}
+
+// handleClusterStatus serves GET /cluster/v1/status.
+func (g *Gateway) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	st := clusterStatus{
+		Self:        g.cfg.Self,
+		Replication: g.cfg.Replication,
+		RingNodes:   g.members.Ring().Nodes(),
+	}
+	for _, p := range g.remotePeers {
+		state, _ := g.peer(p).breaker.snapshot()
+		st.Peers = append(st.Peers, peerStatusView{
+			Peer: p, Up: g.members.peerUp(p), Breaker: state.String(),
+		})
+	}
+	g.writeJSON(w, http.StatusOK, st)
+}
+
+// errStatus maps locally served engine errors to HTTP statuses, reusing the
+// server's own mapping.
+func errStatus(err error) int { return server.StatusOf(err) }

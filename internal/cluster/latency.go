@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a small sliding window of a peer's recent forward
+// latencies and answers percentile queries — the basis of the hedge delay
+// ("hedge after the p90 of this peer's recent responses").
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration // ring buffer
+	next    int
+	full    bool
+}
+
+const latencyWindow = 64
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{samples: make([]time.Duration, latencyWindow)}
+}
+
+// observe records one completed forward's latency.
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.samples[t.next] = d
+	t.next++
+	if t.next == len(t.samples) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// percentile returns the p-quantile (0 < p ≤ 1) of the window, or ok=false
+// when no samples have been recorded yet.
+func (t *latencyTracker) percentile(p float64) (time.Duration, bool) {
+	t.mu.Lock()
+	n := len(t.samples)
+	if !t.full {
+		n = t.next
+	}
+	if n == 0 {
+		t.mu.Unlock()
+		return 0, false
+	}
+	window := make([]time.Duration, n)
+	copy(window, t.samples[:n])
+	t.mu.Unlock()
+
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := int(p*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return window[idx], true
+}

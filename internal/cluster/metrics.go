@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// clusterMetrics are the gateway's counters, rendered as an extra Prometheus
+// section after the local node's own /metrics output.
+type clusterMetrics struct {
+	// forwards counts requests sent to a peer (per attempt, hedges
+	// included); forwardFailures the attempts that errored or returned 5xx.
+	forwards        atomic.Uint64
+	forwardFailures atomic.Uint64
+	// hedges counts the backup requests launched after the hedge delay.
+	hedges atomic.Uint64
+	// localFallbacks counts requests served locally because every remote
+	// candidate was down, broken or failing — the "no client-visible 5xx"
+	// path.
+	localFallbacks atomic.Uint64
+	// fillHits/fillMisses count peer cache fill lookups (a hit restored a
+	// peer's trajectory, a miss fell through to a cold local solve).
+	fillHits   atomic.Uint64
+	fillMisses atomic.Uint64
+}
+
+// write renders the cluster section. The gateway passes the current ring and
+// per-peer state so gauges reflect the live topology.
+func (g *Gateway) writeMetrics(w io.Writer) error {
+	ring := g.members.Ring()
+	fmt.Fprintln(w, "# HELP solverd_cluster_ring_nodes Members currently in the routing ring.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_ring_nodes gauge")
+	fmt.Fprintf(w, "solverd_cluster_ring_nodes %d\n", ring.Len())
+
+	fmt.Fprintln(w, "# HELP solverd_cluster_peer_up Peer liveness from /healthz probes (1 up, 0 down).")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_peer_up gauge")
+	fmt.Fprintln(w, "# HELP solverd_cluster_breaker_open Peer circuit breaker state (1 open or half-open, 0 closed).")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_breaker_open gauge")
+	fmt.Fprintln(w, "# HELP solverd_cluster_breaker_opens_total Transitions of a peer's circuit breaker into the open state.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_breaker_opens_total counter")
+	for _, p := range g.remotePeers {
+		up := 0
+		if g.members.peerUp(p) {
+			up = 1
+		}
+		fmt.Fprintf(w, "solverd_cluster_peer_up{peer=%q} %d\n", p, up)
+		state, opens := g.peer(p).breaker.snapshot()
+		open := 0
+		if state != breakerClosed {
+			open = 1
+		}
+		fmt.Fprintf(w, "solverd_cluster_breaker_open{peer=%q} %d\n", p, open)
+		fmt.Fprintf(w, "solverd_cluster_breaker_opens_total{peer=%q} %d\n", p, opens)
+	}
+
+	m := &g.metrics
+	fmt.Fprintln(w, "# HELP solverd_cluster_forwards_total Requests forwarded to a peer (hedges included).")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_forwards_total counter")
+	fmt.Fprintf(w, "solverd_cluster_forwards_total %d\n", m.forwards.Load())
+	fmt.Fprintln(w, "# HELP solverd_cluster_forward_failures_total Forward attempts that errored or returned a 5xx.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_forward_failures_total counter")
+	fmt.Fprintf(w, "solverd_cluster_forward_failures_total %d\n", m.forwardFailures.Load())
+	fmt.Fprintln(w, "# HELP solverd_cluster_hedges_total Backup requests launched after the hedge delay.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_hedges_total counter")
+	fmt.Fprintf(w, "solverd_cluster_hedges_total %d\n", m.hedges.Load())
+	fmt.Fprintln(w, "# HELP solverd_cluster_local_fallbacks_total Requests served locally after every remote candidate failed.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_local_fallbacks_total counter")
+	fmt.Fprintf(w, "solverd_cluster_local_fallbacks_total %d\n", m.localFallbacks.Load())
+	fmt.Fprintln(w, "# HELP solverd_cluster_peer_fill_hits_total Cold solves warm-started from a peer's exported trajectory.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_peer_fill_hits_total counter")
+	fmt.Fprintf(w, "solverd_cluster_peer_fill_hits_total %d\n", m.fillHits.Load())
+	fmt.Fprintln(w, "# HELP solverd_cluster_peer_fill_misses_total Peer fill lookups that found no cached trajectory.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_peer_fill_misses_total counter")
+	_, err := fmt.Fprintf(w, "solverd_cluster_peer_fill_misses_total %d\n", m.fillMisses.Load())
+	return err
+}

@@ -1,0 +1,142 @@
+// Package cluster turns N solverd processes into one solve fabric. A
+// consistent-hash ring over the member nodes maps every solve-cache key
+// (modelio.SolveRequest.CacheKey / SweepKeyBase.GroupKey) to an owner node
+// plus R−1 replicas; a gateway mounted in front of each node's local mux
+// forwards /v1/solve to the key's owner and fans /v1/sweep groups out to
+// theirs, with hedged requests to replicas, per-peer retry with exponential
+// backoff and jitter, and a per-peer circuit breaker. Membership is driven
+// by periodic /healthz probes: a node failing FailAfter consecutive probes
+// leaves the ring (its keys fall to the next node clockwise — roughly 1/N of
+// the space), and rejoins after RecoverAfter consecutive successes.
+//
+// Trajectories cached on one node serve the whole fabric: a cold solve first
+// asks the key's owner/replicas for their cached trajectory plus recursion
+// checkpoint (POST /cluster/v1/export) and, on a hit, restores and extends it
+// — bit-identical to solving from scratch, at a fraction of the work.
+//
+// Every hop propagates X-Request-Id, records a telemetry span, and feeds
+// cluster-specific Prometheus series rendered after the node's own metrics.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring: each member node is hashed onto
+// the ring at VirtualNodes positions, and a key belongs to the first virtual
+// node clockwise from the key's own hash. Virtual positions derive from
+// sha256 of the node name, so every process that knows the same member list
+// builds the identical ring — routing needs no coordination.
+type Ring struct {
+	vnodes []vnode
+	nodes  []string // distinct members, sorted
+}
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over nodes (duplicates collapse) with virtualNodes
+// positions per node. An empty member list yields an empty ring.
+func NewRing(nodes []string, virtualNodes int) *Ring {
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	distinct := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			distinct = append(distinct, n)
+		}
+	}
+	sort.Strings(distinct)
+	r := &Ring{
+		vnodes: make([]vnode, 0, len(distinct)*virtualNodes),
+		nodes:  distinct,
+	}
+	for _, n := range distinct {
+		for i := 0; i < virtualNodes; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hashVnode(n, i), node: n})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		if r.vnodes[i].hash != r.vnodes[j].hash {
+			return r.vnodes[i].hash < r.vnodes[j].hash
+		}
+		// Tie-break on the node name so equal hashes (vanishingly rare with
+		// sha256) still order deterministically across processes.
+		return r.vnodes[i].node < r.vnodes[j].node
+	})
+	return r
+}
+
+// hashVnode positions one virtual node: sha256("<node>\x00<index>"),
+// truncated to 64 bits. Stable across processes and Go versions, unlike
+// hash/maphash.
+func hashVnode(node string, i int) uint64 {
+	h := sha256.New()
+	h.Write([]byte(node))
+	h.Write([]byte{0})
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(i))
+	h.Write(buf[:])
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// hashKey positions a cache key on the ring (domain-separated from vnodes).
+func hashKey(key string) uint64 {
+	h := sha256.New()
+	h.Write([]byte("key\x00"))
+	h.Write([]byte(key))
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// Nodes returns the ring's members, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owners returns up to n distinct nodes responsible for key: the owner (the
+// first virtual node clockwise from the key's hash) followed by the replicas
+// met continuing clockwise. n larger than the member count returns every
+// member.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	kh := hashKey(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= kh })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			out = append(out, v.node)
+		}
+	}
+	return out
+}
+
+// Owner returns the single node responsible for key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// String summarizes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d nodes, %d vnodes)", len(r.nodes), len(r.vnodes))
+}

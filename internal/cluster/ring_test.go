@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/modelio"
+	"repro/internal/queueing"
+)
+
+// keyCorpus builds a corpus of real solve-cache keys: distinct normalized
+// solve requests hashed exactly as the server hashes them, so the stability
+// numbers below describe the keys the ring actually routes.
+func keyCorpus(t *testing.T, n int) []string {
+	t.Helper()
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		req := &modelio.SolveRequest{
+			Algorithm: "multiserver",
+			Model: &queueing.Model{
+				Name:      fmt.Sprintf("corpus-%d", i),
+				ThinkTime: 0.5 + float64(i)*1e-3,
+				Stations: []queueing.Station{
+					{Name: "cpu", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.02},
+					{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.01},
+				},
+			},
+			MaxN: 100,
+		}
+		if err := req.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		key, err := req.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRingStability is the consistent-hashing contract: adding or removing
+// one node remaps only the keys that node gains or loses — about 1/N of the
+// corpus — and a removed node's keys move while everyone else's stay put.
+func TestRingStability(t *testing.T) {
+	keys := keyCorpus(t, 2000)
+	for _, tc := range []struct {
+		name  string
+		nodes int
+	}{
+		{"3-nodes", 3},
+		{"5-nodes", 5},
+		{"10-nodes", 10},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nodes := nodeNames(tc.nodes)
+			base := NewRing(nodes, DefaultVirtualNodes)
+
+			// Add one node: every remapped key must now belong to the new
+			// node, and the remapped fraction should be near 1/(N+1).
+			addedName := "10.0.1.99:8080"
+			added := NewRing(append(append([]string{}, nodes...), addedName), DefaultVirtualNodes)
+			moved := 0
+			for _, k := range keys {
+				before, after := base.Owner(k), added.Owner(k)
+				if before != after {
+					moved++
+					if after != addedName {
+						t.Fatalf("key remapped from %s to %s, not to the added node", before, after)
+					}
+				}
+			}
+			checkFraction(t, "add", moved, len(keys), 1.0/float64(tc.nodes+1))
+
+			// Remove one node: only its keys remap, each to a surviving node.
+			removed := nodes[0]
+			shrunk := NewRing(nodes[1:], DefaultVirtualNodes)
+			moved = 0
+			for _, k := range keys {
+				before, after := base.Owner(k), shrunk.Owner(k)
+				if before == removed {
+					moved++
+					if after == removed {
+						t.Fatalf("key still owned by removed node %s", removed)
+					}
+					continue
+				}
+				if before != after {
+					t.Fatalf("key not owned by removed node moved: %s -> %s", before, after)
+				}
+			}
+			checkFraction(t, "remove", moved, len(keys), 1.0/float64(tc.nodes))
+		})
+	}
+}
+
+// checkFraction asserts moved/total is within 3x either side of want — wide
+// enough for 64 virtual nodes' variance, tight enough to catch a ring that
+// remaps half the space.
+func checkFraction(t *testing.T, op string, moved, total int, want float64) {
+	t.Helper()
+	got := float64(moved) / float64(total)
+	if got > 3*want || got < want/3 {
+		t.Fatalf("%s: remapped fraction %.3f, want about %.3f", op, got, want)
+	}
+	if math.IsNaN(got) {
+		t.Fatalf("%s: no keys", op)
+	}
+}
+
+// TestRingOwnersDistinctAndStable checks replica selection: Owners returns
+// distinct nodes, is deterministic, and is independent of the member list's
+// input order.
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	nodes := nodeNames(5)
+	r1 := NewRing(nodes, 32)
+	reversed := make([]string, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	r2 := NewRing(reversed, 32)
+	keys := keyCorpus(t, 50)
+	for _, k := range keys {
+		o1 := r1.Owners(k, 3)
+		o2 := r2.Owners(k, 3)
+		if len(o1) != 3 {
+			t.Fatalf("got %d owners, want 3", len(o1))
+		}
+		seen := map[string]bool{}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("owner order depends on input order: %v vs %v", o1, o2)
+			}
+			if seen[o1[i]] {
+				t.Fatalf("duplicate owner in %v", o1)
+			}
+			seen[o1[i]] = true
+		}
+	}
+	if got := r1.Owners("some-key", 10); len(got) != 5 {
+		t.Fatalf("asking for more replicas than members: got %d, want all 5", len(got))
+	}
+	if (&Ring{}).Owner("k") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+}
+
+// TestMembershipChurnRace hammers the ring with concurrent readers while
+// peers flap, under -race: Owners must always see a consistent immutable
+// ring and the local node must never leave it.
+func TestMembershipChurnRace(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	self := "127.0.0.1:1"
+	peers := []string{"127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"}
+	m := newMembership(self, peers, 16, time.Hour, 1, 1, nil, logger)
+
+	keys := keyCorpus(t, 20)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ring := m.Ring()
+				for _, k := range keys {
+					owners := ring.Owners(k, 2)
+					if len(owners) == 0 {
+						t.Error("ring lost every node")
+						return
+					}
+					found := false
+					for _, n := range ring.Nodes() {
+						if n == self {
+							found = true
+						}
+					}
+					if !found {
+						t.Error("self missing from ring")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				p := peers[(seed+j)%len(peers)]
+				m.setUp(p, j%2 == 0)
+			}
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

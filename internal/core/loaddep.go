@@ -147,6 +147,25 @@ func (s *loadDepStepper) release() {
 	}
 }
 
+func (s *loadDepStepper) checkpoint(cp *Checkpoint) {
+	cp.Marginal = cloneVecs(s.p)
+}
+
+// restore overwrites the marginal rows wholesale: unlike the fixed-width
+// multi-server state, the load-dependent rows grow with the population, so
+// the checkpoint's row lengths are authoritative.
+func (s *loadDepStepper) restore(cp *Checkpoint) error {
+	if len(cp.Marginal) != len(s.p) {
+		return fmt.Errorf("%w: checkpoint has %d marginal rows, solver expects %d",
+			ErrBadRun, len(cp.Marginal), len(s.p))
+	}
+	for k, row := range cp.Marginal {
+		putVec(s.p[k])
+		s.p[k] = append(getVec(len(row))[:0], row...)
+	}
+	return nil
+}
+
 // NewLoadDependentSolver returns a resumable exact load-dependent MVA
 // solver. rates may be nil or contain nil entries, which default to each
 // station's MultiServerRate.

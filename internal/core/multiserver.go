@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/queueing"
@@ -193,6 +194,21 @@ func (s *multiServerStepper) release() {
 	s.st.release()
 	putVec(s.demands)
 	s.demands = nil
+}
+
+func (s *multiServerStepper) checkpoint(cp *Checkpoint) {
+	cp.Queue = append([]float64(nil), s.st.queue...)
+	cp.Marginal = cloneVecs(s.st.p)
+}
+
+func (s *multiServerStepper) restore(cp *Checkpoint) error {
+	if s.trace != nil {
+		return fmt.Errorf("%w: cannot restore a marginal-tracing solver", ErrBadRun)
+	}
+	if err := copyQueue(s.st.queue, cp.Queue); err != nil {
+		return err
+	}
+	return copyInto(s.st.p, cp.Marginal)
 }
 
 // NewMultiServerSolver returns a resumable Algorithm-2 solver for m. When

@@ -76,6 +76,14 @@ func (e *exactStepper) release() {
 	e.q = nil
 }
 
+func (e *exactStepper) checkpoint(cp *Checkpoint) {
+	cp.Queue = append([]float64(nil), e.q...)
+}
+
+func (e *exactStepper) restore(cp *Checkpoint) error {
+	return copyQueue(e.q, cp.Queue)
+}
+
 // NewExactMVASolver returns a resumable Algorithm-1 solver for m.
 func NewExactMVASolver(m *queueing.Model) (*Solver, error) {
 	if err := m.Validate(); err != nil {
@@ -208,6 +216,12 @@ func (s *schweitzerStepper) release() {
 	putVec(s.q)
 	s.q = nil
 }
+
+// Schweitzer steps are self-contained (the fixed point restarts from the
+// balanced guess every population), so there is no state to carry.
+func (s *schweitzerStepper) checkpoint(*Checkpoint) {}
+
+func (s *schweitzerStepper) restore(*Checkpoint) error { return nil }
 
 // NewSchweitzerSolver returns a resumable Bard–Schweitzer solver for m.
 func NewSchweitzerSolver(m *queueing.Model, opts SchweitzerOptions) (*Solver, error) {

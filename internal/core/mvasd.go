@@ -120,6 +120,23 @@ func (s *mvasdStepper) release() {
 	s.dems = nil
 }
 
+func (s *mvasdStepper) checkpoint(cp *Checkpoint) {
+	cp.Queue = append([]float64(nil), s.st.queue...)
+	cp.Marginal = cloneVecs(s.st.p)
+	cp.X = s.x
+}
+
+func (s *mvasdStepper) restore(cp *Checkpoint) error {
+	if err := copyQueue(s.st.queue, cp.Queue); err != nil {
+		return err
+	}
+	if err := copyInto(s.st.p, cp.Marginal); err != nil {
+		return err
+	}
+	s.x = cp.X
+	return nil
+}
+
 // NewMVASDSolver returns a resumable Algorithm-3 solver: demands come from
 // dm at every population step (the model's station demands are ignored).
 func NewMVASDSolver(m *queueing.Model, dm DemandModel, opts MVASDOptions) (*Solver, error) {
@@ -216,6 +233,14 @@ func (s *mvasdSingleStepper) release() {
 	putVec(s.q)
 	putVec(s.dems)
 	s.q, s.dems = nil, nil
+}
+
+func (s *mvasdSingleStepper) checkpoint(cp *Checkpoint) {
+	cp.Queue = append([]float64(nil), s.q...)
+}
+
+func (s *mvasdSingleStepper) restore(cp *Checkpoint) error {
+	return copyQueue(s.q, cp.Queue)
 }
 
 // NewMVASDSingleServerSolver returns a resumable solver for the paper's

@@ -17,6 +17,12 @@ type stepper interface {
 	step(res *Result, n int, stop func(int) error, hooks *SolveHooks) error
 	// release returns pooled scratch. The stepper must not be used after.
 	release()
+	// checkpoint deep-copies the stepper's recursion state into cp (steppers
+	// whose steps are self-contained leave cp's state fields nil).
+	checkpoint(cp *Checkpoint)
+	// restore overwrites the stepper's recursion state from cp, validating
+	// shapes; Solver.Restore guarantees it runs only on a fresh stepper.
+	restore(cp *Checkpoint) error
 }
 
 // SolveHooks observes a Solver's progress. Every field is optional; a nil

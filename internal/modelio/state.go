@@ -1,0 +1,121 @@
+package modelio
+
+// This file holds the wire form of a solved trajectory plus its solver
+// checkpoint — the unit of the cluster's peer cache fill (internal/cluster).
+// A node that owns a key's trajectory exports it as a TrajectoryState; the
+// receiving node restores a fresh core.Solver from it and extends, producing
+// results bit-identical to solving locally from scratch. Bit-identity
+// survives the JSON hop because encoding/json renders float64 in the
+// shortest form that parses back to the same bits.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CheckpointState is the wire form of core.Checkpoint (minus Algorithm and
+// N, which TrajectoryState carries for the trajectory as a whole).
+type CheckpointState struct {
+	// Queue is the per-station mean queue-length vector at the checkpoint
+	// population (empty for self-contained recursions like Schweitzer).
+	Queue []float64 `json:"queue,omitempty"`
+	// Marginal holds the per-station marginal queue-size probabilities of
+	// the multi-server algorithms.
+	Marginal [][]float64 `json:"marginal,omitempty"`
+	// X is the checkpoint population's throughput (the warm start of the
+	// mvasd-vs-throughput fixed point).
+	X float64 `json:"x,omitempty"`
+}
+
+// TrajectoryState is the full transportable state of one cached solve: every
+// per-population row of the core.Result plus the recursion checkpoint. It is
+// deliberately complete (unlike the compact Trajectory of SolveResponse) —
+// the receiver needs every matrix to serve sweeps and to extend.
+type TrajectoryState struct {
+	Algorithm    string    `json:"algorithm"`
+	ModelName    string    `json:"modelName,omitempty"`
+	ThinkTime    float64   `json:"thinkTime"`
+	StationNames []string  `json:"stationNames"`
+	X            []float64 `json:"x"`
+	R            []float64 `json:"r"`
+	Cycle        []float64 `json:"cycle"`
+	// Row-major per-population, per-station matrices ([n][k]).
+	QueueLen  [][]float64 `json:"queueLen"`
+	Util      [][]float64 `json:"util"`
+	Residence [][]float64 `json:"residence"`
+	Demands   [][]float64 `json:"demands"`
+
+	Checkpoint CheckpointState `json:"checkpoint"`
+}
+
+// NewTrajectoryState packages a solved prefix and its checkpoint for the
+// wire. res must be the prefix at cp.N (core.Solver.Result().Prefix(cp.N)).
+func NewTrajectoryState(res *core.Result, cp *core.Checkpoint) (*TrajectoryState, error) {
+	if res == nil || cp == nil {
+		return nil, fmt.Errorf("modelio: trajectory state needs a result and a checkpoint")
+	}
+	if res.Len() != cp.N {
+		return nil, fmt.Errorf("modelio: trajectory has %d populations, checkpoint is at %d", res.Len(), cp.N)
+	}
+	if res.Algorithm != cp.Algorithm {
+		return nil, fmt.Errorf("modelio: trajectory algorithm %q, checkpoint %q", res.Algorithm, cp.Algorithm)
+	}
+	return &TrajectoryState{
+		Algorithm:    res.Algorithm,
+		ModelName:    res.ModelName,
+		ThinkTime:    res.ThinkTime,
+		StationNames: res.StationNames,
+		X:            res.X,
+		R:            res.R,
+		Cycle:        res.Cycle,
+		QueueLen:     res.QueueLen,
+		Util:         res.Util,
+		Residence:    res.Residence,
+		Demands:      res.Demands,
+		Checkpoint: CheckpointState{
+			Queue:    cp.Queue,
+			Marginal: cp.Marginal,
+			X:        cp.X,
+		},
+	}, nil
+}
+
+// Restore validates the state and rebuilds the (trajectory, checkpoint) pair
+// ready for core.Solver.Restore. The returned Result owns fresh backing.
+func (t *TrajectoryState) Restore() (*core.Result, *core.Checkpoint, error) {
+	if t.Algorithm == "" {
+		return nil, nil, fmt.Errorf("modelio: trajectory state names no algorithm")
+	}
+	res, err := core.RestoreResult(t.Algorithm, t.ModelName, t.ThinkTime, t.StationNames,
+		t.X, t.R, t.Cycle, t.QueueLen, t.Util, t.Residence, t.Demands)
+	if err != nil {
+		return nil, nil, err
+	}
+	cp := &core.Checkpoint{
+		Algorithm: t.Algorithm,
+		N:         res.Len(),
+		Queue:     t.Checkpoint.Queue,
+		Marginal:  t.Checkpoint.Marginal,
+		X:         t.Checkpoint.X,
+	}
+	return res, cp, nil
+}
+
+// ExportRequest is the POST /cluster/v1/export body: a peer asking for the
+// cached trajectory state behind one solve-cache key.
+type ExportRequest struct {
+	// Key is the cache key (SolveRequest.CacheKey / SweepKeyBase.GroupKey).
+	Key string `json:"key"`
+}
+
+// Validate checks the export request.
+func (r *ExportRequest) Validate() error {
+	if r.Key == "" {
+		return fmt.Errorf("modelio: export request has no key")
+	}
+	if len(r.Key) > 128 {
+		return fmt.Errorf("modelio: export request key too long")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package modelio
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+)
+
+func stateTestModel() *queueing.Model {
+	return &queueing.Model{
+		Name:      "state-test",
+		ThinkTime: 0.75,
+		Stations: []queueing.Station{
+			{Name: "app/cpu", Kind: queueing.CPU, Servers: 4, Visits: 1, ServiceTime: 0.02},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 2, ServiceTime: 0.01},
+		},
+	}
+}
+
+// TestTrajectoryStateJSONRoundTrip proves the peer-fill wire contract: a
+// trajectory + checkpoint survives JSON encoding with every float64
+// bit-identical, and a solver restored from the decoded state extends to the
+// same bits as the source solver.
+func TestTrajectoryStateJSONRoundTrip(t *testing.T) {
+	m := stateTestModel()
+	src, err := core.NewMultiServerSolver(m, core.MultiServerOptions{TraceStation: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Release()
+	if err := src.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix, err := src.Result().Prefix(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := NewTrajectoryState(prefix, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded TrajectoryState
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	traj, cp2, err := decoded.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prefix.N {
+		if traj.X[i] != prefix.X[i] || traj.R[i] != prefix.R[i] {
+			t.Fatalf("n=%d: decoded trajectory differs: X %v vs %v, R %v vs %v",
+				i+1, traj.X[i], prefix.X[i], traj.R[i], prefix.R[i])
+		}
+	}
+
+	dst, err := core.NewMultiServerSolver(m, core.MultiServerOptions{TraceStation: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Release()
+	if err := dst.Restore(traj, cp2); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Extend(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Extend(500); err != nil {
+		t.Fatal(err)
+	}
+	a, b := src.Result(), dst.Result()
+	for i := range a.N {
+		if a.X[i] != b.X[i] || a.R[i] != b.R[i] || a.Cycle[i] != b.Cycle[i] {
+			t.Fatalf("n=%d: extended trajectories diverge after wire hop", i+1)
+		}
+		for k := range a.QueueLen[i] {
+			if a.QueueLen[i][k] != b.QueueLen[i][k] || a.Util[i][k] != b.Util[i][k] {
+				t.Fatalf("n=%d station %d: per-station metrics diverge after wire hop", i+1, k)
+			}
+		}
+	}
+}
+
+func TestTrajectoryStateValidation(t *testing.T) {
+	if _, _, err := (&TrajectoryState{}).Restore(); err == nil {
+		t.Fatal("empty state restored")
+	}
+	bad := &TrajectoryState{
+		Algorithm:    "exact-mva",
+		StationNames: []string{"a"},
+		X:            []float64{1, 2},
+		R:            []float64{1}, // length mismatch
+		Cycle:        []float64{1, 2},
+		QueueLen:     [][]float64{{1}, {1}},
+		Util:         [][]float64{{1}, {1}},
+		Residence:    [][]float64{{1}, {1}},
+		Demands:      [][]float64{{1}, {1}},
+	}
+	if _, _, err := bad.Restore(); err == nil {
+		t.Fatal("mismatched row lengths restored")
+	}
+	if err := (&ExportRequest{}).Validate(); err == nil {
+		t.Fatal("empty export request validated")
+	}
+	if err := (&ExportRequest{Key: "abc"}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

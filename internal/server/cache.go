@@ -228,6 +228,44 @@ func (c *solveCache) do(ctx context.Context, key string, maxN int,
 	}
 }
 
+// export returns key's cached trajectory prefix plus its recursion
+// checkpoint, for peer cache fill. It takes the entry lock (Checkpoint reads
+// the solver's recursion state), bounded by ctx — a running first solve or
+// extension is never interrupted, the export just gives up. ok=false when the
+// key is unknown, still cold, evicted, or busy past the deadline.
+func (c *solveCache) export(ctx context.Context, key string) (*core.Result, *core.Checkpoint, bool) {
+	c.mu.Lock()
+	e, ok := c.items[key]
+	if ok {
+		if e.el != nil {
+			c.ll.MoveToFront(e.el)
+		}
+		e.lastAccess = time.Now()
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	select {
+	case e.lock <- struct{}{}:
+	case <-ctx.Done():
+		return nil, nil, false
+	}
+	defer c.unlockEntry(e)
+	if e.evicted.Load() || e.solver == nil || e.solver.N() == 0 {
+		return nil, nil, false
+	}
+	cp, err := e.solver.Checkpoint()
+	if err != nil {
+		return nil, nil, false
+	}
+	res, err := e.solver.Result().Prefix(cp.N)
+	if err != nil {
+		return nil, nil, false
+	}
+	return res, cp, true
+}
+
 // finish ends a leader's turn: transient entries (disabled cache) and
 // entries that never made progress leave the map so errors are not cached
 // and the disabled cache stores nothing.

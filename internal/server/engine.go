@@ -1,0 +1,153 @@
+package server
+
+// This file is the service's exported solve engine: the request-independent
+// core behind the /v1/solve and /v1/sweep handlers, callable in-process by
+// the cluster gateway (internal/cluster) for locally-owned keys, plus the
+// cache export / peer-fill surface that lets a cluster move cached
+// trajectories between nodes instead of recomputing them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/modelio"
+)
+
+// ErrLimit wraps violations of the server's configured request caps (MaxN,
+// MaxSweepPoints); it maps to 400 Bad Request.
+var ErrLimit = errors.New("server: request exceeds configured limit")
+
+// PeerFiller supplies cold solves with trajectories cached elsewhere in a
+// cluster. Fill is consulted once per cold cache entry, before the solver
+// runs: a hit returns a trajectory prefix plus its recursion checkpoint
+// (typically fetched from the key's owner or a replica), which the server
+// restores into the fresh solver so the local run extends instead of
+// starting over. ok=false means "solve cold"; implementations should bound
+// their own network time (the solve context is threaded through).
+type PeerFiller interface {
+	Fill(ctx context.Context, key string, req *modelio.SolveRequest) (traj *core.Result, cp *core.Checkpoint, ok bool)
+}
+
+// peerFillerRef boxes the interface for atomic swapping.
+type peerFillerRef struct{ f PeerFiller }
+
+// SetPeerFiller installs (or with nil clears) the cluster's peer cache fill
+// hook. Safe to call while serving.
+func (s *Server) SetPeerFiller(f PeerFiller) {
+	if f == nil {
+		s.filler.Store(nil)
+		return
+	}
+	s.filler.Store(&peerFillerRef{f: f})
+}
+
+// peerFiller returns the installed hook, or nil.
+func (s *Server) peerFiller() PeerFiller {
+	if ref := s.filler.Load(); ref != nil {
+		return ref.f
+	}
+	return nil
+}
+
+// Limits reports the configured request caps — the cluster gateway mirrors
+// them when it expands sweeps before routing.
+func (s *Server) Limits() (maxN, maxSweepPoints int) {
+	return s.cfg.MaxN, s.cfg.MaxSweepPoints
+}
+
+// SolveContext derives a solve context from ctx: the server-wide request
+// timeout, shortened (never extended) by the request's own timeoutMs.
+func (s *Server) SolveContext(ctx context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Solve answers one normalized solve request through the cache, in-flight
+// dedup and worker pool — the engine behind POST /v1/solve. The caller must
+// have called req.Normalize and should bound ctx with SolveContext.
+func (s *Server) Solve(ctx context.Context, req *modelio.SolveRequest) (*modelio.SolveResponse, error) {
+	if req.MaxN > s.cfg.MaxN {
+		return nil, fmt.Errorf("%w: maxN %d exceeds the server cap %d", ErrLimit, req.MaxN, s.cfg.MaxN)
+	}
+	start := time.Now()
+	res, hit, err := s.solveCached(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &modelio.SolveResponse{
+		Cached:     hit,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		Trajectory: modelio.NewTrajectory(res, req.Every),
+	}, nil
+}
+
+// Sweep answers one normalized sweep request — the engine behind
+// POST /v1/sweep. The expanded grid is planned first: points resolving to
+// the same model form one group, each group is one cached solve at the
+// sweep's largest population, and every member's rows fan out from the
+// shared trajectory. A request-wide deadline trumps partial results.
+func (s *Server) Sweep(ctx context.Context, req *modelio.SweepRequest) (*modelio.SweepResponse, error) {
+	if req.MaxN > s.cfg.MaxN {
+		return nil, fmt.Errorf("%w: max population %d exceeds the server cap %d", ErrLimit, req.MaxN, s.cfg.MaxN)
+	}
+	start := time.Now()
+	points, err := req.Expand(s.cfg.MaxSweepPoints)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrLimit, err)
+	}
+	// Hash the shared key material (algorithm, interp, samples, base model)
+	// once; per-group keys mix in only the point's resolved signature.
+	keyBase, err := req.KeyBase()
+	if err != nil {
+		return nil, err
+	}
+	groups := req.PlanSweep(points)
+
+	results := make([]modelio.SweepPointResult, len(points))
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g modelio.SweepGroup) {
+			defer wg.Done()
+			s.solveGroup(ctx, req, keyBase, g, points, results)
+		}(g)
+	}
+	wg.Wait()
+	// A request-wide deadline trumps partial results: the client asked for
+	// the grid, not a fragment of it.
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
+	return &modelio.SweepResponse{
+		GridSize:  len(points),
+		Points:    results,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// ExportCached returns the cached trajectory prefix and recursion checkpoint
+// behind one solve-cache key, for peer cache fill. ok=false when the key is
+// unknown, still cold, or its entry lock cannot be acquired before ctx ends
+// (an in-flight first solve); exporting never blocks a running solve.
+func (s *Server) ExportCached(ctx context.Context, key string) (*core.Result, *core.Checkpoint, bool) {
+	return s.cache.export(ctx, key)
+}
+
+// RegisterMetrics adds a Prometheus-text section rendered after the server's
+// own metrics on /metrics (used by the cluster gateway). Safe to call while
+// serving.
+func (s *Server) RegisterMetrics(write func(w io.Writer) error) {
+	s.extraMu.Lock()
+	defer s.extraMu.Unlock()
+	s.extraMetrics = append(s.extraMetrics, write)
+}

@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -21,7 +20,9 @@ import (
 // is generous.
 const maxBodyBytes = 8 << 20
 
-// decodeBody strictly decodes the JSON request body into v.
+// decodeBody strictly decodes the JSON request body into v. Bodies are
+// bounded by http.MaxBytesReader; an oversized body surfaces as
+// *http.MaxBytesError, which decodeStatus maps to 413.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -34,14 +35,29 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// decodeStatus maps a decodeBody error to its HTTP status: 413 for a body
+// over the MaxBytesReader cap, 400 for everything else.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// StatusOf is the exported error→status mapping for callers serving engine
+// results over HTTP outside this package (the cluster gateway).
+func StatusOf(err error) int { return statusOf(err) }
+
 // statusOf maps a solve error to an HTTP status: deadline/cancellation →
-// 504, invalid input the validators missed → 400, anything else → 500.
+// 504, invalid input the validators missed (or a configured-cap violation)
+// → 400, anything else → 500.
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, core.ErrBadRun), errors.Is(err, queueing.ErrInvalidModel),
-		errors.Is(err, core.ErrDemandModel):
+		errors.Is(err, core.ErrDemandModel), errors.Is(err, ErrLimit):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -96,7 +112,26 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 	tr := telemetry.FromContext(ctx)
 	cacheSpan := tr.StartSpan("cache")
 	res, hit, err = s.cache.do(ctx, key, req.MaxN,
-		func() (*core.Solver, error) { return newSolverFor(req) },
+		func() (*core.Solver, error) {
+			sol, err := newSolverFor(req)
+			if err != nil {
+				return nil, err
+			}
+			// Cold entry: ask the cluster (when clustered) for the key's
+			// trajectory before solving from scratch. A successful restore
+			// turns this run into an extend from the peer's population.
+			if f := s.peerFiller(); f != nil {
+				if traj, cp, ok := f.Fill(ctx, key, req); ok {
+					if rerr := sol.Restore(traj, cp); rerr != nil {
+						s.cfg.Logger.Warn("solverd: peer fill restore failed", "key", key, "error", rerr)
+					} else {
+						s.metrics.peerFillRestores.Add(1)
+						tr.SetAttr("peer_fill", true)
+					}
+				}
+			}
+			return sol, nil
+		},
 		func(ctx context.Context, sol *core.Solver, maxN int) error {
 			if err := s.pool.acquire(ctx); err != nil {
 				return err
@@ -150,97 +185,49 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 	return res, hit, err
 }
 
-// handleSolve serves POST /v1/solve.
+// handleSolve serves POST /v1/solve: decode, normalize, then the exported
+// Solve engine under the request-derived context.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
 	var req modelio.SolveRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, decodeStatus(err), err.Error())
 		return
 	}
 	if err := req.Normalize(); err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	if req.MaxN > s.cfg.MaxN {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("maxN %d exceeds the server cap %d", req.MaxN, s.cfg.MaxN))
 		return
 	}
 	telemetry.FromContext(r.Context()).SetAttr("algorithm", req.Algorithm)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	res, hit, err := s.solveCached(ctx, &req)
+	resp, err := s.Solve(ctx, &req)
 	if err != nil {
 		s.writeError(w, statusOf(err), err.Error())
 		return
 	}
-	s.writeJSON(w, http.StatusOK, modelio.SolveResponse{
-		Cached:     hit,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
-		Trajectory: modelio.NewTrajectory(res, req.Every),
-	})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleSweep serves POST /v1/sweep. The expanded grid is planned first:
-// points resolving to the same model (differing only in population, or in
-// overrides equal to the base model) form one group, each group is one
-// cached solve at the sweep's largest population, and every member's rows
-// fan out from the shared trajectory. Fan-out is per group, bounded by the
-// worker pool; fully cached groups never touch the pool.
+// handleSweep serves POST /v1/sweep through the exported Sweep engine; see
+// Sweep for the grid planning and group fan-out.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
 	var req modelio.SweepRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, decodeStatus(err), err.Error())
 		return
 	}
 	if err := req.Normalize(); err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if req.MaxN > s.cfg.MaxN {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("max population %d exceeds the server cap %d", req.MaxN, s.cfg.MaxN))
-		return
-	}
-	points, err := req.Expand(s.cfg.MaxSweepPoints)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	// Hash the shared key material (algorithm, interp, samples, base model)
-	// once; per-group keys mix in only the point's resolved signature.
-	keyBase, err := req.KeyBase()
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	groups := req.PlanSweep(points)
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-
-	results := make([]modelio.SweepPointResult, len(points))
-	var wg sync.WaitGroup
-	for _, g := range groups {
-		wg.Add(1)
-		go func(g modelio.SweepGroup) {
-			defer wg.Done()
-			s.solveGroup(ctx, &req, keyBase, g, points, results)
-		}(g)
-	}
-	wg.Wait()
-	// A request-wide deadline trumps partial results: the client asked for
-	// the grid, not a fragment of it.
-	if ctx.Err() != nil {
-		s.writeError(w, http.StatusGatewayTimeout, context.Cause(ctx).Error())
+	resp, err := s.Sweep(ctx, &req)
+	if err != nil {
+		s.writeError(w, statusOf(err), err.Error())
 		return
 	}
-	s.writeJSON(w, http.StatusOK, modelio.SweepResponse{
-		GridSize:  len(points),
-		Points:    results,
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-	})
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // solveGroup solves one planned group and fans the shared trajectory out to
@@ -293,7 +280,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req modelio.PlanRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, decodeStatus(err), err.Error())
 		return
 	}
 	if err := req.Normalize(); err != nil {
@@ -356,10 +343,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleMetrics serves GET /metrics in the Prometheus text format.
+// handleMetrics serves GET /metrics in the Prometheus text format: the
+// server's own series first, then any registered extra sections (the cluster
+// gateway's ring/peer/forwarding series).
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.writePrometheus(w, s.cache.len(), s.inflight.snapshot()); err != nil {
 		s.cfg.Logger.Error("solverd: writing metrics", "error", err)
+		return
+	}
+	s.extraMu.Lock()
+	extras := make([]func(w io.Writer) error, len(s.extraMetrics))
+	copy(extras, s.extraMetrics)
+	s.extraMu.Unlock()
+	for _, write := range extras {
+		if err := write(w); err != nil {
+			s.cfg.Logger.Error("solverd: writing extra metrics", "error", err)
+			return
+		}
 	}
 }

@@ -30,6 +30,10 @@ type serverMetrics struct {
 	solveRuns    atomic.Uint64
 	solveExtends atomic.Uint64
 
+	// peerFillRestores counts cold solves warm-started from a trajectory
+	// fetched off a cluster peer (each such run also counts as an extend).
+	peerFillRestores atomic.Uint64
+
 	// stepPops counts committed population steps across every solver run —
 	// the solver-side unit of work (a 1500-population cold solve adds 1500).
 	stepPops atomic.Uint64
@@ -147,6 +151,9 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int, solves []
 	fmt.Fprintln(w, "# HELP solverd_solve_extends_total Solver executions that resumed a cached trajectory.")
 	fmt.Fprintln(w, "# TYPE solverd_solve_extends_total counter")
 	fmt.Fprintf(w, "solverd_solve_extends_total %d\n", m.solveExtends.Load())
+	fmt.Fprintln(w, "# HELP solverd_peer_fill_restores_total Cold solves warm-started from a cluster peer's cached trajectory.")
+	fmt.Fprintln(w, "# TYPE solverd_peer_fill_restores_total counter")
+	fmt.Fprintf(w, "solverd_peer_fill_restores_total %d\n", m.peerFillRestores.Load())
 	fmt.Fprintln(w, "# HELP solverd_in_flight_solves Solver runs executing right now.")
 	fmt.Fprintln(w, "# TYPE solverd_in_flight_solves gauge")
 	fmt.Fprintf(w, "solverd_in_flight_solves %d\n", m.inFlight.Load())

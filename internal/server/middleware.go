@@ -70,6 +70,13 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 	})
 }
 
+// Instrument is the exported form of the middleware for handlers mounted
+// outside the local mux (the cluster gateway): method enforcement, panic
+// recovery, X-Request-Id tracing and request metrics under name.
+func (s *Server) Instrument(name, method string, h http.HandlerFunc) http.Handler {
+	return s.instrument(name, method, h)
+}
+
 // writeJSON writes v with the given status code.
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

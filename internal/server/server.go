@@ -24,11 +24,14 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,6 +52,13 @@ type Config struct {
 	// RequestTimeout caps each request's solve time (default 30s); a
 	// request's timeoutMs may shorten it but never extend it.
 	RequestTimeout time.Duration
+	// ReadTimeout bounds reading one full request, header plus body
+	// (default RequestTimeout + 30s, comfortably past the longest handler
+	// so the connection's read deadline never fires mid-solve).
+	ReadTimeout time.Duration
+	// IdleTimeout closes keep-alive connections idle for this long
+	// (default 2m).
+	IdleTimeout time.Duration
 	// ShutdownTimeout bounds the graceful drain (default 15s).
 	ShutdownTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (default off:
@@ -79,6 +89,12 @@ func (c *Config) defaults() {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = c.RequestTimeout + 30*time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 15 * time.Second
 	}
@@ -96,6 +112,17 @@ type Server struct {
 	inflight *inflightRegistry
 	mux      *http.ServeMux
 	start    time.Time
+
+	// root is the handler Run/Serve expose: the mux by default, or a
+	// cluster gateway installed with Mount.
+	root http.Handler
+
+	// filler is the cluster's peer cache fill hook (SetPeerFiller).
+	filler atomic.Pointer[peerFillerRef]
+
+	// extraMetrics are additional Prometheus sections (RegisterMetrics).
+	extraMu      sync.Mutex
+	extraMetrics []func(w io.Writer) error
 
 	// testHookSolveStart, when set, runs at the start of every solver
 	// execution with the request context — tests use it to hold solves
@@ -131,11 +158,22 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	s.root = s.mux
 	return s
 }
 
-// Handler returns the service's HTTP handler (for tests and embedding).
+// Handler returns the service's local HTTP handler (for tests and embedding).
+// It bypasses any handler installed with Mount.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Mount replaces the handler Run/Serve expose — the cluster gateway installs
+// itself here so it can intercept /v1/solve and /v1/sweep for routing while
+// delegating every other path to the local mux. Call before Run/Serve.
+func (s *Server) Mount(h http.Handler) {
+	if h != nil {
+		s.root = h
+	}
+}
 
 // Run listens on cfg.Addr and serves until ctx is cancelled, then shuts down
 // gracefully: the listener closes, in-flight requests drain (bounded by
@@ -154,8 +192,10 @@ func (s *Server) Run(ctx context.Context) error {
 // Serve is Run over a caller-supplied listener (which it takes ownership of).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.root,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
 		ErrorLog:          slog.NewLogLogger(s.cfg.Logger.Handler(), slog.LevelError),
 	}
 	errc := make(chan error, 1)
@@ -178,11 +218,5 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // requestContext derives the solve context: the server-wide cap, shortened by
 // the request's own timeoutMs when given.
 func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
-	d := s.cfg.RequestTimeout
-	if timeoutMS > 0 {
-		if t := time.Duration(timeoutMS) * time.Millisecond; t < d {
-			d = t
-		}
-	}
-	return context.WithTimeout(r.Context(), d)
+	return s.SolveContext(r.Context(), timeoutMS)
 }

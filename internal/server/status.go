@@ -87,6 +87,10 @@ func (r *inflightRegistry) snapshot() []inflightSnapshot {
 	return out
 }
 
+// BuildInfo reports the running binary's Go version and VCS revision — the
+// labels of the solverd_build_info gauge and the solverd -version output.
+func BuildInfo() (goVersion, revision string) { return buildInfo() }
+
 // buildInfo reports the running binary's Go version and VCS revision
 // ("unknown" when the build carries no VCS stamp, e.g. `go test` binaries).
 func buildInfo() (goVersion, revision string) {
