@@ -8,7 +8,7 @@
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //	solverd -peers host1:8080,host2:8080,host3:8080 -advertise host1:8080
-//	        [-replication 2]
+//	        [-replication 2] [-cluster-secret s]
 //	solverd -version
 //	solverd -dump-profile vins [-nodes 7] [-out dir]
 //
@@ -68,6 +68,7 @@ func run(args []string, out io.Writer) error {
 	peers := fs.String("peers", "", "comma-separated cluster member list (host:port, every node incl. this one); empty runs standalone")
 	advertise := fs.String("advertise", "", "this node's host:port as peers reach it (required with -peers)")
 	replication := fs.Int("replication", 2, "nodes holding each key in cluster mode (owner + replicas)")
+	clusterSecret := fs.String("cluster-secret", "", "shared secret gating /cluster/v1/* and forwarded hops (empty trusts the network)")
 	version := fs.Bool("version", false, "print build info and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +113,7 @@ func run(args []string, out io.Writer) error {
 			Self:        *advertise,
 			Peers:       members,
 			Replication: *replication,
+			Secret:      *clusterSecret,
 			Logger:      logger,
 		})
 		if err != nil {

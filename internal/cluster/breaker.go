@@ -70,6 +70,32 @@ func (b *breaker) allow(now time.Time) bool {
 	}
 }
 
+// allowNonProbe reports whether a best-effort request (a peer cache fill)
+// may proceed. It never mutates state: only a closed breaker admits, so the
+// single half-open probe slot stays reserved for forwarding traffic, whose
+// results actually feed a verdict back into the breaker.
+func (b *breaker) allowNonProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerClosed
+}
+
+// cancelProbe releases an in-flight probe slot without a verdict — the
+// request was abandoned (hedge race won by another peer, context canceled),
+// not answered. Half-open reverts to open; openedAt is left untouched, so a
+// cooldown that already elapsed lets the very next allow probe again.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.probing {
+		return
+	}
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+	}
+}
+
 // success records a completed request to the peer.
 func (b *breaker) success() {
 	b.mu.Lock()

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerProbeLifecycle walks the half-open probe slot through every exit
+// path: taken, refused while held, released by a verdict, and — the case
+// that used to wedge the breaker forever — released without a verdict when
+// the probe request is abandoned.
+func TestBreakerProbeLifecycle(t *testing.T) {
+	t0 := time.Now()
+	b := newBreaker(1, time.Second)
+
+	if opened := b.failure(t0); !opened {
+		t.Fatal("first failure at threshold 1 should open the breaker")
+	}
+	if b.allow(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("allowed during cooldown")
+	}
+	// A best-effort (fill) check past cooldown must neither be admitted nor
+	// consume the probe slot.
+	if b.allowNonProbe() {
+		t.Fatal("non-probe admitted while open")
+	}
+	if !b.allow(t0.Add(2 * time.Second)) {
+		t.Fatal("probe refused after cooldown (did allowNonProbe consume the slot?)")
+	}
+	if b.allow(t0.Add(2 * time.Second)) {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Abandoning the probe (hedge race lost, context canceled) releases the
+	// slot without a verdict; the elapsed cooldown admits the next probe
+	// immediately.
+	b.cancelProbe()
+	if st, _ := b.snapshot(); st != breakerOpen {
+		t.Fatalf("state after abandoned probe = %v, want open", st)
+	}
+	if !b.allow(t0.Add(2 * time.Second)) {
+		t.Fatal("breaker wedged after an abandoned probe")
+	}
+
+	// A real verdict still works: failure re-opens, success closes.
+	if opened := b.failure(t0.Add(2 * time.Second)); !opened {
+		t.Fatal("failed probe should re-open the breaker")
+	}
+	if !b.allow(t0.Add(4 * time.Second)) {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if !b.allowNonProbe() {
+		t.Fatal("non-probe refused while closed")
+	}
+	// cancelProbe on a closed breaker (a request launched while closed and
+	// then abandoned) is a no-op.
+	b.cancelProbe()
+	if st, _ := b.snapshot(); st != breakerClosed {
+		t.Fatalf("cancelProbe reopened a closed breaker: %v", st)
+	}
+}

@@ -475,3 +475,59 @@ func TestClusterPeerFillExtend(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterSecret checks the shared-secret trust boundary: without the
+// secret the fabric endpoints are refused and a forged X-Cluster-Forwarded
+// header is ignored (the request still routes to its owner), while requests
+// carrying the secret — and the gateway's own forwards — work as in open
+// mode.
+func TestClusterSecret(t *testing.T) {
+	const secret = "squeamish-ossifrage"
+	nodes := startCluster(t, 3, func(c *Config) { c.Secret = secret })
+	entry := nodes[0]
+
+	resp, _ := postJSON(t, "http://"+entry.addr+"/cluster/v1/export",
+		modelio.ExportRequest{Key: "some-key"}, nil)
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("export without secret: status %d, want 403", resp.StatusCode)
+	}
+	statusResp, err := http.Get("http://" + entry.addr + "/cluster/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, statusResp.Body)
+	statusResp.Body.Close()
+	if statusResp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status without secret: status %d, want 403", statusResp.StatusCode)
+	}
+	// With the secret the same export lookup is admitted (404: unknown key,
+	// not 403: untrusted caller).
+	resp, _ = postJSON(t, "http://"+entry.addr+"/cluster/v1/export",
+		modelio.ExportRequest{Key: "some-key"}, map[string]string{headerSecret: secret})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("export with secret: status %d, want 404", resp.StatusCode)
+	}
+
+	// A forged forwarded header (no secret) must not force a local serve:
+	// the request routes to its owner exactly like an external one.
+	var req *modelio.SolveRequest
+	var owner string
+	for i := 0; i < 400; i++ {
+		cand := solveRequest(0.3+float64(i)*0.01, 60)
+		if o := entry.gw.Ring().Owner(keyOf(t, cand)); o != entry.addr {
+			req, owner = cand, o
+			break
+		}
+	}
+	if req == nil {
+		t.Fatal("could not find a key owned by a remote node")
+	}
+	resp, body := postJSON(t, "http://"+entry.addr+"/v1/solve", req,
+		map[string]string{"X-Cluster-Forwarded": "forged"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with forged hop header: status %d: %s", resp.StatusCode, body)
+	}
+	if peer := resp.Header.Get(headerPeer); peer != owner {
+		t.Fatalf("forged hop header bypassed routing: served by %s, owner is %s", peer, owner)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/modelio"
@@ -48,13 +47,15 @@ func (f *peerFiller) Fill(ctx context.Context, key string, _ *modelio.SolveReque
 		return nil, nil, false
 	}
 	for _, peer := range remotes {
-		ps := g.peer(peer)
-		if !ps.breaker.allow(time.Now()) {
+		// allowNonProbe, not allow: a fill must never consume the half-open
+		// probe slot. Fills report no verdict (a 404 miss just means the
+		// peer lacks the key), so a consumed slot would never be released
+		// and the breaker would wedge, excluding the peer until restart.
+		if !g.peer(peer).breaker.allowNonProbe() {
 			continue
 		}
 		traj, cp, ok := f.fetch(fillCtx, peer, body)
 		if ok {
-			ps.breaker.success()
 			g.metrics.fillHits.Add(1)
 			span.SetAttr("peer", peer)
 			span.SetAttr("n", cp.N)
@@ -69,10 +70,10 @@ func (f *peerFiller) Fill(ctx context.Context, key string, _ *modelio.SolveReque
 }
 
 // fetch asks one peer for the key's trajectory state. A 404 (peer has no
-// cached entry) and a transport error are both just misses; only the
-// transport error would count against the breaker, but export lookups are
-// cheap and frequent enough that treating every miss as neutral keeps the
-// breaker focused on real forwarding traffic.
+// cached entry) and a transport error are both just misses, and neither
+// feeds the breaker: fills are gated by allowNonProbe and stay entirely
+// neutral, keeping the breaker's state machine driven by forwarding traffic
+// alone.
 func (f *peerFiller) fetch(ctx context.Context, peer string, body []byte) (*core.Result, *core.Checkpoint, bool) {
 	g := f.g
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+"/cluster/v1/export", bytes.NewReader(body))
@@ -80,6 +81,9 @@ func (f *peerFiller) fetch(ctx context.Context, peer string, body []byte) (*core
 		return nil, nil, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if g.cfg.Secret != "" {
+		req.Header.Set(headerSecret, g.cfg.Secret)
+	}
 	if tr := telemetry.FromContext(ctx); tr.ID() != "" {
 		req.Header.Set("X-Request-Id", tr.ID())
 	}
@@ -92,7 +96,7 @@ func (f *peerFiller) fetch(ctx context.Context, peer string, body []byte) (*core
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return nil, nil, false
 	}
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxExportResponseBytes))
 	if err != nil {
 		return nil, nil, false
 	}

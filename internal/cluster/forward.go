@@ -100,7 +100,29 @@ func (g *Gateway) forwardRound(parent context.Context, path string, body []byte,
 		if hedge {
 			g.metrics.hedges.Add(1)
 		}
-		go func() { results <- g.forwardOne(ctx, peer, path, body) }()
+		go func() {
+			res := g.forwardOne(ctx, peer, path, body)
+			// The breaker verdict is recorded here, not by the receiving
+			// loop: the race returns (cancelling the losers) without
+			// draining the channel, and a launched-but-unrecorded request
+			// would hold a half-open probe slot forever, wedging the
+			// breaker until process restart.
+			switch {
+			case res.good():
+				ps.breaker.success()
+			case ctx.Err() != nil:
+				// Abandoned, not answered — the race already has a winner
+				// or the parent context ended. No verdict; just release
+				// any probe slot this request was holding.
+				ps.breaker.cancelProbe()
+			default:
+				g.metrics.forwardFailures.Add(1)
+				if opened := ps.breaker.failure(time.Now()); opened {
+					g.cfg.Logger.Warn("cluster: circuit breaker opened", "peer", peer)
+				}
+			}
+			results <- res
+		}()
 	}
 	next := 0
 	for next < len(candidates) && launched == 0 {
@@ -128,14 +150,8 @@ func (g *Gateway) forwardRound(parent context.Context, path string, body []byte,
 			}
 		case res := <-results:
 			outstanding--
-			ps := g.peer(res.peer)
 			if res.good() {
-				ps.breaker.success()
 				return res, true
-			}
-			g.metrics.forwardFailures.Add(1)
-			if opened := ps.breaker.failure(time.Now()); opened {
-				g.cfg.Logger.Warn("cluster: circuit breaker opened", "peer", res.peer)
 			}
 			// Fail fast to the next candidate instead of waiting out the
 			// hedge timer.
@@ -189,6 +205,9 @@ func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(headerForwarded, g.cfg.Self)
+	if g.cfg.Secret != "" {
+		req.Header.Set(headerSecret, g.cfg.Secret)
+	}
 	if id := tr.ID(); id != "" {
 		req.Header.Set("X-Request-Id", id)
 	}
@@ -198,13 +217,13 @@ func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte
 		return fwdResult{peer: peer, err: err}
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponseBytes+1))
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		return fwdResult{peer: peer, err: err}
 	}
-	if int64(len(respBody)) > maxResponseBytes {
-		err := fmt.Errorf("cluster: peer response exceeds %d bytes", int64(maxResponseBytes))
+	if int64(len(respBody)) > maxForwardResponseBytes {
+		err := fmt.Errorf("cluster: peer response exceeds %d bytes", int64(maxForwardResponseBytes))
 		span.SetAttr("error", err.Error())
 		return fwdResult{peer: peer, err: err}
 	}
@@ -218,6 +237,13 @@ func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte
 	}
 }
 
-// maxResponseBytes caps a peer response read (trajectories are row-major
-// float matrices; 256 MiB is far past any configured MaxN).
-const maxResponseBytes = 256 << 20
+// Peer response read caps. Forwarded solve/sweep responses carry O(maxN)
+// vectors and stay in the tens of megabytes even at the default 100k
+// population cap, so they get the tight bound — the coordinator can hold
+// several at once during a routed sweep. Exported trajectory state carries
+// full [n][k] matrices and gets the loose bound; at most one fill body is
+// in flight per cold solve.
+const (
+	maxForwardResponseBytes = 64 << 20
+	maxExportResponseBytes  = 256 << 20
+)

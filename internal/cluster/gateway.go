@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,10 @@ const headerForwarded = "X-Cluster-Forwarded"
 
 // headerPeer reports, on gateway responses, which node actually served.
 const headerPeer = "X-Cluster-Peer"
+
+// headerSecret carries the shared cluster secret on intra-cluster requests
+// when Config.Secret is set.
+const headerSecret = "X-Cluster-Secret"
 
 // Config tunes one node's gateway.
 type Config struct {
@@ -75,6 +80,15 @@ type Config struct {
 	// (default 2s); fills are best effort, a slow peer must not stall the
 	// solve it is trying to speed up.
 	FillTimeout time.Duration
+	// Secret, when set, authenticates the fabric's own protocol: every
+	// /cluster/v1/* request and every X-Cluster-Forwarded hop must carry it
+	// in X-Cluster-Secret (wrong or missing secret gets a 403, and a forged
+	// forwarded header is ignored — the request is routed like any external
+	// one). The gateway attaches it to the forwards and fills it sends, so
+	// all members must agree on the value. Unset (the default) the fabric
+	// protocol is open: run the cluster on a network where every client is
+	// trusted, or front it with a separate listener.
+	Secret string
 	// Logger defaults to slog.Default().
 	Logger *slog.Logger
 }
@@ -229,6 +243,16 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) peer(name string) *peerState { return g.peers[name] }
 
+// trustedHop reports whether a request claiming to come from inside the
+// fabric (a forwarded hop or a /cluster/v1/* call) really did. With no
+// Secret configured every claim is trusted — the documented open-trust mode.
+func (g *Gateway) trustedHop(r *http.Request) bool {
+	if g.cfg.Secret == "" {
+		return true
+	}
+	return subtle.ConstantTimeCompare([]byte(r.Header.Get(headerSecret)), []byte(g.cfg.Secret)) == 1
+}
+
 // maxBodyBytes mirrors the local server's request body cap.
 const maxBodyBytes = 8 << 20
 
@@ -311,7 +335,7 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(headerPeer, g.cfg.Self)
 		g.writeJSON(w, http.StatusOK, resp)
 	}
-	if r.Header.Get(headerForwarded) != "" {
+	if r.Header.Get(headerForwarded) != "" && g.trustedHop(r) {
 		local()
 		return
 	}
@@ -338,7 +362,7 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		g.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if r.Header.Get(headerForwarded) != "" {
+	if r.Header.Get(headerForwarded) != "" && g.trustedHop(r) {
 		g.serveSweepLocal(w, r, &req)
 		return
 	}
@@ -359,14 +383,29 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	results := make([]modelio.SweepPointResult, len(points))
-	var wg sync.WaitGroup
-	for _, grp := range groups {
-		wg.Add(1)
-		go func(grp modelio.SweepGroup) {
-			defer wg.Done()
-			g.solveGroupRouted(ctx, &req, grp, points, results)
-		}(grp)
+	// Bound the routed fan-out like the local engine bounds solves: each
+	// in-flight group can hold a full peer response body (doubled while a
+	// hedge is outstanding), so a goroutine per group would let one big
+	// sweep spike coordinator memory without limit.
+	workers := g.local.Workers()
+	if workers > len(groups) {
+		workers = len(groups)
 	}
+	groupCh := make(chan modelio.SweepGroup)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for grp := range groupCh {
+				g.solveGroupRouted(ctx, &req, grp, points, results)
+			}
+		}()
+	}
+	for _, grp := range groups {
+		groupCh <- grp
+	}
+	close(groupCh)
 	wg.Wait()
 	if ctx.Err() != nil {
 		g.writeError(w, http.StatusGatewayTimeout, context.Cause(ctx).Error())
@@ -510,6 +549,10 @@ func (g *Gateway) route(w http.ResponseWriter, r *http.Request, key, path string
 // known, settled key returns its full trajectory state; anything else is a
 // 404 so the asking node just solves cold.
 func (g *Gateway) handleExport(w http.ResponseWriter, r *http.Request) {
+	if !g.trustedHop(r) {
+		g.writeError(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
 	body, err := readBody(w, r)
 	if err != nil {
 		g.writeError(w, bodyStatus(err), err.Error())
@@ -554,7 +597,11 @@ type peerStatusView struct {
 }
 
 // handleClusterStatus serves GET /cluster/v1/status.
-func (g *Gateway) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+func (g *Gateway) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	if !g.trustedHop(r) {
+		g.writeError(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
 	st := clusterStatus{
 		Self:        g.cfg.Self,
 		Replication: g.cfg.Replication,

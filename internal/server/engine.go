@@ -60,6 +60,11 @@ func (s *Server) Limits() (maxN, maxSweepPoints int) {
 	return s.cfg.MaxN, s.cfg.MaxSweepPoints
 }
 
+// Workers reports the configured solve concurrency — the cluster gateway
+// sizes its routed sweep fan-out to match, so a coordinator never holds more
+// in-flight peer responses than it would run local solves.
+func (s *Server) Workers() int { return s.pool.cap() }
+
 // SolveContext derives a solve context from ctx: the server-wide request
 // timeout, shortened (never extended) by the request's own timeoutMs.
 func (s *Server) SolveContext(ctx context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
