@@ -1,0 +1,382 @@
+// Command solverctl is the operator's view into a solverd node or cluster:
+// it lists the flight recorder's retained traces, renders stitched cross-node
+// trace trees, watches in-flight solves and peer health live, and aggregates
+// cluster-wide status.
+//
+// Usage:
+//
+//	solverctl [-addr 127.0.0.1:8080] [-secret s] [-timeout 10s] traces
+//	solverctl [flags] trace <id>
+//	solverctl [flags] top [-interval 1s] [-iterations 0]
+//	solverctl [flags] status
+//
+// trace asks the node's cluster stitch endpoint (GET /cluster/v1/trace/{id})
+// first, so one command renders a tree spanning every member that touched the
+// request; against a standalone node it falls back to the local fragments
+// (GET /debug/traces/{id}) and stitches them itself. -secret is required when
+// the cluster gates its fabric endpoints.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "solverctl:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: solverctl [flags] <command>
+
+commands:
+  traces        list the node's retained flight-recorder traces
+  trace <id>    render one trace as a stitched cross-node span tree
+  top           live view of in-flight solves and peer health
+  status        cluster-wide status aggregation
+
+flags:
+`
+
+type ctl struct {
+	addr   string
+	secret string
+	client *http.Client
+	out    io.Writer
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("solverctl", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:8080", "solverd node to talk to (host:port)")
+	secret := fs.String("secret", "", "cluster secret for gated fabric endpoints")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	interval := fs.Duration("interval", time.Second, "refresh interval for top")
+	iterations := fs.Int("iterations", 0, "top refresh count (0 runs until interrupted)")
+	fs.Usage = func() {
+		fmt.Fprint(out, usage)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := &ctl{
+		addr:   *addr,
+		secret: *secret,
+		client: &http.Client{Timeout: *timeout},
+		out:    out,
+	}
+	switch cmd := fs.Arg(0); cmd {
+	case "traces":
+		return c.traces()
+	case "trace":
+		id := fs.Arg(1)
+		if id == "" {
+			return fmt.Errorf("trace needs an id (see `solverctl traces`)")
+		}
+		return c.trace(id)
+	case "top":
+		return c.top(*interval, *iterations)
+	case "status":
+		return c.status()
+	case "":
+		fs.Usage()
+		return fmt.Errorf("no command")
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// getJSON fetches one endpoint into v, attaching the cluster secret and a
+// fresh request ID. Non-2xx responses surface the server's JSON error text.
+func (c *ctl) getJSON(path string, v any) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://"+c.addr+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("X-Request-Id", telemetry.NewID())
+	if c.secret != "" {
+		req.Header.Set("X-Cluster-Secret", c.secret)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s: %s", path, e.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return resp.StatusCode, json.Unmarshal(body, v)
+}
+
+// traces lists the node's flight-recorder index, newest first.
+func (c *ctl) traces() error {
+	var idx server.TraceIndexResponse
+	if _, err := c.getJSON("/debug/traces", &idx); err != nil {
+		return err
+	}
+	s := idx.Stats
+	fmt.Fprintf(c.out, "node %s: %d traces, %d spans, %s retained (kept %d, dropped %d, evicted %d)\n\n",
+		idx.Node, s.Traces, s.Spans, fmtBytes(s.Bytes), s.Kept, s.Dropped, s.Evictions)
+	if len(idx.Traces) == 0 {
+		fmt.Fprintln(c.out, "no retained traces")
+		return nil
+	}
+	fmt.Fprintf(c.out, "%-34s %-16s %6s %10s %5s %5s %s\n",
+		"TRACE", "HANDLER", "STATUS", "DURATION", "REQS", "SPANS", "FLAGS")
+	for _, t := range idx.Traces {
+		var flags []string
+		if t.Slow {
+			flags = append(flags, "slow")
+		}
+		if t.Error {
+			flags = append(flags, "error")
+		}
+		fmt.Fprintf(c.out, "%-34s %-16s %6d %10s %5d %5d %s\n",
+			t.ID, t.Handler, t.Status, fmtDuration(t.Duration),
+			t.Requests, t.Spans, strings.Join(flags, ","))
+	}
+	return nil
+}
+
+// trace renders one trace tree: stitched cluster-wide when the node serves
+// the fabric's stitch endpoint, locally stitched otherwise.
+func (c *ctl) trace(id string) error {
+	var st cluster.StitchedTrace
+	if _, err := c.getJSON("/cluster/v1/trace/"+id, &st); err == nil {
+		if strings.TrimSpace(st.Tree) == "" {
+			return fmt.Errorf("trace %s: empty tree", id)
+		}
+		fmt.Fprintf(c.out, "trace %s: %d fragment(s) from %s\n",
+			st.ID, len(st.Fragments), strings.Join(st.Nodes, ", "))
+		if len(st.Missing) > 0 {
+			fmt.Fprintf(c.out, "unreachable members (fragments lost): %s\n", strings.Join(st.Missing, ", "))
+		}
+		fmt.Fprintln(c.out)
+		fmt.Fprint(c.out, st.Tree)
+		return nil
+	}
+	// Standalone node (no gateway) — stitch its local fragments ourselves.
+	var tres server.TraceResponse
+	if _, err := c.getJSON("/debug/traces/"+id, &tres); err != nil {
+		return err
+	}
+	roots := obs.Stitch(tres.Fragments)
+	if len(roots) == 0 {
+		return fmt.Errorf("trace %s: no spans", id)
+	}
+	fmt.Fprintf(c.out, "trace %s: %d fragment(s) from %s (local stitch)\n\n",
+		id, len(tres.Fragments), tres.Node)
+	obs.RenderTree(c.out, roots)
+	return nil
+}
+
+// clusterStatusView mirrors the gateway's GET /cluster/v1/status body.
+type clusterStatusView struct {
+	Self        string   `json:"self"`
+	Replication int      `json:"replication"`
+	RingNodes   []string `json:"ringNodes"`
+	Peers       []struct {
+		Peer    string `json:"peer"`
+		Up      bool   `json:"up"`
+		Breaker string `json:"breaker"`
+	} `json:"peers"`
+}
+
+// nodeStatusView is the subset of GET /v1/status that top and status render.
+type nodeStatusView struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Workers       int     `json:"workers"`
+	CacheCapacity int     `json:"cacheCapacity"`
+	Cache         []struct {
+		Key string `json:"key"`
+	} `json:"cache"`
+	InFlight []struct {
+		ID        string  `json:"id"`
+		Algorithm string  `json:"algorithm"`
+		FromN     int     `json:"fromN"`
+		CurrentN  int64   `json:"currentN"`
+		TargetN   int     `json:"targetN"`
+		ElapsedMS float64 `json:"elapsedMs"`
+	} `json:"inFlight"`
+}
+
+// top renders a refreshing view of the node's in-flight solves and (in
+// cluster mode) its peers' health. iterations 0 refreshes until the process
+// is interrupted.
+func (c *ctl) top(interval time.Duration, iterations int) error {
+	for i := 0; ; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+			fmt.Fprint(c.out, "\033[H\033[2J") // home + clear: redraw in place
+		}
+		if err := c.topFrame(); err != nil {
+			return err
+		}
+		if iterations > 0 && i+1 >= iterations {
+			return nil
+		}
+	}
+}
+
+func (c *ctl) topFrame() error {
+	var st nodeStatusView
+	if _, err := c.getJSON("/v1/status", &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "solverd %s  up %s  workers %d  cache %d/%d\n",
+		c.addr, fmtDuration(time.Duration(st.UptimeSeconds*float64(time.Second))),
+		st.Workers, len(st.Cache), st.CacheCapacity)
+
+	fmt.Fprintf(c.out, "\nin-flight solves (%d):\n", len(st.InFlight))
+	if len(st.InFlight) == 0 {
+		fmt.Fprintln(c.out, "  (idle)")
+	}
+	for _, f := range st.InFlight {
+		pct := 0.0
+		if f.TargetN > 0 {
+			pct = 100 * float64(f.CurrentN) / float64(f.TargetN)
+		}
+		fmt.Fprintf(c.out, "  %-34s %-12s N %6d/%-6d (%5.1f%%)  from %d  %8.1fms\n",
+			f.ID, f.Algorithm, f.CurrentN, f.TargetN, pct, f.FromN, f.ElapsedMS)
+	}
+
+	var cs clusterStatusView
+	if code, err := c.getJSON("/cluster/v1/status", &cs); err != nil {
+		if code == http.StatusForbidden {
+			return err // wrong secret is worth surfacing, not hiding
+		}
+		fmt.Fprintln(c.out, "\n(standalone node — no cluster fabric)")
+		return nil
+	}
+	fmt.Fprintf(c.out, "\npeers (ring %d/%d members, replication %d):\n",
+		len(cs.RingNodes), 1+len(cs.Peers), cs.Replication)
+	fmt.Fprintf(c.out, "  %-24s %-6s %s\n", "PEER", "UP", "BREAKER")
+	fmt.Fprintf(c.out, "  %-24s %-6s %s\n", cs.Self, "self", "-")
+	for _, p := range cs.Peers {
+		up := "down"
+		if p.Up {
+			up = "up"
+		}
+		fmt.Fprintf(c.out, "  %-24s %-6s %s\n", p.Peer, up, p.Breaker)
+	}
+	return nil
+}
+
+// status aggregates cluster-wide state: every ring member's uptime, cache
+// occupancy, in-flight solves and flight-recorder footprint in one table.
+func (c *ctl) status() error {
+	var cs clusterStatusView
+	if code, err := c.getJSON("/cluster/v1/status", &cs); err != nil {
+		if code == http.StatusForbidden {
+			return err
+		}
+		// Standalone node: the single-node view is the whole story.
+		fmt.Fprintf(c.out, "standalone node %s\n\n", c.addr)
+		return c.topFrame()
+	}
+	members := append([]string{}, cs.RingNodes...)
+	// Ring members are the live ones; down peers still deserve a row.
+	for _, p := range cs.Peers {
+		if !p.Up {
+			members = append(members, p.Peer)
+		}
+	}
+	sort.Strings(members)
+
+	fmt.Fprintf(c.out, "cluster via %s: %d/%d members in the ring, replication %d\n\n",
+		cs.Self, len(cs.RingNodes), 1+len(cs.Peers), cs.Replication)
+	fmt.Fprintf(c.out, "%-24s %-6s %10s %10s %9s %8s %8s\n",
+		"NODE", "RING", "UPTIME", "CACHE", "INFLIGHT", "TRACES", "SPANS")
+	var totCache, totInFlight, totTraces, totSpans int
+	for _, m := range members {
+		inRing := false
+		for _, rn := range cs.RingNodes {
+			if rn == m {
+				inRing = true
+			}
+		}
+		ring := "out"
+		if inRing {
+			ring = "in"
+		}
+		peer := &ctl{addr: m, secret: c.secret, client: c.client, out: c.out}
+		var st nodeStatusView
+		if _, err := peer.getJSON("/v1/status", &st); err != nil {
+			fmt.Fprintf(c.out, "%-24s %-6s %10s\n", m, ring, "unreachable")
+			continue
+		}
+		traces, spans := -1, -1
+		var idx server.TraceIndexResponse
+		if _, err := peer.getJSON("/debug/traces", &idx); err == nil {
+			traces, spans = idx.Stats.Traces, idx.Stats.Spans
+			totTraces += traces
+			totSpans += spans
+		}
+		totCache += len(st.Cache)
+		totInFlight += len(st.InFlight)
+		fmt.Fprintf(c.out, "%-24s %-6s %10s %10d %9d %8s %8s\n",
+			m, ring, fmtDuration(time.Duration(st.UptimeSeconds*float64(time.Second))),
+			len(st.Cache), len(st.InFlight), fmtCount(traces), fmtCount(spans))
+	}
+	fmt.Fprintf(c.out, "\ntotals: %d cached trajectories, %d in-flight solves, %d retained traces (%d spans)\n",
+		totCache, totInFlight, totTraces, totSpans)
+	return nil
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%.1fh", d.Hours())
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// fmtCount renders a count, or "-" for the -1 "recorder disabled" sentinel.
+func fmtCount(n int) string {
+	if n < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/modelio"
+	"repro/internal/obs"
+	"repro/internal/queueing"
+	"repro/internal/server"
+)
+
+func testSolveRequest(thinkTime float64, maxN int) *modelio.SolveRequest {
+	return &modelio.SolveRequest{
+		Algorithm: "multiserver",
+		MaxN:      maxN,
+		Model: &queueing.Model{
+			Name:      "ctl-test",
+			ThinkTime: thinkTime,
+			Stations: []queueing.Station{
+				{Name: "web/cpu", Kind: queueing.CPU, Servers: 4, Visits: 1, ServiceTime: 0.02},
+				{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 2, ServiceTime: 0.004},
+			},
+		},
+	}
+}
+
+// startNodes boots n solverd nodes with keep-all recorders on loopback
+// listeners; n > 1 wires them into one cluster.
+func startNodes(t *testing.T, n int) []string {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make([]chan error, n)
+	for i := range addrs {
+		srv := server.New(server.Config{
+			CacheSize:       64,
+			MaxN:            10_000,
+			ShutdownTimeout: 2 * time.Second,
+			Logger:          logger,
+			Recorder:        obs.New(obs.Config{Node: addrs[i], SampleRate: 1}),
+		})
+		if n > 1 {
+			gw, err := cluster.New(srv, cluster.Config{
+				Self:          addrs[i],
+				Peers:         addrs,
+				ProbeInterval: 50 * time.Millisecond,
+				HedgeMin:      2 * time.Second,
+				Logger:        logger,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gw.Start(ctx)
+		}
+		done[i] = make(chan error, 1)
+		go func(srv *server.Server, ln net.Listener, ch chan error) {
+			ch <- srv.Serve(ctx, ln)
+		}(srv, listeners[i], done[i])
+	}
+	t.Cleanup(func() {
+		cancel()
+		for _, ch := range done {
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+			}
+		}
+	})
+	return addrs
+}
+
+func postSolve(t *testing.T, addr, traceID string, req *modelio.SolveRequest) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/solve", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("X-Request-Id", traceID)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+}
+
+func runCtl(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestSolverctlStandalone(t *testing.T) {
+	addr := startNodes(t, 1)[0]
+	postSolve(t, addr, "ctl-standalone-1", testSolveRequest(0.5, 60))
+
+	out, err := runCtl(t, "-addr", addr, "traces")
+	if err != nil {
+		t.Fatalf("traces: %v\n%s", err, out)
+	}
+	for _, want := range []string{"ctl-standalone-1", "solve", "1 traces"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traces output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCtl(t, "-addr", addr, "trace", "ctl-standalone-1")
+	if err != nil {
+		t.Fatalf("trace: %v\n%s", err, out)
+	}
+	// A standalone node has no stitch endpoint: solverctl stitches locally.
+	for _, want := range []string{"local stitch", "solve @" + addr, "steps=60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCtl(t, "-addr", addr, "-iterations", "1", "top")
+	if err != nil {
+		t.Fatalf("top: %v\n%s", err, out)
+	}
+	for _, want := range []string{"solverd " + addr, "in-flight solves", "standalone node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCtl(t, "-addr", addr, "status")
+	if err != nil {
+		t.Fatalf("status: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "standalone node") {
+		t.Errorf("status output missing standalone banner:\n%s", out)
+	}
+
+	if out, err = runCtl(t, "-addr", addr, "trace", "no-such-id"); err == nil {
+		t.Fatalf("unknown trace must fail:\n%s", out)
+	}
+	if _, err = runCtl(t, "-addr", addr, "frobnicate"); err == nil {
+		t.Fatal("unknown command must fail")
+	}
+	if _, err = runCtl(t, "-addr", addr); err == nil {
+		t.Fatal("missing command must fail")
+	}
+}
+
+func TestSolverctlCluster(t *testing.T) {
+	addrs := startNodes(t, 2)
+	entry := addrs[0]
+	postSolve(t, entry, "ctl-cluster-1", testSolveRequest(0.4, 50))
+
+	out, err := runCtl(t, "-addr", entry, "trace", "ctl-cluster-1")
+	if err != nil {
+		t.Fatalf("trace: %v\n%s", err, out)
+	}
+	for _, want := range []string{"fragment(s) from", "cluster-solve @"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCtl(t, "-addr", entry, "status")
+	if err != nil {
+		t.Fatalf("status: %v\n%s", err, out)
+	}
+	for _, want := range []string{"cluster via " + entry, addrs[0], addrs[1], "totals:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCtl(t, "-addr", entry, "-iterations", "2", "-interval", "10ms", "top")
+	if err != nil {
+		t.Fatalf("top: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "PEER") || !strings.Contains(out, addrs[1]) {
+		t.Errorf("top output missing peer table:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	solverd [-addr :8080] [-cache 256] [-workers 8] [-max-n 100000]
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
+//	        [-trace-store 512] [-trace-slow 250ms] [-trace-sample 0.05]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //	solverd -peers host1:8080,host2:8080,host3:8080 -advertise host1:8080
 //	        [-replication 2] [-cluster-secret s]
@@ -16,7 +17,10 @@
 // requests. With -peers the node joins a solve fabric (internal/cluster): a
 // consistent-hash ring routes /v1/solve and /v1/sweep to each key's owner,
 // and trajectories cached anywhere in the fabric warm-start cold solves
-// everywhere. -version prints build info and exits. -dump-profile does not
+// everywhere. A flight recorder (internal/obs) tail-samples completed
+// request traces into a bounded in-memory store served under /debug/traces
+// (and stitched cluster-wide under /cluster/v1/trace/{id}); -trace-store 0
+// turns it off. -version prints build info and exits. -dump-profile does not
 // serve: it writes <profile>-model.json and <profile>-samples.json (the true
 // demand curves sampled at Chebyshev concurrencies) so the README's curl
 // examples have real request bodies to point at.
@@ -39,6 +43,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/testbed"
 )
@@ -60,6 +65,9 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	shutdown := fs.Duration("shutdown-timeout", 15*time.Second, "graceful drain bound")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	traceStore := fs.Int("trace-store", obs.DefaultMaxTraces, "flight-recorder trace capacity (0 disables recording)")
+	traceSlow := fs.Duration("trace-slow", obs.DefaultSlowThreshold, "requests at least this slow are always retained")
+	traceSample := fs.Float64("trace-sample", obs.DefaultSampleRate, "keep probability for fast, successful traces (1 keeps all)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
@@ -88,6 +96,22 @@ func run(args []string, out io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// The flight recorder names its fragments by the address peers reach this
+	// node at, so stitched cross-node trees label spans consistently.
+	recNode := *advertise
+	if recNode == "" {
+		recNode = *addr
+	}
+	recTraces := *traceStore
+	if recTraces == 0 {
+		recTraces = -1 // Config 0 means "default"; the flag's 0 means "off"
+	}
+	recorder := obs.New(obs.Config{
+		Node:          recNode,
+		MaxTraces:     recTraces,
+		SlowThreshold: *traceSlow,
+		SampleRate:    *traceSample,
+	})
 	srv := server.New(server.Config{
 		Addr:            *addr,
 		CacheSize:       *cacheSize,
@@ -98,6 +122,7 @@ func run(args []string, out io.Writer) error {
 		ShutdownTimeout: *shutdown,
 		EnablePprof:     *pprofOn,
 		Logger:          logger,
+		Recorder:        recorder,
 	})
 	if *peers != "" {
 		if *advertise == "" {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/server"
 )
@@ -53,7 +54,12 @@ func run() error {
 	}
 	gateways := make([]*cluster.Gateway, n)
 	for i := range listeners {
-		srv := server.New(server.Config{Logger: logger})
+		// A keep-all flight recorder per node, so the stitched trace at the
+		// end never depends on the sampling hash of the demo's trace ID.
+		srv := server.New(server.Config{
+			Logger:   logger,
+			Recorder: obs.New(obs.Config{Node: peers[i], SampleRate: 1}),
+		})
 		gw, err := cluster.New(srv, cluster.Config{
 			Self:          peers[i],
 			Peers:         peers,
@@ -154,6 +160,60 @@ func run() error {
 			pick(body, "solverd_cluster_peer_fill_hits_total"),
 			pick(body, "solverd_solve_extends_total"))
 	}
+
+	// The flight recorder saw all of it: forward a fresh solve under a known
+	// trace ID and render the stitched cross-node tree.
+	fmt.Println("\n== distributed trace: one forwarded solve, stitched across nodes ==")
+	return printStitchedTrace(entry, gateways[0])
+}
+
+// printStitchedTrace finds a model owned by a remote node, solves it through
+// the entry gateway under an explicit trace ID, and renders the tree that
+// GET /cluster/v1/trace/{id} stitches from every member's fragments.
+func printStitchedTrace(entry string, gw *cluster.Gateway) error {
+	const traceID = "cluster-demo-trace"
+	var req *modelio.SolveRequest
+	for i := 0; i < 200; i++ {
+		cand := &modelio.SolveRequest{
+			Algorithm: "multiserver",
+			Model:     demoModel(2.0 + 0.05*float64(i)),
+			MaxN:      150,
+		}
+		norm := *cand
+		norm.Model = &*cand.Model
+		if err := norm.Normalize(); err != nil {
+			return err
+		}
+		key, err := norm.CacheKey()
+		if err != nil {
+			return err
+		}
+		if gw.Ring().Owner(key) != entry {
+			req = cand
+			break
+		}
+	}
+	if req == nil {
+		return fmt.Errorf("no remote-owned model found in 200 tries")
+	}
+	var solveResp modelio.SolveResponse
+	if _, err := postJSONHeaders(entry, "/v1/solve", req,
+		map[string]string{"X-Request-Id": traceID}, &solveResp); err != nil {
+		return err
+	}
+	body, err := get(entry, "/cluster/v1/trace/"+traceID)
+	if err != nil {
+		return err
+	}
+	var st cluster.StitchedTrace
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		return fmt.Errorf("decoding stitched trace: %w (body %q)", err, body)
+	}
+	if st.Tree == "" {
+		return fmt.Errorf("no stitched trace for %s: %s", traceID, body)
+	}
+	fmt.Printf("trace %s: %d fragment(s) from %v\n\n", st.ID, len(st.Fragments), st.Nodes)
+	fmt.Print(st.Tree)
 	return nil
 }
 

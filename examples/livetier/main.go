@@ -37,6 +37,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/report"
 )
@@ -249,7 +251,11 @@ func main() {
 	xMax, at := pred.MaxThroughput()
 	fmt.Printf("\nMVASD prediction: max %.1f req/s around N=%d\n\n", xMax, at)
 
-	// Validation at held-out concurrencies.
+	// Validation at held-out concurrencies, with every prediction-vs-measured
+	// pair fed through the deviation tracker: breaches of the paper's 3%/9%
+	// bounds land as "prediction-deviation" traces in the flight recorder.
+	recorder := obs.New(obs.Config{Node: "livetier", SampleRate: 1})
+	tracker := monitor.NewDeviationTracker(recorder)
 	holdout := []int{5, 12, 22, 36}
 	tab := report.NewTable("holdout validation against the live stack",
 		"Users", "measured X", "predicted X", "dev %", "measured R+Z ms", "predicted R+Z ms", "dev %")
@@ -260,6 +266,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		tracker.ObserveThroughput(n, m.throughput, xp)
+		tracker.ObserveCycleTime(n, m.cycleTime, cp)
 		mx, px = append(mx, m.throughput), append(px, xp)
 		mc, pc = append(mc, m.cycleTime), append(pc, cp)
 		tab.AddRow(fmt.Sprint(n),
@@ -275,4 +283,18 @@ func main() {
 	cDev, _ := metrics.MeanDeviationPct(pc, mc)
 	fmt.Printf("\nmean deviation vs the live system: throughput %.1f%%, cycle time %.1f%%\n", xDev, cDev)
 	fmt.Println("(wall-clock noise of a real scheduler is in play; expect single-digit percentages)")
+
+	fmt.Println("\nprediction deviation gauges (paper bounds: throughput 3%, cycle time 9%):")
+	if err := tracker.WriteMetrics(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if viols := tracker.Violations(); len(viols) > 0 {
+		fmt.Printf("%d observation(s) breached the bounds — recorded as flight-recorder traces:\n", len(viols))
+		for _, v := range viols {
+			fmt.Printf("  N=%-3d %-10s measured=%.4g predicted=%.4g ratio=%.1f%% (bound %.0f%%) trace=%s\n",
+				v.Users, v.Metric, v.Measured, v.Predicted, v.Ratio*100, v.Bound*100, v.TraceID)
+		}
+	} else {
+		fmt.Println("no observation breached the bounds; the fitted demand curves still describe the system")
+	}
 }

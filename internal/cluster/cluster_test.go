@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/server"
 )
@@ -25,6 +26,7 @@ type testNode struct {
 	addr   string
 	srv    *server.Server
 	gw     *Gateway
+	rec    *obs.Recorder
 	cancel context.CancelFunc
 	done   chan error
 }
@@ -59,12 +61,16 @@ func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 	}
 	nodes := make([]*testNode, n)
 	for i := range nodes {
+		// SampleRate 1: every test request is retained, so trace assertions
+		// never depend on the sampling hash of a particular ID.
+		rec := obs.New(obs.Config{Node: addrs[i], SampleRate: 1})
 		srv := server.New(server.Config{
 			CacheSize:       64,
 			MaxN:            10_000,
 			RequestTimeout:  20 * time.Second,
 			ShutdownTimeout: 2 * time.Second,
 			Logger:          logger,
+			Recorder:        rec,
 		})
 		cfg := Config{
 			Self:          addrs[i],
@@ -94,7 +100,7 @@ func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		gw.Start(ctx)
-		node := &testNode{addr: addrs[i], srv: srv, gw: gw, cancel: cancel, done: make(chan error, 1)}
+		node := &testNode{addr: addrs[i], srv: srv, gw: gw, rec: rec, cancel: cancel, done: make(chan error, 1)}
 		go func(ln net.Listener) { node.done <- srv.Serve(ctx, ln) }(listeners[i])
 		nodes[i] = node
 	}

@@ -54,7 +54,7 @@ func (f *peerFiller) Fill(ctx context.Context, key string, _ *modelio.SolveReque
 		if !g.peer(peer).breaker.allowNonProbe() {
 			continue
 		}
-		traj, cp, ok := f.fetch(fillCtx, peer, body)
+		traj, cp, ok := f.fetch(fillCtx, peer, body, span.ID())
 		if ok {
 			g.metrics.fillHits.Add(1)
 			span.SetAttr("peer", peer)
@@ -74,7 +74,7 @@ func (f *peerFiller) Fill(ctx context.Context, key string, _ *modelio.SolveReque
 // feeds the breaker: fills are gated by allowNonProbe and stay entirely
 // neutral, keeping the breaker's state machine driven by forwarding traffic
 // alone.
-func (f *peerFiller) fetch(ctx context.Context, peer string, body []byte) (*core.Result, *core.Checkpoint, bool) {
+func (f *peerFiller) fetch(ctx context.Context, peer string, body []byte, parentSpan string) (*core.Result, *core.Checkpoint, bool) {
 	g := f.g
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+"/cluster/v1/export", bytes.NewReader(body))
 	if err != nil {
@@ -86,6 +86,9 @@ func (f *peerFiller) fetch(ctx context.Context, peer string, body []byte) (*core
 	}
 	if tr := telemetry.FromContext(ctx); tr.ID() != "" {
 		req.Header.Set("X-Request-Id", tr.ID())
+	}
+	if parentSpan != "" {
+		req.Header.Set("X-Parent-Span", parentSpan)
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {

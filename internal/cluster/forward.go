@@ -20,6 +20,9 @@ type fwdResult struct {
 	contentType string
 	body        []byte
 	err         error
+	// hedged marks a result produced by a backup request launched after the
+	// hedge delay — a winning hedged result is the "hedge_win" outcome.
+	hedged bool
 }
 
 // good reports whether the result should be returned to the client: a clean
@@ -56,6 +59,11 @@ func (g *Gateway) forward(ctx context.Context, key, path string, body []byte, ca
 	if len(remotes) == 0 {
 		return fwdResult{}, false
 	}
+	start := time.Now()
+	fallback := func() (fwdResult, bool) {
+		g.metrics.observeForward("fallback", time.Since(start).Seconds())
+		return fwdResult{}, false
+	}
 	backoff := g.cfg.RetryBackoff
 	for attempt := 0; attempt < g.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -66,19 +74,27 @@ func (g *Gateway) forward(ctx context.Context, key, path string, body []byte, ca
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
-				return fwdResult{}, false
+				return fallback()
 			}
 		}
 		if res, ok := g.forwardRound(ctx, path, body, remotes); ok {
+			outcome := "ok"
+			switch {
+			case attempt > 0:
+				outcome = "retry"
+			case res.hedged:
+				outcome = "hedge_win"
+			}
+			g.metrics.observeForward(outcome, time.Since(start).Seconds())
 			return res, true
 		}
 		if ctx.Err() != nil {
-			return fwdResult{}, false
+			return fallback()
 		}
 	}
 	g.cfg.Logger.Warn("cluster: all forward candidates failed",
 		"path", path, "key", key, "candidates", remotes)
-	return fwdResult{}, false
+	return fallback()
 }
 
 // forwardRound races one hedged pass over the candidates: launch the first
@@ -101,7 +117,7 @@ func (g *Gateway) forwardRound(parent context.Context, path string, body []byte,
 			g.metrics.hedges.Add(1)
 		}
 		go func() {
-			res := g.forwardOne(ctx, peer, path, body)
+			res := g.forwardOne(ctx, peer, path, body, hedge)
 			// The breaker verdict is recorded here, not by the receiving
 			// loop: the race returns (cancelling the losers) without
 			// draining the channel, and a launched-but-unrecorded request
@@ -187,21 +203,25 @@ func (g *Gateway) hedgeDelay(peer string) time.Duration {
 	return d
 }
 
-// forwardOne performs one POST to one peer, propagating X-Request-Id and
-// marking the hop so the peer serves locally. Each call is one telemetry
-// span on the requesting node.
-func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte) fwdResult {
+// forwardOne performs one POST to one peer, propagating X-Request-Id (and the
+// forward span's ID as X-Parent-Span, so the peer's trace fragment stitches
+// under this hop) and marking the hop so the peer serves locally. Each call
+// is one telemetry span on the requesting node.
+func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte, hedge bool) fwdResult {
 	tr := telemetry.FromContext(ctx)
 	span := tr.StartSpan("forward")
 	span.SetAttr("peer", peer)
 	span.SetAttr("path", path)
+	if hedge {
+		span.SetAttr("hedge", true)
+	}
 	defer span.End()
 
 	g.metrics.forwards.Add(1)
 	start := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+path, bytes.NewReader(body))
 	if err != nil {
-		return fwdResult{peer: peer, err: err}
+		return fwdResult{peer: peer, err: err, hedged: hedge}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(headerForwarded, g.cfg.Self)
@@ -211,21 +231,24 @@ func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte
 	if id := tr.ID(); id != "" {
 		req.Header.Set("X-Request-Id", id)
 	}
+	if sid := span.ID(); sid != "" {
+		req.Header.Set("X-Parent-Span", sid)
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		span.SetAttr("error", err.Error())
-		return fwdResult{peer: peer, err: err}
+		return fwdResult{peer: peer, err: err, hedged: hedge}
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardResponseBytes+1))
 	if err != nil {
 		span.SetAttr("error", err.Error())
-		return fwdResult{peer: peer, err: err}
+		return fwdResult{peer: peer, err: err, hedged: hedge}
 	}
 	if int64(len(respBody)) > maxForwardResponseBytes {
 		err := fmt.Errorf("cluster: peer response exceeds %d bytes", int64(maxForwardResponseBytes))
 		span.SetAttr("error", err.Error())
-		return fwdResult{peer: peer, err: err}
+		return fwdResult{peer: peer, err: err, hedged: hedge}
 	}
 	g.peer(peer).latency.observe(time.Since(start))
 	span.SetAttr("status", resp.StatusCode)
@@ -234,6 +257,7 @@ func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte
 		status:      resp.StatusCode,
 		contentType: resp.Header.Get("Content-Type"),
 		body:        respBody,
+		hedged:      hedge,
 	}
 }
 

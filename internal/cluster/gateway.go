@@ -214,12 +214,13 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 	sort.Strings(g.remotePeers)
 	probeClient := &http.Client{Timeout: cfg.ProbeTimeout}
 	g.members = newMembership(cfg.Self, g.remotePeers, cfg.VirtualNodes,
-		cfg.ProbeInterval, cfg.FailAfter, cfg.RecoverAfter, probeClient, cfg.Logger)
+		cfg.ProbeInterval, cfg.FailAfter, cfg.RecoverAfter, probeClient, cfg.Logger, cfg.Secret)
 
 	g.mux.Handle("/v1/solve", srv.Instrument("cluster-solve", http.MethodPost, g.handleSolve))
 	g.mux.Handle("/v1/sweep", srv.Instrument("cluster-sweep", http.MethodPost, g.handleSweep))
 	g.mux.Handle("/cluster/v1/export", srv.Instrument("cluster-export", http.MethodPost, g.handleExport))
 	g.mux.Handle("/cluster/v1/status", srv.Instrument("cluster-status", http.MethodGet, g.handleClusterStatus))
+	g.mux.Handle("/cluster/v1/trace/", srv.Instrument("cluster-trace", http.MethodGet, g.handleTrace))
 	g.mux.Handle("/", srv.Handler())
 
 	srv.Mount(g)

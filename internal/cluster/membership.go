@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // membership tracks which members are serving and maintains the routing ring
@@ -25,6 +27,10 @@ type membership struct {
 	recoverAfter int
 	client       *http.Client
 	logger       *slog.Logger
+	// secret is attached to probes as X-Cluster-Secret when set, so a probe
+	// is a first-class fabric request like any forward or fill. (/healthz
+	// itself is open, but symmetric headers keep traces orphan-free.)
+	secret string
 
 	states map[string]*memberState
 
@@ -47,7 +53,7 @@ type memberState struct {
 
 func newMembership(self string, peers []string, virtualNodes int,
 	interval time.Duration, failAfter, recoverAfter int,
-	client *http.Client, logger *slog.Logger) *membership {
+	client *http.Client, logger *slog.Logger, secret string) *membership {
 	m := &membership{
 		self:         self,
 		peers:        peers,
@@ -57,6 +63,7 @@ func newMembership(self string, peers []string, virtualNodes int,
 		recoverAfter: recoverAfter,
 		client:       client,
 		logger:       logger,
+		secret:       secret,
 		states:       make(map[string]*memberState, len(peers)),
 		stop:         make(chan struct{}),
 	}
@@ -161,11 +168,18 @@ func (m *membership) probeLoop(ctx context.Context, peer string) {
 	}
 }
 
-// probe performs one GET /healthz round-trip.
+// probe performs one GET /healthz round-trip. Probes carry a fresh
+// X-Request-Id (and the cluster secret when configured) like every other
+// outbound fabric request, so a probe is attributable in the peer's access
+// log and never shows up as an anonymous hit.
 func (m *membership) probe(ctx context.Context, peer string) bool {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/healthz", nil)
 	if err != nil {
 		return false
+	}
+	req.Header.Set("X-Request-Id", telemetry.NewID())
+	if m.secret != "" {
+		req.Header.Set(headerSecret, m.secret)
 	}
 	resp, err := m.client.Do(req)
 	if err != nil {

@@ -3,8 +3,16 @@ package cluster
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/report"
 )
+
+// forwardOutcomes are the label values of the forward-duration histogram, in
+// exposition order: a clean first-attempt win, a hedge that beat the primary,
+// a retry-round win, and the all-candidates-failed local fallback.
+var forwardOutcomes = [...]string{"ok", "hedge_win", "retry", "fallback"}
 
 // clusterMetrics are the gateway's counters, rendered as an extra Prometheus
 // section after the local node's own /metrics output.
@@ -23,6 +31,27 @@ type clusterMetrics struct {
 	// peer's trajectory, a miss fell through to a cold local solve).
 	fillHits   atomic.Uint64
 	fillMisses atomic.Uint64
+
+	// fwdDur histograms the end-to-end forward() duration — hedges, retries
+	// and backoff included — per outcome label, lazily built on first
+	// observation.
+	fwdMu  sync.Mutex
+	fwdDur map[string]*report.FixedHistogram
+}
+
+// observeForward records one completed forward ladder under its outcome.
+func (m *clusterMetrics) observeForward(outcome string, seconds float64) {
+	m.fwdMu.Lock()
+	defer m.fwdMu.Unlock()
+	if m.fwdDur == nil {
+		m.fwdDur = make(map[string]*report.FixedHistogram, len(forwardOutcomes))
+	}
+	h := m.fwdDur[outcome]
+	if h == nil {
+		h, _ = report.NewFixedHistogram(report.DefaultLatencyBounds()...)
+		m.fwdDur[outcome] = h
+	}
+	h.Observe(seconds)
 }
 
 // write renders the cluster section. The gateway passes the current ring and
@@ -72,6 +101,21 @@ func (g *Gateway) writeMetrics(w io.Writer) error {
 	fmt.Fprintf(w, "solverd_cluster_peer_fill_hits_total %d\n", m.fillHits.Load())
 	fmt.Fprintln(w, "# HELP solverd_cluster_peer_fill_misses_total Peer fill lookups that found no cached trajectory.")
 	fmt.Fprintln(w, "# TYPE solverd_cluster_peer_fill_misses_total counter")
-	_, err := fmt.Fprintf(w, "solverd_cluster_peer_fill_misses_total %d\n", m.fillMisses.Load())
-	return err
+	fmt.Fprintf(w, "solverd_cluster_peer_fill_misses_total %d\n", m.fillMisses.Load())
+
+	fmt.Fprintln(w, "# HELP solverd_cluster_forward_duration_seconds End-to-end forward ladder duration (hedges, retries and backoff included), by outcome.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_forward_duration_seconds histogram")
+	empty, _ := report.NewFixedHistogram(report.DefaultLatencyBounds()...)
+	m.fwdMu.Lock()
+	defer m.fwdMu.Unlock()
+	for _, o := range forwardOutcomes {
+		h := m.fwdDur[o]
+		if h == nil {
+			h = empty // every outcome label is always exposed, zeroed until seen
+		}
+		if err := h.WritePrometheus(w, "solverd_cluster_forward_duration_seconds", fmt.Sprintf("outcome=%q", o)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/promtest"
+)
+
+// TestClusterPrometheusExpositionLint drives forwarded traffic through a
+// cluster entry node and lints its full /metrics exposition — the cluster
+// and trace-store families ride on the same scrape as the server's own, so
+// they go through the same strict rules.
+func TestClusterPrometheusExpositionLint(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	entry := nodes[0]
+
+	// One forwarded solve (lands a forward-duration observation) and one
+	// locally-owned solve would be ideal, but a forwarded one alone touches
+	// every cluster family.
+	req, _ := remoteOwnedRequest(t, nodes, entry)
+	resp, body := postJSON(t, "http://"+entry.addr+"/v1/solve", req, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, body)
+	}
+
+	families := promtest.ParseExposition(t, string(getBody(t, "http://"+entry.addr+"/metrics")))
+	promtest.RequireFamilies(t, families,
+		"solverd_cluster_ring_nodes", "solverd_cluster_peer_up",
+		"solverd_cluster_breaker_open", "solverd_cluster_breaker_opens_total",
+		"solverd_cluster_forwards_total", "solverd_cluster_forward_failures_total",
+		"solverd_cluster_hedges_total", "solverd_cluster_local_fallbacks_total",
+		"solverd_cluster_peer_fill_hits_total", "solverd_cluster_peer_fill_misses_total",
+		"solverd_cluster_forward_duration_seconds",
+		"solverd_trace_store_traces", "solverd_trace_store_spans",
+		"solverd_trace_store_bytes", "solverd_trace_store_evictions_total",
+		"solverd_trace_store_kept_total", "solverd_trace_store_dropped_total",
+	)
+	promtest.LintFamilies(t, families)
+
+	// The forward-duration histogram exposes every outcome label, observed or
+	// not, and the forwarded solve landed exactly one "ok" observation.
+	for _, outcome := range forwardOutcomes {
+		c := promtest.HistogramCount(t, families, "solverd_cluster_forward_duration_seconds",
+			promtest.Label{Name: "outcome", Value: outcome})
+		if c < 0 {
+			t.Errorf("no forward-duration series for outcome %q", outcome)
+		}
+		if outcome == "ok" && c < 1 {
+			t.Errorf(`outcome="ok" count = %g, want >= 1`, c)
+		}
+	}
+	if v := promtest.SingleValue(t, families, "solverd_cluster_forwards_total"); v < 1 {
+		t.Errorf("forwards = %g, want >= 1", v)
+	}
+	if v := promtest.SingleValue(t, families, "solverd_trace_store_kept_total"); v < 1 {
+		t.Errorf("trace store kept = %g, want >= 1", v)
+	}
+}

@@ -165,7 +165,7 @@ func TestMembershipChurnRace(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	self := "127.0.0.1:1"
 	peers := []string{"127.0.0.1:2", "127.0.0.1:3", "127.0.0.1:4"}
-	m := newMembership(self, peers, 16, time.Hour, 1, 1, nil, logger)
+	m := newMembership(self, peers, 16, time.Hour, 1, 1, nil, logger, "")
 
 	keys := keyCorpus(t, 20)
 	stop := make(chan struct{})

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the recorder's occupancy series in the Prometheus
+// text exposition format. The server appends it to /metrics output.
+func (r *Recorder) WriteMetrics(w io.Writer) {
+	if r == nil {
+		return
+	}
+	s := r.Stats()
+	fmt.Fprintln(w, "# HELP solverd_trace_store_traces Traces currently retained by the flight recorder.")
+	fmt.Fprintln(w, "# TYPE solverd_trace_store_traces gauge")
+	fmt.Fprintf(w, "solverd_trace_store_traces %d\n", s.Traces)
+	fmt.Fprintln(w, "# HELP solverd_trace_store_spans Spans currently retained by the flight recorder.")
+	fmt.Fprintln(w, "# TYPE solverd_trace_store_spans gauge")
+	fmt.Fprintf(w, "solverd_trace_store_spans %d\n", s.Spans)
+	fmt.Fprintln(w, "# HELP solverd_trace_store_bytes Approximate bytes retained by the flight recorder.")
+	fmt.Fprintln(w, "# TYPE solverd_trace_store_bytes gauge")
+	fmt.Fprintf(w, "solverd_trace_store_bytes %d\n", s.Bytes)
+	fmt.Fprintln(w, "# HELP solverd_trace_store_evictions_total Traces evicted to stay under the recorder's caps.")
+	fmt.Fprintln(w, "# TYPE solverd_trace_store_evictions_total counter")
+	fmt.Fprintf(w, "solverd_trace_store_evictions_total %d\n", s.Evictions)
+	fmt.Fprintln(w, "# HELP solverd_trace_store_kept_total Completed requests retained by tail-sampling.")
+	fmt.Fprintln(w, "# TYPE solverd_trace_store_kept_total counter")
+	fmt.Fprintf(w, "solverd_trace_store_kept_total %d\n", s.Kept)
+	fmt.Fprintln(w, "# HELP solverd_trace_store_dropped_total Completed requests dropped by tail-sampling.")
+	fmt.Fprintln(w, "# TYPE solverd_trace_store_dropped_total counter")
+	fmt.Fprintf(w, "solverd_trace_store_dropped_total %d\n", s.Dropped)
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/telemetry"
+)
+
+// mkTrace builds a finished trace with a root and n child spans.
+func mkTrace(id string, children int) *telemetry.Trace {
+	tr := telemetry.New(id, nil)
+	root := tr.StartRoot("solve")
+	for i := 0; i < children; i++ {
+		sp := tr.StartSpan(fmt.Sprintf("phase-%d", i))
+		sp.End()
+	}
+	root.End()
+	return tr
+}
+
+func TestTailSampling(t *testing.T) {
+	r := New(Config{Node: "a", SlowThreshold: 100 * time.Millisecond, SampleRate: -1})
+
+	// Errors and slow requests are always kept, regardless of sampling.
+	r.Record(mkTrace("err-1", 0), "solve", 502, time.Millisecond)
+	r.Record(mkTrace("slow-1", 0), "solve", 200, 150*time.Millisecond)
+	// Fast success at rate -1 (keep none) is dropped.
+	r.Record(mkTrace("fast-1", 0), "solve", 200, time.Millisecond)
+
+	if got := r.Get("err-1"); len(got) != 1 {
+		t.Errorf("error trace not kept: %v", got)
+	}
+	if got := r.Get("slow-1"); len(got) != 1 {
+		t.Errorf("slow trace not kept: %v", got)
+	}
+	if got := r.Get("fast-1"); got != nil {
+		t.Errorf("fast trace kept at rate -1: %v", got)
+	}
+	st := r.Stats()
+	if st.Kept != 2 || st.Dropped != 1 {
+		t.Errorf("stats kept=%d dropped=%d, want 2/1", st.Kept, st.Dropped)
+	}
+
+	idx := r.Index()
+	if len(idx) != 2 {
+		t.Fatalf("index has %d traces, want 2", len(idx))
+	}
+	var sawErr, sawSlow bool
+	for _, s := range idx {
+		if s.ID == "err-1" && s.Error {
+			sawErr = true
+		}
+		if s.ID == "slow-1" && s.Slow {
+			sawSlow = true
+		}
+	}
+	if !sawErr || !sawSlow {
+		t.Errorf("index flags wrong: %+v", idx)
+	}
+}
+
+func TestSampleKeepDeterministic(t *testing.T) {
+	// The decision is a pure function of (id, rate): every node agrees.
+	kept := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("trace-%04d", i)
+		a := SampleKeep(id, 0.1)
+		b := SampleKeep(id, 0.1)
+		if a != b {
+			t.Fatalf("SampleKeep(%q) not deterministic", id)
+		}
+		if a {
+			kept++
+		}
+	}
+	// 10% of 2000 with FNV spreading: allow a generous band.
+	if kept < n/20 || kept > n/4 {
+		t.Errorf("kept %d of %d at rate 0.1 — hash badly skewed", kept, n)
+	}
+	if !SampleKeep("anything", 1) {
+		t.Error("rate 1 must keep everything")
+	}
+	if SampleKeep("anything", 0) {
+		t.Error("rate 0 must keep nothing")
+	}
+}
+
+func TestBoundedMemoryTraceCap(t *testing.T) {
+	r := New(Config{Node: "a", MaxTraces: 4, SampleRate: 1})
+	for i := 0; i < 10; i++ {
+		r.Record(mkTrace(fmt.Sprintf("t-%02d", i), 2), "solve", 200, time.Millisecond)
+	}
+	st := r.Stats()
+	if st.Traces != 4 {
+		t.Errorf("retained %d traces, want 4", st.Traces)
+	}
+	if st.Evictions != 6 {
+		t.Errorf("evictions = %d, want 6", st.Evictions)
+	}
+	// Oldest gone, newest present.
+	if r.Get("t-00") != nil || r.Get("t-05") != nil {
+		t.Error("evicted traces still retrievable")
+	}
+	for i := 6; i < 10; i++ {
+		if r.Get(fmt.Sprintf("t-%02d", i)) == nil {
+			t.Errorf("recent trace t-%02d evicted", i)
+		}
+	}
+}
+
+func TestBoundedMemorySpanAndByteCaps(t *testing.T) {
+	r := New(Config{Node: "a", MaxTraces: 1000, MaxSpans: 10, SampleRate: 1})
+	for i := 0; i < 8; i++ {
+		r.Record(mkTrace(fmt.Sprintf("s-%d", i), 3), "solve", 200, time.Millisecond) // 4 spans each
+	}
+	if st := r.Stats(); st.Spans > 10 {
+		t.Errorf("span cap exceeded: %d > 10", st.Spans)
+	}
+
+	rb := New(Config{Node: "a", MaxTraces: 1000, MaxBytes: 2000, SampleRate: 1})
+	for i := 0; i < 8; i++ {
+		rb.Record(mkTrace(fmt.Sprintf("b-%d", i), 5), "solve", 200, time.Millisecond)
+	}
+	if st := rb.Stats(); st.Bytes > 2000 {
+		t.Errorf("byte cap exceeded: %d > 2000", st.Bytes)
+	}
+
+	// A single oversized trace is retained rather than truncated.
+	r1 := New(Config{Node: "a", MaxSpans: 2, SampleRate: 1})
+	r1.Record(mkTrace("huge", 9), "solve", 200, time.Millisecond)
+	if got := r1.Get("huge"); len(got) != 1 {
+		t.Error("sole oversized trace was evicted")
+	}
+}
+
+func TestRecorderDisabled(t *testing.T) {
+	r := New(Config{MaxTraces: -1})
+	r.Record(mkTrace("x", 0), "solve", 500, time.Second)
+	r.ForceRecord(mkTrace("y", 0), "solve", 200, 0)
+	if st := r.Stats(); st.Traces != 0 {
+		t.Errorf("disabled recorder stored %d traces", st.Traces)
+	}
+
+	var nilRec *Recorder
+	nilRec.Record(mkTrace("x", 0), "solve", 500, time.Second)
+	nilRec.Add(&RecordedRequest{TraceID: "x"})
+	if nilRec.Get("x") != nil || nilRec.Index() != nil || nilRec.Node() != "" {
+		t.Error("nil recorder returned data")
+	}
+	if nilRec.ShouldKeep("x", 500, time.Hour) {
+		t.Error("nil recorder wants to keep")
+	}
+	nilRec.WriteMetrics(&strings.Builder{})
+}
+
+func TestForceRecordBypassesSampling(t *testing.T) {
+	r := New(Config{Node: "a", SampleRate: -1})
+	r.ForceRecord(mkTrace("forced", 0), "deviation", 200, time.Microsecond)
+	if r.Get("forced") == nil {
+		t.Error("ForceRecord dropped the trace")
+	}
+}
+
+func TestMultipleRecordsPerTrace(t *testing.T) {
+	r := New(Config{Node: "a", SampleRate: 1})
+	r.Record(mkTrace("shared", 1), "sweep", 200, time.Millisecond)
+	r.Add(&RecordedRequest{Node: "b", TraceID: "shared", Handler: "solve", Status: 200,
+		Spans: []telemetry.SpanRecord{{ID: "aaaa", Name: "solve", Ended: true}}})
+	recs := r.Get("shared")
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	idx := r.Index()
+	if len(idx) != 1 || idx[0].Requests != 2 || idx[0].Spans != 3 {
+		t.Errorf("index = %+v, want one trace with 2 requests / 3 spans", idx)
+	}
+}
+
+// TestRecorderConcurrent hammers every public method from many goroutines;
+// run with -race this is the data-race guard for the store.
+func TestRecorderConcurrent(t *testing.T) {
+	r := New(Config{Node: "a", MaxTraces: 32, MaxSpans: 256, SampleRate: 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("c-%d-%d", g, i)
+				r.Record(mkTrace(id, 2), "solve", 200, time.Millisecond)
+				_ = r.Get(id)
+				_ = r.Index()
+				_ = r.Stats()
+				var b strings.Builder
+				r.WriteMetrics(&b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Traces > 32 || st.Spans > 256 {
+		t.Errorf("caps breached under concurrency: %+v", st)
+	}
+	if st.Kept != 800 {
+		t.Errorf("kept = %d, want 800", st.Kept)
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	r := New(Config{Node: "a", MaxTraces: 2, SampleRate: 1})
+	for i := 0; i < 4; i++ {
+		r.Record(mkTrace(fmt.Sprintf("m-%d", i), 1), "solve", 200, time.Millisecond)
+	}
+	var b strings.Builder
+	r.WriteMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"solverd_trace_store_traces 2",
+		"solverd_trace_store_spans 4",
+		"solverd_trace_store_evictions_total 2",
+		"solverd_trace_store_kept_total 4",
+		"# TYPE solverd_trace_store_bytes gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExactMVAStepAllocsWithRecorder mirrors the core hot-path guard with the
+// full server-shaped observation stack attached: per-step hooks doing only
+// counter work, a live trace, and a recorder that snapshots at completion.
+// The per-population step must stay 0 allocs/op.
+func TestExactMVAStepAllocsWithRecorder(t *testing.T) {
+	m := &queueing.Model{
+		Name:      "alloc-guard",
+		ThinkTime: 1,
+		Stations: []queueing.Station{
+			{Name: "cpu", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.05},
+			{Name: "disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.03},
+		},
+	}
+	s, err := core.NewExactMVASolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+
+	rec := New(Config{Node: "a", SampleRate: 1})
+	tr := telemetry.New("alloc-trace", nil)
+	root := tr.StartRoot("solve")
+	var steps int
+	var progress atomic.Int64
+	s.SetHooks(&core.SolveHooks{OnStep: func(n int, _ float64) {
+		steps++
+		progress.Store(int64(n))
+	}})
+
+	const runs = 200
+	s.Reserve(runs + 2)
+	n := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		n++
+		if err := s.Extend(n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("observed exact-MVA step allocates %.2f objects/op, want 0", allocs)
+	}
+	if steps == 0 {
+		t.Fatal("OnStep never fired")
+	}
+
+	root.SetAttr("steps", steps)
+	root.End()
+	rec.Record(tr, "solve", 200, time.Second) // slow → kept
+	if got := rec.Get("alloc-trace"); len(got) != 1 || len(got[0].Spans) != 1 {
+		t.Fatalf("trace not recorded: %+v", got)
+	}
+}

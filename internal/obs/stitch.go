@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TreeNode is one span in a stitched cross-node trace tree.
+type TreeNode struct {
+	Span     telemetry.SpanRecord `json:"span"`
+	Node     string               `json:"node"`
+	Children []*TreeNode          `json:"children,omitempty"`
+}
+
+// Stitch merges span fragments collected from any number of nodes into one
+// tree per root. Linking is purely structural — a span hangs under the span
+// whose ID its Parent names, wherever that parent ran — so the result is
+// immune to clock skew between nodes: ordering comes from parent/child
+// containment plus each fragment's own in-node span order, never from
+// comparing wall clocks across machines.
+//
+// Spans whose parent is unknown (the caller's fragment was dropped, or the
+// node holding it is down) become additional roots rather than being lost,
+// so partial traces still render.
+func Stitch(fragments []*RecordedRequest) []*TreeNode {
+	byID := make(map[string]*TreeNode)
+	var order []*TreeNode // insertion order: per-fragment span order, fragments as given
+	for _, frag := range fragments {
+		if frag == nil {
+			continue
+		}
+		for _, sp := range frag.Spans {
+			if sp.ID == "" || byID[sp.ID] != nil {
+				continue // unidentifiable or duplicate fragment (replicated record)
+			}
+			n := &TreeNode{Span: sp, Node: frag.Node}
+			byID[sp.ID] = n
+			order = append(order, n)
+		}
+	}
+	var roots []*TreeNode
+	for _, n := range order {
+		if p := byID[n.Span.Parent]; p != nil && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	// A parent cycle (corrupt input) would leave spans attached to each
+	// other but reachable from no root. Promote one member of each such
+	// cycle to a root and cut its back edge, so the result is always a true
+	// forest — downstream walkers (SpanCount, RenderTree, JSON encoding)
+	// need no cycle guards.
+	seen := make(map[*TreeNode]bool)
+	var mark func(*TreeNode)
+	mark = func(n *TreeNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			mark(c)
+		}
+	}
+	for _, r := range roots {
+		mark(r)
+	}
+	for _, n := range order {
+		if seen[n] {
+			continue
+		}
+		if p := byID[n.Span.Parent]; p != nil {
+			for i, c := range p.Children {
+				if c == n {
+					p.Children = append(p.Children[:i], p.Children[i+1:]...)
+					break
+				}
+			}
+		}
+		mark(n)
+		roots = append(roots, n)
+	}
+	return roots
+}
+
+// SpanCount returns the number of spans in the stitched forest.
+func SpanCount(roots []*TreeNode) int {
+	total := 0
+	var walk func(*TreeNode)
+	walk = func(n *TreeNode) {
+		total++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return total
+}
+
+// Nodes returns the distinct node names contributing spans, in first-seen order.
+func Nodes(roots []*TreeNode) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(*TreeNode)
+	walk = func(n *TreeNode) {
+		if !seen[n.Node] {
+			seen[n.Node] = true
+			out = append(out, n.Node)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return out
+}
+
+// RenderTree writes the stitched forest as an indented text tree, one span
+// per line with its node, duration and attributes:
+//
+//	solve @node-a 12.4ms [status=200 cache=miss]
+//	└─ forward @node-a 11.8ms [peer=node-b]
+//	   └─ solve @node-b 11.2ms [cache=hit]
+func RenderTree(w io.Writer, roots []*TreeNode) {
+	seen := make(map[*TreeNode]bool)
+	var walk func(n *TreeNode, prefix string, last bool, top bool)
+	walk = func(n *TreeNode, prefix string, last, top bool) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		line := prefix
+		childPrefix := prefix
+		if !top {
+			if last {
+				line += "└─ "
+				childPrefix += "   "
+			} else {
+				line += "├─ "
+				childPrefix += "│  "
+			}
+		}
+		fmt.Fprintf(w, "%s%s @%s %s%s\n", line, n.Span.Name, n.Node,
+			fmtDur(n.Span.Duration), fmtAttrs(n.Span.Attrs))
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1, false)
+		}
+	}
+	for _, r := range roots {
+		walk(r, "", true, true)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}
+
+func fmtAttrs(attrs []telemetry.SpanAttr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" [")
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func sp(id, parent, name string) telemetry.SpanRecord {
+	return telemetry.SpanRecord{ID: id, Parent: parent, Name: name,
+		Duration: 5 * time.Millisecond, Ended: true}
+}
+
+func TestStitchCrossNode(t *testing.T) {
+	// Node A handled the client request and forwarded to node B; B's root
+	// parents to A's forward span via X-Parent-Span. Fragment order is
+	// B-before-A on purpose: linking must not depend on arrival order.
+	fragB := &RecordedRequest{Node: "b", TraceID: "t1", Spans: []telemetry.SpanRecord{
+		sp("b-root", "a-fwd", "solve"),
+		sp("b-solve", "b-root", "run"),
+	}}
+	fragA := &RecordedRequest{Node: "a", TraceID: "t1", Spans: []telemetry.SpanRecord{
+		sp("a-root", "", "solve"),
+		sp("a-fwd", "a-root", "forward"),
+	}}
+	roots := Stitch([]*RecordedRequest{fragB, fragA})
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1 stitched tree", len(roots))
+	}
+	if roots[0].Span.ID != "a-root" || roots[0].Node != "a" {
+		t.Fatalf("root is %s@%s, want a-root@a", roots[0].Span.ID, roots[0].Node)
+	}
+	if SpanCount(roots) != 4 {
+		t.Errorf("stitched %d spans, want 4", SpanCount(roots))
+	}
+	nodes := Nodes(roots)
+	if len(nodes) != 2 {
+		t.Errorf("nodes = %v, want [a b]", nodes)
+	}
+	// a-fwd's child is b-root, which owns b-solve.
+	fwd := roots[0].Children[0]
+	if fwd.Span.ID != "a-fwd" || len(fwd.Children) != 1 || fwd.Children[0].Span.ID != "b-root" {
+		t.Errorf("forward subtree wrong: %+v", fwd)
+	}
+	if fwd.Children[0].Children[0].Span.ID != "b-solve" {
+		t.Error("b-solve not under b-root")
+	}
+}
+
+func TestStitchPartialFragments(t *testing.T) {
+	// The owner node died: its fragment (including the span that parented
+	// the peer's root) is missing. The orphaned subtree must surface as an
+	// extra root, not vanish.
+	fragA := &RecordedRequest{Node: "a", TraceID: "t2", Spans: []telemetry.SpanRecord{
+		sp("a-root", "", "solve"),
+	}}
+	fragC := &RecordedRequest{Node: "c", TraceID: "t2", Spans: []telemetry.SpanRecord{
+		sp("c-root", "dead-node-span", "solve"),
+		sp("c-run", "c-root", "run"),
+	}}
+	roots := Stitch([]*RecordedRequest{fragA, fragC})
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2 (orphan surfaces)", len(roots))
+	}
+	if SpanCount(roots) != 3 {
+		t.Errorf("span count %d, want 3", SpanCount(roots))
+	}
+}
+
+func TestStitchDuplicateAndCorruptInput(t *testing.T) {
+	// Replicated fragments carry the same span IDs; duplicates are dropped.
+	frag := &RecordedRequest{Node: "a", TraceID: "t3", Spans: []telemetry.SpanRecord{
+		sp("x", "", "solve"),
+		sp("y", "x", "run"),
+	}}
+	dup := &RecordedRequest{Node: "b", TraceID: "t3", Spans: []telemetry.SpanRecord{
+		sp("x", "", "solve"),
+	}}
+	roots := Stitch([]*RecordedRequest{frag, dup, nil})
+	if len(roots) != 1 || SpanCount(roots) != 2 {
+		t.Fatalf("dup handling wrong: %d roots, %d spans", len(roots), SpanCount(roots))
+	}
+
+	// A parent cycle (corrupt input) must not hang or drop spans.
+	cyc := &RecordedRequest{Node: "a", TraceID: "t4", Spans: []telemetry.SpanRecord{
+		sp("p", "q", "one"),
+		sp("q", "p", "two"),
+	}}
+	roots = Stitch([]*RecordedRequest{cyc})
+	if SpanCount(roots) != 2 {
+		t.Fatalf("cycle dropped spans: %d", SpanCount(roots))
+	}
+
+	// Self-parent.
+	self := &RecordedRequest{Node: "a", TraceID: "t5", Spans: []telemetry.SpanRecord{
+		sp("s", "s", "selfie"),
+	}}
+	roots = Stitch([]*RecordedRequest{self})
+	if len(roots) != 1 || SpanCount(roots) != 1 {
+		t.Fatalf("self-parent handling wrong: %d roots", len(roots))
+	}
+
+	if got := Stitch(nil); len(got) != 0 {
+		t.Errorf("Stitch(nil) = %v", got)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	fragA := &RecordedRequest{Node: "a", TraceID: "t6", Spans: []telemetry.SpanRecord{
+		{ID: "r", Name: "solve", Duration: 12 * time.Millisecond, Ended: true,
+			Attrs: []telemetry.SpanAttr{{Key: "status", Value: "200"}, {Key: "cache", Value: "miss"}}},
+		sp("f", "r", "forward"),
+		sp("g", "r", "cache"),
+	}}
+	fragB := &RecordedRequest{Node: "b", TraceID: "t6", Spans: []telemetry.SpanRecord{
+		sp("br", "f", "solve"),
+	}}
+	var b strings.Builder
+	RenderTree(&b, Stitch([]*RecordedRequest{fragA, fragB}))
+	out := b.String()
+	for _, want := range []string{
+		"solve @a 12.000ms [status=200 cache=miss]",
+		"├─ forward @a",
+		"└─ solve @b",
+		"└─ cache @a",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Errorf("want 4 lines, got:\n%s", out)
+	}
+}

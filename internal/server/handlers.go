@@ -157,12 +157,18 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 
 			fl := s.inflight.add(tr.ID(), alg, sol.N(), maxN)
 			defer s.inflight.remove(fl)
+			// steps/fpIters are plain ints: hooks fire synchronously on
+			// this goroutine, and anything heavier would cost the step
+			// path its 0 allocs/op guarantee.
+			var steps, fpIters int
 			hooks := &core.SolveHooks{OnStep: func(n int, _ float64) {
+				steps++
 				s.metrics.stepPops.Add(1)
 				fl.cur.Store(int64(n))
 			}}
 			if strings.HasPrefix(alg, "mvasd") {
 				hooks.OnFixedPoint = func(_, iters int, _ float64, converged bool) {
+					fpIters += iters
 					s.metrics.observeFixedPoint(iters, converged)
 				}
 			}
@@ -173,7 +179,15 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 			if s.testHookSolveStart != nil {
 				s.testHookSolveStart(ctx)
 			}
-			return sol.RunContext(ctx, maxN)
+			runErr := sol.RunContext(ctx, maxN)
+			span.SetAttr("steps", steps)
+			if fpIters > 0 {
+				span.SetAttr("fp_iters", fpIters)
+			}
+			if runErr != nil {
+				span.SetAttr("error", runErr.Error())
+			}
+			return runErr
 		})
 	cacheSpan.End() // idempotent: closes the span on the hit path
 	if hit {

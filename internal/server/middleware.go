@@ -40,6 +40,12 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 			id = telemetry.NewID()
 		}
 		tr := telemetry.New(id, s.cfg.Logger)
+		// A forwarded cluster hop names the caller's forward span here; the
+		// root span adopts it so cross-node stitching links the fragments.
+		if parent := r.Header.Get("X-Parent-Span"); telemetry.ValidID(parent) {
+			tr.SetRemoteParent(parent)
+		}
+		root := tr.StartRoot(name)
 		r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
 		rec := &statusRecorder{ResponseWriter: w, trace: tr, code: http.StatusOK}
 		rec.Header().Set("X-Request-Id", id)
@@ -51,6 +57,11 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 				http.Error(rec, "internal error", http.StatusInternalServerError)
 			}
 			elapsed := time.Since(start)
+			root.SetAttr("status", rec.code)
+			root.End()
+			if recordableHandler(name) {
+				s.cfg.Recorder.Record(tr, name, rec.code, elapsed)
+			}
 			s.metrics.observeRequest(name, rec.code, elapsed.Seconds())
 			attrs := make([]slog.Attr, 0, 8)
 			attrs = append(attrs,
@@ -68,6 +79,18 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 		}
 		h(rec, r)
 	})
+}
+
+// recordableHandler excludes the introspection surface from the flight
+// recorder: probes and metric scrapes arrive continuously and would crowd
+// real solves out of the bounded store, and recording trace reads would make
+// the recorder observe itself.
+func recordableHandler(name string) bool {
+	switch name {
+	case "healthz", "metrics", "traces", "trace", "cluster-trace":
+		return false
+	}
+	return true
 }
 
 // Instrument is the exported form of the middleware for handlers mounted

@@ -1,171 +1,23 @@
 package server
 
 import (
-	"fmt"
-	"math"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/modelio"
-)
-
-// promSample is one parsed exposition line: name{labels} value.
-type promSample struct {
-	name   string
-	labels []promLabel
-	value  float64
-	line   string
-}
-
-type promLabel struct{ name, value string }
-
-// promFamily groups the HELP/TYPE metadata and samples of one metric family.
-type promFamily struct {
-	name, help, typ string
-	samples         []promSample
-}
-
-// parseExposition is a strict little parser for the Prometheus text format —
-// enough to lint what solverd emits.
-func parseExposition(t *testing.T, body string) map[string]*promFamily {
-	t.Helper()
-	families := make(map[string]*promFamily)
-	get := func(name string) *promFamily {
-		f, ok := families[name]
-		if !ok {
-			f = &promFamily{name: name}
-			families[name] = f
-		}
-		return f
-	}
-	// A histogram's _bucket/_sum/_count series belong to the base family.
-	base := func(name string) string {
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			trimmed := strings.TrimSuffix(name, suffix)
-			if trimmed != name {
-				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
-					return trimmed
-				}
-			}
-		}
-		return name
-	}
-	for _, line := range strings.Split(body, "\n") {
-		if line == "" {
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
-			name, help, found := strings.Cut(rest, " ")
-			if !found {
-				t.Fatalf("HELP line without text: %q", line)
-			}
-			get(name).help = help
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
-			name, typ, found := strings.Cut(rest, " ")
-			if !found {
-				t.Fatalf("TYPE line without a type: %q", line)
-			}
-			get(name).typ = typ
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue // comment
-		}
-		sample, err := parseSampleLine(line)
-		if err != nil {
-			t.Fatalf("unparseable sample %q: %v", line, err)
-		}
-		f := get(base(sample.name))
-		f.samples = append(f.samples, sample)
-	}
-	return families
-}
-
-func parseSampleLine(line string) (promSample, error) {
-	s := promSample{line: line}
-	i := strings.IndexAny(line, "{ ")
-	if i < 0 {
-		return s, fmt.Errorf("no value separator")
-	}
-	s.name = line[:i]
-	rest := line[i:]
-	if rest[0] == '{' {
-		end := -1
-		inQuotes := false
-		for j := 1; j < len(rest); j++ {
-			switch rest[j] {
-			case '\\':
-				j++ // skip the escaped byte
-			case '"':
-				inQuotes = !inQuotes
-			case '}':
-				if !inQuotes {
-					end = j
-				}
-			}
-			if end >= 0 {
-				break
-			}
-		}
-		if end < 0 {
-			return s, fmt.Errorf("unterminated label set")
-		}
-		labels := rest[1:end]
-		rest = rest[end+1:]
-		for len(labels) > 0 {
-			eq := strings.Index(labels, "=")
-			if eq < 0 {
-				return s, fmt.Errorf("label without =")
-			}
-			name := labels[:eq]
-			q, tail, err := cutQuoted(labels[eq+1:])
-			if err != nil {
-				return s, err
-			}
-			s.labels = append(s.labels, promLabel{name: name, value: q})
-			labels = strings.TrimPrefix(tail, ",")
-		}
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-	if err != nil {
-		return s, fmt.Errorf("bad value: %v", err)
-	}
-	s.value = v
-	return s, nil
-}
-
-// cutQuoted splits a leading Go-quoted string off s.
-func cutQuoted(s string) (value, rest string, err error) {
-	if len(s) == 0 || s[0] != '"' {
-		return "", "", fmt.Errorf("label value not quoted: %q", s)
-	}
-	for j := 1; j < len(s); j++ {
-		switch s[j] {
-		case '\\':
-			j++
-		case '"':
-			v, err := strconv.Unquote(s[:j+1])
-			return v, s[j+1:], err
-		}
-	}
-	return "", "", fmt.Errorf("unterminated quoted value: %q", s)
-}
-
-var (
-	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	"repro/internal/obs"
+	"repro/internal/promtest"
 )
 
 // TestPrometheusExpositionLint exercises the service, scrapes /metrics, and
-// lints every emitted family: HELP and TYPE present, legal metric/label
-// names, and — for histograms — cumulative bucket monotonicity with a
-// terminal +Inf bucket matching _count.
+// lints every emitted family through the shared promtest rules: HELP and
+// TYPE present, legal metric/label names, and — for histograms — cumulative
+// bucket monotonicity with a terminal +Inf bucket matching _count.
 func TestPrometheusExpositionLint(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	// A keep-all recorder so the trace-store gauges are part of the linted
+	// exposition.
+	rec := obs.New(obs.Config{Node: "lint", SampleRate: 1})
+	_, ts := newTestServer(t, Config{Recorder: rec})
 
 	// Generate traffic so every family has samples: a miss, a hit, an MVASD
 	// solve per demand axis (the throughput axis feeds the fixed-point
@@ -184,13 +36,13 @@ func TestPrometheusExpositionLint(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
 		t.Errorf("Content-Type = %q", ct)
 	}
-	families := parseExposition(t, body)
+	families := promtest.ParseExposition(t, body)
 	if len(families) < 10 {
 		t.Fatalf("only %d families emitted:\n%s", len(families), body)
 	}
 
 	// Families the exposition must always include.
-	for _, want := range []string{
+	promtest.RequireFamilies(t, families,
 		"solverd_requests_total", "solverd_request_duration_seconds",
 		"solverd_cache_hits_total", "solverd_cache_misses_total",
 		"solverd_cache_hit_ratio", "solverd_cache_entries",
@@ -201,172 +53,37 @@ func TestPrometheusExpositionLint(t *testing.T) {
 		"solverd_mvasd_fixedpoint_failures_total",
 		"solverd_solve_progress",
 		"solverd_build_info", "solverd_goroutines", "solverd_heap_inuse_bytes",
-	} {
-		if _, ok := families[want]; !ok {
-			t.Errorf("family %q missing from the exposition", want)
-		}
-	}
+		"solverd_trace_store_traces", "solverd_trace_store_spans",
+		"solverd_trace_store_bytes", "solverd_trace_store_evictions_total",
+		"solverd_trace_store_kept_total", "solverd_trace_store_dropped_total",
+	)
 
-	for name, f := range families {
-		f := f
-		t.Run(name, func(t *testing.T) {
-			if !metricNameRe.MatchString(f.name) {
-				t.Errorf("illegal metric name %q", f.name)
-			}
-			if f.help == "" {
-				t.Errorf("family %q has no HELP", f.name)
-			}
-			switch f.typ {
-			case "counter", "gauge", "histogram":
-			default:
-				t.Errorf("family %q has TYPE %q", f.name, f.typ)
-			}
-			for _, s := range f.samples {
-				for _, l := range s.labels {
-					if !labelNameRe.MatchString(l.name) {
-						t.Errorf("illegal label name %q in %q", l.name, s.line)
-					}
-				}
-				if f.typ == "counter" && s.value < 0 {
-					t.Errorf("negative counter: %q", s.line)
-				}
-			}
-			if f.typ == "histogram" {
-				lintHistogram(t, f)
-			}
-		})
-	}
+	promtest.LintFamilies(t, families)
 
 	// Spot-check semantics: the cache series saw the hit and the miss, the
-	// step counter advanced, and the MVASD histogram observed fixed points
-	// without failures.
-	if v := singleValue(t, families, "solverd_cache_hits_total"); v < 1 {
+	// step counter advanced, the MVASD histogram observed fixed points
+	// without failures, and the flight recorder retained the solves.
+	if v := promtest.SingleValue(t, families, "solverd_cache_hits_total"); v < 1 {
 		t.Errorf("cache hits = %g", v)
 	}
-	if v := singleValue(t, families, "solverd_solve_step_populations_total"); v < 95 {
+	if v := promtest.SingleValue(t, families, "solverd_solve_step_populations_total"); v < 95 {
 		t.Errorf("step populations = %g, want >= 95 (40 + 30 + 25)", v)
 	}
-	if v := singleValue(t, families, "solverd_mvasd_fixedpoint_failures_total"); v != 0 {
+	if v := promtest.SingleValue(t, families, "solverd_mvasd_fixedpoint_failures_total"); v != 0 {
 		t.Errorf("fixed-point failures = %g", v)
 	}
 	// The throughput-axis solve resolved one fixed point per population.
-	fp := families["solverd_mvasd_fixedpoint_iterations"]
-	var fpCount float64
-	for _, s := range fp.samples {
-		if strings.HasSuffix(s.name, "_count") {
-			fpCount = s.value
-		}
-	}
-	if fpCount < 25 {
+	if fpCount := promtest.HistogramCount(t, families, "solverd_mvasd_fixedpoint_iterations"); fpCount < 25 {
 		t.Errorf("fixed-point histogram count = %g, want >= 25", fpCount)
 	}
-	bi := families["solverd_build_info"].samples
-	if len(bi) != 1 || len(bi[0].labels) != 2 || bi[0].value != 1 {
+	if v := promtest.SingleValue(t, families, "solverd_trace_store_traces"); v < 4 {
+		t.Errorf("trace store traces = %g, want >= 4 recorded solves", v)
+	}
+	if v := promtest.SingleValue(t, families, "solverd_trace_store_dropped_total"); v != 0 {
+		t.Errorf("trace store dropped %g traces with SampleRate 1", v)
+	}
+	bi := families["solverd_build_info"].Samples
+	if len(bi) != 1 || len(bi[0].Labels) != 2 || bi[0].Value != 1 {
 		t.Errorf("build info sample: %+v", bi)
-	}
-}
-
-func singleValue(t *testing.T, families map[string]*promFamily, name string) float64 {
-	t.Helper()
-	f, ok := families[name]
-	if !ok || len(f.samples) != 1 {
-		t.Fatalf("family %q: %+v", name, f)
-	}
-	return f.samples[0].value
-}
-
-// lintHistogram checks bucket structure: per label-set cumulative counts are
-// non-decreasing, the terminal bucket is le="+Inf", and it equals _count.
-func lintHistogram(t *testing.T, f *promFamily) {
-	t.Helper()
-	type series struct {
-		buckets []promSample
-		sum     *promSample
-		count   *promSample
-	}
-	bySet := make(map[string]*series)
-	keyOf := func(s promSample) string {
-		var parts []string
-		for _, l := range s.labels {
-			if l.name == "le" {
-				continue
-			}
-			parts = append(parts, l.name+"="+l.value)
-		}
-		return strings.Join(parts, ",")
-	}
-	get := func(k string) *series {
-		sr, ok := bySet[k]
-		if !ok {
-			sr = &series{}
-			bySet[k] = sr
-		}
-		return sr
-	}
-	for i := range f.samples {
-		s := f.samples[i]
-		switch {
-		case strings.HasSuffix(s.name, "_bucket"):
-			get(keyOf(s)).buckets = append(get(keyOf(s)).buckets, s)
-		case strings.HasSuffix(s.name, "_sum"):
-			get(keyOf(s)).sum = &f.samples[i]
-		case strings.HasSuffix(s.name, "_count"):
-			get(keyOf(s)).count = &f.samples[i]
-		default:
-			t.Errorf("histogram %q has stray sample %q", f.name, s.line)
-		}
-	}
-	for key, sr := range bySet {
-		if len(sr.buckets) == 0 || sr.sum == nil || sr.count == nil {
-			t.Errorf("histogram %q{%s}: incomplete series (buckets=%d sum=%v count=%v)",
-				f.name, key, len(sr.buckets), sr.sum != nil, sr.count != nil)
-			continue
-		}
-		prevBound, prevCount := -1.0, -1.0
-		for _, b := range sr.buckets {
-			le := ""
-			for _, l := range b.labels {
-				if l.name == "le" {
-					le = l.value
-				}
-			}
-			if le == "" {
-				t.Errorf("bucket without le: %q", b.line)
-				continue
-			}
-			bound := 0.0
-			if le == "+Inf" {
-				bound = math.Inf(1)
-			} else {
-				v, err := strconv.ParseFloat(le, 64)
-				if err != nil {
-					t.Errorf("bad le %q in %q", le, b.line)
-					continue
-				}
-				bound = v
-			}
-			if bound <= prevBound {
-				t.Errorf("histogram %q{%s}: le=%s out of order", f.name, key, le)
-			}
-			if b.value < prevCount {
-				t.Errorf("histogram %q{%s}: bucket counts not cumulative at le=%s (%g < %g)",
-					f.name, key, le, b.value, prevCount)
-			}
-			prevBound, prevCount = bound, b.value
-		}
-		last := sr.buckets[len(sr.buckets)-1]
-		lastLe := ""
-		for _, l := range last.labels {
-			if l.name == "le" {
-				lastLe = l.value
-			}
-		}
-		if lastLe != "+Inf" {
-			t.Errorf("histogram %q{%s}: terminal bucket le=%q, want +Inf", f.name, key, lastLe)
-		}
-		if last.value != sr.count.value {
-			t.Errorf("histogram %q{%s}: +Inf bucket %g != count %g",
-				f.name, key, last.value, sr.count.value)
-		}
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config tunes the service. The zero value is usable: every field defaults.
@@ -68,6 +70,12 @@ type Config struct {
 	// Logger receives the structured access log, span events (debug level)
 	// and request-level errors (default slog.Default()).
 	Logger *slog.Logger
+	// Recorder, when non-nil, is the flight recorder fed by every completed
+	// request (internal/obs tail-sampling applies) and served on
+	// /debug/traces and /debug/traces/{id}. Its occupancy series join
+	// /metrics. Nil disables trace retention; requests are still traced for
+	// Server-Timing and logs.
+	Recorder *obs.Recorder
 }
 
 func (c *Config) defaults() {
@@ -148,6 +156,14 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/status", s.instrument("status", http.MethodGet, s.handleStatus))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	s.mux.Handle("/debug/traces", s.instrument("traces", http.MethodGet, s.handleTraceIndex))
+	s.mux.Handle("/debug/traces/", s.instrument("trace", http.MethodGet, s.handleTraceGet))
+	if cfg.Recorder != nil {
+		s.RegisterMetrics(func(w io.Writer) error {
+			cfg.Recorder.WriteMetrics(w)
+			return nil
+		})
+	}
 	if cfg.EnablePprof {
 		// Registered on the server's own mux (not the global DefaultServeMux
 		// that importing net/http/pprof would populate), so profiling is
@@ -165,6 +181,11 @@ func New(cfg Config) *Server {
 // Handler returns the service's local HTTP handler (for tests and embedding).
 // It bypasses any handler installed with Mount.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Recorder returns the flight recorder the server records into (nil when
+// trace retention is disabled). The cluster gateway uses it to serve span
+// fragments to peers.
+func (s *Server) Recorder() *obs.Recorder { return s.cfg.Recorder }
 
 // Mount replaces the handler Run/Serve expose — the cluster gateway installs
 // itself here so it can intercept /v1/solve and /v1/sweep for routing while

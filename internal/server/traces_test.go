@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/modelio"
+	"repro/internal/obs"
+)
+
+// postJSONWithID posts body with an explicit X-Request-Id plus optional extra
+// header key/value pairs.
+func postJSONWithID(t *testing.T, client *http.Client, url, id string, body any, hdr ...string) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestFlightRecorderEndpoints drives a solve through a server with a
+// keep-everything recorder and reads it back via /debug/traces and
+// /debug/traces/{id}: the root span must carry the handler name and status,
+// the solve span its step count, and introspection endpoints must not be
+// recorded.
+func TestFlightRecorderEndpoints(t *testing.T) {
+	rec := obs.New(obs.Config{Node: "test-node", SampleRate: 1})
+	_, ts := newTestServer(t, Config{Recorder: rec})
+
+	client := &http.Client{}
+	body := modelio.SolveRequest{Algorithm: modelio.AlgoExact, Model: testModel(), MaxN: 40}
+	resp, _ := postJSONWithID(t, client, ts.URL+"/v1/solve", "trace-ep-1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+
+	// Introspection reads must not pollute the store.
+	if r, _ := getBody(t, ts.URL+"/healthz"); r.StatusCode != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if r, _ := getBody(t, ts.URL+"/metrics"); r.StatusCode != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+
+	r, idxBody := getBody(t, ts.URL+"/debug/traces")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("traces index status %d: %s", r.StatusCode, idxBody)
+	}
+	var idx TraceIndexResponse
+	if err := json.Unmarshal([]byte(idxBody), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Node != "test-node" || len(idx.Traces) != 1 || idx.Traces[0].ID != "trace-ep-1" {
+		t.Fatalf("index = %+v, want exactly trace-ep-1", idx)
+	}
+
+	r, trBody := getBody(t, ts.URL+"/debug/traces/trace-ep-1")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace get status %d: %s", r.StatusCode, trBody)
+	}
+	var tres TraceResponse
+	if err := json.Unmarshal([]byte(trBody), &tres); err != nil {
+		t.Fatal(err)
+	}
+	if len(tres.Fragments) != 1 {
+		t.Fatalf("got %d fragments, want 1", len(tres.Fragments))
+	}
+	frag := tres.Fragments[0]
+	if frag.Handler != "solve" || frag.Status != http.StatusOK {
+		t.Errorf("fragment handler/status = %s/%d", frag.Handler, frag.Status)
+	}
+	var sawRoot, sawSolveSteps bool
+	for _, sp := range frag.Spans {
+		if sp.Name == "solve" && sp.Parent == "" {
+			for _, a := range sp.Attrs {
+				if a.Key == "status" && a.Value == "200" {
+					sawRoot = true
+				}
+			}
+		}
+		if sp.Name == "solve" && sp.Parent != "" {
+			for _, a := range sp.Attrs {
+				if a.Key == "steps" && a.Value == "40" {
+					sawSolveSteps = true
+				}
+			}
+		}
+	}
+	if !sawRoot {
+		t.Errorf("no root span in fragment: %+v", frag.Spans)
+	}
+	if !sawSolveSteps {
+		t.Errorf("solve span missing steps=40: %+v", frag.Spans)
+	}
+
+	// Unknown and invalid IDs.
+	if r, _ := getBody(t, ts.URL+"/debug/traces/nope"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace returned %d", r.StatusCode)
+	}
+	if r, _ := getBody(t, ts.URL+"/debug/traces/bad!id"); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid trace id returned %d", r.StatusCode)
+	}
+}
+
+// TestTraceEndpointsWithoutRecorder: a server without a recorder 404s the
+// trace surface rather than crashing.
+func TestTraceEndpointsWithoutRecorder(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if r, _ := getBody(t, ts.URL+"/debug/traces"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("traces index without recorder returned %d", r.StatusCode)
+	}
+	if r, _ := getBody(t, ts.URL+"/debug/traces/some-id"); r.StatusCode != http.StatusNotFound {
+		t.Errorf("trace get without recorder returned %d", r.StatusCode)
+	}
+	// Solves still work and the nil recorder is a no-op.
+	resp, _ := postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{
+		Algorithm: modelio.AlgoExact, Model: testModel(), MaxN: 10,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve without recorder: %d", resp.StatusCode)
+	}
+}
+
+// TestRemoteParentAdoption: a request carrying X-Parent-Span yields a root
+// span parented to it — the local half of cross-node stitching.
+func TestRemoteParentAdoption(t *testing.T) {
+	rec := obs.New(obs.Config{Node: "n", SampleRate: 1})
+	_, ts := newTestServer(t, Config{Recorder: rec})
+	client := &http.Client{}
+	resp, _ := postJSONWithID(t, client, ts.URL+"/v1/solve", "remote-parent-1",
+		modelio.SolveRequest{Algorithm: modelio.AlgoExact, Model: testModel(), MaxN: 5},
+		"X-Parent-Span", "aabbccdd00112233")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	frags := rec.Get("remote-parent-1")
+	if len(frags) != 1 {
+		t.Fatalf("got %d fragments", len(frags))
+	}
+	var rootParent string
+	for _, sp := range frags[0].Spans {
+		if sp.Name == "solve" && (sp.Parent == "" || sp.Parent == "aabbccdd00112233") {
+			rootParent = sp.Parent
+			break
+		}
+	}
+	if rootParent != "aabbccdd00112233" {
+		t.Errorf("root parent = %q, want the propagated span ID", rootParent)
+	}
+}

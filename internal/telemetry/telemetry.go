@@ -32,6 +32,16 @@ func NewID() string {
 	return hex.EncodeToString(b[:])
 }
 
+// NewSpanID returns a fresh 64-bit random span ID in lowercase hex. Span IDs
+// are what cross-node trace stitching links on: a forwarded request carries
+// the forwarding span's ID in X-Parent-Span, and the receiving node parents
+// its root span to it.
+func NewSpanID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
 // ValidID reports whether s is acceptable as a caller-supplied request ID:
 // 1–64 characters drawn from [A-Za-z0-9._-]. Anything else (empty, too long,
 // exotic bytes that could corrupt log lines or metric labels) is rejected and
@@ -58,9 +68,11 @@ type Trace struct {
 	start  time.Time
 	logger *slog.Logger
 
-	mu    sync.Mutex
-	spans []*Span
-	attrs []slog.Attr
+	mu           sync.Mutex
+	spans        []*Span
+	attrs        []slog.Attr
+	root         *Span
+	remoteParent string
 }
 
 // New builds a Trace with the given ID. logger, when non-nil and enabled at
@@ -128,14 +140,65 @@ func (t *Trace) Attr(key string) (slog.Value, bool) {
 	return slog.Value{}, false
 }
 
-// StartSpan opens a named span on the trace. The returned span must be
-// finished with End; an unfinished span is excluded from ServerTiming.
+// SetRemoteParent records the span ID (on another node) that caused this
+// trace: the value of a forwarded request's X-Parent-Span header. The trace's
+// root span adopts it as its parent, so a cross-node stitch can hang this
+// node's fragment under the caller's forwarding span.
+func (t *Trace) SetRemoteParent(spanID string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.remoteParent = spanID
+	if root := t.root; root != nil {
+		root.mu.Lock()
+		if root.parent == "" {
+			root.parent = spanID
+		}
+		root.mu.Unlock()
+	}
+	t.mu.Unlock()
+}
+
+// RemoteParent returns the span ID set by SetRemoteParent ("" when none).
+func (t *Trace) RemoteParent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.remoteParent
+}
+
+// StartRoot opens the trace's root span: the span every later StartSpan
+// parents to, itself parented to the remote caller's span when
+// SetRemoteParent was called. The server middleware opens one root per
+// request, named after the handler, and ends it when the response is written.
+func (t *Trace) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, id: NewSpanID(), start: time.Now()}
+	t.mu.Lock()
+	sp.parent = t.remoteParent
+	t.root = sp
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// StartSpan opens a named span on the trace, parented to the trace's root
+// span when one exists. The returned span must be finished with End; an
+// unfinished span is excluded from ServerTiming.
 func (t *Trace) StartSpan(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	sp := &Span{tr: t, name: name, start: time.Now()}
+	sp := &Span{tr: t, name: name, id: NewSpanID(), start: time.Now()}
 	t.mu.Lock()
+	if t.root != nil {
+		sp.parent = t.root.id
+	}
 	t.spans = append(t.spans, sp)
 	t.mu.Unlock()
 	return sp
@@ -160,6 +223,56 @@ func (t *Trace) Spans() []SpanSnapshot {
 		sp.mu.Lock()
 		out[i] = SpanSnapshot{Name: sp.name, Duration: sp.dur, Ended: sp.ended}
 		sp.mu.Unlock()
+	}
+	return out
+}
+
+// SpanAttr is one span attribute rendered to a string — the wire form the
+// flight recorder retains and ships between nodes.
+type SpanAttr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one span's full immutable state: what the flight recorder
+// stores and the cross-node stitcher links on.
+type SpanRecord struct {
+	ID       string        `json:"id"`
+	Parent   string        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Ended    bool          `json:"ended"`
+	Attrs    []SpanAttr    `json:"attrs,omitempty"`
+}
+
+// SpanRecords returns the full state of every span opened so far, in start
+// order, with attribute values rendered to strings.
+func (t *Trace) SpanRecords() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	for i, sp := range t.spans {
+		sp.mu.Lock()
+		rec := SpanRecord{
+			ID:       sp.id,
+			Parent:   sp.parent,
+			Name:     sp.name,
+			Start:    sp.start,
+			Duration: sp.dur,
+			Ended:    sp.ended,
+		}
+		if len(sp.attrs) > 0 {
+			rec.Attrs = make([]SpanAttr, len(sp.attrs))
+			for j, a := range sp.attrs {
+				rec.Attrs[j] = SpanAttr{Key: a.Key, Value: a.Value.String()}
+			}
+		}
+		sp.mu.Unlock()
+		out[i] = rec
 	}
 	return out
 }
@@ -200,14 +313,50 @@ func (t *Trace) ServerTiming() string {
 
 // Span is one timed phase of a traced request.
 type Span struct {
-	tr    *Trace
-	name  string
-	start time.Time
+	tr     *Trace
+	name   string
+	id     string
+	parent string
+	start  time.Time
 
 	mu    sync.Mutex
 	attrs []slog.Attr
 	dur   time.Duration
 	ended bool
+}
+
+// ID returns the span's ID ("" for a nil span). Put it in an outbound
+// X-Parent-Span header to make a remote node's work a child of this span.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Parent returns the parent span ID ("" for a root with no remote parent or a
+// nil span).
+func (s *Span) Parent() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parent
+}
+
+// StartChild opens a span parented to s rather than to the trace root, for
+// call sites that want explicit sub-phase nesting (e.g. per-peer attempts
+// under a forward span).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := &Span{tr: s.tr, name: name, id: NewSpanID(), parent: s.id, start: time.Now()}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, sp)
+	s.tr.mu.Unlock()
+	return sp
 }
 
 // SetAttr records a span attribute, emitted with the span's debug record.

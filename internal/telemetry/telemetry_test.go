@@ -197,3 +197,89 @@ func TestTraceConcurrency(t *testing.T) {
 		t.Errorf("recorded %d spans, want %d", got, 16*50)
 	}
 }
+
+func TestSpanIDsAndParenting(t *testing.T) {
+	tr := New("stitch", nil)
+	tr.SetRemoteParent("beefcafe00000001")
+	root := tr.StartRoot("solve")
+	if root.ID() == "" || len(root.ID()) != 16 {
+		t.Fatalf("root span ID %q, want 16 hex chars", root.ID())
+	}
+	if root.Parent() != "beefcafe00000001" {
+		t.Errorf("root parent %q, want the remote parent", root.Parent())
+	}
+	child := tr.StartSpan("cache")
+	if child.Parent() != root.ID() {
+		t.Errorf("StartSpan parent %q, want root %q", child.Parent(), root.ID())
+	}
+	grand := child.StartChild("attempt")
+	if grand.Parent() != child.ID() {
+		t.Errorf("StartChild parent %q, want %q", grand.Parent(), child.ID())
+	}
+	ids := map[string]bool{root.ID(): true, child.ID(): true, grand.ID(): true}
+	if len(ids) != 3 {
+		t.Errorf("span IDs collide: %v", ids)
+	}
+	if tr.RemoteParent() != "beefcafe00000001" {
+		t.Errorf("RemoteParent = %q", tr.RemoteParent())
+	}
+}
+
+func TestSetRemoteParentAfterRoot(t *testing.T) {
+	tr := New("late", nil)
+	root := tr.StartRoot("solve")
+	if root.Parent() != "" {
+		t.Fatalf("fresh root has parent %q", root.Parent())
+	}
+	tr.SetRemoteParent("aaaa000000000001")
+	if root.Parent() != "aaaa000000000001" {
+		t.Errorf("root did not adopt late remote parent: %q", root.Parent())
+	}
+	// A second remote parent must not overwrite the first adoption.
+	tr.SetRemoteParent("bbbb000000000002")
+	if root.Parent() != "aaaa000000000001" {
+		t.Errorf("root parent overwritten: %q", root.Parent())
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	tr := New("rec", nil)
+	root := tr.StartRoot("handler")
+	sp := tr.StartSpan("solve")
+	sp.SetAttr("algorithm", "mvasd")
+	sp.SetAttr("to_n", 100)
+	sp.End()
+	root.End()
+	open := tr.StartSpan("pending")
+	_ = open
+
+	recs := tr.SpanRecords()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Name != "handler" || recs[0].ID != root.ID() || !recs[0].Ended {
+		t.Errorf("root record %+v", recs[0])
+	}
+	if recs[1].Parent != root.ID() || recs[1].Duration <= 0 {
+		t.Errorf("solve record %+v", recs[1])
+	}
+	wantAttrs := []SpanAttr{{Key: "algorithm", Value: "mvasd"}, {Key: "to_n", Value: "100"}}
+	if len(recs[1].Attrs) != 2 || recs[1].Attrs[0] != wantAttrs[0] || recs[1].Attrs[1] != wantAttrs[1] {
+		t.Errorf("solve attrs %+v, want %+v", recs[1].Attrs, wantAttrs)
+	}
+	if recs[2].Ended {
+		t.Error("unfinished span marked ended")
+	}
+	if recs[2].Start.IsZero() {
+		t.Error("record start time is zero")
+	}
+
+	var nilTr *Trace
+	if nilTr.SpanRecords() != nil {
+		t.Error("nil trace returned records")
+	}
+	var nilSp *Span
+	if nilSp.ID() != "" || nilSp.Parent() != "" || nilSp.StartChild("x") != nil {
+		t.Error("nil span returned non-zero values")
+	}
+}
