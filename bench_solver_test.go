@@ -75,11 +75,25 @@ func recordBench(b *testing.B, extraKey string, extra float64) {
 }
 
 // TestMain writes BENCH_solver.json when any solver benchmark ran; plain
-// test runs leave no artefact behind.
+// test runs leave no artefact behind. The harness invokes each benchmark
+// several times while calibrating b.N, so records are deduplicated by name,
+// keeping the final (highest-iteration) run — the one whose timing is stable
+// enough to diff against.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	benchRecMu.Lock()
-	recs := benchRecods
+	best := make(map[string]int, len(benchRecods))
+	recs := benchRecods[:0]
+	for _, r := range benchRecods {
+		if i, ok := best[r.Name]; ok {
+			if r.N >= recs[i].N {
+				recs[i] = r
+			}
+			continue
+		}
+		best[r.Name] = len(recs)
+		recs = append(recs, r)
+	}
 	benchRecMu.Unlock()
 	if len(recs) > 0 {
 		if buf, err := json.MarshalIndent(struct {

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, name string, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldBaseline = `{"benchmarks":[
+  {"name":"BenchmarkSolverCold/exact","iterations":100,"ns_per_op":1000},
+  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50}
+]}`
+
+func runDiff(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestWithinTolerancePasses(t *testing.T) {
+	old := writeBaseline(t, "old.json", oldBaseline)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverCold/exact","iterations":100,"ns_per_op":1200},
+	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":40},
+	  {"name":"BenchmarkSolverNewThing","iterations":10,"ns_per_op":7}
+	]}`)
+	out, err := runDiff(t, old, cur)
+	if err != nil {
+		t.Fatalf("within-tolerance diff failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"+20.0%", "-20.0%", "(new)", "ok: 2 benchmark(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	old := writeBaseline(t, "old.json", oldBaseline)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverCold/exact","iterations":100,"ns_per_op":1300},
+	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50}
+	]}`)
+	out, err := runDiff(t, old, cur)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("+30%% not flagged: err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("output missing REGRESSED marker:\n%s", out)
+	}
+	// A looser tolerance admits the same delta.
+	if out, err := runDiff(t, "-tolerance", "0.5", old, cur); err != nil {
+		t.Fatalf("tolerance 0.5 still failed: %v\n%s", err, out)
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	old := writeBaseline(t, "old.json", oldBaseline)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverCold/exact","iterations":100,"ns_per_op":900}
+	]}`)
+	if out, err := runDiff(t, old, cur); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("shrunk suite not flagged: err=%v\n%s", err, out)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	old := writeBaseline(t, "old.json", oldBaseline)
+	if _, err := runDiff(t, old); err == nil {
+		t.Error("one argument accepted")
+	}
+	if _, err := runDiff(t, old, filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("unreadable new baseline accepted")
+	}
+	empty := writeBaseline(t, "empty.json", `{"benchmarks":[]}`)
+	if _, err := runDiff(t, old, empty); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := runDiff(t, "-tolerance", "-1", old, old); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}

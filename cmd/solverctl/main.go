@@ -1,7 +1,7 @@
 // Command solverctl is the operator's view into a solverd node or cluster:
 // it lists the flight recorder's retained traces, renders stitched cross-node
-// trace trees, watches in-flight solves and peer health live, and aggregates
-// cluster-wide status.
+// trace trees, watches in-flight solves and peer health live, aggregates
+// cluster-wide status, and renders the node's online demand estimate.
 //
 // Usage:
 //
@@ -9,6 +9,7 @@
 //	solverctl [flags] trace <id>
 //	solverctl [flags] top [-interval 1s] [-iterations 0]
 //	solverctl [flags] status
+//	solverctl [flags] demands
 //
 // trace asks the node's cluster stitch endpoint (GET /cluster/v1/trace/{id})
 // first, so one command renders a tree spanning every member that touched the
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -48,6 +50,7 @@ commands:
   trace <id>    render one trace as a stitched cross-node span tree
   top           live view of in-flight solves and peer health
   status        cluster-wide status aggregation
+  demands       the online demand estimate: fitted curves + estimator health
 
 flags:
 `
@@ -93,6 +96,8 @@ func run(args []string, out io.Writer) error {
 		return c.top(*interval, *iterations)
 	case "status":
 		return c.status()
+	case "demands":
+		return c.demands()
 	case "":
 		fs.Usage()
 		return fmt.Errorf("no command")
@@ -346,6 +351,62 @@ func (c *ctl) status() error {
 	}
 	fmt.Fprintf(c.out, "\ntotals: %d cached trajectories, %d in-flight solves, %d retained traces (%d spans)\n",
 		totCache, totInFlight, totTraces, totSpans)
+	return nil
+}
+
+// demands renders GET /v1/demands: the fitted demand curves the node's
+// /v1/whatif planner solves over, with the estimator's per-station ingest
+// health underneath.
+func (c *ctl) demands() error {
+	var d modelio.DemandsResponse
+	if _, err := c.getJSON("/v1/demands", &d); err != nil {
+		return err
+	}
+	if d.SnapshotVersion == 0 {
+		fmt.Fprintf(c.out, "node %s: no demand snapshot yet (stream samples via POST /v1/observe, then fit)\n", c.addr)
+	} else {
+		name := ""
+		if d.Model != nil {
+			name = d.Model.Name
+		}
+		fmt.Fprintf(c.out, "node %s: demand snapshot v%d  model %q  interp %s  fits %d  fitted %s\n",
+			c.addr, d.SnapshotVersion, name, d.Interp, d.Fits,
+			time.UnixMilli(d.FittedAtUnixMS).UTC().Format(time.RFC3339))
+		if len(d.Triggers) > 0 {
+			reasons := make([]string, 0, len(d.Triggers))
+			for r := range d.Triggers {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			parts := make([]string, 0, len(reasons))
+			for _, r := range reasons {
+				parts = append(parts, fmt.Sprintf("%s=%d", r, d.Triggers[r]))
+			}
+			fmt.Fprintf(c.out, "re-estimations: %s\n", strings.Join(parts, "  "))
+		}
+		fmt.Fprintf(c.out, "\n%-16s %6s %10s  %s\n", "STATION", "POINTS", "RESIDUAL", "FITTED CURVE n:D(n) [s]")
+		for _, st := range d.Stations {
+			var curve strings.Builder
+			for i, n := range st.Nodes {
+				if i > 0 {
+					curve.WriteByte(' ')
+				}
+				fmt.Fprintf(&curve, "%g:%.4g", n, st.Demands[i])
+			}
+			fmt.Fprintf(c.out, "%-16s %6d %10.3g  %s\n", st.Name, st.Points, st.Residual, curve.String())
+		}
+	}
+	if len(d.Health) > 0 {
+		fmt.Fprintf(c.out, "\n%-16s %9s %9s %7s %6s %10s\n",
+			"STATION", "ACCEPTED", "REJECTED", "RESETS", "CELLS", "FIT-READY")
+		for _, h := range d.Health {
+			fmt.Fprintf(c.out, "%-16s %9d %9d %7d %6d %10d\n",
+				h.Name, h.Accepted, h.Rejected, h.Resets, h.Cells, h.FitReady)
+		}
+	}
+	if d.LastFitError != "" {
+		fmt.Fprintf(c.out, "\nlast fit error: %s\n", d.LastFitError)
+	}
 	return nil
 }
 

@@ -173,6 +173,66 @@ func TestSolverctlStandalone(t *testing.T) {
 	}
 }
 
+func TestSolverctlDemands(t *testing.T) {
+	addr := startNodes(t, 1)[0]
+
+	// Before any estimator exists the command still works: a skeleton view.
+	out, err := runCtl(t, "-addr", addr, "demands")
+	if err != nil {
+		t.Fatalf("demands (cold): %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no demand snapshot yet") {
+		t.Errorf("cold demands output:\n%s", out)
+	}
+
+	// Stream Service-Demand-Law samples and force a fit, then render.
+	model := testSolveRequest(0.5, 1).Model
+	req := modelio.ObserveRequest{Model: model, Fit: true}
+	demands := []float64{0.02, 0.008} // per-visit 0.02 / 2 visits × 0.004
+	for _, n := range []int{1, 5, 10, 15, 20} {
+		x := float64(n) / (0.5 + 0.03*float64(n))
+		for k, st := range model.Stations {
+			for i := 0; i < 8; i++ {
+				req.Samples = append(req.Samples, modelio.ObserveSample{
+					Station: st.Name, Concurrency: n,
+					Utilization: demands[k] * x, Throughput: x,
+				})
+			}
+		}
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/v1/observe", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var oresp modelio.ObserveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&oresp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || oresp.SnapshotVersion != 1 {
+		t.Fatalf("observe: status %d, %+v", resp.StatusCode, oresp)
+	}
+
+	out, err = runCtl(t, "-addr", addr, "demands")
+	if err != nil {
+		t.Fatalf("demands: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"demand snapshot v1", `model "ctl-test"`, "interp pchip",
+		"re-estimations:", "manual=1",
+		"FITTED CURVE", "web/cpu", "db/disk", "1:0.02", "20:0.02",
+		"ACCEPTED", "FIT-READY",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demands output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSolverctlCluster(t *testing.T) {
 	addrs := startNodes(t, 2)
 	entry := addrs[0]

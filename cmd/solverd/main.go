@@ -7,6 +7,7 @@
 //	solverd [-addr :8080] [-cache 256] [-workers 8] [-max-n 100000]
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
 //	        [-trace-store 512] [-trace-slow 250ms] [-trace-sample 0.05]
+//	        [-estimate-window 32] [-estimate-min-samples 8]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //	solverd -peers host1:8080,host2:8080,host3:8080 -advertise host1:8080
 //	        [-replication 2] [-cluster-secret s]
@@ -42,6 +43,7 @@ import (
 	"repro/internal/chebyshev"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -68,6 +70,8 @@ func run(args []string, out io.Writer) error {
 	traceStore := fs.Int("trace-store", obs.DefaultMaxTraces, "flight-recorder trace capacity (0 disables recording)")
 	traceSlow := fs.Duration("trace-slow", obs.DefaultSlowThreshold, "requests at least this slow are always retained")
 	traceSample := fs.Float64("trace-sample", obs.DefaultSampleRate, "keep probability for fast, successful traces (1 keeps all)")
+	estWindow := fs.Int("estimate-window", 0, "demand estimator's per-cell outlier window (0 uses the default, 32)")
+	estMinSamples := fs.Int("estimate-min-samples", 0, "accepted samples a concurrency cell needs to enter a fit (0 uses the default, 8)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
@@ -123,6 +127,10 @@ func run(args []string, out io.Writer) error {
 		EnablePprof:     *pprofOn,
 		Logger:          logger,
 		Recorder:        recorder,
+		Estimate: estimate.Config{
+			Window:     *estWindow,
+			MinSamples: *estMinSamples,
+		},
 	})
 	if *peers != "" {
 		if *advertise == "" {

@@ -106,6 +106,18 @@ func TestVersionFlag(t *testing.T) {
 	}
 }
 
+func TestEstimateFlagsParse(t *testing.T) {
+	// The estimator flags must parse alongside the serving flags; -version
+	// exits before listening.
+	var buf bytes.Buffer
+	if err := run([]string{"-estimate-window", "16", "-estimate-min-samples", "4", "-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-estimate-window", "x"}, &buf); err == nil {
+		t.Error("bad -estimate-window accepted")
+	}
+}
+
 func TestPeersRequiresAdvertise(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{"-peers", "a:1,b:2"}, &buf)

@@ -21,9 +21,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -35,12 +39,15 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/interp"
 	"repro/internal/metrics"
+	"repro/internal/modelio"
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/report"
+	"repro/internal/server"
 )
 
 // tier is one HTTP service with a bounded worker pool and concurrency-
@@ -296,5 +303,176 @@ func main() {
 		}
 	} else {
 		fmt.Println("no observation breached the bounds; the fitted demand curves still describe the system")
+	}
+
+	runAutoscaler(model, dm)
+}
+
+// ——— closed-loop autoscaler demo ————————————————————————————————————————
+//
+// The phases above measured the stack offline, paper-style. This phase runs
+// the production loop instead: an embedded solverd ingests Service-Demand-Law
+// samples through POST /v1/observe, a programmed drift inflates the db tier's
+// demand epoch over epoch, the deviation breach triggers server-side
+// re-estimation, and an autoscaler asks GET /v1/whatif for the smallest db
+// replica count that keeps the tier under 90% utilization at the target
+// population — driving its scaling decision from the live estimate.
+
+const (
+	scaleTargetN  = 40   // the population the autoscaler plans for
+	scaleUtil     = 0.90 // per-server utilization treated as saturated
+	scaleEpochMax = 48   // whatif search ceiling
+)
+
+// scaleEpochs is the programmed drift: the db tier's demand multiplier per
+// epoch (cache degradation, a heavier query mix — the paper's "varying
+// service demands" arriving as a live regime change).
+var scaleEpochs = []float64{1.0, 1.35, 1.7}
+
+func runAutoscaler(measured *queueing.Model, baseline core.DemandModel) {
+	fmt.Println("\nclosed-loop autoscaler (embedded solverd, programmed db drift):")
+
+	srv := server.New(server.Config{
+		Logger:   slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Estimate: estimate.Config{Alpha: 1, MinSamples: 4},
+	})
+	api := httptest.NewServer(srv.Handler())
+	defer api.Close()
+
+	// The registered model: the measured shape, db replicas as deployed now.
+	model := *measured
+	model.Stations = append([]queueing.Station(nil), measured.Stations...)
+	dbIdx := len(model.Stations) - 1
+	replicas := model.Stations[dbIdx].Servers
+
+	feedPoints := []int{2, 8, 16, 28, 40}
+	for epoch, drift := range scaleEpochs {
+		truth := core.FuncDemands{K: len(model.Stations), F: func(k, n int) float64 {
+			d := baseline.DemandAt(k, n, 0)
+			if k == dbIdx {
+				d *= drift
+			}
+			return d
+		}}
+		ref, err := core.MVASD(&model, scaleEpochMax, truth, core.MVASDOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// One observe batch: drifted samples for every station × concurrency,
+		// plus the system-level measurement the deviation check scores. The
+		// first epoch registers the model and bootstraps the fit manually;
+		// later epochs rely on the breach-triggered re-estimation.
+		req := modelio.ObserveRequest{}
+		if epoch == 0 {
+			req.Model, req.Fit = &model, true
+		}
+		for _, n := range feedPoints {
+			x, _, _, err := ref.At(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for k, st := range model.Stations {
+				for i := 0; i < 4; i++ {
+					req.Samples = append(req.Samples, modelio.ObserveSample{
+						Station: st.Name, Concurrency: n,
+						Utilization: truth.F(k, n) * x, Throughput: x,
+					})
+				}
+			}
+		}
+		if epoch > 0 {
+			x, _, cyc, err := ref.At(scaleTargetN)
+			if err != nil {
+				log.Fatal(err)
+			}
+			req.System = []modelio.SystemSample{{Concurrency: scaleTargetN, Throughput: x, CycleTime: cyc}}
+		}
+		var oresp modelio.ObserveResponse
+		postAPI(api.URL+"/v1/observe", req, &oresp)
+		loop := "bootstrap fit"
+		if len(oresp.Checks) == 1 {
+			c := oresp.Checks[0]
+			loop = fmt.Sprintf("throughput deviation %.1f%%", 100*c.ThroughputDeviation)
+			if c.Reestimated {
+				loop += " → breach, re-estimated"
+			}
+		}
+		fmt.Printf("  epoch %d: db drift ×%.2f  snapshot v%d  (%s)\n", epoch, drift, oresp.SnapshotVersion, loop)
+
+		// The scaling decision: smallest replica count whose saturation point
+		// clears the target population, straight off /v1/whatif.
+		dbName := model.Stations[dbIdx].Name
+		chosen, prev := replicas, replicas
+		var wi modelio.WhatIfResponse
+		for c := replicas; ; c++ {
+			q := fmt.Sprintf("%s/v1/whatif?station=%s&util=%g&maxN=%d&servers=%s=%d",
+				api.URL, dbName, scaleUtil, scaleEpochMax, dbName, c)
+			getAPI(q, &wi)
+			if !wi.Saturated || wi.SaturationN > scaleTargetN {
+				chosen = c
+				break
+			}
+			if c > 16 {
+				log.Fatalf("autoscaler runaway: %d db replicas still saturate", c)
+			}
+		}
+		fmt.Printf("           whatif: db=%d replicas → saturation N=%s (target %d), predicted X=%.1f req/s\n",
+			chosen, satString(wi), scaleTargetN, wi.X)
+		if chosen != prev {
+			fmt.Printf("           scale db %d → %d replicas\n", prev, chosen)
+			replicas = chosen
+		}
+	}
+	fmt.Println("(the estimator re-fit on every breach; each decision solved MVASD over the live fitted curves)")
+}
+
+// satString renders a whatif saturation answer.
+func satString(wi modelio.WhatIfResponse) string {
+	if !wi.Saturated {
+		return fmt.Sprintf(">%d", wi.MaxN)
+	}
+	return fmt.Sprint(wi.SaturationN)
+}
+
+// postAPI POSTs a JSON body and decodes the JSON reply, fataling on errors.
+func postAPI(url string, body, into any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := sharedClient.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// getAPI GETs one endpoint and decodes the JSON reply, fataling on errors.
+func getAPI(url string, into any) {
+	resp, err := sharedClient.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: %d %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, into); err != nil {
+		log.Fatal(err)
 	}
 }

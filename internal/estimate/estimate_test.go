@@ -1,0 +1,363 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/promtest"
+	"repro/internal/queueing"
+)
+
+// estModel is the three-tier network the estimator tests stream against.
+// Think time is short and the db demand grows with n, so the drifted system
+// saturates at concurrencies the tests actually visit.
+func estModel() *queueing.Model {
+	return &queueing.Model{
+		Name:      "est-test",
+		ThinkTime: 0.2,
+		Stations: []queueing.Station{
+			{Name: "web/cpu", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.05},
+			{Name: "app/cpu", Kind: queueing.CPU, Servers: 2, Visits: 1, ServiceTime: 0.06},
+			{Name: "db/disk", Kind: queueing.Disk, Servers: 1, Visits: 1, ServiceTime: 0.08},
+		},
+	}
+}
+
+// truthDemands builds a linear-in-n ground truth scaled by a drift factor.
+// Linear data matters: PCHIP reproduces a straight line exactly, so the
+// fitted snapshot matches the truth float-for-float and the closed-loop
+// assertions are deterministic.
+func truthDemands(scale float64) core.FuncDemands {
+	base := []float64{0.05, 0.06, 0.08}
+	slope := []float64{0, 0.001, 0.002}
+	return core.FuncDemands{K: 3, F: func(k, n int) float64 {
+		return scale * (base[k] + slope[k]*float64(n-1))
+	}}
+}
+
+// feedTruth streams `per` samples per (station, concurrency) synthesized
+// exactly from the Service Demand Law: U_k = D_k(n)·X(n) with X from a
+// reference MVASD solve of the truth, so D = U/X recovers the truth demand.
+func feedTruth(t *testing.T, e *Estimator, m *queueing.Model, truth core.FuncDemands, ns []int, per int) {
+	t.Helper()
+	maxN := 0
+	for _, n := range ns {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	ref, err := core.MVASD(m, maxN, truth, core.MVASDOptions{})
+	if err != nil {
+		t.Fatalf("reference MVASD: %v", err)
+	}
+	for _, n := range ns {
+		x, _, _, err := ref.At(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < truth.K; k++ {
+			for i := 0; i < per; i++ {
+				if _, err := e.Observe(Sample{
+					Station: k, Concurrency: n,
+					Utilization: truth.F(k, n) * x, Throughput: x,
+				}); err != nil {
+					t.Fatalf("observe station %d n %d: %v", k, n, err)
+				}
+			}
+		}
+	}
+}
+
+var fitConcurrencies = []int{1, 2, 4, 7, 11, 15, 18, 20}
+
+func TestObserveValidation(t *testing.T) {
+	e, err := New(estModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Sample{
+		{Station: -1, Concurrency: 1, Utilization: 0.5, Throughput: 1},
+		{Station: 3, Concurrency: 1, Utilization: 0.5, Throughput: 1},
+		{Station: 0, Concurrency: 0, Utilization: 0.5, Throughput: 1},
+		{Station: 0, Concurrency: 1, Utilization: 0.5, Throughput: 0},
+		{Station: 0, Concurrency: 1, Utilization: -0.1, Throughput: 1},
+		{Station: 0, Concurrency: 1, Utilization: math.NaN(), Throughput: 1},
+		{Station: 0, Concurrency: 1, Utilization: 0.5, Throughput: math.Inf(1)},
+	}
+	for i, s := range bad {
+		if _, err := e.Observe(s); !errors.Is(err, ErrEstimate) {
+			t.Errorf("sample %d: err = %v, want ErrEstimate", i, err)
+		}
+	}
+	stations, _ := e.Health()
+	for _, st := range stations {
+		if st.Accepted != 0 || st.Rejected != 0 {
+			t.Errorf("invalid samples mutated station %q: %+v", st.Name, st)
+		}
+	}
+	if _, err := New(nil, Config{}); !errors.Is(err, ErrEstimate) {
+		t.Errorf("New(nil) err = %v", err)
+	}
+}
+
+func TestOutlierRejectionAndRegimeReset(t *testing.T) {
+	e, err := New(estModel(), Config{RejectStreak: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := func(u float64) bool {
+		t.Helper()
+		acc, err := e.Observe(Sample{Station: 0, Concurrency: 5, Utilization: u, Throughput: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	for i := 0; i < 8; i++ {
+		if !obs(0.1) {
+			t.Fatalf("baseline sample %d rejected", i)
+		}
+	}
+	// A 10x spike is far past OutlierK·max(1.4826·MAD, 0.05·median).
+	if obs(1.0) || obs(1.0) {
+		t.Fatal("spike accepted before the reject streak")
+	}
+	// The third consecutive rejection trips the regime breaker: the cell
+	// resets and adopts the new level.
+	if !obs(1.0) {
+		t.Fatal("regime shift not adopted after RejectStreak rejections")
+	}
+	stations, _ := e.Health()
+	st := stations[0]
+	// Two rejections plus the terminal sample, which counts as accepted via
+	// the reset — every sample lands in exactly one bucket.
+	if st.Rejected != 2 || st.Resets != 1 {
+		t.Errorf("rejected=%d resets=%d, want 2 and 1", st.Rejected, st.Resets)
+	}
+	if st.Accepted+st.Rejected != 11 {
+		t.Errorf("accounting: accepted=%d rejected=%d, want 11 total", st.Accepted, st.Rejected)
+	}
+	// The reset cell restarts from the new regime.
+	if !obs(1.02) {
+		t.Error("post-reset sample near the new level rejected")
+	}
+}
+
+func TestBoundedMemoryUnderUnboundedStream(t *testing.T) {
+	cfg := Config{MaxCells: 16, Window: 8}
+	e, err := New(estModel(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unbounded stream visiting 5000 distinct concurrencies per station.
+	for i := 0; i < 15000; i++ {
+		n := 1 + i%5000
+		for k := 0; k < 3; k++ {
+			if _, err := e.Observe(Sample{
+				Station: k, Concurrency: n,
+				Utilization: 0.5, Throughput: 10,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.mu.Lock()
+	for _, st := range e.stations {
+		if len(st.cells) > cfg.MaxCells {
+			t.Errorf("station %q retains %d cells, cap %d", st.name, len(st.cells), cfg.MaxCells)
+		}
+		for _, c := range st.cells {
+			if len(c.window) > cfg.Window {
+				t.Errorf("station %q cell %d window %d > %d", st.name, c.n, len(c.window), cfg.Window)
+			}
+		}
+	}
+	e.mu.Unlock()
+	// Eviction keeps the most recently updated concurrencies.
+	stations, _ := e.Health()
+	for _, st := range stations {
+		if st.Cells != cfg.MaxCells {
+			t.Errorf("station %q cells = %d, want %d", st.Name, st.Cells, cfg.MaxCells)
+		}
+	}
+}
+
+func TestFitNotReadyThenExact(t *testing.T) {
+	m := estModel()
+	truth := truthDemands(1)
+	e, err := New(m, Config{Alpha: 1, MinSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fit(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Fit on empty estimator: %v, want ErrNotReady", err)
+	}
+	if _, lastErr := e.Health(); lastErr == "" {
+		t.Error("failed fit not surfaced in health")
+	}
+	if e.Snapshot() != nil || e.Version() != 0 {
+		t.Fatal("failed fit published a snapshot")
+	}
+
+	feedTruth(t, e, m, truth, fitConcurrencies, 4)
+	snap, err := e.Fit()
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if snap.Version != 1 || e.Version() != 1 || e.Fits() != 1 {
+		t.Errorf("version=%d fits=%d", snap.Version, e.Fits())
+	}
+	if _, lastErr := e.Health(); lastErr != "" {
+		t.Errorf("health still reports fit error %q", lastErr)
+	}
+	if len(snap.Stations) != 3 {
+		t.Fatalf("snapshot has %d stations", len(snap.Stations))
+	}
+	// Linear truth demands survive the PCHIP resample exactly: every
+	// published node demand equals the truth at that node.
+	for k, st := range snap.Stations {
+		if st.Name != m.Stations[k].Name {
+			t.Errorf("station %d name %q", k, st.Name)
+		}
+		if len(st.Nodes) < 2 || len(st.Nodes) != len(st.Demands) {
+			t.Fatalf("station %q nodes/demands: %d/%d", st.Name, len(st.Nodes), len(st.Demands))
+		}
+		for i, node := range st.Nodes {
+			want := truth.F(k, int(node))
+			if math.Abs(st.Demands[i]-want) > 1e-12*math.Max(1, math.Abs(want)) {
+				t.Errorf("station %q D(%g) = %g, want %g", st.Name, node, st.Demands[i], want)
+			}
+		}
+		if st.Residual > 1e-9 {
+			t.Errorf("station %q residual %g for exact linear data", st.Name, st.Residual)
+		}
+		if st.Points != len(fitConcurrencies) {
+			t.Errorf("station %q fitted from %d points, want %d", st.Name, st.Points, len(fitConcurrencies))
+		}
+	}
+	// The snapshot's demand model reproduces the truth MVASD trajectory.
+	dm, err := snap.DemandModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.MVASD(snap.Model, 20, dm, core.MVASDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.MVASD(m, 20, truth, core.MVASDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 20; n++ {
+		gx, _, gc, _ := got.At(n)
+		wx, _, wc, _ := want.At(n)
+		if math.Abs(gx-wx) > 1e-9*wx || math.Abs(gc-wc) > 1e-9*wc {
+			t.Errorf("n=%d: fitted (X=%g, C=%g) vs truth (X=%g, C=%g)", n, gx, gc, wx, wc)
+		}
+	}
+}
+
+func TestFailedFitKeepsPreviousSnapshot(t *testing.T) {
+	m := estModel()
+	// A small cell cap: eviction churn can push a station back below
+	// MinFitPoints fit-ready cells, so a later Fit fails.
+	e, err := New(m, Config{Alpha: 1, MinSamples: 2, MinFitPoints: 4, MaxCells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTruth(t, e, m, truthDemands(1), fitConcurrencies, 2)
+	snap, err := e.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn through fresh concurrencies with a single sample each: the old
+	// fit-ready cells evict and the new ones never reach MinSamples.
+	for n := 100; n < 140; n++ {
+		for k := 0; k < 3; k++ {
+			if _, err := e.Observe(Sample{Station: k, Concurrency: n, Utilization: 0.5, Throughput: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.Fit(); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("Fit after eviction churn: %v, want ErrNotReady", err)
+	}
+	if got := e.Snapshot(); got != snap {
+		t.Error("failed fit replaced the published snapshot")
+	}
+	if e.Version() != snap.Version {
+		t.Errorf("version moved to %d on failed fit", e.Version())
+	}
+	if _, lastErr := e.Health(); lastErr == "" {
+		t.Error("failed fit not surfaced in health")
+	}
+}
+
+// TestMetricsExposition lints the estimator + controller families through the
+// shared promtest rules and checks the label sets are stable from the first
+// scrape.
+func TestMetricsExposition(t *testing.T) {
+	m := estModel()
+	e, err := New(m, Config{Alpha: 1, MinSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(e, nil)
+	render := func() map[string]*promtest.Family {
+		var b strings.Builder
+		if err := e.WriteMetrics(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.WriteMetrics(&b); err != nil {
+			t.Fatal(err)
+		}
+		return promtest.ParseExposition(t, b.String())
+	}
+	want := []string{
+		"solverd_estimate_samples_total",
+		"solverd_estimate_samples_rejected_total",
+		"solverd_estimate_cell_resets_total",
+		"solverd_estimate_cells",
+		"solverd_estimate_fit_ready_cells",
+		"solverd_estimate_fit_residual",
+		"solverd_estimate_snapshot_version",
+		"solverd_estimate_fits_total",
+		"solverd_estimate_reestimate_triggers_total",
+	}
+
+	// Before any traffic: families all present, per-station label sets
+	// complete, every trigger reason exposed.
+	families := render()
+	promtest.RequireFamilies(t, families, want...)
+	promtest.LintFamilies(t, families)
+	if n := len(families["solverd_estimate_samples_total"].Samples); n != 3 {
+		t.Errorf("samples_total has %d series before traffic, want 3", n)
+	}
+	if n := len(families["solverd_estimate_reestimate_triggers_total"].Samples); n != len(TriggerReasons) {
+		t.Errorf("triggers has %d series, want %d", n, len(TriggerReasons))
+	}
+
+	feedTruth(t, e, m, truthDemands(1), fitConcurrencies, 4)
+	if _, err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	families = render()
+	promtest.LintFamilies(t, families)
+	if v := promtest.SingleValue(t, families, "solverd_estimate_snapshot_version"); v != 1 {
+		t.Errorf("snapshot version = %g", v)
+	}
+	if v := promtest.SingleValue(t, families, "solverd_estimate_fits_total"); v != 1 {
+		t.Errorf("fits = %g", v)
+	}
+	if n := len(families["solverd_estimate_fit_residual"].Samples); n != 3 {
+		t.Errorf("fit_residual has %d series after a fit, want 3", n)
+	}
+	for _, s := range families["solverd_estimate_samples_total"].Samples {
+		if s.Value != float64(4*len(fitConcurrencies)) {
+			t.Errorf("%s = %g, want %d", s.Line, s.Value, 4*len(fitConcurrencies))
+		}
+	}
+}

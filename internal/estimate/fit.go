@@ -1,0 +1,178 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/chebyshev"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/queueing"
+	"repro/internal/spline"
+)
+
+// StationFit is one station's fitted demand curve: the integer Chebyshev
+// nodes the smoothed cell means were resampled onto and the demands at those
+// nodes. (Nodes, Demands) is a core.DemandSamples array — exactly the
+// {S_k^{i_1} … S_k^{i_M}} input of the paper's Algorithm 3.
+type StationFit struct {
+	Name    string
+	Nodes   []float64
+	Demands []float64
+	// Points is the fit-ready cell count the resampling drew from.
+	Points int
+	// Residual is the RMS relative error of the published curve against the
+	// smoothed cell means it was fitted to — the estimator's own goodness
+	// gauge (distinct from the deviation tracker, which scores end-to-end
+	// predictions).
+	Residual float64
+}
+
+// Snapshot is one published demand-curve generation. Snapshots are immutable
+// once published: MVASD consumers and later fits never race.
+type Snapshot struct {
+	// Version increments with every successful fit, starting at 1.
+	Version uint64
+	// FittedAtUnixMS stamps the publish time.
+	FittedAtUnixMS int64
+	// Interp is the interpolation method consumers must use to reproduce
+	// the solver's curves exactly.
+	Interp interp.Method
+	// Model is the estimator's network shape (think time, server counts).
+	Model *queueing.Model
+	// Stations carries one fit per model station, in model order.
+	Stations []StationFit
+}
+
+// DemandSamples converts the snapshot into per-station demand sample arrays.
+func (s *Snapshot) DemandSamples() []core.DemandSamples {
+	out := make([]core.DemandSamples, len(s.Stations))
+	for i, st := range s.Stations {
+		out[i] = core.DemandSamples{
+			At:      append([]float64(nil), st.Nodes...),
+			Demands: append([]float64(nil), st.Demands...),
+		}
+	}
+	return out
+}
+
+// DemandModel builds the interpolated concurrency-indexed demand model MVASD
+// solves — identical, float for float, to what any other consumer of the
+// same snapshot constructs.
+func (s *Snapshot) DemandModel() (core.DemandModel, error) {
+	return core.NewCurveDemands(s.Interp, s.DemandSamples(), interp.Options{})
+}
+
+// fitPoint is one smoothed cell mean entering the resampling.
+type fitPoint struct {
+	n    float64
+	ewma float64
+}
+
+// Fit resamples every station's smoothed cell means onto integer Chebyshev
+// nodes and publishes a new snapshot. It fails with ErrNotReady (wrapped
+// with the blocking station) until every station has MinFitPoints fit-ready
+// cells spanning a non-degenerate concurrency range; a failed fit leaves the
+// previous snapshot in place.
+func (e *Estimator) Fit() (*Snapshot, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	fits := make([]StationFit, len(e.stations))
+	for k, st := range e.stations {
+		pts := make([]fitPoint, 0, len(st.cells))
+		for _, c := range st.cells {
+			if c.count >= uint64(e.cfg.MinSamples) {
+				pts = append(pts, fitPoint{n: float64(c.n), ewma: c.ewma})
+			}
+		}
+		fit, err := e.fitStation(st.name, pts)
+		if err != nil {
+			e.lastErr = err.Error()
+			return nil, err
+		}
+		fits[k] = fit
+	}
+	snap := &Snapshot{
+		Version:        e.version.Load() + 1,
+		FittedAtUnixMS: time.Now().UnixMilli(),
+		Interp:         e.cfg.Interp,
+		Model:          e.Model(),
+		Stations:       fits,
+	}
+	e.lastErr = ""
+	e.version.Store(snap.Version)
+	e.snap.Store(snap)
+	e.fits.Add(1)
+	return snap, nil
+}
+
+// fitStation resamples one station's cell means onto Chebyshev nodes.
+func (e *Estimator) fitStation(name string, pts []fitPoint) (StationFit, error) {
+	if len(pts) < e.cfg.MinFitPoints {
+		return StationFit{}, fmt.Errorf("%w: station %q has %d fit-ready cells, need %d",
+			ErrNotReady, name, len(pts), e.cfg.MinFitPoints)
+	}
+	// Sort by concurrency; cells are unique by construction.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j-1].n > pts[j].n; j-- {
+			pts[j-1], pts[j] = pts[j], pts[j-1]
+		}
+	}
+	lo, hi := pts[0].n, pts[len(pts)-1].n
+	if hi-lo < 1 {
+		return StationFit{}, fmt.Errorf("%w: station %q cells span [%g, %g]", ErrNotReady, name, lo, hi)
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.n, p.ewma
+	}
+	// Pre-fit through the (irregular) observed concurrencies: PCHIP is
+	// shape-preserving, so noisy cell means cannot manufacture oscillation
+	// that the node resampling would then bake into the published curve.
+	pre, err := spline.NewPCHIP(xs, ys)
+	if err != nil {
+		return StationFit{}, fmt.Errorf("estimate: station %q pre-fit: %w", name, err)
+	}
+	// Resample onto the paper's grid: integer Chebyshev nodes over the
+	// observed range (eq. 17 + the ceiling rule of Section 8). The ceiling
+	// rule can pull the extreme nodes inside [lo, hi]; pin both endpoints so
+	// the published curve interpolates — never pegs — across the whole
+	// observed range.
+	nodes, err := chebyshev.IntegerNodesOn(lo, hi, e.cfg.FitNodes)
+	if err != nil {
+		return StationFit{}, fmt.Errorf("estimate: station %q nodes: %w", name, err)
+	}
+	if len(nodes) == 0 || float64(nodes[0]) > lo {
+		nodes = append([]int{int(lo)}, nodes...)
+	}
+	if float64(nodes[len(nodes)-1]) < hi {
+		nodes = append(nodes, int(hi))
+	}
+	if len(nodes) < 2 {
+		return StationFit{}, fmt.Errorf("%w: station %q range [%g, %g] yields %d nodes",
+			ErrNotReady, name, lo, hi, len(nodes))
+	}
+	at := make([]float64, len(nodes))
+	dem := make([]float64, len(nodes))
+	for i, n := range nodes {
+		at[i] = float64(n)
+		dem[i] = math.Max(pre.Eval(float64(n)), 0)
+	}
+	fit := StationFit{Name: name, Nodes: at, Demands: dem, Points: len(pts)}
+	// Residual: how well the published curve reproduces the cell means.
+	curve, err := interp.NewCurve(e.cfg.Interp, at, dem, interp.Options{})
+	if err != nil {
+		return StationFit{}, fmt.Errorf("estimate: station %q curve: %w", name, err)
+	}
+	var sum float64
+	for i := range xs {
+		denom := math.Max(math.Abs(ys[i]), 1e-12)
+		rel := (curve.Eval(xs[i]) - ys[i]) / denom
+		sum += rel * rel
+	}
+	fit.Residual = math.Sqrt(sum / float64(len(xs)))
+	return fit, nil
+}

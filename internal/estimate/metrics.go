@@ -1,0 +1,79 @@
+package estimate
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the estimator's ingest and fit health in Prometheus
+// text format. Every per-station family emits one sample per model station
+// from the first scrape, so dashboards and the exposition lint see stable
+// label sets; fit residuals appear once a snapshot exists. A nil receiver is
+// valid and renders the same families with no per-station series — the
+// server scrapes it before any estimator has been registered.
+func (e *Estimator) WriteMetrics(w io.Writer) error {
+	var stations []StationHealth
+	if e != nil {
+		stations, _ = e.Health()
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_samples_total Samples accepted by the demand estimator per station.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_samples_total counter")
+	for _, st := range stations {
+		fmt.Fprintf(w, "solverd_estimate_samples_total{station=%q} %d\n", st.Name, st.Accepted)
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_samples_rejected_total Samples rejected by the outlier filter per station.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_samples_rejected_total counter")
+	for _, st := range stations {
+		fmt.Fprintf(w, "solverd_estimate_samples_rejected_total{station=%q} %d\n", st.Name, st.Rejected)
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_cell_resets_total Regime-shift cell resets per station.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_cell_resets_total counter")
+	for _, st := range stations {
+		fmt.Fprintf(w, "solverd_estimate_cell_resets_total{station=%q} %d\n", st.Name, st.Resets)
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_cells Distinct concurrency cells currently retained per station.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_cells gauge")
+	for _, st := range stations {
+		fmt.Fprintf(w, "solverd_estimate_cells{station=%q} %d\n", st.Name, st.Cells)
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_fit_ready_cells Cells with enough accepted samples to enter a fit, per station.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_fit_ready_cells gauge")
+	for _, st := range stations {
+		fmt.Fprintf(w, "solverd_estimate_fit_ready_cells{station=%q} %d\n", st.Name, st.FitReady)
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_fit_residual RMS relative error of the published demand curve against the smoothed cell means, per station.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_fit_residual gauge")
+	var version, fits uint64
+	if e != nil {
+		if snap := e.Snapshot(); snap != nil {
+			for _, st := range snap.Stations {
+				fmt.Fprintf(w, "solverd_estimate_fit_residual{station=%q} %g\n", st.Name, st.Residual)
+			}
+		}
+		version, fits = e.Version(), e.Fits()
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_snapshot_version Version of the published demand-curve snapshot (0 before the first fit).")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_snapshot_version gauge")
+	fmt.Fprintf(w, "solverd_estimate_snapshot_version %d\n", version)
+	fmt.Fprintln(w, "# HELP solverd_estimate_fits_total Successful demand-curve fits.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_fits_total counter")
+	fmt.Fprintf(w, "solverd_estimate_fits_total %d\n", fits)
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteMetrics renders the controller's re-estimation trigger counter; every
+// reason in TriggerReasons is always exposed. A nil receiver renders zeros.
+func (c *Controller) WriteMetrics(w io.Writer) error {
+	var triggers map[string]uint64
+	if c != nil {
+		triggers = c.Triggers()
+	}
+	fmt.Fprintln(w, "# HELP solverd_estimate_reestimate_triggers_total Re-estimations triggered, by reason.")
+	fmt.Fprintln(w, "# TYPE solverd_estimate_reestimate_triggers_total counter")
+	for _, r := range TriggerReasons {
+		fmt.Fprintf(w, "solverd_estimate_reestimate_triggers_total{reason=%q} %d\n", r, triggers[r])
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

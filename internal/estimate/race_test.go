@@ -1,0 +1,140 @@
+package estimate
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentIngestFitSolve hammers every concurrent path the subsystem
+// promises is safe: sample ingest, re-fitting, snapshot solves, closed-loop
+// checks, health reads and metric scrapes, all at once. Run under -race.
+func TestConcurrentIngestFitSolve(t *testing.T) {
+	m := estModel()
+	e, err := New(m, Config{MinSamples: 2, MinFitPoints: 3, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(e, nil)
+	ctl.OnRefit = func(oldV, newV uint64) {
+		if newV <= oldV {
+			t.Errorf("refit version went backwards: %d -> %d", oldV, newV)
+		}
+	}
+
+	const (
+		writers = 4
+		iters   = 400
+	)
+	var wg sync.WaitGroup
+
+	// Ingest: four writers streaming plausible samples over n in [1, 24].
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			truth := truthDemands(1 + 0.1*float64(w))
+			for i := 0; i < iters; i++ {
+				n := 1 + (i+w)%24
+				x := float64(n) / (0.3*float64(n)*0.1 + 0.2)
+				for k := 0; k < 3; k++ {
+					if _, err := e.Observe(Sample{
+						Station: k, Concurrency: n,
+						Utilization: truth.F(k, n) * x, Throughput: x,
+					}); err != nil {
+						t.Errorf("observe: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Fit: periodic refits racing the ingest (ErrNotReady is expected early).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := e.Fit(); err != nil && !errors.Is(err, ErrNotReady) {
+				t.Errorf("fit: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Solve: readers consuming whatever snapshot is current.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				snap := e.Snapshot()
+				if snap == nil {
+					continue
+				}
+				dm, err := snap.DemandModel()
+				if err != nil {
+					t.Errorf("demand model: %v", err)
+					return
+				}
+				if _, err := core.MVASD(snap.Model, 12, dm, core.MVASDOptions{}); err != nil {
+					t.Errorf("solve: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Closed loop: deviation checks racing the refits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			n := 1 + i%12
+			x, cyc, err := ctl.Predict(n)
+			if errors.Is(err, ErrNotReady) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("predict: %v", err)
+				return
+			}
+			if _, err := ctl.ObserveSystem(n, x*1.01, cyc*1.01); err != nil {
+				t.Errorf("observe system: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Observability: health and metrics scrapes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			e.Health()
+			if err := e.WriteMetrics(io.Discard); err != nil {
+				t.Errorf("estimator metrics: %v", err)
+				return
+			}
+			if err := ctl.WriteMetrics(io.Discard); err != nil {
+				t.Errorf("controller metrics: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The stream was valid throughout; every sample landed somewhere.
+	stations, _ := e.Health()
+	for _, st := range stations {
+		if st.Accepted+st.Rejected != writers*iters {
+			t.Errorf("station %q accounted %d samples, want %d",
+				st.Name, st.Accepted+st.Rejected, writers*iters)
+		}
+	}
+}

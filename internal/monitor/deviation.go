@@ -155,6 +155,13 @@ func (d *DeviationTracker) WriteMetrics(w io.Writer) error {
 	for _, m := range []string{"throughput", "cycle_time"} {
 		fmt.Fprintf(w, "solverd_prediction_deviation_exceeded_total{metric=%q} %d\n", m, d.exceeded[m])
 	}
+	// The alertable breach counter: one series per validation bound, both
+	// always exposed so alert rules never see a vanishing series.
+	fmt.Fprintln(w, "# HELP solverd_monitor_deviation_breaches_total Deviation-bound breaches by the bound breached (throughput: 3%, cycle_time: 9%).")
+	fmt.Fprintln(w, "# TYPE solverd_monitor_deviation_breaches_total counter")
+	for _, m := range []string{"throughput", "cycle_time"} {
+		fmt.Fprintf(w, "solverd_monitor_deviation_breaches_total{bound=%q} %d\n", m, d.exceeded[m])
+	}
 	_, err := fmt.Fprintln(w)
 	return err
 }

@@ -77,7 +77,8 @@ func TestDeviationTrackerMetrics(t *testing.T) {
 	promtest.RequireFamilies(t, families,
 		"solverd_prediction_deviation_ratio",
 		"solverd_prediction_deviation_ratio_mean",
-		"solverd_prediction_deviation_exceeded_total")
+		"solverd_prediction_deviation_exceeded_total",
+		"solverd_monitor_deviation_breaches_total")
 	promtest.LintFamilies(t, families)
 
 	get := func(family, metric string) float64 {
@@ -101,5 +102,18 @@ func TestDeviationTrackerMetrics(t *testing.T) {
 	}
 	if v := get("solverd_prediction_deviation_exceeded_total", "cycle_time"); v != 0 {
 		t.Errorf("cycle-time breaches = %g, want 0 (5%% < 9%%)", v)
+	}
+	// The alertable breach counter mirrors the same counts keyed by bound,
+	// with both bound series present even at zero.
+	breaches := families["solverd_monitor_deviation_breaches_total"].Samples
+	if len(breaches) != 2 {
+		t.Fatalf("breach counter has %d series, want both bounds: %+v", len(breaches), breaches)
+	}
+	byBound := map[string]float64{}
+	for _, s := range breaches {
+		byBound[s.Label("bound")] = s.Value
+	}
+	if byBound["throughput"] != 1 || byBound["cycle_time"] != 0 {
+		t.Errorf("breaches by bound = %v, want throughput=1 cycle_time=0", byBound)
 	}
 }

@@ -151,6 +151,31 @@ func (c *solveCache) unlockEntry(e *cacheEntry) {
 	<-e.lock
 }
 
+// remove evicts the named entry (the estimate runtime invalidates solves
+// built on a superseded demand snapshot this way). Same discipline as
+// evictLRU: an idle entry's solver scratch is reclaimed here, a busy one by
+// its current lock holder; lock waiters see evicted and retry on a fresh
+// entry. Reports whether the key was present.
+func (c *solveCache) remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	delete(c.items, e.key)
+	if e.el != nil {
+		c.ll.Remove(e.el)
+	}
+	e.evicted.Store(true)
+	select {
+	case e.lock <- struct{}{}: // idle: reclaim now
+		c.unlockEntry(e)
+	default: // busy: the holder's unlockEntry reclaims
+	}
+	return true
+}
+
 // drop removes an entry that failed before producing any trajectory, so
 // errors are not cached (mu taken here).
 func (c *solveCache) drop(e *cacheEntry) {

@@ -32,6 +32,16 @@ func TestPrometheusExpositionLint(t *testing.T) {
 	getBody(t, ts.URL+"/v1/status")
 	getBody(t, ts.URL+"/healthz")
 
+	// Estimation traffic, so the solverd_estimate_* and deviation families
+	// carry real series (their writers expose the families even with none):
+	// ingest + fit, then a system check against the fresh snapshot, then a
+	// whatif through the solve cache.
+	req := observeBody(t, estTestModel(), estTruth(1), 8, true, 0)
+	req.Fit = true
+	postObserve(t, ts, req)
+	postObserve(t, ts, observeBody(t, estTestModel(), estTruth(1), 1, false, 15))
+	getWhatIf(t, ts, "station=db/disk&maxN=30")
+
 	resp, body := getBody(t, ts.URL+"/metrics")
 	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
 		t.Errorf("Content-Type = %q", ct)
@@ -56,6 +66,20 @@ func TestPrometheusExpositionLint(t *testing.T) {
 		"solverd_trace_store_traces", "solverd_trace_store_spans",
 		"solverd_trace_store_bytes", "solverd_trace_store_evictions_total",
 		"solverd_trace_store_kept_total", "solverd_trace_store_dropped_total",
+		"solverd_prediction_deviation_ratio",
+		"solverd_prediction_deviation_ratio_mean",
+		"solverd_prediction_deviation_exceeded_total",
+		"solverd_monitor_deviation_breaches_total",
+		"solverd_estimate_samples_total",
+		"solverd_estimate_samples_rejected_total",
+		"solverd_estimate_cell_resets_total",
+		"solverd_estimate_cells",
+		"solverd_estimate_fit_ready_cells",
+		"solverd_estimate_fit_residual",
+		"solverd_estimate_snapshot_version",
+		"solverd_estimate_fits_total",
+		"solverd_estimate_reestimate_triggers_total",
+		"solverd_estimate_cache_invalidations_total",
 	)
 
 	promtest.LintFamilies(t, families)
@@ -85,5 +109,15 @@ func TestPrometheusExpositionLint(t *testing.T) {
 	bi := families["solverd_build_info"].Samples
 	if len(bi) != 1 || len(bi[0].Labels) != 2 || bi[0].Value != 1 {
 		t.Errorf("build info sample: %+v", bi)
+	}
+	// The estimation traffic produced one fit, exposed per station.
+	if v := promtest.SingleValue(t, families, "solverd_estimate_snapshot_version"); v != 1 {
+		t.Errorf("estimate snapshot version = %g, want 1", v)
+	}
+	if n := len(families["solverd_estimate_samples_total"].Samples); n != 3 {
+		t.Errorf("estimate samples series = %d, want one per station", n)
+	}
+	if n := len(families["solverd_monitor_deviation_breaches_total"].Samples); n != 2 {
+		t.Errorf("breach counter series = %d, want both bounds", n)
 	}
 }

@@ -34,6 +34,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/estimate"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 )
 
@@ -76,6 +78,9 @@ type Config struct {
 	// /metrics. Nil disables trace retention; requests are still traced for
 	// Server-Timing and logs.
 	Recorder *obs.Recorder
+	// Estimate tunes the online demand estimator behind /v1/observe,
+	// /v1/demands and /v1/whatif (zero value: estimate.Config defaults).
+	Estimate estimate.Config
 }
 
 func (c *Config) defaults() {
@@ -121,6 +126,12 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 
+	// tracker scores live measurements against predictions (the paper's
+	// 3%/9% validation bounds); estimate is the online-estimation runtime
+	// closing the loop on its breaches.
+	tracker  *monitor.DeviationTracker
+	estimate *estimateRuntime
+
 	// root is the handler Run/Serve expose: the mux by default, or a
 	// cluster gateway installed with Mount.
 	root http.Handler
@@ -149,10 +160,15 @@ func New(cfg Config) *Server {
 		inflight: newInflightRegistry(),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		tracker:  monitor.NewDeviationTracker(cfg.Recorder),
+		estimate: &estimateRuntime{keys: make(map[uint64]map[string]struct{})},
 	}
 	s.mux.Handle("/v1/solve", s.instrument("solve", http.MethodPost, s.handleSolve))
 	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
 	s.mux.Handle("/v1/plan", s.instrument("plan", http.MethodPost, s.handlePlan))
+	s.mux.Handle("/v1/observe", s.instrument("observe", http.MethodPost, s.handleObserve))
+	s.mux.Handle("/v1/demands", s.instrument("demands", http.MethodGet, s.handleDemands))
+	s.mux.Handle("/v1/whatif", s.instrument("whatif", http.MethodGet, s.handleWhatIf))
 	s.mux.Handle("/v1/status", s.instrument("status", http.MethodGet, s.handleStatus))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
@@ -164,6 +180,11 @@ func New(cfg Config) *Server {
 			return nil
 		})
 	}
+	// Deviation and estimation families are registered unconditionally: the
+	// nil-safe writers expose every family (at zero) before any estimator or
+	// observation exists, so scrapes see stable schemas.
+	s.RegisterMetrics(s.tracker.WriteMetrics)
+	s.RegisterMetrics(s.writeEstimateMetrics)
 	if cfg.EnablePprof {
 		// Registered on the server's own mux (not the global DefaultServeMux
 		// that importing net/http/pprof would populate), so profiling is
