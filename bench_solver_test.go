@@ -52,6 +52,10 @@ type benchRecord struct {
 	NsPerOp  float64 `json:"ns_per_op"`
 	ExtraKey string  `json:"extra_key,omitempty"`
 	Extra    float64 `json:"extra,omitempty"`
+	// AllocsPerOp, when measured, lets cmd/benchdiff gate allocation
+	// regressions: a baseline of 0 must stay 0 (a pointer so "unmeasured"
+	// and "zero" stay distinct in the JSON).
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 var (
@@ -71,6 +75,24 @@ func recordBench(b *testing.B, extraKey string, extra float64) {
 		NsPerOp:  float64(b.Elapsed().Nanoseconds()) / float64(b.N),
 		ExtraKey: extraKey,
 		Extra:    extra,
+	})
+}
+
+// recordBenchAllocs is recordBench plus an explicitly measured allocs/op
+// (benchmarks that pin a zero-allocation hot path measure it with
+// testing.AllocsPerRun so the record reflects the steady-state step, not
+// setup work the timing loop amortizes away).
+func recordBenchAllocs(b *testing.B, extraKey string, extra, allocsPerOp float64) {
+	b.Helper()
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	benchRecods = append(benchRecods, benchRecord{
+		Name:        b.Name(),
+		N:           b.N,
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		ExtraKey:    extraKey,
+		Extra:       extra,
+		AllocsPerOp: &allocsPerOp,
 	})
 }
 
@@ -179,7 +201,53 @@ func BenchmarkSolverExtend(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	recordBench(b, "window", window)
+	// Steady-state step allocations, measured outside the timing loop: a
+	// reserved solver must extend with zero allocations (the benchdiff gate
+	// fails the build if this ever grows).
+	alloc := newSolver()
+	defer alloc.Release()
+	an := 0
+	allocs := testing.AllocsPerRun(window/2, func() {
+		an++
+		if err := alloc.Extend(an); err != nil {
+			b.Fatal(err)
+		}
+	})
+	recordBenchAllocs(b, "window", window, allocs)
+}
+
+// BenchmarkSolverDeep measures cold decimated deep solves at population
+// depths from 10³ to 10⁶ — the bounded-memory path million-user what-ifs
+// take. The per-iteration cost is the whole solve; the recorded extra is
+// ns per population, the figure that must stay flat (within 2×) from the
+// dense N=200 cold solve up to N=10⁶, proving the recursion's step cost
+// does not degrade with depth.
+func BenchmarkSolverDeep(b *testing.B) {
+	m := benchSolverModel()
+	for _, maxN := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		stride := (maxN + 4095) / 4096
+		b.Run(fmt.Sprintf("exact/N%d", maxN), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := core.NewExactMVASolver(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Decimate(stride); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Run(maxN); err != nil {
+					b.Fatal(err)
+				}
+				if s.Result().SolvedN() != maxN {
+					b.Fatal("deep solve fell short")
+				}
+				s.Release()
+			}
+			recordBench(b, "ns_per_pop",
+				float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(maxN))
+		})
+	}
 }
 
 // benchPostJSON posts a JSON body and drains the response.

@@ -8,6 +8,15 @@
 //
 //	benchdiff [-tolerance 0.25] old.json new.json
 //
+// Beyond ns/op, two stricter gates apply where the baseline records them:
+//
+//   - allocs/op: a benchmark whose baseline allocates zero per op must stay
+//     at zero — any growth fails regardless of -tolerance (the repo's hot
+//     steppers are allocation-free by design, and an alloc creeping in is a
+//     correctness-of-design bug, not a perf wobble);
+//   - deep benchmarks (extra_key "ns_per_pop") additionally report their
+//     per-population cost, the depth-scaling figure the README publishes.
+//
 // A benchmark present in old but missing from new is an error (the suite
 // shrank silently); new-only benchmarks are listed but do not fail the run.
 // Exit status 1 on any regression past -tolerance.
@@ -29,13 +38,18 @@ func main() {
 	}
 }
 
-// benchFile mirrors the shape bench_solver_test.go writes.
+// benchEntry mirrors one record of the shape bench_solver_test.go writes.
+type benchEntry struct {
+	Name        string   `json:"name"`
+	N           int      `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	ExtraKey    string   `json:"extra_key"`
+	Extra       float64  `json:"extra"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
 type benchFile struct {
-	Benchmarks []struct {
-		Name    string  `json:"name"`
-		N       int     `json:"iterations"`
-		NsPerOp float64 `json:"ns_per_op"`
-	} `json:"benchmarks"`
+	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -72,25 +86,32 @@ func run(args []string, out io.Writer) error {
 	sort.Strings(names)
 
 	fmt.Fprintf(out, "%-40s %14s %14s %8s\n", "BENCHMARK", "OLD ns/op", "NEW ns/op", "DELTA")
-	var regressed, missing []string
+	var regressed, missing, allocGrew []string
 	for _, name := range names {
 		o := old[name]
 		n, ok := cur[name]
 		if !ok {
 			missing = append(missing, name)
-			fmt.Fprintf(out, "%-40s %14.1f %14s %8s\n", name, o, "missing", "-")
+			fmt.Fprintf(out, "%-40s %14.1f %14s %8s\n", name, o.NsPerOp, "missing", "-")
 			continue
 		}
 		delta := 0.0
-		if o > 0 {
-			delta = n/o - 1
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
 		}
 		verdict := ""
 		if delta > *tolerance {
 			verdict = "  REGRESSED"
 			regressed = append(regressed, name)
 		}
-		fmt.Fprintf(out, "%-40s %14.1f %14.1f %+7.1f%%%s\n", name, o, n, 100*delta, verdict)
+		if o.AllocsPerOp != nil && *o.AllocsPerOp == 0 && n.AllocsPerOp != nil && *n.AllocsPerOp > 0 {
+			verdict += "  ALLOCS"
+			allocGrew = append(allocGrew, name)
+		}
+		fmt.Fprintf(out, "%-40s %14.1f %14.1f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, 100*delta, verdict)
+		if o.ExtraKey == "ns_per_pop" && n.ExtraKey == "ns_per_pop" {
+			fmt.Fprintf(out, "%-40s %14.2f %14.2f %8s\n", "  └ ns/population", o.Extra, n.Extra, "")
+		}
 	}
 	var added []string
 	for name := range cur {
@@ -100,11 +121,14 @@ func run(args []string, out io.Writer) error {
 	}
 	sort.Strings(added)
 	for _, name := range added {
-		fmt.Fprintf(out, "%-40s %14s %14.1f %8s\n", name, "(new)", cur[name], "-")
+		fmt.Fprintf(out, "%-40s %14s %14.1f %8s\n", name, "(new)", cur[name].NsPerOp, "-")
 	}
 
 	if len(missing) > 0 {
 		return fmt.Errorf("%d benchmark(s) missing from the new baseline: %v", len(missing), missing)
+	}
+	if len(allocGrew) > 0 {
+		return fmt.Errorf("%d benchmark(s) now allocate on a zero-alloc baseline: %v", len(allocGrew), allocGrew)
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past +%.0f%%: %v", len(regressed), 100**tolerance, regressed)
@@ -113,8 +137,8 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// load reads one baseline into a name → ns/op map.
-func load(path string) (map[string]float64, error) {
+// load reads one baseline into a name → record map.
+func load(path string) (map[string]benchEntry, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -126,12 +150,12 @@ func load(path string) (map[string]float64, error) {
 	if len(f.Benchmarks) == 0 {
 		return nil, fmt.Errorf("%s: no benchmarks", path)
 	}
-	m := make(map[string]float64, len(f.Benchmarks))
+	m := make(map[string]benchEntry, len(f.Benchmarks))
 	for _, b := range f.Benchmarks {
 		if b.Name == "" || b.NsPerOp < 0 {
 			return nil, fmt.Errorf("%s: bad record %+v", path, b)
 		}
-		m[b.Name] = b.NsPerOp
+		m[b.Name] = b
 	}
 	return m, nil
 }

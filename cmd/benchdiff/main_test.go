@@ -92,3 +92,52 @@ func TestBadInputs(t *testing.T) {
 		t.Error("negative tolerance accepted")
 	}
 }
+
+func TestZeroAllocBaselineGated(t *testing.T) {
+	old := writeBaseline(t, "old.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50,"allocs_per_op":0}
+	]}`)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50,"allocs_per_op":2}
+	]}`)
+	out, err := runDiff(t, old, cur)
+	if err == nil || !strings.Contains(err.Error(), "allocate") {
+		t.Fatalf("alloc growth on zero baseline not flagged: err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ALLOCS") {
+		t.Errorf("output missing ALLOCS marker:\n%s", out)
+	}
+	// Even a huge tolerance does not excuse a new allocation.
+	if _, err := runDiff(t, "-tolerance", "100", old, cur); err == nil {
+		t.Error("tolerance excused an allocation regression")
+	}
+	// Staying at zero passes; an unmeasured new baseline is not gated.
+	same := writeBaseline(t, "same.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50,"allocs_per_op":0}
+	]}`)
+	if out, err := runDiff(t, old, same); err != nil {
+		t.Fatalf("zero-alloc steady state failed: %v\n%s", err, out)
+	}
+	unmeasured := writeBaseline(t, "unmeasured.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50}
+	]}`)
+	if out, err := runDiff(t, old, unmeasured); err != nil {
+		t.Fatalf("unmeasured allocs treated as regression: %v\n%s", err, out)
+	}
+}
+
+func TestDeepBenchReportsPerPopulation(t *testing.T) {
+	old := writeBaseline(t, "old.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverDeep/exact/N1000000","iterations":5,"ns_per_op":100000000,"extra_key":"ns_per_pop","extra":100}
+	]}`)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverDeep/exact/N1000000","iterations":5,"ns_per_op":110000000,"extra_key":"ns_per_pop","extra":110}
+	]}`)
+	out, err := runDiff(t, old, cur)
+	if err != nil {
+		t.Fatalf("deep diff failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ns/population") || !strings.Contains(out, "110.00") {
+		t.Errorf("per-population line missing:\n%s", out)
+	}
+}

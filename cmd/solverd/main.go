@@ -62,7 +62,7 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheSize := fs.Int("cache", 256, "solve cache entries (negative disables)")
 	workers := fs.Int("workers", 0, "max concurrent solves (default GOMAXPROCS)")
-	maxN := fs.Int("max-n", 100_000, "largest population a request may ask for")
+	maxN := fs.Int("max-n", 100_000, "largest trajectory-row count a request may store (a dense request's population; decimated requests store maxN/decimate+1 rows)")
 	maxSweep := fs.Int("max-sweep-points", 1024, "largest sweep grid size")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request solve deadline")
 	shutdown := fs.Duration("shutdown-timeout", 15*time.Second, "graceful drain bound")

@@ -218,6 +218,7 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 
 	g.mux.Handle("/v1/solve", srv.Instrument("cluster-solve", http.MethodPost, g.handleSolve))
 	g.mux.Handle("/v1/sweep", srv.Instrument("cluster-sweep", http.MethodPost, g.handleSweep))
+	g.mux.Handle("/cluster/v1/deep", srv.Instrument("cluster-deep", http.MethodPost, g.handleDeepChunk))
 	g.mux.Handle("/cluster/v1/export", srv.Instrument("cluster-export", http.MethodPost, g.handleExport))
 	g.mux.Handle("/cluster/v1/status", srv.Instrument("cluster-status", http.MethodGet, g.handleClusterStatus))
 	g.mux.Handle("/cluster/v1/trace/", srv.Instrument("cluster-trace", http.MethodGet, g.handleTrace))
@@ -323,6 +324,12 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 	key, err := req.CacheKey()
 	if err != nil {
 		g.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if r.URL.Query().Get("deep") != "" {
+		// Deep solves pipeline population chunks across the cluster; the
+		// receiving node coordinates, so they are never routed or forwarded.
+		g.handleDeepSolve(w, r, &req, key)
 		return
 	}
 	local := func() {

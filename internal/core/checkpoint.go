@@ -15,8 +15,9 @@ import (
 //
 //   - exact-mva, mvasd-single-server: Queue (the previous step's mean
 //     queue-length vector);
-//   - schweitzer-amva: nothing — every population's fixed point is
-//     self-contained;
+//   - schweitzer-amva: Queue — the previous population's converged
+//     queue-length vector, which warm-starts the next population's fixed
+//     point (a checkpoint at N 0 restores to a cold balanced start);
 //   - exact-mva-multiserver, mvasd, mvasd-vs-throughput: Queue plus the
 //     per-station marginal queue-size probabilities in Marginal (row k has
 //     one entry per server of station k; exact-mva-ld rows grow with the
@@ -85,7 +86,7 @@ func (s *Solver) Checkpoint() (*Checkpoint, error) {
 	if s.released {
 		return nil, fmt.Errorf("%w: checkpoint of a released solver", ErrBadRun)
 	}
-	cp := &Checkpoint{Algorithm: s.res.Algorithm, N: s.res.Len()}
+	cp := &Checkpoint{Algorithm: s.res.Algorithm, N: s.res.SolvedN()}
 	s.alg.checkpoint(cp)
 	return cp, nil
 }
@@ -101,8 +102,13 @@ func (s *Solver) Restore(traj *Result, cp *Checkpoint) error {
 	if s.released {
 		return fmt.Errorf("%w: restore into a released solver", ErrBadRun)
 	}
-	if s.res.Len() != 0 {
-		return fmt.Errorf("%w: restore into a solver at population %d (want fresh)", ErrBadRun, s.res.Len())
+	if s.res.Len() != 0 || s.res.basePop != 0 {
+		return fmt.Errorf("%w: restore into a solver at population %d (want fresh)", ErrBadRun, s.res.SolvedN())
+	}
+	if s.res.stride > 1 {
+		// A restore replays dense rows; a decimated solver seeds from a bare
+		// checkpoint instead (ResumeFrom).
+		return fmt.Errorf("%w: restore into a decimated solver", ErrBadRun)
 	}
 	if traj == nil || cp == nil {
 		return fmt.Errorf("%w: restore needs a trajectory and a checkpoint", ErrBadRun)

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// rowEqualsRecovered fails unless stored row i of dense equals rec bit for
+// bit.
+func rowEqualsRecovered(t *testing.T, dense *Result, rec RecoveredRow) {
+	t.Helper()
+	i := dense.IndexOf(rec.N)
+	if i < 0 {
+		t.Fatalf("population %d not in dense trajectory", rec.N)
+	}
+	if dense.X[i] != rec.X || dense.R[i] != rec.R || dense.Cycle[i] != rec.Cycle {
+		t.Fatalf("n=%d scalars differ: X %v/%v R %v/%v Cycle %v/%v",
+			rec.N, dense.X[i], rec.X, dense.R[i], rec.R, dense.Cycle[i], rec.Cycle)
+	}
+	for k := range dense.StationNames {
+		if dense.QueueLen[i][k] != rec.QueueLen[k] || dense.Util[i][k] != rec.Util[k] ||
+			dense.Residence[i][k] != rec.Residence[k] || dense.Demands[i][k] != rec.Demands[k] {
+			t.Fatalf("n=%d station %d metrics differ", rec.N, k)
+		}
+	}
+}
+
+// TestDecimatedBitIdenticalToDense is the decimation property test: a
+// decimated solve's stored rows (and their checkpoints) must be
+// float-for-float identical to the dense solve, for every algorithm.
+func TestDecimatedBitIdenticalToDense(t *testing.T) {
+	m := solverTestModel()
+	const maxN, stride = 137, 10
+	for name, alg := range solverAlgorithms(t, m) {
+		t.Run(name, func(t *testing.T) {
+			dense := alg.cold(maxN)
+			s := alg.fresh()
+			defer s.Release()
+			if err := s.Decimate(stride); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(maxN); err != nil {
+				t.Fatal(err)
+			}
+			dec := s.Result()
+			if dec.SolvedN() != maxN || s.N() != maxN {
+				t.Fatalf("SolvedN=%d N()=%d, want %d", dec.SolvedN(), s.N(), maxN)
+			}
+			wantRows := maxN/stride + 1 // 10,20,...,130 plus the final 137
+			if dec.Len() != wantRows {
+				t.Fatalf("stored %d rows, want %d", dec.Len(), wantRows)
+			}
+			if len(dec.Checkpoints) != dec.Len() {
+				t.Fatalf("%d checkpoints for %d rows", len(dec.Checkpoints), dec.Len())
+			}
+			for i, n := range dec.N {
+				if n%stride != 0 && n != maxN {
+					t.Fatalf("stored population %d is neither stride-aligned nor final", n)
+				}
+				if dec.Checkpoints[i].N != n {
+					t.Fatalf("checkpoint %d at population %d, row holds %d", i, dec.Checkpoints[i].N, n)
+				}
+				j := dense.IndexOf(n)
+				if j != n-1 {
+					t.Fatalf("dense IndexOf(%d) = %d", n, j)
+				}
+				if dec.X[i] != dense.X[j] || dec.R[i] != dense.R[j] || dec.Cycle[i] != dense.Cycle[j] {
+					t.Fatalf("n=%d: decimated row differs from dense", n)
+				}
+				for k := range m.Stations {
+					if dec.QueueLen[i][k] != dense.QueueLen[j][k] || dec.Util[i][k] != dense.Util[j][k] ||
+						dec.Residence[i][k] != dense.Residence[j][k] || dec.Demands[i][k] != dense.Demands[j][k] {
+						t.Fatalf("n=%d station %d: decimated metrics differ from dense", n, k)
+					}
+				}
+			}
+			// The final checkpoint must extend bit-identically to the dense
+			// solve continuing past maxN.
+			cp, err := s.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.N != maxN {
+				t.Fatalf("final checkpoint at %d, want %d", cp.N, maxN)
+			}
+			cont := alg.fresh()
+			defer cont.Release()
+			if err := cont.ResumeFrom(cp); err != nil {
+				t.Fatal(err)
+			}
+			if err := cont.Run(maxN + 20); err != nil {
+				t.Fatal(err)
+			}
+			denseLong := alg.cold(maxN + 20)
+			chunk := cont.Result()
+			if chunk.BasePop() != maxN || chunk.Len() != 20 {
+				t.Fatalf("resumed chunk basePop=%d len=%d", chunk.BasePop(), chunk.Len())
+			}
+			for i, n := range chunk.N {
+				if n != maxN+i+1 {
+					t.Fatalf("chunk row %d holds population %d", i, n)
+				}
+				if chunk.X[i] != denseLong.X[n-1] {
+					t.Fatalf("n=%d: resumed chunk X=%v, dense %v", n, chunk.X[i], denseLong.X[n-1])
+				}
+			}
+		})
+	}
+}
+
+// TestDecimatedRecoverSkippedRows re-derives every skipped population from
+// the stored checkpoints and requires exact equality with the dense solve.
+func TestDecimatedRecoverSkippedRows(t *testing.T) {
+	m := solverTestModel()
+	const maxN, stride = 97, 12
+	for name, alg := range solverAlgorithms(t, m) {
+		t.Run(name, func(t *testing.T) {
+			dense := alg.cold(maxN)
+			s := alg.fresh()
+			defer s.Release()
+			if err := s.Decimate(stride); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(maxN); err != nil {
+				t.Fatal(err)
+			}
+			ns := make([]int, maxN)
+			for i := range ns {
+				ns[i] = i + 1
+			}
+			freshErr := func() (*Solver, error) { return alg.fresh(), nil }
+			rows, err := s.Result().Recover(ns, freshErr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != maxN {
+				t.Fatalf("recovered %d rows, want %d", len(rows), maxN)
+			}
+			for _, rec := range rows {
+				rowEqualsRecovered(t, dense, rec)
+			}
+			// Out-of-range and unordered requests are rejected.
+			if _, err := s.Result().Recover([]int{maxN + 1}, freshErr); !errors.Is(err, ErrBadRun) {
+				t.Fatalf("recover beyond SolvedN: err=%v", err)
+			}
+			if _, err := s.Result().Recover([]int{5, 3}, freshErr); !errors.Is(err, ErrBadRun) {
+				t.Fatalf("unordered recover: err=%v", err)
+			}
+		})
+	}
+}
+
+// TestDecimatedExtend grows a decimated trajectory across several Run calls
+// and checks stored rows stay sorted, stride-aligned-or-final, and
+// bit-identical to dense.
+func TestDecimatedExtend(t *testing.T) {
+	m := solverTestModel()
+	algs := solverAlgorithms(t, m)
+	alg := algs["exact"]
+	dense := alg.cold(200)
+	s := alg.fresh()
+	defer s.Release()
+	if err := s.Decimate(25); err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{40, 110, 110, 200} {
+		if err := s.Run(target); err != nil {
+			t.Fatal(err)
+		}
+		if s.N() != target && target >= s.N() {
+			t.Fatalf("after Run(%d): N()=%d", target, s.N())
+		}
+	}
+	res := s.Result()
+	want := []int{25, 40, 50, 75, 100, 110, 125, 150, 175, 200}
+	if len(res.N) != len(want) {
+		t.Fatalf("stored populations %v, want %v", res.N, want)
+	}
+	for i, n := range want {
+		if res.N[i] != n {
+			t.Fatalf("stored populations %v, want %v", res.N, want)
+		}
+		if res.X[i] != dense.X[n-1] {
+			t.Fatalf("n=%d: X %v vs dense %v", n, res.X[i], dense.X[n-1])
+		}
+		if res.Checkpoints[i].N != n {
+			t.Fatalf("checkpoint %d at %d, want %d", i, res.Checkpoints[i].N, n)
+		}
+	}
+	// Population-aware lookups.
+	if i := res.IndexOf(110); i < 0 || res.N[i] != 110 {
+		t.Fatalf("IndexOf(110) = %d", i)
+	}
+	if i := res.IndexOf(111); i != -1 {
+		t.Fatalf("IndexOf(111) = %d, want -1", i)
+	}
+	if _, _, _, err := res.At(150); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := res.At(151); err == nil {
+		t.Fatal("At(151) on a decimated trajectory should fail")
+	}
+	// PrefixPop returns the stored rows ≤ n and reports SolvedN = n.
+	view, err := res.PrefixPop(130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.SolvedN() != 130 || view.Len() != 7 || view.N[view.Len()-1] != 125 {
+		t.Fatalf("PrefixPop(130): SolvedN=%d len=%d last=%d", view.SolvedN(), view.Len(), view.N[view.Len()-1])
+	}
+	if len(view.Checkpoints) != view.Len() {
+		t.Fatalf("view carries %d checkpoints for %d rows", len(view.Checkpoints), view.Len())
+	}
+	if _, err := res.PrefixPop(201); err == nil {
+		t.Fatal("PrefixPop beyond SolvedN should fail")
+	}
+	if _, err := res.Prefix(100); err == nil {
+		t.Fatal("dense Prefix of a decimated trajectory should fail")
+	}
+}
+
+// TestDeepSolveBoundedMemory is the deep-solve memory smoke: a decimated
+// solve to population 10⁵ must retain memory proportional to the rows it
+// stores (maxN/stride ≈ 1000), not the populations it advances through. The
+// 4 MiB bound is ~50× the stored-row footprint and ~100× under what a dense
+// 10⁵-row trajectory would retain, so it fails loudly if decimation ever
+// starts accumulating per-population state.
+func TestDeepSolveBoundedMemory(t *testing.T) {
+	const maxN, stride = 100_000, 100
+	m := solverTestModel()
+	s, err := NewExactMVASolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	if err := s.Decimate(stride); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := s.Run(maxN); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	res := s.Result()
+	if res.SolvedN() != maxN || res.Len() != maxN/stride {
+		t.Fatalf("SolvedN=%d Len=%d, want %d/%d", res.SolvedN(), res.Len(), maxN, maxN/stride)
+	}
+	if retained := int64(after.HeapAlloc) - int64(before.HeapAlloc); retained > 4<<20 {
+		t.Fatalf("deep solve retained %d bytes, bound is %d", retained, 4<<20)
+	}
+}
+
+// TestDecimateGuards pins the misuse errors.
+func TestDecimateGuards(t *testing.T) {
+	m := solverTestModel()
+	s, err := NewExactMVASolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	if err := s.Decimate(0); !errors.Is(err, ErrBadRun) {
+		t.Fatalf("Decimate(0): %v", err)
+	}
+	if err := s.Decimate(1); err != nil {
+		t.Fatalf("Decimate(1) should be a no-op: %v", err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Decimate(4); !errors.Is(err, ErrBadRun) {
+		t.Fatalf("Decimate after Run: %v", err)
+	}
+	tr, err := NewMultiServerSolver(m, MultiServerOptions{TraceStation: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Release()
+	if err := tr.Decimate(4); !errors.Is(err, ErrBadRun) {
+		t.Fatalf("Decimate of tracing solver: %v", err)
+	}
+	// ResumeFrom guards: algorithm mismatch and non-fresh solver.
+	src, err := NewExactMVASolver(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Release()
+	if err := src.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := NewSchweitzerSolver(m, SchweitzerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Release()
+	if err := wrong.ResumeFrom(cp); !errors.Is(err, ErrBadRun) {
+		t.Fatalf("ResumeFrom with wrong algorithm: %v", err)
+	}
+	if err := s.ResumeFrom(cp); !errors.Is(err, ErrBadRun) {
+		t.Fatalf("ResumeFrom into a run solver: %v", err)
+	}
+}

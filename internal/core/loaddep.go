@@ -38,7 +38,7 @@ type loadDepStepper struct {
 	p [][]float64
 }
 
-func (s *loadDepStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
+func (s *loadDepStepper) step(res *Result, n, row int, _ func(int) error, _ *SolveHooks) error {
 	m, demands, p := s.m, s.demands, s.p
 	// Make room for index n in every marginal row. The newly exposed slot
 	// may hold stale pool data, which is fine: the W sum reads only indices
@@ -67,7 +67,7 @@ func (s *loadDepStepper) step(res *Result, n int, _ func(int) error, _ *SolveHoo
 		xCap = minf(xCap, s.rates[i](n)/demands[i])
 	}
 	rTotal := 0.0
-	resid := res.Residence[n-1]
+	resid := res.Residence[row]
 	for i, st := range m.Stations {
 		if st.Kind == queueing.Delay {
 			resid[i] = demands[i]
@@ -101,9 +101,9 @@ func (s *loadDepStepper) step(res *Result, n int, _ func(int) error, _ *SolveHoo
 	}
 	for i, st := range m.Stations {
 		if st.Kind == queueing.Delay {
-			res.QueueLen[n-1][i] = x * demands[i]
-			res.Util[n-1][i] = 0
-			res.Demands[n-1][i] = demands[i]
+			res.QueueLen[row][i] = x * demands[i]
+			res.Util[row][i] = 0
+			res.Demands[row][i] = demands[i]
 			continue
 		}
 		// Update the marginal distribution from the tail down so the
@@ -128,13 +128,13 @@ func (s *loadDepStepper) step(res *Result, n int, _ func(int) error, _ *SolveHoo
 		} else {
 			p[i][0] = 1 - sum
 		}
-		res.QueueLen[n-1][i] = x * resid[i]
-		res.Util[n-1][i] = minf(x*demands[i]/float64(st.Servers), 1)
-		res.Demands[n-1][i] = demands[i]
+		res.QueueLen[row][i] = x * resid[i]
+		res.Util[row][i] = minf(x*demands[i]/float64(st.Servers), 1)
+		res.Demands[row][i] = demands[i]
 	}
-	res.X[n-1] = x
-	res.R[n-1] = rTotal
-	res.Cycle[n-1] = rTotal + m.ThinkTime
+	res.X[row] = x
+	res.R[row] = rTotal
+	res.Cycle[row] = rTotal + m.ThinkTime
 	return nil
 }
 

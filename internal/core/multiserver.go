@@ -17,25 +17,40 @@ import (
 type multiServerState struct {
 	queue []float64   // Q_k
 	p     [][]float64 // p[k][j-1] = p_k(j), length C_k
+
+	// Per-step invariants hoisted out of the hot loop (see stationConsts):
+	// the MVASD fixed point re-runs multiServerStep many times per
+	// population, so struct copies out of m.Stations were measurable.
+	servers  []int
+	serversF []float64
+	delay    []bool
 }
 
 // newMultiServerState builds the empty-network state from pooled vectors;
 // release returns them.
 func newMultiServerState(m *queueing.Model) *multiServerState {
+	k := len(m.Stations)
 	s := &multiServerState{
-		queue: getVec(len(m.Stations)),
-		p:     make([][]float64, len(m.Stations)),
+		queue:    getVec(k),
+		p:        make([][]float64, k),
+		servers:  make([]int, k),
+		serversF: getVec(k),
+		delay:    make([]bool, k),
 	}
-	for k, st := range m.Stations {
-		s.p[k] = getVec(st.Servers)
-		s.p[k][0] = 1 // empty network: P(0 customers) = 1
+	for i, st := range m.Stations {
+		s.p[i] = getVec(st.Servers)
+		s.p[i][0] = 1 // empty network: P(0 customers) = 1
+		s.servers[i] = st.Servers
+		s.serversF[i] = float64(st.Servers)
+		s.delay[i] = st.Kind == queueing.Delay
 	}
 	return s
 }
 
 func (s *multiServerState) release() {
 	putVec(s.queue)
-	s.queue = nil
+	putVec(s.serversF)
+	s.queue, s.serversF, s.servers, s.delay = nil, nil, nil, nil
 	for k := range s.p {
 		putVec(s.p[k])
 		s.p[k] = nil
@@ -87,43 +102,49 @@ type MultiServerOptions struct {
 // st.p[k][m] holds P_k(m | n−1), the marginal probability of m customers at
 // station k.
 func multiServerStep(m *queueing.Model, st *multiServerState, demands []float64, n int, verbatim bool, resid []float64) (x, rTotal float64) {
-	for k, stn := range m.Stations {
-		if stn.Kind == queueing.Delay {
+	queue, delay, servers, serversF := st.queue, st.delay, st.servers, st.serversF
+	kk := len(queue)
+	if len(delay) < kk || len(servers) < kk || len(serversF) < kk || len(resid) < kk || len(demands) < kk {
+		return 0, 0 // construction guarantees matching shapes; keep BCE honest
+	}
+	for k := 0; k < kk; k++ {
+		if delay[k] {
 			resid[k] = demands[k]
 			rTotal += resid[k]
 			continue
 		}
-		c := float64(stn.Servers)
+		c := serversF[k]
 		// Correction factor F_k = Σ_{j=1..C}(C−j)·p_k(j) in paper indexing,
 		// = Σ_{m=0..C−1}(C−1−m)·P_k(m) here.
 		f := 0.0
-		for mIdx := 0; mIdx < stn.Servers; mIdx++ {
-			f += (c - 1 - float64(mIdx)) * st.p[k][mIdx]
+		p := st.p[k]
+		for mIdx := 0; mIdx < servers[k] && mIdx < len(p); mIdx++ {
+			f += (c - 1 - float64(mIdx)) * p[mIdx]
 		}
 		// R_k = (D_k/C_k)(1 + Q_k + F_k)   (paper eq. 10 in demand form)
-		resid[k] = demands[k] / c * (1 + st.queue[k] + f)
+		resid[k] = demands[k] / c * (1 + queue[k] + f)
 		rTotal += resid[k]
 	}
 	x = float64(n) / (rTotal + m.ThinkTime)
-	for k, stn := range m.Stations {
-		st.queue[k] = x * resid[k]
-		if stn.Kind == queueing.Delay || stn.Servers == 1 {
+	for k := 0; k < kk; k++ {
+		queue[k] = x * resid[k]
+		if delay[k] || servers[k] == 1 {
 			// P_k(0) stays 1 for single servers: F_k ≡ 0 and eq. 10
 			// reduces to the single-server eq. 8, as the paper notes.
 			continue
 		}
-		c := float64(stn.Servers)
+		c := serversF[k]
 		u := x * demands[k] // total utilization X·D_k (0..C_k scale)
 		p := st.p[k]
 		if verbatim {
 			// As printed: unweighted P(0) update first, then cascade the
 			// tail from the freshly updated predecessors.
 			sum := 0.0
-			for mIdx := 1; mIdx < stn.Servers; mIdx++ {
+			for mIdx := 1; mIdx < servers[k]; mIdx++ {
 				sum += p[mIdx]
 			}
 			p[0] = 1 - (u+sum)/c
-			for j := 2; j <= stn.Servers; j++ {
+			for j := 2; j <= servers[k]; j++ {
 				p[j-1] = u / float64(j) * p[j-2]
 			}
 			continue
@@ -144,18 +165,20 @@ func multiServerStep(m *queueing.Model, st *multiServerState, demands []float64,
 			}
 			continue
 		}
+		// Fused: one pass stores the factorial terms u^j/j! in place while
+		// accumulating the weighted sum, then a scale-by-P(0) sweep — the
+		// division-heavy recurrence is evaluated once instead of twice.
 		wsum := 0.0
 		term := 1.0 // u^j/j!
-		for j := 1; j < stn.Servers; j++ {
+		for j := 1; j < servers[k]; j++ {
 			term *= u / float64(j)
+			p[j] = term
 			wsum += (c - float64(j)) * term
 		}
 		p0 := (1 - u/c) / (1 + wsum/c)
 		p[0] = p0
-		term = 1.0
-		for j := 1; j < stn.Servers; j++ {
-			term *= u / float64(j)
-			p[j] = p0 * term
+		for j := 1; j < servers[k]; j++ {
+			p[j] *= p0
 		}
 	}
 	return x, rTotal
@@ -181,9 +204,9 @@ type multiServerStepper struct {
 	trace    *MarginalTrace
 }
 
-func (s *multiServerStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
-	x, rTotal := multiServerStep(s.m, s.st, s.demands, n, s.verbatim, res.Residence[n-1])
-	commitRow(res, s.m, n, x, rTotal, s.demands, s.st)
+func (s *multiServerStepper) step(res *Result, n, row int, _ func(int) error, _ *SolveHooks) error {
+	x, rTotal := multiServerStep(s.m, s.st, s.demands, n, s.verbatim, res.Residence[row])
+	commitRow(res, s.m, row, x, rTotal, s.demands, s.st)
 	if s.trace != nil {
 		s.trace.P = append(s.trace.P, append([]float64(nil), s.st.p[s.traceAt]...))
 	}
@@ -267,9 +290,8 @@ func exactMVAMultiServer(ctx context.Context, m *queueing.Model, maxN int, opts 
 	return res, trace, nil
 }
 
-// commitRow records one population step into the result.
-func commitRow(res *Result, m *queueing.Model, n int, x, rTotal float64, demands []float64, st *multiServerState) {
-	i := n - 1
+// commitRow records one population step into result row i.
+func commitRow(res *Result, m *queueing.Model, i int, x, rTotal float64, demands []float64, st *multiServerState) {
 	res.X[i] = x
 	res.R[i] = rTotal
 	res.Cycle[i] = rTotal + m.ThinkTime

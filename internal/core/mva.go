@@ -13,19 +13,33 @@ import (
 // model, missing demand model, non-convergence).
 var ErrBadRun = errors.New("core: invalid solver run")
 
-// stationUtil is the per-server utilization reported in Results:
-// min(X·D/C, 1) for queueing stations, and 0 for Delay centres, where
-// per-server utilization is not meaningful (matching the monitor's
-// convention).
-func stationUtil(st queueing.Station, x float64) float64 {
-	if st.Kind == queueing.Delay {
-		return 0
+// stationConsts are the per-population invariants of a constant-demand
+// model, hoisted out of the per-step hot loops: the demand vector, the
+// delay-centre flags and the float server counts. Computing st.Demand()
+// (a Visits·ServiceTime multiply behind a struct copy) inside the step made
+// the model slice the hottest object in deep-solve profiles; these arrays
+// are resolved once at solver construction.
+type stationConsts struct {
+	demands  []float64 // D_k = V_k·S_k
+	delay    []bool    // Kind == Delay
+	serversF []float64 // float64(C_k)
+}
+
+func newStationConsts(m *queueing.Model) stationConsts {
+	k := len(m.Stations)
+	c := stationConsts{demands: getVec(k), delay: make([]bool, k), serversF: getVec(k)}
+	for i, st := range m.Stations {
+		c.demands[i] = st.Demand()
+		c.delay[i] = st.Kind == queueing.Delay
+		c.serversF[i] = float64(st.Servers)
 	}
-	u := x * st.Demand() / float64(st.Servers)
-	if u > 1 {
-		return 1
-	}
-	return u
+	return c
+}
+
+func (c *stationConsts) release() {
+	putVec(c.demands)
+	putVec(c.serversF)
+	c.demands, c.serversF, c.delay = nil, nil, nil
 }
 
 // validateRun performs the checks shared by every solver entry point.
@@ -40,38 +54,57 @@ func validateRun(m *queueing.Model, n int) error {
 }
 
 // exactStepper is the per-population body of Algorithm 1. Its only recursion
-// state is the previous step's queue-length vector.
+// state is the previous step's queue-length vector; everything else is
+// hoisted model invariants.
 type exactStepper struct {
-	m *queueing.Model
+	c stationConsts
+	z float64
 	q []float64 // Q_k at the previous population
 }
 
-func (e *exactStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
-	m, q := e.m, e.q
+func (e *exactStepper) step(res *Result, n, row int, _ func(int) error, _ *SolveHooks) error {
+	demands, delay, serversF, q := e.c.demands, e.c.delay, e.c.serversF, e.q
+	resid := res.Residence[row]
+	k := len(demands)
+	if len(q) < k || len(delay) < k || len(serversF) < k || len(resid) < k {
+		return fmt.Errorf("%w: exact stepper state shape mismatch", ErrBadRun)
+	}
 	rTotal := 0.0
-	resid := res.Residence[n-1]
-	for i, st := range m.Stations {
-		if st.Kind == queueing.Delay {
-			resid[i] = st.Demand()
-		} else {
-			resid[i] = st.Demand() * (1 + q[i])
+	for i := 0; i < k; i++ {
+		rv := demands[i]
+		if !delay[i] {
+			rv *= 1 + q[i]
 		}
-		rTotal += resid[i]
+		resid[i] = rv
+		rTotal += rv
 	}
-	x := float64(n) / (rTotal + m.ThinkTime)
-	for i, st := range m.Stations {
-		q[i] = x * resid[i]
-		res.QueueLen[n-1][i] = q[i]
-		res.Util[n-1][i] = stationUtil(st, x)
-		res.Demands[n-1][i] = st.Demand()
+	x := float64(n) / (rTotal + e.z)
+	qRow, uRow, dRow := res.QueueLen[row], res.Util[row], res.Demands[row]
+	if len(qRow) < k || len(uRow) < k || len(dRow) < k {
+		return fmt.Errorf("%w: result row shape mismatch", ErrBadRun)
 	}
-	res.X[n-1] = x
-	res.R[n-1] = rTotal
-	res.Cycle[n-1] = rTotal + m.ThinkTime
+	for i := 0; i < k; i++ {
+		qi := x * resid[i]
+		q[i] = qi
+		qRow[i] = qi
+		u := 0.0
+		if !delay[i] {
+			u = x * demands[i] / serversF[i]
+			if u > 1 {
+				u = 1
+			}
+		}
+		uRow[i] = u
+		dRow[i] = demands[i]
+	}
+	res.X[row] = x
+	res.R[row] = rTotal
+	res.Cycle[row] = rTotal + e.z
 	return nil
 }
 
 func (e *exactStepper) release() {
+	e.c.release()
 	putVec(e.q)
 	e.q = nil
 }
@@ -90,7 +123,7 @@ func NewExactMVASolver(m *queueing.Model) (*Solver, error) {
 		return nil, err
 	}
 	return newSolver("exact-mva", newEmptyResult("exact-mva", m, 0),
-		&exactStepper{m: m, q: getVec(len(m.Stations))}), nil
+		&exactStepper{c: newStationConsts(m), z: m.ThinkTime, q: getVec(len(m.Stations))}), nil
 }
 
 // ExactMVA solves the closed network with the exact single-server MVA
@@ -154,42 +187,64 @@ func (o *SchweitzerOptions) defaults() {
 	}
 }
 
-// schweitzerStepper solves each population's fixed point independently (the
-// balanced initial guess makes every step self-contained, so the "recursion
-// state" is just reusable scratch).
+// schweitzerStepper solves each population's fixed point warm-started from
+// the previous population's converged queue lengths. The cold balanced
+// guess Q_k = n/K is used only at the first population; after that the
+// fixed point at n starts a small perturbation away from its solution,
+// which collapses the iteration count from hundreds (the balanced guess is
+// terrible near saturation, where the map contracts slowly) to a handful.
+// The converged q vector is therefore real recursion state and is carried
+// in checkpoints.
 type schweitzerStepper struct {
-	m    *queueing.Model
-	opts SchweitzerOptions
-	q    []float64
+	c      stationConsts
+	z      float64
+	opts   SchweitzerOptions
+	q      []float64
+	primed bool // q holds the previous population's fixed point
 }
 
-func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error, hooks *SolveHooks) error {
-	m, q := s.m, s.q
-	k := len(m.Stations)
-	// Start from the balanced initial guess Q_k = n/K.
-	for i := range q {
-		q[i] = float64(n) / float64(k)
+func (s *schweitzerStepper) step(res *Result, n, row int, _ func(int) error, hooks *SolveHooks) error {
+	demands, delay, serversF, q := s.c.demands, s.c.delay, s.c.serversF, s.q
+	k := len(demands)
+	resid := res.Residence[row]
+	if len(q) < k || len(delay) < k || len(serversF) < k || len(resid) < k {
+		return fmt.Errorf("%w: schweitzer stepper state shape mismatch", ErrBadRun)
 	}
+	if !s.primed {
+		// Cold start: the balanced initial guess Q_k = n/K.
+		bal := float64(n) / float64(k)
+		for i := range q {
+			q[i] = bal
+		}
+		s.primed = true
+	}
+	ratio := float64(n-1) / float64(n)
 	var x, rTotal, worst float64
 	converged, iters := false, 0
 	for iter := 0; iter < s.opts.MaxIter; iter++ {
 		iters = iter + 1
 		rTotal = 0
-		resid := res.Residence[n-1]
-		for i, st := range m.Stations {
-			if st.Kind == queueing.Delay {
-				resid[i] = st.Demand()
-			} else {
-				arr := float64(n-1) / float64(n) * q[i]
-				resid[i] = st.Demand() * (1 + arr)
+		for i := 0; i < k; i++ {
+			rv := demands[i]
+			if !delay[i] {
+				rv *= 1 + ratio*q[i]
 			}
-			rTotal += resid[i]
+			resid[i] = rv
+			rTotal += rv
 		}
-		x = float64(n) / (rTotal + m.ThinkTime)
+		x = float64(n) / (rTotal + s.z)
 		worst = 0.0
-		for i := range m.Stations {
+		for i := 0; i < k; i++ {
 			nq := x * resid[i]
-			worst = math.Max(worst, math.Abs(nq-q[i])/math.Max(q[i], 1e-12))
+			d := math.Abs(nq - q[i])
+			if ref := q[i]; ref > 1e-12 {
+				d /= ref
+			} else {
+				d /= 1e-12
+			}
+			if d > worst {
+				worst = d
+			}
 			q[i] = nq
 		}
 		if worst < s.opts.Tol {
@@ -201,27 +256,52 @@ func (s *schweitzerStepper) step(res *Result, n int, _ func(int) error, hooks *S
 	if !converged {
 		return fmt.Errorf("%w: schweitzer did not converge at n=%d", ErrBadRun, n)
 	}
-	for i, st := range m.Stations {
-		res.QueueLen[n-1][i] = q[i]
-		res.Util[n-1][i] = stationUtil(st, x)
-		res.Demands[n-1][i] = st.Demand()
+	qRow, uRow, dRow := res.QueueLen[row], res.Util[row], res.Demands[row]
+	if len(qRow) < k || len(uRow) < k || len(dRow) < k {
+		return fmt.Errorf("%w: result row shape mismatch", ErrBadRun)
 	}
-	res.X[n-1] = x
-	res.R[n-1] = rTotal
-	res.Cycle[n-1] = rTotal + m.ThinkTime
+	for i := 0; i < k; i++ {
+		qRow[i] = q[i]
+		u := 0.0
+		if !delay[i] {
+			u = x * demands[i] / serversF[i]
+			if u > 1 {
+				u = 1
+			}
+		}
+		uRow[i] = u
+		dRow[i] = demands[i]
+	}
+	res.X[row] = x
+	res.R[row] = rTotal
+	res.Cycle[row] = rTotal + s.z
 	return nil
 }
 
 func (s *schweitzerStepper) release() {
+	s.c.release()
 	putVec(s.q)
 	s.q = nil
 }
 
-// Schweitzer steps are self-contained (the fixed point restarts from the
-// balanced guess every population), so there is no state to carry.
-func (s *schweitzerStepper) checkpoint(*Checkpoint) {}
+// The warm-started fixed point makes the previous population's converged
+// queue lengths recursion state proper.
+func (s *schweitzerStepper) checkpoint(cp *Checkpoint) {
+	cp.Queue = append([]float64(nil), s.q...)
+}
 
-func (s *schweitzerStepper) restore(*Checkpoint) error { return nil }
+func (s *schweitzerStepper) restore(cp *Checkpoint) error {
+	if cp.N == 0 {
+		// A fresh solver's checkpoint restores to a cold balanced start.
+		s.primed = false
+		return nil
+	}
+	if err := copyQueue(s.q, cp.Queue); err != nil {
+		return err
+	}
+	s.primed = true
+	return nil
+}
 
 // NewSchweitzerSolver returns a resumable Bard–Schweitzer solver for m.
 func NewSchweitzerSolver(m *queueing.Model, opts SchweitzerOptions) (*Solver, error) {
@@ -230,7 +310,7 @@ func NewSchweitzerSolver(m *queueing.Model, opts SchweitzerOptions) (*Solver, er
 	}
 	opts.defaults()
 	return newSolver("schweitzer-amva", newEmptyResult("schweitzer-amva", m, 0),
-		&schweitzerStepper{m: m, opts: opts, q: getVec(len(m.Stations))}), nil
+		&schweitzerStepper{c: newStationConsts(m), z: m.ThinkTime, opts: opts, q: getVec(len(m.Stations))}), nil
 }
 
 // Schweitzer solves the network with the Bard–Schweitzer approximate MVA:
@@ -238,10 +318,13 @@ func NewSchweitzerSolver(m *queueing.Model, opts SchweitzerOptions) (*Solver, er
 //
 //	Q_k(n−1) ≈ (n−1)/n · Q_k(n)                  (paper eq. 9)
 //
-// yielding a fixed point solved directly at the target population — much
-// cheaper than the exact recursion at high N, at some accuracy cost. Only
-// the target population is solved exactly; intermediate rows of the Result
-// are each solved independently so the trajectory remains meaningful.
+// yielding a fixed point solved at every population of the trajectory —
+// cheaper than the exact recursion would suggest, at some accuracy cost.
+// Each population's fixed point is warm-started from the previous
+// population's converged queue lengths (population 1 starts from the
+// balanced guess), so the per-population iteration count stays O(1) even
+// near saturation, where a cold balanced start needs hundreds of
+// iterations.
 func Schweitzer(m *queueing.Model, maxN int, opts SchweitzerOptions) (*Result, error) {
 	return schweitzer(context.Background(), m, maxN, opts)
 }

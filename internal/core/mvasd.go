@@ -61,14 +61,14 @@ type mvasdStepper struct {
 	x     float64 // previous step's throughput: warm start for the fixed point
 }
 
-func (s *mvasdStepper) step(res *Result, n int, stop func(int) error, hooks *SolveHooks) error {
+func (s *mvasdStepper) step(res *Result, n, row int, stop func(int) error, hooks *SolveHooks) error {
 	m, dm, demands := s.m, s.dm, s.dems
 	if !dm.DependsOnThroughput() {
 		for k := range demands {
 			demands[k] = dm.DemandAt(k, n, 0)
 		}
-		xn, rTotal := multiServerStep(m, s.st, demands, n, s.opts.Verbatim, res.Residence[n-1])
-		commitRow(res, m, n, xn, rTotal, demands, s.st)
+		xn, rTotal := multiServerStep(m, s.st, demands, n, s.opts.Verbatim, res.Residence[row])
+		commitRow(res, m, row, xn, rTotal, demands, s.st)
 		s.x = xn
 		return nil
 	}
@@ -96,11 +96,11 @@ func (s *mvasdStepper) step(res *Result, n int, stop func(int) error, hooks *Sol
 			demands[k] = dm.DemandAt(k, n, guess)
 		}
 		s.trial.copyFrom(s.st)
-		xn, rTotal := multiServerStep(m, s.trial, demands, n, s.opts.Verbatim, res.Residence[n-1])
+		xn, rTotal := multiServerStep(m, s.trial, demands, n, s.opts.Verbatim, res.Residence[row])
 		resid = math.Abs(xn-guess) / math.Max(guess, 1e-12)
 		if math.Abs(xn-guess) <= s.opts.FixedPointTol*math.Max(guess, 1e-12) {
 			s.st, s.trial = s.trial, s.st
-			commitRow(res, m, n, xn, rTotal, demands, s.st)
+			commitRow(res, m, row, xn, rTotal, demands, s.st)
 			s.x = xn
 			hooks.fixedPoint(n, iter+1, resid, true)
 			return nil
@@ -198,10 +198,10 @@ type mvasdSingleStepper struct {
 	dems []float64
 }
 
-func (s *mvasdSingleStepper) step(res *Result, n int, _ func(int) error, _ *SolveHooks) error {
+func (s *mvasdSingleStepper) step(res *Result, n, row int, _ func(int) error, _ *SolveHooks) error {
 	m, dm, q, demands := s.m, s.dm, s.q, s.dems
 	rTotal := 0.0
-	resid := res.Residence[n-1]
+	resid := res.Residence[row]
 	for i, stn := range m.Stations {
 		demands[i] = dm.DemandAt(i, n, 0)
 		norm := demands[i] / float64(stn.Servers)
@@ -215,17 +215,17 @@ func (s *mvasdSingleStepper) step(res *Result, n int, _ func(int) error, _ *Solv
 	x := float64(n) / (rTotal + m.ThinkTime)
 	for i, stn := range m.Stations {
 		q[i] = x * resid[i]
-		res.QueueLen[n-1][i] = q[i]
+		res.QueueLen[row][i] = q[i]
 		if stn.Kind == queueing.Delay {
-			res.Util[n-1][i] = 0
+			res.Util[row][i] = 0
 		} else {
-			res.Util[n-1][i] = math.Min(x*demands[i]/float64(stn.Servers), 1)
+			res.Util[row][i] = math.Min(x*demands[i]/float64(stn.Servers), 1)
 		}
-		res.Demands[n-1][i] = demands[i]
+		res.Demands[row][i] = demands[i]
 	}
-	res.X[n-1] = x
-	res.R[n-1] = rTotal
-	res.Cycle[n-1] = rTotal + m.ThinkTime
+	res.X[row] = x
+	res.R[row] = rTotal
+	res.Cycle[row] = rTotal + m.ThinkTime
 	return nil
 }
 

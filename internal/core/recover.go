@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+)
+
+// RecoveredRow is one re-derived population row of a decimated trajectory:
+// the full per-population metrics a dense solve would have stored.
+type RecoveredRow struct {
+	N           int
+	X, R, Cycle float64
+	QueueLen    []float64
+	Util        []float64
+	Residence   []float64
+	Demands     []float64
+}
+
+// rowCopy copies stored row i into a RecoveredRow with fresh backing.
+func (r *Result) rowCopy(i int) RecoveredRow {
+	return RecoveredRow{
+		N:         r.N[i],
+		X:         r.X[i],
+		R:         r.R[i],
+		Cycle:     r.Cycle[i],
+		QueueLen:  append([]float64(nil), r.QueueLen[i]...),
+		Util:      append([]float64(nil), r.Util[i]...),
+		Residence: append([]float64(nil), r.Residence[i]...),
+		Demands:   append([]float64(nil), r.Demands[i]...),
+	}
+}
+
+// checkpointAtOrBelow returns the stored checkpoint with the largest
+// population ≤ n, or nil when none exists (n precedes the first stored row).
+func (r *Result) checkpointAtOrBelow(n int) *Checkpoint {
+	cps := r.Checkpoints
+	lo, hi := 0, len(cps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cps[mid].N <= n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return cps[lo-1]
+}
+
+// Recover re-derives the requested populations from a (possibly decimated)
+// trajectory. ns must be ascending and within 1..SolvedN. Populations held
+// in stored rows are copied directly; skipped populations are recomputed by
+// seeding a fresh solver — built by the supplied factory, which must
+// reproduce the solver configuration that produced r — with the nearest
+// stored checkpoint at or below the population and extending densely from
+// there. Because each stepper's recursion is deterministic and checkpoints
+// capture its full state, recovered rows are float-for-float identical to
+// what a dense solve stores; each gap costs at most stride-1 dense steps,
+// so memory and time stay bounded by the decimation stride per row.
+func (r *Result) Recover(ns []int, fresh func() (*Solver, error)) ([]RecoveredRow, error) {
+	out := make([]RecoveredRow, 0, len(ns))
+	var sub *Solver
+	defer func() {
+		if sub != nil {
+			sub.Release()
+		}
+	}()
+	prev := 0
+	for _, n := range ns {
+		if n < prev {
+			return nil, fmt.Errorf("%w: recover populations must be ascending (%d after %d)", ErrBadRun, n, prev)
+		}
+		prev = n
+		if n < 1 || n > r.SolvedN() {
+			return nil, fmt.Errorf("%w: recover population %d outside solved range 1..%d", ErrBadRun, n, r.SolvedN())
+		}
+		if i := r.IndexOf(n); i >= 0 {
+			out = append(out, r.rowCopy(i))
+			continue
+		}
+		cp := r.checkpointAtOrBelow(n)
+		base := 0
+		if cp != nil {
+			base = cp.N
+		}
+		// Reuse the in-flight recovery solver while it is the closest seed;
+		// once a nearer checkpoint exists, restart from it so no recovery
+		// ever extends densely across more than one decimation gap.
+		if sub == nil || sub.N() > n || sub.N() < base {
+			if sub != nil {
+				sub.Release()
+				sub = nil
+			}
+			s2, err := fresh()
+			if err != nil {
+				return nil, err
+			}
+			if s2.Result().Algorithm != r.Algorithm {
+				s2.Release()
+				return nil, fmt.Errorf("%w: recover factory built %q, trajectory is %q",
+					ErrBadRun, s2.Result().Algorithm, r.Algorithm)
+			}
+			if cp != nil {
+				if err := s2.ResumeFrom(cp); err != nil {
+					s2.Release()
+					return nil, err
+				}
+			}
+			sub = s2
+		}
+		if err := sub.Run(n); err != nil {
+			return nil, err
+		}
+		i := sub.Result().IndexOf(n)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: recovery solver did not store population %d", ErrBadRun, n)
+		}
+		out = append(out, sub.Result().rowCopy(i))
+	}
+	return out, nil
+}

@@ -67,12 +67,29 @@ type Result struct {
 	// constant for classic MVA, varying for MVASD.
 	Demands [][]float64
 
+	// Checkpoints[i] is the solver's recursion state at stored row i. Only
+	// decimated trajectories (stride > 1) carry checkpoints: they are what
+	// makes skipped rows recoverable (re-extend densely from the nearest
+	// stored checkpoint ≤ n). Dense trajectories leave this nil.
+	Checkpoints []*Checkpoint
+
 	// Growable backing. Each [][]float64 metric is a prefix of its row-header
 	// array (qRows etc.), whose rows are non-overlapping k-wide windows into
 	// one flat buffer. appendRow only reslices the public headers, so a step
 	// inside reserved capacity allocates nothing.
 	k       int // stations per row
-	capRows int // allocated population capacity
+	capRows int // allocated row capacity
+
+	// Deep-solve geometry. A dense trajectory starting at population 1 has
+	// stride ≤ 1, basePop 0 and solvedN == len(N); row i holds population
+	// i+1. A decimated trajectory (stride > 1) stores only populations
+	// divisible by stride plus each run's final population; a chunk
+	// trajectory (basePop > 0) stores populations basePop+1..solvedN. In
+	// both cases N[i] is authoritative and rows stay sorted by population.
+	stride  int // store every stride-th population (≤ 1 means dense)
+	basePop int // recursion was seeded at this population (rows start after it)
+	solvedN int // largest population the recursion has advanced through
+	staged  bool
 
 	nBuf   []int
 	xBuf   []float64
@@ -158,6 +175,20 @@ func (r *Result) reserve(n int) {
 	r.reslice(rows)
 }
 
+// rowsForPop returns the number of stored rows a run through population
+// maxN will occupy, given the trajectory's stride and current frontier.
+func (r *Result) rowsForPop(maxN int) int {
+	if maxN <= r.solvedN {
+		return len(r.N)
+	}
+	if r.stride <= 1 {
+		return len(r.N) + maxN - r.solvedN
+	}
+	// Kept rows in (solvedN, maxN]: the stride multiples, plus the final
+	// population when unaligned.
+	return len(r.N) + maxN/r.stride - r.solvedN/r.stride + 1
+}
+
 // reslice points the public views at the first n rows of the backing.
 func (r *Result) reslice(n int) {
 	r.N = r.nBuf[:n]
@@ -170,27 +201,131 @@ func (r *Result) reslice(n int) {
 	r.Demands = r.dRows[:n]
 }
 
-// appendRow exposes the next population row for the solver step to fill.
-// Within reserved capacity this is a pure reslice and allocates nothing.
+// appendRow exposes the next dense population row for the solver step to
+// fill. Within reserved capacity this is a pure reslice and allocates
+// nothing.
 func (r *Result) appendRow() {
 	rows := len(r.N)
 	if rows == r.capRows {
 		r.reserve(rows + 1)
 	}
-	r.nBuf[rows] = rows + 1
+	n := r.basePop + rows + 1
+	r.nBuf[rows] = n
+	r.solvedN = n
 	r.reslice(rows + 1)
 }
 
-// truncate drops rows beyond population n (used to discard a failed step so
-// the completed prefix stays consistent and resumable).
-func (r *Result) truncate(n int) {
-	if n >= 0 && n < len(r.N) {
-		r.reslice(n)
+// stageRow exposes a row for population n and returns its index. A staged
+// row is provisional: a later stageRow for a higher population reuses it
+// (that is how a decimated run skips populations without growing the
+// trajectory), commitStaged keeps it, dropStaged discards it. Staged rows
+// are always beyond every published prefix, so overwriting them never
+// mutates a snapshot.
+func (r *Result) stageRow(n int) int {
+	if r.staged {
+		i := len(r.N) - 1
+		r.nBuf[i] = n
+		return i
+	}
+	rows := len(r.N)
+	if rows == r.capRows {
+		r.reserve(rows + 1)
+	}
+	r.nBuf[rows] = n
+	r.reslice(rows + 1)
+	r.staged = true
+	return rows
+}
+
+// commitStaged makes the currently staged row permanent.
+func (r *Result) commitStaged() { r.staged = false }
+
+// dropStaged discards the staged row, if any (used when a step fails so the
+// committed prefix stays consistent and resumable).
+func (r *Result) dropStaged() {
+	if r.staged {
+		r.reslice(len(r.N) - 1)
+		r.staged = false
 	}
 }
 
-// Len returns the number of solved population steps.
+// truncate drops all but the first rows stored rows (used to discard a
+// failed restore so the solver stays fresh).
+func (r *Result) truncate(rows int) {
+	if rows >= 0 && rows < len(r.N) {
+		r.reslice(rows)
+		r.staged = false
+		if rows == 0 {
+			r.solvedN = r.basePop
+		} else {
+			r.solvedN = r.nBuf[rows-1]
+		}
+		if len(r.Checkpoints) > rows {
+			r.Checkpoints = r.Checkpoints[:rows]
+		}
+	}
+}
+
+// Len returns the number of stored population rows. For dense trajectories
+// this equals the largest solved population; decimated or chunked
+// trajectories store fewer rows than SolvedN.
 func (r *Result) Len() int { return len(r.N) }
+
+// SolvedN returns the largest population the recursion has advanced
+// through. For dense full trajectories it equals Len(); a decimated solve
+// advances through every population while storing only every stride-th row.
+func (r *Result) SolvedN() int {
+	if r.solvedN == 0 && len(r.N) > 0 {
+		// Externally assembled results (RestoreResult round-trips, hand-built
+		// views) may predate the solvedN bookkeeping; the last row is
+		// authoritative for them.
+		return r.N[len(r.N)-1]
+	}
+	return r.solvedN
+}
+
+// Stride returns the decimation stride (1 for dense trajectories).
+func (r *Result) Stride() int {
+	if r.stride < 1 {
+		return 1
+	}
+	return r.stride
+}
+
+// BasePop returns the population the recursion was seeded at: 0 for a cold
+// solve, the checkpoint's population for a chunk solved via ResumeFrom.
+// Stored rows cover populations BasePop+1..SolvedN.
+func (r *Result) BasePop() int { return r.basePop }
+
+// IndexOf returns the stored row index holding population n, or -1 when n
+// was skipped by decimation or is outside the stored range. Dense lookups
+// are O(1); decimated lookups binary-search the population column.
+func (r *Result) IndexOf(n int) int {
+	rows := len(r.N)
+	if rows == 0 {
+		return -1
+	}
+	if r.stride <= 1 {
+		i := n - r.basePop - 1
+		if i < 0 || i >= rows {
+			return -1
+		}
+		return i
+	}
+	lo, hi := 0, rows
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.N[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < rows && r.N[lo] == n {
+		return lo
+	}
+	return -1
+}
 
 // Prefix returns a read-only view of the first n population steps. The view
 // shares row storage with r but is safe against later extensions: appends
@@ -198,32 +333,84 @@ func (r *Result) Len() int { return len(r.N) }
 // view's backing untouched. Mutating a view corrupts the parent; treat it as
 // immutable.
 func (r *Result) Prefix(n int) (*Result, error) {
+	if r.Stride() != 1 || r.basePop != 0 {
+		return nil, fmt.Errorf("core: prefix of a decimated or chunked trajectory (stride %d, base %d); use PrefixPop",
+			r.Stride(), r.basePop)
+	}
 	if n < 1 || n > len(r.N) {
 		return nil, fmt.Errorf("core: prefix %d outside solved range 1..%d", n, len(r.N))
 	}
-	return &Result{
+	return r.view(n, n), nil
+}
+
+// PrefixPop returns a read-only view of every stored row with population
+// ≤ n, for any trajectory geometry. n must not exceed SolvedN; the view's
+// SolvedN is n (the recursion demonstrably advanced through it), so a
+// decimated view may report SolvedN beyond its last stored row — or hold no
+// rows at all when n is below the first stored population. The same
+// immutability guarantees as Prefix apply.
+func (r *Result) PrefixPop(n int) (*Result, error) {
+	if n < 1 || n <= r.basePop || n > r.SolvedN() {
+		return nil, fmt.Errorf("core: prefix population %d outside solved range %d..%d",
+			n, r.basePop+1, r.SolvedN())
+	}
+	rows := len(r.N)
+	if r.stride <= 1 {
+		if d := n - r.basePop; d < rows {
+			rows = d
+		}
+	} else {
+		lo, hi := 0, rows
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if r.N[mid] <= n {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		rows = lo
+	}
+	return r.view(rows, n), nil
+}
+
+// view builds the read-only snapshot shared by Prefix and PrefixPop: the
+// first rows stored rows, with the recursion known to have advanced through
+// population solvedN.
+func (r *Result) view(rows, solvedN int) *Result {
+	v := &Result{
 		Algorithm:    r.Algorithm,
 		ModelName:    r.ModelName,
 		ThinkTime:    r.ThinkTime,
 		StationNames: r.StationNames,
-		N:            r.N[:n:n],
-		X:            r.X[:n:n],
-		R:            r.R[:n:n],
-		Cycle:        r.Cycle[:n:n],
-		QueueLen:     r.QueueLen[:n:n],
-		Util:         r.Util[:n:n],
-		Residence:    r.Residence[:n:n],
-		Demands:      r.Demands[:n:n],
-	}, nil
+		N:            r.N[:rows:rows],
+		X:            r.X[:rows:rows],
+		R:            r.R[:rows:rows],
+		Cycle:        r.Cycle[:rows:rows],
+		QueueLen:     r.QueueLen[:rows:rows],
+		Util:         r.Util[:rows:rows],
+		Residence:    r.Residence[:rows:rows],
+		Demands:      r.Demands[:rows:rows],
+		k:            r.k,
+		stride:       r.stride,
+		basePop:      r.basePop,
+		solvedN:      solvedN,
+	}
+	if len(r.Checkpoints) >= rows && r.stride > 1 {
+		v.Checkpoints = r.Checkpoints[:rows:rows]
+	}
+	return v
 }
 
 // At returns the (X, R, Cycle) triple at population n, or an error if n is
-// outside the solved range.
+// outside the stored rows (including populations skipped by decimation; see
+// Recover for those).
 func (r *Result) At(n int) (x, resp, cycle float64, err error) {
-	if n < 1 || n > len(r.N) {
+	i := r.IndexOf(n)
+	if i < 0 {
 		return 0, 0, 0, fmt.Errorf("core: population %d outside solved range 1..%d", n, len(r.N))
 	}
-	return r.X[n-1], r.R[n-1], r.Cycle[n-1], nil
+	return r.X[i], r.R[i], r.Cycle[i], nil
 }
 
 // MaxThroughput returns the largest throughput in the trajectory and the

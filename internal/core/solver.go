@@ -6,15 +6,17 @@ import (
 )
 
 // stepper is the per-population step of one MVA variant. step solves
-// population n (rows < n are already committed, res.Residence[n-1] and
-// friends are ready to be filled) and mutates the stepper's own recursion
-// state only on success, so a failed or cancelled step can be retried.
+// population n into result row i (earlier rows are already committed,
+// res.Residence[i] and friends are ready to be filled) and mutates the
+// stepper's own recursion state only on success, so a failed or cancelled
+// step can be retried. The row index is passed separately from n because a
+// decimated or chunked trajectory does not store row n-1 at index n-1.
 // stop is the per-step cancellation probe (nil when non-cancellable); only
 // steppers with inner fixed-point loops consult it. hooks is the solver's
 // observer (nil when uninstrumented); steppers with inner fixed points
 // report their iteration counts through it.
 type stepper interface {
-	step(res *Result, n int, stop func(int) error, hooks *SolveHooks) error
+	step(res *Result, n, i int, stop func(int) error, hooks *SolveHooks) error
 	// release returns pooled scratch. The stepper must not be used after.
 	release()
 	// checkpoint deep-copies the stepper's recursion state into cp (steppers
@@ -74,8 +76,11 @@ func newSolver(algorithm string, res *Result, alg stepper) *Solver {
 	return &Solver{res: res, alg: alg}
 }
 
-// N returns the largest population solved so far (0 for a fresh solver).
-func (s *Solver) N() int { return s.res.Len() }
+// N returns the largest population solved so far (0 for a fresh solver,
+// the seed checkpoint's population right after ResumeFrom). A decimated
+// solver advances through every population, so N reports the recursion
+// frontier, not the stored-row count.
+func (s *Solver) N() int { return s.res.SolvedN() }
 
 // SetHooks installs (or, with nil, clears) the solver's progress observer.
 // Like the solver itself, SetHooks is not safe for concurrent use with a
@@ -88,12 +93,74 @@ func (s *Solver) SetHooks(h *SolveHooks) { s.hooks = h }
 // snapshot.
 func (s *Solver) Result() *Result { return s.res }
 
-// Reserve pre-allocates trajectory capacity for n population steps so
-// subsequent steps inside that capacity allocate nothing.
+// Reserve pre-allocates trajectory capacity for a run up to population n so
+// subsequent steps inside that capacity allocate nothing. Decimated solvers
+// reserve only the rows they will store.
 func (s *Solver) Reserve(n int) {
 	if n > 0 {
-		s.res.reserve(n)
+		s.res.reserve(s.res.rowsForPop(n))
 	}
+}
+
+// Decimate configures the solver to store only every stride-th population
+// (plus each run's final population) while still advancing the recursion
+// through every population — bounding a deep solve's memory at
+// N/stride rows. Every stored row carries the recursion checkpoint at that
+// population, so any skipped row is recoverable bit-identically by
+// re-extending from the nearest stored checkpoint (see Result.Recover).
+// Decimate must be called before the first Run; stride 1 is a no-op.
+// Marginal-tracing multi-server solvers cannot be decimated (the trace is
+// per-population and would misalign with the stored rows).
+func (s *Solver) Decimate(stride int) error {
+	if s.released {
+		return fmt.Errorf("%w: decimate a released solver", ErrBadRun)
+	}
+	if stride < 1 {
+		return fmt.Errorf("%w: decimation stride %d", ErrBadRun, stride)
+	}
+	if s.res.Len() != 0 {
+		return fmt.Errorf("%w: decimate a solver already at population %d", ErrBadRun, s.res.SolvedN())
+	}
+	if stride == 1 {
+		return nil
+	}
+	if ms, ok := s.alg.(*multiServerStepper); ok && ms.trace != nil {
+		return fmt.Errorf("%w: decimate a marginal-tracing solver", ErrBadRun)
+	}
+	s.res.stride = stride
+	return nil
+}
+
+// ResumeFrom seeds a fresh solver with only the recursion state of cp — no
+// trajectory rows — so a subsequent Run continues the population recursion
+// at cp.N+1 with stored rows starting there (Result().BasePop() == cp.N).
+// This is the distributed deep-solve primitive: a cluster member receives a
+// checkpoint, solves its [cp.N+1, toN] chunk without ever holding the
+// prefix, and ships its own final checkpoint on. Extending a resumed solver
+// is bit-identical to the source solver solving the same populations.
+func (s *Solver) ResumeFrom(cp *Checkpoint) error {
+	if s.released {
+		return fmt.Errorf("%w: resume a released solver", ErrBadRun)
+	}
+	if s.res.Len() != 0 || s.res.basePop != 0 {
+		return fmt.Errorf("%w: resume a solver already at population %d (want fresh)", ErrBadRun, s.res.SolvedN())
+	}
+	if cp == nil {
+		return fmt.Errorf("%w: resume needs a checkpoint", ErrBadRun)
+	}
+	if cp.Algorithm != s.res.Algorithm {
+		return fmt.Errorf("%w: resume algorithm mismatch: checkpoint %q, solver %q",
+			ErrBadRun, cp.Algorithm, s.res.Algorithm)
+	}
+	if cp.N < 0 {
+		return fmt.Errorf("%w: resume from population %d", ErrBadRun, cp.N)
+	}
+	if err := s.alg.restore(cp); err != nil {
+		return err
+	}
+	s.res.basePop = cp.N
+	s.res.solvedN = cp.N
+	return nil
 }
 
 // Run solves the recursion up to population maxN. Populations already solved
@@ -114,24 +181,38 @@ func (s *Solver) RunContext(ctx context.Context, maxN int) error {
 	if maxN < 1 {
 		return fmt.Errorf("%w: population %d", ErrBadRun, maxN)
 	}
-	if maxN <= s.res.Len() {
+	res := s.res
+	if maxN <= res.SolvedN() {
 		return nil
 	}
 	stop := stepCancel(ctx)
-	s.res.reserve(maxN)
-	for n := s.res.Len() + 1; n <= maxN; n++ {
+	res.reserve(res.rowsForPop(maxN))
+	stride := res.stride
+	if stride < 1 {
+		stride = 1
+	}
+	for n := res.solvedN + 1; n <= maxN; n++ {
 		if stop != nil {
 			if err := stop(n); err != nil {
 				return err
 			}
 		}
-		s.res.appendRow()
-		if err := s.alg.step(s.res, n, stop, s.hooks); err != nil {
-			s.res.truncate(n - 1)
+		i := res.stageRow(n)
+		if err := s.alg.step(res, n, i, stop, s.hooks); err != nil {
+			res.dropStaged()
 			return err
 		}
+		res.solvedN = n
+		if stride == 1 || n%stride == 0 || n == maxN {
+			res.commitStaged()
+			if stride > 1 {
+				cp := &Checkpoint{Algorithm: res.Algorithm, N: n}
+				s.alg.checkpoint(cp)
+				res.Checkpoints = append(res.Checkpoints, cp)
+			}
+		}
 		if s.hooks != nil && s.hooks.OnStep != nil {
-			s.hooks.OnStep(n, s.res.X[n-1])
+			s.hooks.OnStep(n, res.xBuf[i])
 		}
 	}
 	return nil

@@ -65,6 +65,14 @@ type SolveRequest struct {
 	// Every decimates the returned trajectory to every k-th population
 	// (the final population is always kept); 0 returns every row.
 	Every int `json:"every,omitempty"`
+	// Decimate bounds the solve's memory for deep populations: the solver
+	// stores only every k-th population (plus the final one, each with its
+	// recursion checkpoint) while still advancing through every population.
+	// Stored rows are bit-identical to a dense solve; skipped rows are
+	// recoverable from the stored checkpoints. 0 or 1 solves densely.
+	// Unlike Every — which only thins the response — Decimate changes which
+	// rows exist server-side, so it is part of the cache key.
+	Decimate int `json:"decimate,omitempty"`
 	// TimeoutMS caps this request's solve time; 0 uses the server default.
 	// It is not part of the cache key: it bounds work, not the answer.
 	TimeoutMS int `json:"timeoutMs,omitempty"`
@@ -125,8 +133,11 @@ func (r *SolveRequest) Normalize() error {
 	} else if r.DemandAxis != "" {
 		return fmt.Errorf("modelio: demandAxis is only meaningful with sample-driven algorithms")
 	}
-	if r.Every < 0 || r.TimeoutMS < 0 {
-		return fmt.Errorf("modelio: negative every/timeoutMs")
+	if r.Every < 0 || r.TimeoutMS < 0 || r.Decimate < 0 {
+		return fmt.Errorf("modelio: negative every/timeoutMs/decimate")
+	}
+	if r.Decimate == 1 {
+		r.Decimate = 0 // canonical dense spelling, so cache keys agree
 	}
 	return nil
 }
@@ -149,11 +160,14 @@ func (r *SolveRequest) DemandModel() (core.DemandModel, error) {
 }
 
 // cacheableSolve is the canonical key material: everything that changes the
-// solver's *recursion*, and nothing that doesn't. MaxN is deliberately
-// excluded — the population recursion at n depends only on n' < n, so one
-// cached trajectory answers every request for the same model at any maxN
-// (serving smaller maxN from the prefix, extending in place for larger).
-// Timeout and decimation bound work and shape output, not the answer.
+// solver's *recursion* or its stored geometry, and nothing that doesn't.
+// MaxN is deliberately excluded — the population recursion at n depends only
+// on n' < n, so one cached trajectory answers every request for the same
+// model at any maxN (serving smaller maxN from the prefix, extending in
+// place for larger). Timeout and the response-side Every bound work and
+// shape output, not the answer. Decimate IS keyed (when > 1): a decimated
+// entry stores different rows than a dense one, so letting the two share an
+// entry would poison dense prefix/extend hits with sparse trajectories.
 type cacheableSolve struct {
 	Algorithm string
 	Model     *queueing.Model
@@ -162,6 +176,9 @@ type cacheableSolve struct {
 	// DemandAxis is keyed only when it changes the recursion (throughput
 	// mode), so pre-existing concurrency-mode keys are unchanged.
 	DemandAxis string `json:",omitempty"`
+	// Decimate is keyed only when it changes the stored rows (> 1), so
+	// pre-existing dense keys are unchanged.
+	Decimate int `json:",omitempty"`
 }
 
 // CacheKey returns a canonical hash of (algorithm, model, samples, interp) —
@@ -183,6 +200,9 @@ func (r *SolveRequest) keyBytes() ([]byte, error) {
 		Algorithm: r.Algorithm,
 		Model:     r.Model,
 		Interp:    r.Interp,
+	}
+	if r.Decimate > 1 {
+		c.Decimate = r.Decimate
 	}
 	if r.NeedsSamples() {
 		c.Samples = r.Samples
@@ -221,15 +241,21 @@ type Trajectory struct {
 }
 
 // NewTrajectory extracts a (possibly decimated) trajectory from a Result.
+// A Result that stores no rows (a decimated prefix view below the first
+// stored population) yields an empty trajectory; the caller appends the
+// populations it recovers via AppendRecovered.
 func NewTrajectory(res *core.Result, every int) *Trajectory {
 	t := &Trajectory{
-		Algorithm:     res.Algorithm,
-		ModelName:     res.ModelName,
-		ThinkTime:     res.ThinkTime,
-		StationNames:  append([]string(nil), res.StationNames...),
-		FinalUtil:     res.FinalUtilization(),
-		FinalQueueLen: append([]float64(nil), res.QueueLen[len(res.QueueLen)-1]...),
+		Algorithm:    res.Algorithm,
+		ModelName:    res.ModelName,
+		ThinkTime:    res.ThinkTime,
+		StationNames: append([]string(nil), res.StationNames...),
 	}
+	if res.Len() == 0 {
+		return t
+	}
+	t.FinalUtil = res.FinalUtilization()
+	t.FinalQueueLen = append([]float64(nil), res.QueueLen[len(res.QueueLen)-1]...)
 	t.MaxX, t.MaxXAt = res.MaxThroughput()
 	if every < 1 {
 		every = 1
@@ -248,6 +274,23 @@ func NewTrajectory(res *core.Result, every int) *Trajectory {
 		t.Cycle = append(t.Cycle, res.Cycle[last])
 	}
 	return t
+}
+
+// AppendRecovered appends one re-derived population row (Result.Recover of a
+// decimated trajectory) and promotes it to the trajectory's final row: the
+// solve engine uses it when the requested population was skipped by
+// decimation, so Final* and MaxX reflect the population the client asked
+// for, not the last stored one.
+func (t *Trajectory) AppendRecovered(row core.RecoveredRow) {
+	t.N = append(t.N, row.N)
+	t.X = append(t.X, row.X)
+	t.R = append(t.R, row.R)
+	t.Cycle = append(t.Cycle, row.Cycle)
+	t.FinalUtil = append([]float64(nil), row.Util...)
+	t.FinalQueueLen = append([]float64(nil), row.QueueLen...)
+	if row.X > t.MaxX {
+		t.MaxX, t.MaxXAt = row.X, row.N
+	}
 }
 
 // SolveResponse is the POST /v1/solve reply.

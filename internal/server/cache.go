@@ -89,7 +89,7 @@ func (c *solveCache) entries() []cacheEntrySnapshot {
 		snap := cacheEntrySnapshot{Key: e.key, LastAccess: e.lastAccess}
 		if t := e.traj.Load(); t != nil {
 			snap.Algorithm = t.Algorithm
-			snap.Population = t.Len()
+			snap.Population = t.SolvedN()
 		}
 		out = append(out, snap)
 	}
@@ -202,8 +202,11 @@ func (c *solveCache) do(ctx context.Context, key string, maxN int,
 	for {
 		e := c.lookup(key)
 		// Lock-free fast path: the published snapshot already covers maxN.
-		if t := e.traj.Load(); t != nil && t.Len() >= maxN {
-			res, err := t.Prefix(maxN)
+		// SolvedN (not Len) is the coverage test: a decimated entry's
+		// recursion advances through every population while storing only
+		// every stride-th row, and PrefixPop serves any geometry.
+		if t := e.traj.Load(); t != nil && t.SolvedN() >= maxN {
+			res, err := t.PrefixPop(maxN)
 			return res, true, err
 		}
 		select {
@@ -218,9 +221,9 @@ func (c *solveCache) do(ctx context.Context, key string, maxN int,
 		}
 		// Recheck under the lock: a concurrent leader may have extended far
 		// enough while we waited — that shared run counts as a hit.
-		if t := e.traj.Load(); t != nil && t.Len() >= maxN {
+		if t := e.traj.Load(); t != nil && t.SolvedN() >= maxN {
 			c.unlockEntry(e)
-			res, err := t.Prefix(maxN)
+			res, err := t.PrefixPop(maxN)
 			return res, true, err
 		}
 		if e.solver == nil {
@@ -237,8 +240,8 @@ func (c *solveCache) do(ctx context.Context, key string, maxN int,
 		// published: an entry with no progress is dropped.
 		progressed := false
 		if n := e.solver.N(); n > 0 {
-			if t := e.traj.Load(); t == nil || n > t.Len() {
-				if snap, err := e.solver.Result().Prefix(n); err == nil {
+			if t := e.traj.Load(); t == nil || n > t.SolvedN() {
+				if snap, err := e.solver.Result().PrefixPop(n); err == nil {
 					e.traj.Store(snap)
 				}
 			}
@@ -248,7 +251,7 @@ func (c *solveCache) do(ctx context.Context, key string, maxN int,
 		if runErr != nil {
 			return nil, false, runErr
 		}
-		res, err := e.traj.Load().Prefix(maxN)
+		res, err := e.traj.Load().PrefixPop(maxN)
 		return res, false, err
 	}
 }
@@ -278,6 +281,12 @@ func (c *solveCache) export(ctx context.Context, key string) (*core.Result, *cor
 	}
 	defer c.unlockEntry(e)
 	if e.evicted.Load() || e.solver == nil || e.solver.N() == 0 {
+		return nil, nil, false
+	}
+	if e.solver.Result().Stride() > 1 {
+		// Decimated entries don't export: the fill protocol replays a dense
+		// prefix into the receiving solver (Solver.Restore), and a sparse
+		// trajectory can't seed that. The asking node just solves cold.
 		return nil, nil, false
 	}
 	cp, err := e.solver.Checkpoint()

@@ -77,23 +77,100 @@ func (s *Server) SolveContext(ctx context.Context, timeoutMS int) (context.Conte
 	return context.WithTimeout(ctx, d)
 }
 
+// checkMaxN enforces the configured population cap. The cap protects the
+// node's memory — a dense trajectory stores maxN rows of per-station
+// matrices — so a decimated request is capped on the rows it will *store*
+// (maxN/stride + 1), not the populations it advances through: that is what
+// lets a default-configured node run million-user deep solves. CPU stays
+// bounded by the request deadline either way.
+func (s *Server) checkMaxN(maxN, stride int) error {
+	rows := maxN
+	if stride > 1 {
+		rows = maxN/stride + 1
+	}
+	if rows > s.cfg.MaxN {
+		return fmt.Errorf("%w: maxN %d stores %d rows, exceeding the server cap %d (raise decimate?)",
+			ErrLimit, maxN, rows, s.cfg.MaxN)
+	}
+	return nil
+}
+
 // Solve answers one normalized solve request through the cache, in-flight
 // dedup and worker pool — the engine behind POST /v1/solve. The caller must
 // have called req.Normalize and should bound ctx with SolveContext.
 func (s *Server) Solve(ctx context.Context, req *modelio.SolveRequest) (*modelio.SolveResponse, error) {
-	if req.MaxN > s.cfg.MaxN {
-		return nil, fmt.Errorf("%w: maxN %d exceeds the server cap %d", ErrLimit, req.MaxN, s.cfg.MaxN)
+	if err := s.checkMaxN(req.MaxN, req.Decimate); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	res, hit, err := s.solveCached(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	traj := modelio.NewTrajectory(res, req.Every)
+	if res.IndexOf(req.MaxN) < 0 {
+		// A decimated cache entry solved deeper than this request stores no
+		// row at exactly maxN; re-derive it from the nearest stored
+		// checkpoint (≤ stride dense steps) so the response's final row is
+		// the population the client asked for.
+		rows, err := res.Recover([]int{req.MaxN}, recoverFactory(req))
+		if err != nil {
+			return nil, err
+		}
+		traj.AppendRecovered(rows[0])
+	}
 	return &modelio.SolveResponse{
 		Cached:     hit,
 		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
-		Trajectory: modelio.NewTrajectory(res, req.Every),
+		Trajectory: traj,
 	}, nil
+}
+
+// SolveChunk solves populations (fromN, toN] of req's model as one chunk of
+// a distributed deep solve: a fresh solver — decimated per req.Decimate —
+// is seeded from the shipped checkpoint state (nil for the cold first
+// chunk), run under the worker pool, and returns its stored rows plus the
+// recursion state at toN for the next chunk. Chunks are transient by
+// design: they bypass the solve cache (a mid-range fragment can't serve
+// prefix hits) and never hold the prefix before fromN.
+func (s *Server) SolveChunk(ctx context.Context, req *modelio.SolveRequest, fromN, toN int, cps *modelio.CheckpointState) (*core.Result, *modelio.CheckpointState, error) {
+	if fromN < 0 || toN <= fromN {
+		return nil, nil, fmt.Errorf("%w: chunk range (%d, %d]", core.ErrBadRun, fromN, toN)
+	}
+	if err := s.checkMaxN(toN-fromN, req.Decimate); err != nil {
+		return nil, nil, err
+	}
+	sol, err := newSolverFor(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sol.Release()
+	if fromN > 0 {
+		if cps == nil {
+			return nil, nil, fmt.Errorf("%w: chunk at fromN %d needs a checkpoint", core.ErrBadRun, fromN)
+		}
+		if err := sol.ResumeFrom(cps.Checkpoint(sol.Result().Algorithm, fromN)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := s.pool.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer s.pool.release()
+	s.metrics.solveStarted()
+	defer s.metrics.solveFinished()
+	s.metrics.solveRuns.Add(1)
+	sol.Reserve(toN)
+	if err := sol.RunContext(ctx, toN); err != nil {
+		return nil, nil, err
+	}
+	cp, err := sol.Checkpoint()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := modelio.NewCheckpointState(cp)
+	// The Result outlives Release (only stepper scratch is pooled).
+	return sol.Result(), &out, nil
 }
 
 // Sweep answers one normalized sweep request — the engine behind
@@ -102,8 +179,8 @@ func (s *Server) Solve(ctx context.Context, req *modelio.SolveRequest) (*modelio
 // sweep's largest population, and every member's rows fan out from the
 // shared trajectory. A request-wide deadline trumps partial results.
 func (s *Server) Sweep(ctx context.Context, req *modelio.SweepRequest) (*modelio.SweepResponse, error) {
-	if req.MaxN > s.cfg.MaxN {
-		return nil, fmt.Errorf("%w: max population %d exceeds the server cap %d", ErrLimit, req.MaxN, s.cfg.MaxN)
+	if err := s.checkMaxN(req.MaxN, req.Decimate); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	points, err := req.Expand(s.cfg.MaxSweepPoints)

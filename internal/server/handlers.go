@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -64,8 +65,25 @@ func statusOf(err error) int {
 	}
 }
 
-// newSolverFor builds the resumable solver matching a normalized request.
+// newSolverFor builds the resumable solver matching a normalized request,
+// decimated per req.Decimate. The same factory seeds Result.Recover, so
+// recovered rows come from the exact solver configuration that produced the
+// decimated trajectory.
 func newSolverFor(req *modelio.SolveRequest) (*core.Solver, error) {
+	sol, err := newDenseSolverFor(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Decimate > 1 {
+		if err := sol.Decimate(req.Decimate); err != nil {
+			sol.Release()
+			return nil, err
+		}
+	}
+	return sol, nil
+}
+
+func newDenseSolverFor(req *modelio.SolveRequest) (*core.Solver, error) {
 	switch req.Algorithm {
 	case modelio.AlgoExact:
 		return core.NewExactMVASolver(req.Model)
@@ -85,6 +103,13 @@ func newSolverFor(req *modelio.SolveRequest) (*core.Solver, error) {
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", req.Algorithm)
 	}
+}
+
+// recoverFactory adapts a request into Result.Recover's fresh-solver hook.
+// Recovery re-extends densely from a stored checkpoint, so the sub-solver is
+// built without the request's decimation.
+func recoverFactory(req *modelio.SolveRequest) func() (*core.Solver, error) {
+	return func() (*core.Solver, error) { return newDenseSolverFor(req) }
 }
 
 // solveCached runs req through the prefix cache and the worker pool, keeping
@@ -120,7 +145,9 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 			// Cold entry: ask the cluster (when clustered) for the key's
 			// trajectory before solving from scratch. A successful restore
 			// turns this run into an extend from the peer's population.
-			if f := s.peerFiller(); f != nil {
+			// Decimated solves skip the fill — peers refuse to export sparse
+			// entries (see solveCache.export), so the lookup cannot hit.
+			if f := s.peerFiller(); f != nil && req.Decimate <= 1 {
 				if traj, cp, ok := f.Fill(ctx, key, req); ok {
 					if rerr := sol.Restore(traj, cp); rerr != nil {
 						s.cfg.Logger.Warn("solverd: peer fill restore failed", "key", key, "error", rerr)
@@ -249,35 +276,72 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // rest of the sweep still completes.
 func (s *Server) solveGroup(ctx context.Context, req *modelio.SweepRequest, keyBase *modelio.SweepKeyBase,
 	g modelio.SweepGroup, points []modelio.GridPoint, results []modelio.SweepPointResult) {
-	res, hit, err := s.solveWithKey(ctx, keyBase.GroupKey(g.Point), req.PointRequest(g.Point))
+	pointReq := req.PointRequest(g.Point)
+	res, hit, err := s.solveWithKey(ctx, keyBase.GroupKey(g.Point), pointReq)
 	for _, i := range g.Members {
 		if err != nil {
 			results[i] = modelio.SweepPointResult{Point: points[i], Error: err.Error()}
 			continue
 		}
-		results[i] = pointResult(res, points[i], req.Populations, hit)
+		results[i] = pointResult(res, pointReq, points[i], req.Populations, hit)
 	}
 }
 
 // pointResult extracts one grid point's rows from its group's trajectory.
-func pointResult(res *core.Result, p modelio.GridPoint, populations []int, hit bool) modelio.SweepPointResult {
+// Populations a decimated trajectory skipped are re-derived from the stored
+// checkpoints (Result.Recover), so a sweep over a decimated solve reports
+// exactly the rows a dense solve would.
+func pointResult(res *core.Result, req *modelio.SolveRequest, p modelio.GridPoint, populations []int, hit bool) modelio.SweepPointResult {
 	out := modelio.SweepPointResult{Point: p, Cached: hit}
-	finalUtil := res.FinalUtilization()
+	var missing []int
+	for _, n := range populations {
+		if res.IndexOf(n) < 0 {
+			missing = append(missing, n)
+		}
+	}
+	recovered := make(map[int]core.RecoveredRow, len(missing))
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		rows, err := res.Recover(missing, recoverFactory(req))
+		if err != nil {
+			out.Error = err.Error()
+			return out
+		}
+		for _, row := range rows {
+			recovered[row.N] = row
+		}
+	}
+	utilAt := func(n int) []float64 {
+		if i := res.IndexOf(n); i >= 0 {
+			return res.Util[i]
+		}
+		return recovered[n].Util
+	}
+	// Bottleneck: the highest-utilization station at the largest requested
+	// population (the trajectory's final row for dense sweeps).
+	maxPop := 0
+	for _, n := range populations {
+		if n > maxPop {
+			maxPop = n
+		}
+	}
 	bottleneck, worst := "", -1.0
-	for k, u := range finalUtil {
+	for k, u := range utilAt(maxPop) {
 		if u > worst {
 			worst, bottleneck = u, res.StationNames[k]
 		}
 	}
 	out.Bottleneck = bottleneck
 	for _, n := range populations {
-		x, resp, cycle, err := res.At(n)
-		if err != nil {
-			out.Error = err.Error()
-			return out
+		var x, resp, cycle float64
+		if i := res.IndexOf(n); i >= 0 {
+			x, resp, cycle = res.X[i], res.R[i], res.Cycle[i]
+		} else {
+			row := recovered[n]
+			x, resp, cycle = row.X, row.R, row.Cycle
 		}
 		bu := 0.0
-		for _, u := range res.Util[n-1] {
+		for _, u := range utilAt(n) {
 			if u > bu {
 				bu = u
 			}

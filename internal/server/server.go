@@ -48,8 +48,11 @@ type Config struct {
 	CacheSize int
 	// Workers bounds concurrently executing solves (default GOMAXPROCS).
 	Workers int
-	// MaxN caps any request's population (default 100000) — the hard
-	// ceiling on per-request work alongside RequestTimeout.
+	// MaxN caps the trajectory rows any request may store (default 100000)
+	// — the memory ceiling alongside RequestTimeout's work ceiling. A dense
+	// request stores one row per population, so MaxN caps its population
+	// directly; a decimated request stores maxN/decimate + 1 rows, which is
+	// what lets a default-configured node solve million-user populations.
 	MaxN int
 	// MaxSweepPoints caps a sweep's grid size (default 1024).
 	MaxSweepPoints int
