@@ -15,7 +15,10 @@
 //     steppers are allocation-free by design, and an alloc creeping in is a
 //     correctness-of-design bug, not a perf wobble);
 //   - deep benchmarks (extra_key "ns_per_pop") additionally report their
-//     per-population cost, the depth-scaling figure the README publishes.
+//     per-population cost, the depth-scaling figure the README publishes,
+//     and that figure is gated by the same -tolerance rule as ns/op — the
+//     per-population cost is the contract a deep solve scales by, so it must
+//     not drift even when a smaller iteration count masks it in ns/op.
 //
 // A benchmark present in old but missing from new is an error (the suite
 // shrank silently); new-only benchmarks are listed but do not fail the run.
@@ -86,7 +89,7 @@ func run(args []string, out io.Writer) error {
 	sort.Strings(names)
 
 	fmt.Fprintf(out, "%-40s %14s %14s %8s\n", "BENCHMARK", "OLD ns/op", "NEW ns/op", "DELTA")
-	var regressed, missing, allocGrew []string
+	var regressed, missing, allocGrew, extraRegressed []string
 	for _, name := range names {
 		o := old[name]
 		n, ok := cur[name]
@@ -110,7 +113,16 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "%-40s %14.1f %14.1f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, 100*delta, verdict)
 		if o.ExtraKey == "ns_per_pop" && n.ExtraKey == "ns_per_pop" {
-			fmt.Fprintf(out, "%-40s %14.2f %14.2f %8s\n", "  └ ns/population", o.Extra, n.Extra, "")
+			extraDelta := 0.0
+			if o.Extra > 0 {
+				extraDelta = n.Extra/o.Extra - 1
+			}
+			extraVerdict := ""
+			if extraDelta > *tolerance {
+				extraVerdict = "  REGRESSED"
+				extraRegressed = append(extraRegressed, name)
+			}
+			fmt.Fprintf(out, "%-40s %14.2f %14.2f %+7.1f%%%s\n", "  └ ns/population", o.Extra, n.Extra, 100*extraDelta, extraVerdict)
 		}
 	}
 	var added []string
@@ -132,6 +144,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past +%.0f%%: %v", len(regressed), 100**tolerance, regressed)
+	}
+	if len(extraRegressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past +%.0f%% in ns/population: %v", len(extraRegressed), 100**tolerance, extraRegressed)
 	}
 	fmt.Fprintf(out, "\nok: %d benchmark(s) within +%.0f%%\n", len(names), 100**tolerance)
 	return nil

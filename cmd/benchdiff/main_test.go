@@ -140,4 +140,29 @@ func TestDeepBenchReportsPerPopulation(t *testing.T) {
 	if !strings.Contains(out, "ns/population") || !strings.Contains(out, "110.00") {
 		t.Errorf("per-population line missing:\n%s", out)
 	}
+	if !strings.Contains(out, "+10.0%") {
+		t.Errorf("per-population delta missing:\n%s", out)
+	}
+}
+
+func TestPerPopulationRegressionGated(t *testing.T) {
+	// ns/op stays flat (a shorter run can mask total cost) but the
+	// per-population figure regresses +30%: the extras gate must fail it.
+	old := writeBaseline(t, "old.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverDeep/exact/N1000000","iterations":5,"ns_per_op":100000000,"extra_key":"ns_per_pop","extra":100}
+	]}`)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverDeep/exact/N1000000","iterations":5,"ns_per_op":100000000,"extra_key":"ns_per_pop","extra":130}
+	]}`)
+	out, err := runDiff(t, old, cur)
+	if err == nil || !strings.Contains(err.Error(), "ns/population") {
+		t.Fatalf("+30%% ns/population not flagged: err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "REGRESSED") {
+		t.Errorf("output missing REGRESSED marker:\n%s", out)
+	}
+	// The same delta passes under a looser tolerance, like the ns/op rule.
+	if out, err := runDiff(t, "-tolerance", "0.5", old, cur); err != nil {
+		t.Fatalf("tolerance 0.5 still failed: %v\n%s", err, out)
+	}
 }

@@ -10,6 +10,7 @@
 //	solverctl [flags] top [-interval 1s] [-iterations 0]
 //	solverctl [flags] status
 //	solverctl [flags] demands
+//	solverctl [flags] headroom
 //
 // trace asks the node's cluster stitch endpoint (GET /cluster/v1/trace/{id})
 // first, so one command renders a tree spanning every member that touched the
@@ -51,6 +52,7 @@ commands:
   top           live view of in-flight solves and peer health
   status        cluster-wide status aggregation
   demands       the online demand estimate: fitted curves + estimator health
+  headroom      fleet self-model table: predicted saturation knee + headroom
 
 flags:
 `
@@ -98,6 +100,8 @@ func run(args []string, out io.Writer) error {
 		return c.status()
 	case "demands":
 		return c.demands()
+	case "headroom":
+		return c.headroom()
 	case "":
 		fs.Usage()
 		return fmt.Errorf("no command")
@@ -408,6 +412,71 @@ func (c *ctl) demands() error {
 		fmt.Fprintf(c.out, "\nlast fit error: %s\n", d.LastFitError)
 	}
 	return nil
+}
+
+// headroom renders the fleet's self-model table: each member's predicted
+// saturation knee and remaining safe concurrency (GET /cluster/v1/self),
+// falling back to the node's own GET /v1/self against a standalone node.
+func (c *ctl) headroom() error {
+	var cs modelio.ClusterSelfResponse
+	if code, err := c.getJSON("/cluster/v1/self", &cs); err != nil {
+		if code == http.StatusForbidden {
+			return err
+		}
+		// Standalone node: render its single self-model.
+		var sr modelio.SelfResponse
+		if _, err := c.getJSON("/v1/self", &sr); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "standalone node %s\n\n", c.addr)
+		c.headroomHeader()
+		c.headroomRow(c.addr, &sr)
+		return nil
+	}
+	fmt.Fprintf(c.out, "fleet headroom via %s: %d/%d node(s) ready  (%.1fms)\n\n",
+		cs.Self, cs.ReadyNodes, len(cs.Nodes), cs.ElapsedMS)
+	c.headroomHeader()
+	for _, n := range cs.Nodes {
+		if n.Self == nil {
+			fmt.Fprintf(c.out, "%-24s %s\n", n.Member, n.Error)
+			continue
+		}
+		c.headroomRow(n.Member, n.Self)
+	}
+	fmt.Fprintf(c.out, "\nfleet: %d in-flight of %d max-safe, headroom %d",
+		cs.FleetInFlight, cs.FleetMaxSafe, cs.FleetHeadroom)
+	if cs.ShedAdvised {
+		fmt.Fprint(c.out, "  SHED ADVISED")
+	}
+	fmt.Fprintln(c.out)
+	if len(cs.Missing) > 0 {
+		fmt.Fprintf(c.out, "unreachable members: %s\n", strings.Join(cs.Missing, ", "))
+	}
+	return nil
+}
+
+func (c *ctl) headroomHeader() {
+	fmt.Fprintf(c.out, "%-24s %-7s %7s %8s %6s %8s %8s %9s %-5s\n",
+		"NODE", "READY", "WORKERS", "INFLIGHT", "KNEE", "MAXSAFE", "HEADROOM", "PRED-P50", "SHED")
+}
+
+func (c *ctl) headroomRow(member string, sr *modelio.SelfResponse) {
+	if !sr.Ready {
+		fmt.Fprintf(c.out, "%-24s %-7s %7d %8d %6s %8s %8s %9s %-5s\n",
+			member, "warming", sr.Workers, sr.InFlight, "-", "-", "-", "-", "-")
+		return
+	}
+	knee := "-"
+	if sr.Saturated {
+		knee = fmt.Sprintf("%d", sr.KneeN)
+	}
+	shed := "no"
+	if sr.ShedAdvised {
+		shed = "YES"
+	}
+	fmt.Fprintf(c.out, "%-24s %-7s %7d %8d %6s %8d %8d %9s %-5s\n",
+		member, "yes", sr.Workers, sr.InFlight, knee, sr.MaxSafeN, sr.Headroom,
+		fmtDuration(time.Duration(sr.PredictedP50Seconds*float64(time.Second))), shed)
 }
 
 func fmtDuration(d time.Duration) string {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/queueing"
+	"repro/internal/selfmodel"
 	"repro/internal/server"
 )
 
@@ -35,8 +37,10 @@ func testSolveRequest(thinkTime float64, maxN int) *modelio.SolveRequest {
 }
 
 // startNodes boots n solverd nodes with keep-all recorders on loopback
-// listeners; n > 1 wires them into one cluster.
-func startNodes(t *testing.T, n int) []string {
+// listeners; n > 1 wires them into one cluster. The *server.Server handles
+// come back alongside the addresses so tests can reach in-process state
+// (e.g. warm the self-model monitor deterministically).
+func startNodes(t *testing.T, n int) ([]string, []*server.Server) {
 	t.Helper()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	listeners := make([]net.Listener, n)
@@ -51,14 +55,17 @@ func startNodes(t *testing.T, n int) []string {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make([]chan error, n)
+	servers := make([]*server.Server, n)
 	for i := range addrs {
 		srv := server.New(server.Config{
 			CacheSize:       64,
 			MaxN:            10_000,
+			Workers:         4,
 			ShutdownTimeout: 2 * time.Second,
 			Logger:          logger,
 			Recorder:        obs.New(obs.Config{Node: addrs[i], SampleRate: 1}),
 		})
+		servers[i] = srv
 		if n > 1 {
 			gw, err := cluster.New(srv, cluster.Config{
 				Self:          addrs[i],
@@ -86,7 +93,37 @@ func startNodes(t *testing.T, n int) []string {
 			}
 		}
 	})
-	return addrs
+	return addrs, servers
+}
+
+// warmSelfModel feeds a node's self-monitor enough synthetic sampling
+// windows — consistent with a 4-worker, 10ms-work + 30ms-overhead truth —
+// for the demand fit to converge and the predicted curve to solve.
+func warmSelfModel(t *testing.T, mon *selfmodel.Monitor) {
+	t.Helper()
+	const (
+		workers = 4
+		dWork   = 0.010
+		dDelay  = 0.030
+	)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		x := float64(n) / (dWork + dDelay)
+		if cap := float64(workers) / dWork; x > cap {
+			x = cap
+		}
+		cycle := time.Duration(float64(n) / x * float64(time.Second))
+		w := selfmodel.Window{
+			Elapsed:         time.Second,
+			Completions:     x,
+			BusySeconds:     x * dWork,
+			StationSeconds:  float64(n) - x*dDelay,
+			InFlightSeconds: float64(n),
+			Latencies:       []time.Duration{cycle, cycle, cycle, cycle},
+		}
+		for i := 0; i < 8; i++ {
+			mon.ObserveWindow(w)
+		}
+	}
 }
 
 func postSolve(t *testing.T, addr, traceID string, req *modelio.SolveRequest) {
@@ -120,7 +157,8 @@ func runCtl(t *testing.T, args ...string) (string, error) {
 }
 
 func TestSolverctlStandalone(t *testing.T) {
-	addr := startNodes(t, 1)[0]
+	addrs, _ := startNodes(t, 1)
+	addr := addrs[0]
 	postSolve(t, addr, "ctl-standalone-1", testSolveRequest(0.5, 60))
 
 	out, err := runCtl(t, "-addr", addr, "traces")
@@ -174,7 +212,8 @@ func TestSolverctlStandalone(t *testing.T) {
 }
 
 func TestSolverctlDemands(t *testing.T) {
-	addr := startNodes(t, 1)[0]
+	addrs, _ := startNodes(t, 1)
+	addr := addrs[0]
 
 	// Before any estimator exists the command still works: a skeleton view.
 	out, err := runCtl(t, "-addr", addr, "demands")
@@ -234,7 +273,7 @@ func TestSolverctlDemands(t *testing.T) {
 }
 
 func TestSolverctlCluster(t *testing.T) {
-	addrs := startNodes(t, 2)
+	addrs, _ := startNodes(t, 2)
 	entry := addrs[0]
 	postSolve(t, entry, "ctl-cluster-1", testSolveRequest(0.4, 50))
 
@@ -264,5 +303,63 @@ func TestSolverctlCluster(t *testing.T) {
 	}
 	if !strings.Contains(out, "PEER") || !strings.Contains(out, addrs[1]) {
 		t.Errorf("top output missing peer table:\n%s", out)
+	}
+}
+
+func TestSolverctlHeadroomStandalone(t *testing.T) {
+	addrs, srvs := startNodes(t, 1)
+	addr := addrs[0]
+
+	// Cold: the node answers but the self-model is still warming up.
+	out, err := runCtl(t, "-addr", addr, "headroom")
+	if err != nil {
+		t.Fatalf("headroom (cold): %v\n%s", err, out)
+	}
+	for _, want := range []string{"standalone node " + addr, "HEADROOM", "warming"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cold headroom output missing %q:\n%s", want, out)
+		}
+	}
+
+	warmSelfModel(t, srvs[0].SelfMonitor())
+	out, err = runCtl(t, "-addr", addr, "headroom")
+	if err != nil {
+		t.Fatalf("headroom: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "warming") {
+		t.Errorf("warmed node still shows warming:\n%s", out)
+	}
+	for _, want := range []string{"NODE", "KNEE", "MAXSAFE", "PRED-P50", addr} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headroom output missing %q:\n%s", want, out)
+		}
+	}
+	// The synthetic truth saturates its 4 workers well inside the solved
+	// range, so the table must carry a knee (a number, not the "-" dash).
+	sr := srvs[0].SelfReport()
+	if !sr.Ready || !sr.Saturated || sr.KneeN == 0 {
+		t.Fatalf("warmed self-model not saturated: %+v", sr)
+	}
+	if !strings.Contains(out, fmt.Sprintf(" %d ", sr.KneeN)) {
+		t.Errorf("headroom output missing knee %d:\n%s", sr.KneeN, out)
+	}
+}
+
+func TestSolverctlHeadroomCluster(t *testing.T) {
+	addrs, srvs := startNodes(t, 2)
+	for _, s := range srvs {
+		warmSelfModel(t, s.SelfMonitor())
+	}
+	out, err := runCtl(t, "-addr", addrs[0], "headroom")
+	if err != nil {
+		t.Fatalf("headroom: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"fleet headroom via " + addrs[0], "2/2 node(s) ready",
+		addrs[0], addrs[1], "fleet:", "max-safe",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headroom output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -8,6 +8,7 @@
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
 //	        [-trace-store 512] [-trace-slow 250ms] [-trace-sample 0.05]
 //	        [-estimate-window 32] [-estimate-min-samples 8]
+//	        [-self-interval 2s] [-self-p99-bound 0]
 //	        [-log-format text|json] [-log-level debug|info|warn|error]
 //	solverd -peers host1:8080,host2:8080,host3:8080 -advertise host1:8080
 //	        [-replication 2] [-cluster-secret s]
@@ -21,7 +22,14 @@
 // everywhere. A flight recorder (internal/obs) tail-samples completed
 // request traces into a bounded in-memory store served under /debug/traces
 // (and stitched cluster-wide under /cluster/v1/trace/{id}); -trace-store 0
-// turns it off. -version prints build info and exits. -dump-profile does not
+// turns it off. Every node also runs a self-model (internal/selfmodel): it
+// samples its own worker pool and request flow, fits its own two-station
+// demands, and serves a predicted saturation/headroom view under GET /v1/self
+// (fleet-wide under GET /cluster/v1/self; `solverctl headroom` renders the
+// table). -self-interval sets the sampling-window length; -self-p99-bound
+// tightens the advertised safe concurrency to the largest population whose
+// predicted p99 stays under the bound (0 leaves only the utilization knee).
+// -version prints build info and exits. -dump-profile does not
 // serve: it writes <profile>-model.json and <profile>-samples.json (the true
 // demand curves sampled at Chebyshev concurrencies) so the README's curl
 // examples have real request bodies to point at.
@@ -46,6 +54,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/modelio"
 	"repro/internal/obs"
+	"repro/internal/selfmodel"
 	"repro/internal/server"
 	"repro/internal/testbed"
 )
@@ -72,6 +81,8 @@ func run(args []string, out io.Writer) error {
 	traceSample := fs.Float64("trace-sample", obs.DefaultSampleRate, "keep probability for fast, successful traces (1 keeps all)")
 	estWindow := fs.Int("estimate-window", 0, "demand estimator's per-cell outlier window (0 uses the default, 32)")
 	estMinSamples := fs.Int("estimate-min-samples", 0, "accepted samples a concurrency cell needs to enter a fit (0 uses the default, 8)")
+	selfInterval := fs.Duration("self-interval", 0, "self-model sampling-window length (0 uses the default, 2s)")
+	selfP99Bound := fs.Duration("self-p99-bound", 0, "p99 latency bound tightening the self-model's safe concurrency (0 disables the bound)")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	dump := fs.String("dump-profile", "", "write model+samples JSON for a testbed profile (vins, jpetstore) and exit")
@@ -130,6 +141,10 @@ func run(args []string, out io.Writer) error {
 		Estimate: estimate.Config{
 			Window:     *estWindow,
 			MinSamples: *estMinSamples,
+		},
+		Self: selfmodel.Config{
+			Interval: *selfInterval,
+			P99Bound: *selfP99Bound,
 		},
 	})
 	if *peers != "" {

@@ -53,6 +53,7 @@ func run() error {
 		peers[i] = ln.Addr().String()
 	}
 	gateways := make([]*cluster.Gateway, n)
+	servers := make([]*server.Server, n)
 	for i := range listeners {
 		// A keep-all flight recorder per node, so the stitched trace at the
 		// end never depends on the sampling hash of the demo's trace ID.
@@ -60,6 +61,7 @@ func run() error {
 			Logger:   logger,
 			Recorder: obs.New(obs.Config{Node: peers[i], SampleRate: 1}),
 		})
+		servers[i] = srv
 		gw, err := cluster.New(srv, cluster.Config{
 			Self:          peers[i],
 			Peers:         peers,
@@ -164,7 +166,52 @@ func run() error {
 	// The flight recorder saw all of it: forward a fresh solve under a known
 	// trace ID and render the stitched cross-node tree.
 	fmt.Println("\n== distributed trace: one forwarded solve, stitched across nodes ==")
-	return printStitchedTrace(entry, gateways[0])
+	if err := printStitchedTrace(entry, gateways[0]); err != nil {
+		return err
+	}
+
+	// Each node has also been sampling itself the whole time. Close one
+	// sampling window per node and render the fleet's self-model view.
+	fmt.Println("\n== fleet headroom: GET /cluster/v1/self ==")
+	return printFleetSelf(entry, servers)
+}
+
+// printFleetSelf closes a self-model sampling window on every node and
+// renders the gateway's fleet view. The demo's load is sequential (one
+// request in flight at a time), so the nodes report their sampled windows
+// while still warming up — a model becomes ready once windows span multiple
+// concurrencies, which takes sustained concurrent load.
+func printFleetSelf(entry string, servers []*server.Server) error {
+	now := time.Now()
+	for _, s := range servers {
+		s.SelfMonitor().Advance(now)
+	}
+	body, err := get(entry, "/cluster/v1/self")
+	if err != nil {
+		return err
+	}
+	var fleet modelio.ClusterSelfResponse
+	if err := json.Unmarshal([]byte(body), &fleet); err != nil {
+		return fmt.Errorf("decoding fleet self view: %w (body %q)", err, body)
+	}
+	for _, node := range fleet.Nodes {
+		if node.Self == nil {
+			fmt.Printf("node %s: %s\n", node.Member, node.Error)
+			continue
+		}
+		s := node.Self
+		state := "warming up"
+		if s.Ready {
+			state = fmt.Sprintf("knee N=%d, max-safe %d, headroom %d", s.KneeN, s.MaxSafeN, s.Headroom)
+		}
+		fmt.Printf("node %s: %d worker(s), %d window(s), %d sampled request(s), observed X=%.1f req/s — %s\n",
+			node.Member, s.Workers, s.Windows, s.Completions, s.ObservedThroughput, state)
+	}
+	fmt.Printf("fleet: %d ready node(s), %d in flight\n", fleet.ReadyNodes, fleet.FleetInFlight)
+	fmt.Println("(each node fits a queueing model of itself from these samples; under sustained" +
+		"\n concurrent load it predicts its own saturation knee and remaining headroom —" +
+		"\n `solverctl headroom` renders the live table)")
+	return nil
 }
 
 // printStitchedTrace finds a model owned by a remote node, solves it through

@@ -67,6 +67,7 @@ func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 		srv := server.New(server.Config{
 			CacheSize:       64,
 			MaxN:            10_000,
+			Workers:         4,
 			RequestTimeout:  20 * time.Second,
 			ShutdownTimeout: 2 * time.Second,
 			Logger:          logger,

@@ -75,7 +75,8 @@ func (g *Gateway) handleDeepSolve(w http.ResponseWriter, r *http.Request, req *m
 	}
 	members := g.members.Ring().Owners(key, len(g.cfg.Peers))
 	chunks := deepChunks(req.MaxN, stride, len(members))
-	telemetry.FromContext(r.Context()).SetAttr("deep_chunks", len(chunks))
+	tr := telemetry.FromContext(r.Context())
+	tr.SetAttr("deep_chunks", len(chunks))
 
 	ctx, cancel := g.local.SolveContext(r.Context(), req.TimeoutMS)
 	defer cancel()
@@ -88,12 +89,16 @@ func (g *Gateway) handleDeepSolve(w http.ResponseWriter, r *http.Request, req *m
 			f.Flush()
 		}
 	}
+	// The stream header carries the coordinator's trace ID so NDJSON
+	// consumers (which never see the X-Request-Id of intermediate hops) can
+	// hand solverctl trace the exact ID that stitches the whole pipeline.
 	enc.Encode(modelio.DeepHeader{
 		Algorithm: req.Algorithm,
 		ModelName: req.Model.Name,
 		MaxN:      req.MaxN,
 		Stride:    stride,
 		Stations:  stationNames(req),
+		TraceID:   tr.ID(),
 	})
 	flush()
 
@@ -108,11 +113,25 @@ func (g *Gateway) handleDeepSolve(w http.ResponseWriter, r *http.Request, req *m
 	var cps *modelio.CheckpointState
 	rows := 0
 	for i, ch := range chunks {
-		resp, err := g.deepChunk(ctx, req, ch[0], ch[1], cps, members, i)
+		// One span per chunk: which member solved it, the population range,
+		// whether a checkpoint was handed off, and how the failover ladder
+		// went — the coordinator-side skeleton solverctl trace stitches the
+		// member fragments (forward spans) onto.
+		span := tr.StartSpan("deep-chunk")
+		span.SetAttr("chunk", i)
+		span.SetAttr("from_n", ch[0])
+		span.SetAttr("to_n", ch[1])
+		span.SetAttr("checkpoint_in", cps != nil)
+		resp, err := g.deepChunk(ctx, req, ch[0], ch[1], cps, members, i, span)
 		if err != nil {
+			span.SetAttr("error", err.Error())
+			span.End()
 			fail(err)
 			return
 		}
+		span.SetAttr("member", resp.Peer)
+		span.SetAttr("rows", len(resp.Rows))
+		span.End()
 		for j := range resp.Rows {
 			if err := enc.Encode(&resp.Rows[j]); err != nil {
 				return // client went away
@@ -148,12 +167,13 @@ func stationNames(req *modelio.SolveRequest) []string {
 // failover rather than the hedge/retry racer: the checkpoint handoff is
 // sequential state, and a duplicate chunk solve would only burn a worker.
 func (g *Gateway) deepChunk(ctx context.Context, req *modelio.SolveRequest, fromN, toN int,
-	cps *modelio.CheckpointState, members []string, idx int) (*modelio.DeepChunkResponse, error) {
+	cps *modelio.CheckpointState, members []string, idx int, span *telemetry.Span) (*modelio.DeepChunkResponse, error) {
 	creq := modelio.DeepChunkRequest{Req: *req, FromN: fromN, ToN: toN, Checkpoint: cps}
 	body, err := json.Marshal(&creq)
 	if err != nil {
 		return nil, err
 	}
+	failovers := 0
 	for off := 0; off < len(members); off++ {
 		peer := members[(idx+off)%len(members)]
 		if peer == g.cfg.Self || !g.members.peerUp(peer) {
@@ -177,12 +197,15 @@ func (g *Gateway) deepChunk(ctx context.Context, req *modelio.SolveRequest, from
 			return nil, fmt.Errorf("cluster: deep chunk (%d, %d]: %s", fromN, toN, peerErrorMessage(res))
 		default:
 			g.metrics.forwardFailures.Add(1)
+			failovers++
+			span.SetAttr("failovers", failovers)
 			g.cfg.Logger.Warn("cluster: deep chunk failover",
 				"peer", peer, "fromN", fromN, "toN", toN, "error", res.err, "status", res.status)
 		}
 	}
 	// Every remote candidate is down or failing: solve the chunk here.
 	g.metrics.localFallbacks.Add(1)
+	span.SetAttr("local_fallback", true)
 	res, cpOut, err := g.local.SolveChunk(ctx, &creq.Req, fromN, toN, cps)
 	if err != nil {
 		return nil, err

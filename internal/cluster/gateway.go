@@ -221,6 +221,7 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 	g.mux.Handle("/cluster/v1/deep", srv.Instrument("cluster-deep", http.MethodPost, g.handleDeepChunk))
 	g.mux.Handle("/cluster/v1/export", srv.Instrument("cluster-export", http.MethodPost, g.handleExport))
 	g.mux.Handle("/cluster/v1/status", srv.Instrument("cluster-status", http.MethodGet, g.handleClusterStatus))
+	g.mux.Handle("/cluster/v1/self", srv.Instrument("cluster-self", http.MethodGet, g.handleSelf))
 	g.mux.Handle("/cluster/v1/trace/", srv.Instrument("cluster-trace", http.MethodGet, g.handleTrace))
 	g.mux.Handle("/", srv.Handler())
 

@@ -35,6 +35,9 @@ func TestClusterPrometheusExpositionLint(t *testing.T) {
 		"solverd_trace_store_traces", "solverd_trace_store_spans",
 		"solverd_trace_store_bytes", "solverd_trace_store_evictions_total",
 		"solverd_trace_store_kept_total", "solverd_trace_store_dropped_total",
+		"solverd_self_windows_total", "solverd_self_sampled_requests_total",
+		"solverd_self_headroom", "solverd_self_shed_advised",
+		"solverd_self_deviation_ratio", "solverd_self_request_seconds",
 	)
 	promtest.LintFamilies(t, families)
 

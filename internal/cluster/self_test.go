@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/modelio"
+	"repro/internal/selfmodel"
+	"repro/internal/server"
+)
+
+// warmSelf feeds a node's self-monitor synthetic sampling windows consistent
+// with a 4-worker, 10ms-work + 30ms-overhead truth until its model is ready.
+func warmSelf(t *testing.T, srv *server.Server) {
+	t.Helper()
+	const (
+		workers = 4
+		dWork   = 0.010
+		dDelay  = 0.030
+	)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		x := float64(n) / (dWork + dDelay)
+		if cap := float64(workers) / dWork; x > cap {
+			x = cap
+		}
+		cycle := time.Duration(float64(n) / x * float64(time.Second))
+		w := selfmodel.Window{
+			Elapsed:         time.Second,
+			Completions:     x,
+			BusySeconds:     x * dWork,
+			StationSeconds:  float64(n) - x*dDelay,
+			InFlightSeconds: float64(n),
+			Latencies:       []time.Duration{cycle, cycle, cycle, cycle},
+		}
+		for i := 0; i < 8; i++ {
+			srv.SelfMonitor().ObserveWindow(w)
+		}
+	}
+}
+
+// TestClusterSelfFleetView is the live 3-node acceptance path: every node's
+// own GET /v1/self predicts saturation and headroom, and the gateway's
+// GET /cluster/v1/self aggregates the fleet — then keeps answering, with the
+// dead member listed as missing, after a node dies.
+func TestClusterSelfFleetView(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	for _, n := range nodes {
+		warmSelf(t, n.srv)
+	}
+
+	var safeSum int
+	for _, n := range nodes {
+		var sr modelio.SelfResponse
+		if err := json.Unmarshal(getBody(t, "http://"+n.addr+"/v1/self"), &sr); err != nil {
+			t.Fatal(err)
+		}
+		if !sr.Ready || !sr.Saturated || sr.KneeN == 0 {
+			t.Fatalf("node %s self-model not predicting saturation: %+v", n.addr, sr)
+		}
+		if sr.MaxSafeN == 0 || sr.Headroom != sr.MaxSafeN {
+			t.Fatalf("node %s headroom = %d, want maxSafe %d with nothing in flight",
+				n.addr, sr.Headroom, sr.MaxSafeN)
+		}
+		safeSum += sr.MaxSafeN
+	}
+
+	var cs modelio.ClusterSelfResponse
+	if err := json.Unmarshal(getBody(t, "http://"+nodes[0].addr+"/cluster/v1/self"), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Self != nodes[0].addr {
+		t.Errorf("fleet view answered by %q, want %q", cs.Self, nodes[0].addr)
+	}
+	if len(cs.Nodes) != 3 || cs.ReadyNodes != 3 || len(cs.Missing) != 0 {
+		t.Fatalf("fleet view = %d nodes, %d ready, missing %v; want 3/3/none",
+			len(cs.Nodes), cs.ReadyNodes, cs.Missing)
+	}
+	if cs.FleetMaxSafe != safeSum {
+		t.Errorf("fleet max-safe = %d, want sum of members %d", cs.FleetMaxSafe, safeSum)
+	}
+	if cs.FleetHeadroom != cs.FleetMaxSafe-cs.FleetInFlight {
+		t.Errorf("fleet headroom = %d, want %d-%d", cs.FleetHeadroom, cs.FleetMaxSafe, cs.FleetInFlight)
+	}
+	if cs.ShedAdvised {
+		t.Error("idle fleet advises shedding")
+	}
+
+	// A dead member turns into a missing entry, not an error response.
+	nodes[2].kill(t)
+	if err := json.Unmarshal(getBody(t, "http://"+nodes[0].addr+"/cluster/v1/self"), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Missing) != 1 || cs.Missing[0] != nodes[2].addr {
+		t.Fatalf("missing = %v, want [%s]", cs.Missing, nodes[2].addr)
+	}
+	if cs.ReadyNodes != 2 {
+		t.Errorf("ready nodes = %d, want 2 after a death", cs.ReadyNodes)
+	}
+	for _, n := range cs.Nodes {
+		if n.Member == nodes[2].addr && n.Error == "" {
+			t.Errorf("dead member row carries no error: %+v", n)
+		}
+	}
+}
+
+// TestDeepSolveTraced drives a deep solve under a known request ID and checks
+// the observability of the pipeline: the NDJSON header names the trace, and
+// the stitched cluster trace carries one deep-chunk span per chunk with the
+// member and population range recorded.
+func TestDeepSolveTraced(t *testing.T) {
+	nodes := startCluster(t, 3, nil)
+	req := solveRequest(0.75, 2000)
+	req.Decimate = 7
+	const traceID = "deep-trace-test-1"
+
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, "http://"+nodes[0].addr+"/v1/solve?deep=1", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("X-Request-Id", traceID)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deep solve: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("deep solve: empty stream")
+	}
+	var hdr modelio.DeepHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.TraceID != traceID {
+		t.Fatalf("deep header traceId = %q, want %q", hdr.TraceID, traceID)
+	}
+	for sc.Scan() {
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var st StitchedTrace
+	if err := json.Unmarshal(getBody(t, "http://"+nodes[0].addr+"/cluster/v1/trace/"+traceID), &st); err != nil {
+		t.Fatal(err)
+	}
+	chunkSpans := strings.Count(st.Tree, "deep-chunk")
+	if chunkSpans != 3 {
+		t.Fatalf("stitched trace has %d deep-chunk spans, want 3 (one per chunk):\n%s", chunkSpans, st.Tree)
+	}
+	for _, want := range []string{"member=", "from_n=", "to_n="} {
+		if !strings.Contains(st.Tree, want) {
+			t.Errorf("stitched trace missing chunk attribute %q:\n%s", want, st.Tree)
+		}
+	}
+}

@@ -198,6 +198,10 @@ type DeepHeader struct {
 	// Stride is the effective decimation stride of the streamed rows.
 	Stride   int      `json:"stride"`
 	Stations []string `json:"stations"`
+	// TraceID is the coordinator's trace ID: the handle that stitches the
+	// whole deep pipeline (per-chunk spans plus every member's fragments)
+	// through GET /cluster/v1/trace/{id} and solverctl trace.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // DeepTrailer is the last NDJSON line of a /v1/solve?deep=1 response; its

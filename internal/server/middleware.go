@@ -77,8 +77,28 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 			s.writeError(rec, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
 			return
 		}
+		if selfSampledHandler(name) {
+			s.selfmon.RequestBegin()
+			// Ends before the outer defer (LIFO), so the sample window sees
+			// the handler's wall time even on a panic.
+			defer func() { s.selfmon.RequestEnd(time.Since(start)) }()
+		}
 		h(rec, r)
 	})
+}
+
+// selfSampledHandler selects the solve-shaped work the self-model observes:
+// requests that contend for the worker pool (directly or via the cluster
+// gateway's deep pipeline). Probes, scrapes and introspection reads are
+// excluded — they never queue for a worker and would dilute the demand
+// estimate with near-zero service times.
+func selfSampledHandler(name string) bool {
+	switch name {
+	case "solve", "sweep", "plan", "whatif",
+		"cluster-solve", "cluster-sweep", "cluster-deep":
+		return true
+	}
+	return false
 }
 
 // recordableHandler excludes the introspection surface from the flight

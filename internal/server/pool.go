@@ -1,6 +1,10 @@
 package server
 
-import "context"
+import (
+	"context"
+
+	"repro/internal/selfmodel"
+)
 
 // workerPool bounds the number of solver runs executing at once, so a sweep
 // fanning out hundreds of grid points (or a burst of concurrent requests)
@@ -8,15 +12,20 @@ import "context"
 // semaphore: acquisition respects the request context, so a caller whose
 // deadline expires while queued gives up its place instead of solving dead
 // work.
+//
+// The pool is also the self-model's worker station: every acquire/release
+// brackets the selfmodel monitor's wait and busy integrals, which is what
+// makes the node's own queueing observable without touching any solver site.
 type workerPool struct {
 	sem chan struct{}
+	mon *selfmodel.Monitor // nil-safe: standalone pools sample into nothing
 }
 
-func newWorkerPool(workers int) *workerPool {
+func newWorkerPool(workers int, mon *selfmodel.Monitor) *workerPool {
 	if workers < 1 {
 		workers = 1
 	}
-	return &workerPool{sem: make(chan struct{}, workers)}
+	return &workerPool{sem: make(chan struct{}, workers), mon: mon}
 }
 
 // cap returns the pool's concurrency bound.
@@ -24,13 +33,19 @@ func (p *workerPool) cap() int { return cap(p.sem) }
 
 // acquire blocks until a slot frees or ctx is done.
 func (p *workerPool) acquire(ctx context.Context) error {
+	p.mon.WaitBegin()
 	select {
 	case p.sem <- struct{}{}:
+		p.mon.WorkerBegin()
 		return nil
 	case <-ctx.Done():
+		p.mon.WaitAbort()
 		return context.Cause(ctx)
 	}
 }
 
 // release returns a slot; must follow a successful acquire.
-func (p *workerPool) release() { <-p.sem }
+func (p *workerPool) release() {
+	p.mon.WorkerEnd()
+	<-p.sem
+}

@@ -10,7 +10,7 @@ import (
 
 func TestWorkerPoolBoundsConcurrency(t *testing.T) {
 	const workers = 3
-	p := newWorkerPool(workers)
+	p := newWorkerPool(workers, nil)
 	if p.cap() != workers {
 		t.Fatalf("cap = %d", p.cap())
 	}
@@ -42,7 +42,7 @@ func TestWorkerPoolBoundsConcurrency(t *testing.T) {
 }
 
 func TestWorkerPoolAcquireRespectsContext(t *testing.T) {
-	p := newWorkerPool(1)
+	p := newWorkerPool(1, nil)
 	if err := p.acquire(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestWorkerPoolAcquireRespectsContext(t *testing.T) {
 }
 
 func TestWorkerPoolMinimumSize(t *testing.T) {
-	if p := newWorkerPool(0); p.cap() != 1 {
+	if p := newWorkerPool(0, nil); p.cap() != 1 {
 		t.Errorf("zero-worker pool cap = %d, want 1", p.cap())
 	}
 }

@@ -80,6 +80,27 @@ func TestPrometheusExpositionLint(t *testing.T) {
 		"solverd_estimate_fits_total",
 		"solverd_estimate_reestimate_triggers_total",
 		"solverd_estimate_cache_invalidations_total",
+		"solverd_self_windows_total",
+		"solverd_self_empty_windows_total",
+		"solverd_self_sampled_requests_total",
+		"solverd_self_refits_total",
+		"solverd_self_in_flight",
+		"solverd_self_snapshot_version",
+		"solverd_self_observed_throughput",
+		"solverd_self_predicted_throughput",
+		"solverd_self_observed_p50_seconds",
+		"solverd_self_observed_p99_seconds",
+		"solverd_self_predicted_p50_seconds",
+		"solverd_self_predicted_p99_seconds",
+		"solverd_self_saturated",
+		"solverd_self_knee_concurrency",
+		"solverd_self_p99_limit_concurrency",
+		"solverd_self_max_safe_concurrency",
+		"solverd_self_headroom",
+		"solverd_self_shed_advised",
+		"solverd_self_deviation_ratio",
+		"solverd_self_deviation_breaches_total",
+		"solverd_self_request_seconds",
 	)
 
 	promtest.LintFamilies(t, families)
@@ -119,5 +140,17 @@ func TestPrometheusExpositionLint(t *testing.T) {
 	}
 	if n := len(families["solverd_monitor_deviation_breaches_total"].Samples); n != 2 {
 		t.Errorf("breach counter series = %d, want both bounds", n)
+	}
+	// The self-model sampled every solve-shaped request to completion, and
+	// its deviation families expose one series per self metric from the
+	// first scrape.
+	if v := promtest.SingleValue(t, families, "solverd_self_sampled_requests_total"); v < 4 {
+		t.Errorf("self sampled requests = %g, want >= 4 solves", v)
+	}
+	if n := len(families["solverd_self_deviation_ratio"].Samples); n != 3 {
+		t.Errorf("self deviation series = %d, want one per metric", n)
+	}
+	if c := promtest.HistogramCount(t, families, "solverd_self_request_seconds"); c < 4 {
+		t.Errorf("self request histogram count = %g, want >= 4", c)
 	}
 }

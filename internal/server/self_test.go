@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/modelio"
+	"repro/internal/selfmodel"
+)
+
+// feedSelfWindows drives the server's self-monitor with synthetic sampling
+// windows consistent with a 4-worker, 10ms-work + 30ms-overhead truth, enough
+// for the demand fit to converge and the predicted curve to solve.
+func feedSelfWindows(t *testing.T, s *Server) {
+	t.Helper()
+	const (
+		workers = 4
+		dWork   = 0.010
+		dDelay  = 0.030
+	)
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		x := float64(n) / (dWork + dDelay)
+		if cap := float64(workers) / dWork; x > cap {
+			x = cap
+		}
+		cycle := time.Duration(float64(n) / x * float64(time.Second))
+		w := selfmodel.Window{
+			Elapsed:         time.Second,
+			Completions:     x,
+			BusySeconds:     x * dWork,
+			StationSeconds:  float64(n) - x*dDelay,
+			InFlightSeconds: float64(n),
+			Latencies:       []time.Duration{cycle, cycle, cycle, cycle},
+		}
+		for i := 0; i < 8; i++ {
+			s.SelfMonitor().ObserveWindow(w)
+		}
+	}
+}
+
+func TestSelfEndpointWarmingUp(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	resp, body := getBody(t, ts.URL+"/v1/self")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr modelio.SelfResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	// Warming up is a state, not an error: 200 with ready=false.
+	if sr.Ready {
+		t.Fatalf("fresh server reports ready: %+v", sr)
+	}
+	if sr.Workers != 4 {
+		t.Errorf("workers = %d, want 4", sr.Workers)
+	}
+	if sr.Windows != 0 || sr.Completions != 0 {
+		t.Errorf("fresh server has windows=%d completions=%d", sr.Windows, sr.Completions)
+	}
+}
+
+func TestSelfEndpointPredictsSaturation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	feedSelfWindows(t, s)
+
+	resp, body := getBody(t, ts.URL+"/v1/self")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr modelio.SelfResponse
+	if err := json.Unmarshal([]byte(body), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Ready || sr.SnapshotVersion == 0 {
+		t.Fatalf("self-model not ready after warm-up: %+v", sr)
+	}
+	// The truth saturates 4 workers of 10ms demand at X = 400/s, i.e. well
+	// inside the default solved range: the knee must be found and the safe
+	// concurrency derived from it.
+	if !sr.Saturated || sr.KneeN == 0 {
+		t.Fatalf("predicted curve not saturated: %+v", sr)
+	}
+	if sr.MaxSafeN != sr.KneeN {
+		t.Errorf("maxSafeN = %d, want knee %d (no p99 bound configured)", sr.MaxSafeN, sr.KneeN)
+	}
+	if sr.Headroom != sr.MaxSafeN {
+		t.Errorf("headroom = %d, want %d with nothing in flight", sr.Headroom, sr.MaxSafeN)
+	}
+	if sr.ShedAdvised {
+		t.Error("idle node advises shedding")
+	}
+	if len(sr.Curve) == 0 {
+		t.Fatal("no predicted curve")
+	}
+	last := sr.Curve[len(sr.Curve)-1]
+	if last.N != sr.MaxN {
+		t.Errorf("curve ends at N=%d, want maxN %d", last.N, sr.MaxN)
+	}
+	if sr.PredictedThroughput <= 0 || sr.PredictedP50Seconds <= 0 {
+		t.Errorf("missing predictions at observed concurrency: %+v", sr)
+	}
+	if len(sr.Deviations) == 0 {
+		t.Error("no scored deviations")
+	}
+}
+
+// TestSelfSamplesRealRequests asserts the middleware hooks feed the monitor:
+// a solve handled by the HTTP path lands in the next closed sampling window.
+func TestSelfSamplesRealRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{
+		Algorithm: modelio.AlgoExact, Model: testModel(), MaxN: 50,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, body)
+	}
+	s.SelfMonitor().Advance(time.Now())
+
+	rep := s.SelfReport()
+	if rep.Windows == 0 {
+		t.Fatal("no sampling window closed")
+	}
+	if rep.Completions < 1 {
+		t.Errorf("completions = %d, want >= 1 (middleware hooks not wired?)", rep.Completions)
+	}
+	if rep.ObservedThroughput <= 0 || rep.ObservedP50Seconds <= 0 {
+		t.Errorf("window observations empty: %+v", rep)
+	}
+}

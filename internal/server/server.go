@@ -4,6 +4,7 @@
 //	POST /v1/solve   one model solved by any MVA-family algorithm
 //	POST /v1/sweep   a parameter grid fanned out over a bounded worker pool
 //	POST /v1/plan    the planning package's SLA queries
+//	GET  /v1/self    the node's self-model: predicted saturation + headroom
 //	GET  /v1/status  introspection: build info, cache entries, in-flight solves
 //	GET  /healthz    liveness probe
 //	GET  /metrics    Prometheus-text counters, latency histograms, gauges
@@ -37,6 +38,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/monitor"
 	"repro/internal/obs"
+	"repro/internal/selfmodel"
 )
 
 // Config tunes the service. The zero value is usable: every field defaults.
@@ -84,6 +86,10 @@ type Config struct {
 	// Estimate tunes the online demand estimator behind /v1/observe,
 	// /v1/demands and /v1/whatif (zero value: estimate.Config defaults).
 	Estimate estimate.Config
+	// Self tunes the node's self-model (internal/selfmodel) behind /v1/self
+	// and the solverd_self_* metrics. Workers and Tracker are filled by New;
+	// the zero value uses the selfmodel defaults.
+	Self selfmodel.Config
 }
 
 func (c *Config) defaults() {
@@ -131,9 +137,11 @@ type Server struct {
 
 	// tracker scores live measurements against predictions (the paper's
 	// 3%/9% validation bounds); estimate is the online-estimation runtime
-	// closing the loop on its breaches.
+	// closing the loop on its breaches; selfmon is the node modeling its own
+	// request handling with the same loop (internal/selfmodel).
 	tracker  *monitor.DeviationTracker
 	estimate *estimateRuntime
+	selfmon  *selfmodel.Monitor
 
 	// root is the handler Run/Serve expose: the mux by default, or a
 	// cluster gateway installed with Mount.
@@ -155,16 +163,25 @@ type Server struct {
 // New builds a Server from cfg (zero value fine).
 func New(cfg Config) *Server {
 	cfg.defaults()
+	tracker := monitor.NewDeviationTracker(cfg.Recorder)
+	// The self-model stations the server's own worker pool: its capacity is
+	// the pool's, and its deviation breaches flow into the shared tracker so
+	// self-prediction traces land in the same flight recorder.
+	selfCfg := cfg.Self
+	selfCfg.Workers = cfg.Workers
+	selfCfg.Tracker = tracker
+	selfmon := selfmodel.New(selfCfg)
 	s := &Server{
 		cfg:      cfg,
 		cache:    newSolveCache(cfg.CacheSize),
-		pool:     newWorkerPool(cfg.Workers),
+		pool:     newWorkerPool(cfg.Workers, selfmon),
 		metrics:  newServerMetrics(),
 		inflight: newInflightRegistry(),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
-		tracker:  monitor.NewDeviationTracker(cfg.Recorder),
+		tracker:  tracker,
 		estimate: &estimateRuntime{keys: make(map[uint64]map[string]struct{})},
+		selfmon:  selfmon,
 	}
 	s.mux.Handle("/v1/solve", s.instrument("solve", http.MethodPost, s.handleSolve))
 	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
@@ -172,6 +189,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/observe", s.instrument("observe", http.MethodPost, s.handleObserve))
 	s.mux.Handle("/v1/demands", s.instrument("demands", http.MethodGet, s.handleDemands))
 	s.mux.Handle("/v1/whatif", s.instrument("whatif", http.MethodGet, s.handleWhatIf))
+	s.mux.Handle("/v1/self", s.instrument("self", http.MethodGet, s.handleSelf))
 	s.mux.Handle("/v1/status", s.instrument("status", http.MethodGet, s.handleStatus))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
@@ -188,6 +206,7 @@ func New(cfg Config) *Server {
 	// observation exists, so scrapes see stable schemas.
 	s.RegisterMetrics(s.tracker.WriteMetrics)
 	s.RegisterMetrics(s.writeEstimateMetrics)
+	s.RegisterMetrics(s.selfmon.WriteMetrics)
 	if cfg.EnablePprof {
 		// Registered on the server's own mux (not the global DefaultServeMux
 		// that importing net/http/pprof would populate), so profiling is
@@ -243,6 +262,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		IdleTimeout:       s.cfg.IdleTimeout,
 		ErrorLog:          slog.NewLogLogger(s.cfg.Logger.Handler(), slog.LevelError),
 	}
+	// The self-model's sampling clock runs for the server's lifetime: one
+	// window closes per interval, whether or not requests arrived.
+	sampleCtx, stopSampling := context.WithCancel(context.Background())
+	defer stopSampling()
+	go s.selfmon.Run(sampleCtx)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
