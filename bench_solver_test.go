@@ -15,15 +15,21 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/modelio"
 	"repro/internal/queueing"
@@ -94,6 +100,15 @@ func recordBenchAllocs(b *testing.B, extraKey string, extra, allocsPerOp float64
 		Extra:       extra,
 		AllocsPerOp: &allocsPerOp,
 	})
+}
+
+// recordBenchNamed appends a synthetic named record (the cluster-forward
+// benchmark publishes its latency percentiles as their own records, so the
+// benchdiff per-name gate covers p50 and p99 individually, not just the mean).
+func recordBenchNamed(name string, n int, nsPerOp float64) {
+	benchRecMu.Lock()
+	defer benchRecMu.Unlock()
+	benchRecods = append(benchRecods, benchRecord{Name: name, N: n, NsPerOp: nsPerOp})
 }
 
 // TestMain writes BENCH_solver.json when any solver benchmark ran; plain
@@ -290,6 +305,104 @@ func BenchmarkSolverPrefixHit(b *testing.B) {
 	}
 	b.StopTimer()
 	recordBench(b, "cached_n", 400)
+}
+
+// BenchmarkSolverClusterForward measures the full cross-node hop of a routed
+// solve: a two-node fabric where the entry node does not own the key, so every
+// request rides the forwarding path (route → forwardOne → peer's warm cache →
+// relay). Beyond the mean, the per-op latency distribution is recorded as
+// synthetic p50/p99 records — the tail is what a fleet operator provisions by
+// — plus the steady-state allocs/op of the whole hop, gated by benchdiff.
+func BenchmarkSolverClusterForward(b *testing.B) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	listeners := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var gws [2]*cluster.Gateway
+	for i := range listeners {
+		srv := server.New(server.Config{Logger: logger})
+		gw, err := cluster.New(srv, cluster.Config{
+			Self:        addrs[i],
+			Peers:       addrs,
+			Replication: 1,
+			// Hedging off the table: a hedged race would double-count the hop.
+			HedgeMin: 10 * time.Second,
+			HedgeMax: 10 * time.Second,
+			Logger:   logger,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gw.Start(ctx)
+		defer gw.Stop()
+		gws[i] = gw
+		go srv.Serve(ctx, listeners[i])
+	}
+
+	// Find a model whose key the remote node owns, so entry → owner is a real
+	// network hop on every request.
+	entry, owner := addrs[0], addrs[1]
+	var req *modelio.SolveRequest
+	for i := 0; i < 64; i++ {
+		m := benchSolverModel()
+		m.Name = fmt.Sprintf("bench-forward-%d", i)
+		cand := &modelio.SolveRequest{Model: m, MaxN: 200}
+		cp := *cand
+		cp.Model = &*cand.Model
+		if err := cp.Normalize(); err != nil {
+			b.Fatal(err)
+		}
+		key, err := cp.CacheKey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gws[0].Ring().Owners(key, 1)[0] == owner {
+			req = cand
+			break
+		}
+	}
+	if req == nil {
+		b.Fatal("no remote-owned key found in 64 candidates")
+	}
+	post := func() {
+		resp, body := benchPostJSON(b, "http://"+entry+"/v1/solve", req)
+		if resp.StatusCode != 200 {
+			b.Fatalf("forwarded solve: %d %s", resp.StatusCode, body)
+		}
+	}
+	post() // warm the owner's cache: the hop cost, not the solve, is measured
+
+	perOp := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		post()
+		perOp = append(perOp, time.Since(start))
+	}
+	b.StopTimer()
+
+	sort.Slice(perOp, func(i, j int) bool { return perOp[i] < perOp[j] })
+	quantile := func(q float64) float64 {
+		idx := int(q * float64(len(perOp)-1))
+		return float64(perOp[idx].Nanoseconds())
+	}
+	recordBenchNamed(b.Name()+"/p50", b.N, quantile(0.50))
+	recordBenchNamed(b.Name()+"/p99", b.N, quantile(0.99))
+	// Steady-state allocations of one forwarded round trip, measured outside
+	// the timing loop; benchdiff gates growth against the committed baseline.
+	allocs := testing.AllocsPerRun(32, post)
+	recordBenchAllocs(b, "peers", 2, allocs)
 }
 
 // sweepPopulations is the shared grid for the planned-vs-naive pair: eight

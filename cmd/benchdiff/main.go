@@ -13,7 +13,9 @@
 //   - allocs/op: a benchmark whose baseline allocates zero per op must stay
 //     at zero — any growth fails regardless of -tolerance (the repo's hot
 //     steppers are allocation-free by design, and an alloc creeping in is a
-//     correctness-of-design bug, not a perf wobble);
+//     correctness-of-design bug, not a perf wobble). A non-zero allocs/op
+//     baseline (the cluster-forward hop) is gated by the -tolerance rule:
+//     allocation growth past it fails even when ns/op happens to stay flat;
 //   - deep benchmarks (extra_key "ns_per_pop") additionally report their
 //     per-population cost, the depth-scaling figure the README publishes,
 //     and that figure is gated by the same -tolerance rule as ns/op — the
@@ -107,9 +109,16 @@ func run(args []string, out io.Writer) error {
 			verdict = "  REGRESSED"
 			regressed = append(regressed, name)
 		}
-		if o.AllocsPerOp != nil && *o.AllocsPerOp == 0 && n.AllocsPerOp != nil && *n.AllocsPerOp > 0 {
-			verdict += "  ALLOCS"
-			allocGrew = append(allocGrew, name)
+		if o.AllocsPerOp != nil && n.AllocsPerOp != nil {
+			switch {
+			case *o.AllocsPerOp == 0 && *n.AllocsPerOp > 0:
+				// Zero-alloc baselines are strict: any allocation fails.
+				verdict += "  ALLOCS"
+				allocGrew = append(allocGrew, name)
+			case *o.AllocsPerOp > 0 && *n.AllocsPerOp / *o.AllocsPerOp - 1 > *tolerance:
+				verdict += "  ALLOCS"
+				allocGrew = append(allocGrew, name)
+			}
 		}
 		fmt.Fprintf(out, "%-40s %14.1f %14.1f %+7.1f%%%s\n", name, o.NsPerOp, n.NsPerOp, 100*delta, verdict)
 		if o.ExtraKey == "ns_per_pop" && n.ExtraKey == "ns_per_pop" {
@@ -140,7 +149,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d benchmark(s) missing from the new baseline: %v", len(missing), missing)
 	}
 	if len(allocGrew) > 0 {
-		return fmt.Errorf("%d benchmark(s) now allocate on a zero-alloc baseline: %v", len(allocGrew), allocGrew)
+		return fmt.Errorf("%d benchmark(s) regressed allocs/op (zero-alloc baselines are strict, others gate at +%.0f%%): %v",
+			len(allocGrew), 100**tolerance, allocGrew)
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed past +%.0f%%: %v", len(regressed), 100**tolerance, regressed)

@@ -101,7 +101,7 @@ func TestZeroAllocBaselineGated(t *testing.T) {
 	  {"name":"BenchmarkSolverExtend","iterations":1000,"ns_per_op":50,"allocs_per_op":2}
 	]}`)
 	out, err := runDiff(t, old, cur)
-	if err == nil || !strings.Contains(err.Error(), "allocate") {
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("alloc growth on zero baseline not flagged: err=%v\n%s", err, out)
 	}
 	if !strings.Contains(out, "ALLOCS") {
@@ -123,6 +123,35 @@ func TestZeroAllocBaselineGated(t *testing.T) {
 	]}`)
 	if out, err := runDiff(t, old, unmeasured); err != nil {
 		t.Fatalf("unmeasured allocs treated as regression: %v\n%s", err, out)
+	}
+}
+
+func TestNonZeroAllocBaselineGatedAtTolerance(t *testing.T) {
+	// The cluster-forward hop allocates by nature; its baseline gates growth
+	// by the same tolerance rule as ns/op, even when ns/op stays flat.
+	old := writeBaseline(t, "old.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverClusterForward","iterations":500,"ns_per_op":200000,"allocs_per_op":400}
+	]}`)
+	cur := writeBaseline(t, "new.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverClusterForward","iterations":500,"ns_per_op":200000,"allocs_per_op":560}
+	]}`)
+	out, err := runDiff(t, old, cur)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("+40%% allocs/op not flagged: err=%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ALLOCS") {
+		t.Errorf("output missing ALLOCS marker:\n%s", out)
+	}
+	// The same delta passes under a looser tolerance — unlike the strict
+	// zero-alloc rule — and small drift within tolerance passes by default.
+	if out, err := runDiff(t, "-tolerance", "0.5", old, cur); err != nil {
+		t.Fatalf("tolerance 0.5 still failed: %v\n%s", err, out)
+	}
+	drift := writeBaseline(t, "drift.json", `{"benchmarks":[
+	  {"name":"BenchmarkSolverClusterForward","iterations":500,"ns_per_op":200000,"allocs_per_op":440}
+	]}`)
+	if out, err := runDiff(t, old, drift); err != nil {
+		t.Fatalf("+10%% allocs/op within tolerance failed: %v\n%s", err, out)
 	}
 }
 

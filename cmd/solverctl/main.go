@@ -456,27 +456,38 @@ func (c *ctl) headroom() error {
 }
 
 func (c *ctl) headroomHeader() {
-	fmt.Fprintf(c.out, "%-24s %-7s %7s %8s %6s %8s %8s %9s %-5s\n",
-		"NODE", "READY", "WORKERS", "INFLIGHT", "KNEE", "MAXSAFE", "HEADROOM", "PRED-P50", "SHED")
+	fmt.Fprintf(c.out, "%-24s %-7s %7s %8s %6s %8s %8s %9s %-6s %6s %6s %6s\n",
+		"NODE", "READY", "WORKERS", "INFLIGHT", "KNEE", "MAXSAFE", "HEADROOM", "PRED-P50",
+		"ADVISE", "SHED", "REDIR", "COAL")
 }
 
 func (c *ctl) headroomRow(member string, sr *modelio.SelfResponse) {
+	// The admission counters are reported even while the self-model warms:
+	// observe mode counts over-capacity arrivals from the first request.
+	shed, redir, coal := "-", "-", "-"
+	if a := sr.Admission; a != nil {
+		shed = fmt.Sprintf("%d", a.Shed)
+		redir = fmt.Sprintf("%d", a.Redirected)
+		coal = fmt.Sprintf("%d", a.Coalesced)
+	}
 	if !sr.Ready {
-		fmt.Fprintf(c.out, "%-24s %-7s %7d %8d %6s %8s %8s %9s %-5s\n",
-			member, "warming", sr.Workers, sr.InFlight, "-", "-", "-", "-", "-")
+		fmt.Fprintf(c.out, "%-24s %-7s %7d %8d %6s %8s %8s %9s %-6s %6s %6s %6s\n",
+			member, "warming", sr.Workers, sr.InFlight, "-", "-", "-", "-", "-",
+			shed, redir, coal)
 		return
 	}
 	knee := "-"
 	if sr.Saturated {
 		knee = fmt.Sprintf("%d", sr.KneeN)
 	}
-	shed := "no"
+	advise := "no"
 	if sr.ShedAdvised {
-		shed = "YES"
+		advise = "YES"
 	}
-	fmt.Fprintf(c.out, "%-24s %-7s %7d %8d %6s %8d %8d %9s %-5s\n",
+	fmt.Fprintf(c.out, "%-24s %-7s %7d %8d %6s %8d %8d %9s %-6s %6s %6s %6s\n",
 		member, "yes", sr.Workers, sr.InFlight, knee, sr.MaxSafeN, sr.Headroom,
-		fmtDuration(time.Duration(sr.PredictedP50Seconds*float64(time.Second))), shed)
+		fmtDuration(time.Duration(sr.PredictedP50Seconds*float64(time.Second))), advise,
+		shed, redir, coal)
 }
 
 func fmtDuration(d time.Duration) string {

@@ -329,7 +329,7 @@ func TestSolverctlHeadroomStandalone(t *testing.T) {
 	if strings.Contains(out, "warming") {
 		t.Errorf("warmed node still shows warming:\n%s", out)
 	}
-	for _, want := range []string{"NODE", "KNEE", "MAXSAFE", "PRED-P50", addr} {
+	for _, want := range []string{"NODE", "KNEE", "MAXSAFE", "PRED-P50", "SHED", "REDIR", "COAL", addr} {
 		if !strings.Contains(out, want) {
 			t.Errorf("headroom output missing %q:\n%s", want, out)
 		}

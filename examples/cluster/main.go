@@ -21,10 +21,13 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/queueing"
+	"repro/internal/selfmodel"
 	"repro/internal/server"
 )
 
@@ -60,6 +63,11 @@ func run() error {
 		srv := server.New(server.Config{
 			Logger:   logger,
 			Recorder: obs.New(obs.Config{Node: peers[i], SampleRate: 1}),
+			// Small fixed worker pools and enforce-mode admission so the
+			// overload finale can push the fleet past its predicted knee.
+			Workers:   4,
+			Self:      selfmodel.Config{MaxN: 64},
+			Admission: admission.Config{Mode: admission.ModeEnforce},
 		})
 		servers[i] = srv
 		gw, err := cluster.New(srv, cluster.Config{
@@ -67,6 +75,7 @@ func run() error {
 			Peers:         peers,
 			Replication:   2,
 			ProbeInterval: 100 * time.Millisecond,
+			RedirectTTL:   100 * time.Millisecond,
 			Logger:        logger,
 		})
 		if err != nil {
@@ -173,7 +182,194 @@ func run() error {
 	// Each node has also been sampling itself the whole time. Close one
 	// sampling window per node and render the fleet's self-model view.
 	fmt.Println("\n== fleet headroom: GET /cluster/v1/self ==")
-	return printFleetSelf(entry, servers)
+	if err := printFleetSelf(entry, servers); err != nil {
+		return err
+	}
+
+	// Finale: push offered load past what the fleet's self-models say is
+	// safe, and watch admission degrade gracefully — redirect while a peer
+	// has headroom, shed with 429 + Retry-After once nobody does, recover
+	// after drain. The client never sees a 5xx.
+	fmt.Println("\n== graceful degradation: offered load past the fleet's knee ==")
+	return degrade(peers, gateways[0], servers)
+}
+
+// degrade runs the overload ladder against enforce-mode nodes. Standing
+// offered load is modeled by phantom in-flight requests on each node's
+// self-monitor (the same lever the cluster overload test uses), and a small
+// burst of real solves probes what a client sees at each level.
+func degrade(peers []string, gw *cluster.Gateway, servers []*server.Server) error {
+	safe, err := warmSelfModels(servers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("self-models warmed on synthetic ground-truth windows:\n"+
+		"each node predicts max-safe concurrency N* = %d (fleet capacity %d)\n",
+		safe, safe*len(servers))
+
+	// The ramp's probe model and the node that owns it — bursts go straight
+	// at the owner so the ladder is deterministic.
+	req := &modelio.SolveRequest{Algorithm: "multiserver", Model: demoModel(3.3), MaxN: 120}
+	norm := *req
+	norm.Model = &*req.Model
+	if err := norm.Normalize(); err != nil {
+		return err
+	}
+	key, err := norm.CacheKey()
+	if err != nil {
+		return err
+	}
+	ownerAddr := gw.Ring().Owner(key)
+	var ownerSrv *server.Server
+	for i, p := range peers {
+		if p == ownerAddr {
+			ownerSrv = servers[i]
+		}
+	}
+
+	phantoms := func(s *server.Server, n int) {
+		for i := 0; i < n; i++ {
+			s.SelfMonitor().RequestBegin()
+		}
+	}
+	burst := func(level string) error {
+		var admitted, redirected, shed int
+		retryAfter := ""
+		for i := 0; i < 3; i++ {
+			resp, _, err := post(ownerAddr, "/v1/solve", req)
+			if err != nil {
+				return err
+			}
+			switch {
+			case resp.StatusCode == http.StatusOK && resp.Header.Get("X-Cluster-Peer") != ownerAddr:
+				redirected++
+			case resp.StatusCode == http.StatusOK:
+				admitted++
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed++
+				retryAfter = resp.Header.Get("Retry-After")
+			default:
+				return fmt.Errorf("client saw status %d at level %q", resp.StatusCode, level)
+			}
+		}
+		fmt.Printf("\n%s\n  burst of 3 solves at the owner: %d admitted, %d redirected to a peer, %d shed",
+			level, admitted, redirected, shed)
+		if retryAfter != "" {
+			fmt.Printf(" (Retry-After %ss)", retryAfter)
+		}
+		fmt.Println()
+		return printAdmission(peers)
+	}
+
+	if err := burst(fmt.Sprintf("-- offered load well under the knee (0 of %d slots standing) --", safe)); err != nil {
+		return err
+	}
+
+	phantoms(ownerSrv, safe) // the owner is now past its predicted knee
+	if err := burst(fmt.Sprintf("-- owner past its knee (%d standing), peers idle --", safe)); err != nil {
+		return err
+	}
+
+	for i, p := range peers { // now the whole fleet is
+		if p != ownerAddr {
+			phantoms(servers[i], safe)
+		}
+	}
+	time.Sleep(150 * time.Millisecond) // let the cached headroom view expire
+	if err := burst(fmt.Sprintf("-- fleet exhausted (%d standing on every node) --", safe)); err != nil {
+		return err
+	}
+
+	for _, s := range servers { // drain: every phantom completes
+		for i := 0; i < safe; i++ {
+			s.SelfMonitor().RequestEnd(10 * time.Millisecond)
+		}
+	}
+	if err := burst("-- drained: the fleet admits again --"); err != nil {
+		return err
+	}
+	fmt.Println("\nno request saw a 5xx at any load level: past the knee the fleet answers" +
+		"\nwith a peer's capacity first and an honest 429 + Retry-After last")
+	return nil
+}
+
+// warmSelfModels feeds every node's self-model the synthetic ground-truth
+// windows (an MVASD solve of the node's own two-station model) until it is
+// ready, and returns the predicted max-safe concurrency.
+func warmSelfModels(servers []*server.Server) (int, error) {
+	const (
+		truthWorkers = 4
+		truthDW      = 0.010
+		truthDD      = 0.030
+		truthMaxN    = 64
+	)
+	dm := core.FuncDemands{K: 2, F: func(k, _ int) float64 {
+		if k == 0 {
+			return truthDW
+		}
+		return truthDD
+	}}
+	sol, err := core.NewMVASDSolver(selfmodel.SelfModel(truthWorkers), dm, core.MVASDOptions{})
+	if err != nil {
+		return 0, err
+	}
+	defer sol.Release()
+	if err := sol.Run(truthMaxN); err != nil {
+		return 0, err
+	}
+	res := sol.Result()
+
+	safe := 0
+	for _, s := range servers {
+		m := s.SelfMonitor()
+		var rep *selfmodel.Report
+		for _, n := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32} {
+			x := res.X[n-1]
+			cycle := res.Cycle[n-1]
+			lat := make([]time.Duration, 32)
+			for i := range lat {
+				lat[i] = time.Duration(cycle * float64(time.Second))
+			}
+			w := selfmodel.Window{
+				Elapsed:         time.Second,
+				Completions:     x,
+				BusySeconds:     x * truthDW,
+				StationSeconds:  x * res.Residence[n-1][0],
+				InFlightSeconds: float64(n),
+				Latencies:       lat,
+			}
+			for i := 0; i < m.Config().Estimate.MinSamples; i++ {
+				rep = m.ObserveWindow(w)
+			}
+		}
+		if rep == nil || !rep.Ready || rep.MaxSafeN <= 0 {
+			return 0, fmt.Errorf("self-model did not become ready: %+v", rep)
+		}
+		safe = rep.MaxSafeN
+	}
+	return safe, nil
+}
+
+// printAdmission renders each node's lifetime admission counters from its
+// GET /v1/self report.
+func printAdmission(peers []string) error {
+	for _, p := range peers {
+		body, err := get(p, "/v1/self")
+		if err != nil {
+			return err
+		}
+		var sr modelio.SelfResponse
+		if err := json.Unmarshal([]byte(body), &sr); err != nil {
+			return fmt.Errorf("decoding self report from %s: %w", p, err)
+		}
+		if sr.Admission == nil {
+			return fmt.Errorf("no admission counters in self report from %s", p)
+		}
+		a := sr.Admission
+		fmt.Printf("  node %s: in-flight %2d  admitted=%d redirected=%d shed=%d coalesced=%d\n",
+			p, sr.InFlight, a.Admitted, a.Redirected, a.Shed, a.Coalesced)
+	}
+	return nil
 }
 
 // printFleetSelf closes a self-model sampling window on every node and
@@ -299,6 +495,22 @@ func solveVia(addr string, gw *cluster.Gateway, req *modelio.SolveRequest) (owne
 
 func postJSON(addr, path string, body, into any) (*http.Response, error) {
 	return postJSONHeaders(addr, path, body, nil, into)
+}
+
+// post sends a JSON body and returns the response whatever its status —
+// the overload finale needs to read 429s, not error on them.
+func post(addr, path string, body any) (*http.Response, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post("http://"+addr+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp, out, err
 }
 
 func postJSONHeaders(addr, path string, body any, headers map[string]string, into any) (*http.Response, error) {

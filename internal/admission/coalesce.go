@@ -1,0 +1,155 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RunFunc solves one cache key to at least target populations and returns the
+// full trajectory (covering target or more). The coalescer calls it at the
+// flight's merged target; fallen-back waiters call it at their own.
+type RunFunc func(ctx context.Context, target int) (*core.Result, error)
+
+// Coalescer merges concurrent solves of the same cache key whose population
+// ranges overlap into one deep solve. The solve cache already dedups
+// identical concurrent requests via its entry lock, but serially: each
+// lock-waiter re-enters in turn and extends for its own maxN. The coalescer
+// sits in front and merges *targets*: requests arriving inside a short gather
+// window (or while a covering flight runs) raise one shared flight's target
+// to the max requested population, a single leader performs the solve, and
+// every waiter takes its own prefix off the shared immutable trajectory —
+// bit-identical to the rows a solo solve would produce, because prefixes of
+// the resumable solvers are bit-identical by construction.
+type flight struct {
+	key     string
+	targetN int  // merged max population; frozen once started
+	started bool // leader passed the gather window (or abandoned)
+	waiters int  // total joins, bounded by maxWaiters
+	done    chan struct{}
+
+	// res/err are written exactly once before done closes.
+	res *core.Result
+	err error
+}
+
+// Coalescer is safe for concurrent use. maxWaiters < 0 disables coalescing
+// (every call runs independently); gather <= 0 skips the merge window but
+// still lets late arrivals join a running covering flight.
+type Coalescer struct {
+	mu         sync.Mutex
+	flights    map[string]*flight
+	maxWaiters int
+	gather     time.Duration
+
+	coalesced atomic.Uint64 // waiters served off a shared trajectory
+	waiting   atomic.Int64  // waiters currently blocked on a flight
+}
+
+func newCoalescer(maxWaiters int, gather time.Duration) *Coalescer {
+	return &Coalescer{
+		flights:    make(map[string]*flight),
+		maxWaiters: maxWaiters,
+		gather:     gather,
+	}
+}
+
+// Coalesce runs one request for key at population maxN through the
+// controller's coalescer. waited=true means this request was served off
+// another request's flight (its prefix of the shared trajectory) without
+// calling run. A nil controller runs directly.
+func (c *Controller) Coalesce(ctx context.Context, key string, maxN int, run RunFunc) (res *core.Result, waited bool, err error) {
+	if c == nil {
+		res, err = run(ctx, maxN)
+		return res, false, err
+	}
+	return c.co.do(ctx, key, maxN, run)
+}
+
+func (co *Coalescer) do(ctx context.Context, key string, maxN int, run RunFunc) (*core.Result, bool, error) {
+	if co.maxWaiters < 0 {
+		res, err := run(ctx, maxN)
+		return res, false, err
+	}
+	co.mu.Lock()
+	if f, ok := co.flights[key]; ok && f.waiters < co.maxWaiters && (!f.started || f.targetN >= maxN) {
+		// Join: raise a still-gathering flight's target; a started flight is
+		// joinable only when its frozen target already covers us.
+		if !f.started && maxN > f.targetN {
+			f.targetN = maxN
+		}
+		f.waiters++
+		co.mu.Unlock()
+		return co.wait(ctx, f, maxN, run)
+	}
+	// Lead. A full or insufficient existing flight is displaced in the map
+	// (it still completes for its own waiters); the cache's entry lock keeps
+	// overlapping leaders from duplicating solver work.
+	f := &flight{key: key, targetN: maxN, done: make(chan struct{})}
+	co.flights[key] = f
+	co.mu.Unlock()
+
+	if co.gather > 0 {
+		t := time.NewTimer(co.gather)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			// Cancelled before solving: release the waiters to fall back to
+			// their own runs rather than stranding them.
+			co.finish(f, nil, context.Cause(ctx))
+			return nil, false, context.Cause(ctx)
+		}
+	}
+	co.mu.Lock()
+	f.started = true
+	target := f.targetN
+	co.mu.Unlock()
+
+	res, err := run(ctx, target)
+	co.finish(f, res, err)
+	if err != nil {
+		return nil, false, err
+	}
+	out, perr := res.PrefixPop(maxN)
+	return out, false, perr
+}
+
+// wait blocks a joined request until its flight resolves. The flight failing
+// (including a cancelled leader) or falling short is not the waiter's error:
+// it falls back to its own run, which the cache makes cheap — any partial
+// leader progress is published there and resumes.
+func (co *Coalescer) wait(ctx context.Context, f *flight, maxN int, run RunFunc) (*core.Result, bool, error) {
+	co.waiting.Add(1)
+	select {
+	case <-f.done:
+		co.waiting.Add(-1)
+	case <-ctx.Done():
+		co.waiting.Add(-1)
+		return nil, false, context.Cause(ctx)
+	}
+	if f.err == nil && f.res != nil && f.res.SolvedN() >= maxN {
+		if out, err := f.res.PrefixPop(maxN); err == nil {
+			co.coalesced.Add(1)
+			return out, true, nil
+		}
+	}
+	res, err := run(ctx, maxN)
+	return res, false, err
+}
+
+// finish resolves a flight: publish its outcome, drop it from the map (unless
+// a displacing leader already replaced it) and release the waiters.
+func (co *Coalescer) finish(f *flight, res *core.Result, err error) {
+	co.mu.Lock()
+	if cur, ok := co.flights[f.key]; ok && cur == f {
+		delete(co.flights, f.key)
+	}
+	f.started = true
+	f.res, f.err = res, err
+	co.mu.Unlock()
+	close(f.done)
+}

@@ -1,0 +1,305 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/selfmodel"
+)
+
+// solveTo runs the ground-truth model to n populations, the backend a
+// RunFunc stands in for.
+func solveTo(t *testing.T, n int) *core.Result {
+	t.Helper()
+	dm := core.FuncDemands{K: 2, F: func(k, _ int) float64 {
+		if k == 0 {
+			return truthDW
+		}
+		return truthDD
+	}}
+	sol, err := core.NewMVASDSolver(selfmodel.SelfModel(truthWorkers), dm, core.MVASDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sol.Release()
+	if err := sol.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	return sol.Result()
+}
+
+// sameRows asserts two trajectories agree bit-identically over got's rows.
+func sameRows(t *testing.T, got, want *core.Result) {
+	t.Helper()
+	if got.SolvedN() > want.SolvedN() {
+		t.Fatalf("got %d rows, reference has %d", got.SolvedN(), want.SolvedN())
+	}
+	for i := 0; i < got.SolvedN(); i++ {
+		if got.X[i] != want.X[i] || got.Cycle[i] != want.Cycle[i] {
+			t.Fatalf("row %d differs: X %v vs %v, Cycle %v vs %v",
+				i, got.X[i], want.X[i], got.Cycle[i], want.Cycle[i])
+		}
+	}
+}
+
+// TestCoalesceMergesConcurrentSolves drives N concurrent overlapping requests
+// through one controller: exactly one backend solve runs, at the merged
+// maximum target, and every waiter's rows are bit-identical to a solo solve.
+func TestCoalesceMergesConcurrentSolves(t *testing.T) {
+	solo := solveTo(t, 48)
+	c := New(Config{CoalesceGather: 300 * time.Millisecond}, nil)
+
+	var runs atomic.Int32
+	var ranTarget atomic.Int32
+	run := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		ranTarget.Store(int32(target))
+		return solveTo(t, target), nil
+	}
+
+	populations := []int{16, 48, 8, 32, 24}
+	type out struct {
+		res    *core.Result
+		waited bool
+		err    error
+	}
+	results := make([]out, len(populations))
+	var wg sync.WaitGroup
+	for i, n := range populations {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			res, waited, err := c.Coalesce(context.Background(), "k", n, run)
+			results[i] = out{res, waited, err}
+		}(i, n)
+	}
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("backend solves: got %d, want exactly 1", got)
+	}
+	if got := ranTarget.Load(); got != 48 {
+		t.Fatalf("merged target: got %d, want 48 (the max requested population)", got)
+	}
+	waiters := 0
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		if r.res.SolvedN() != populations[i] {
+			t.Fatalf("request %d: got %d rows, want its own %d", i, r.res.SolvedN(), populations[i])
+		}
+		sameRows(t, r.res, solo)
+		if r.waited {
+			waiters++
+		}
+	}
+	if waiters != len(populations)-1 {
+		t.Fatalf("waiters served off the shared flight: got %d, want %d", waiters, len(populations)-1)
+	}
+	if st := c.Stats(); st.Coalesced != uint64(waiters) || st.CoalesceWaiters != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestCoalesceWaiterCancellation cancels one waiter mid-flight: it gets its
+// context's cause, while the leader and the other waiter are untouched.
+func TestCoalesceWaiterCancellation(t *testing.T) {
+	c := New(Config{}, nil)
+	release := make(chan struct{})
+	var runs atomic.Int32
+	lead := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		<-release
+		return solveTo(t, target), nil
+	}
+	direct := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		return solveTo(t, target), nil
+	}
+
+	var wg sync.WaitGroup
+	var leadRes, joinRes *core.Result
+	var leadErr, joinErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leadRes, _, leadErr = c.Coalesce(context.Background(), "k", 32, lead)
+	}()
+	// Wait until the leader's flight is running (started with target 32) so
+	// both joiners attach to it rather than racing to lead.
+	waitFor(t, func() bool { return runs.Load() == 1 })
+
+	cancelCtx, cancel := context.WithCancelCause(context.Background())
+	wg.Add(2)
+	var cancelledErr error
+	go func() {
+		defer wg.Done()
+		_, _, cancelledErr = c.Coalesce(cancelCtx, "k", 16, direct)
+	}()
+	go func() {
+		defer wg.Done()
+		var waited bool
+		joinRes, waited, joinErr = c.Coalesce(context.Background(), "k", 24, direct)
+		if joinErr == nil && !waited {
+			joinErr = errors.New("surviving waiter did not ride the shared flight")
+		}
+	}()
+	waitFor(t, func() bool { return c.Stats().CoalesceWaiters == 2 })
+
+	boom := errors.New("client went away")
+	cancel(boom)
+	waitFor(t, func() bool { return c.Stats().CoalesceWaiters == 1 })
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(cancelledErr, boom) {
+		t.Fatalf("cancelled waiter error: %v, want %v", cancelledErr, boom)
+	}
+	if leadErr != nil || joinErr != nil {
+		t.Fatalf("survivors errored: lead=%v join=%v", leadErr, joinErr)
+	}
+	if leadRes.SolvedN() != 32 || joinRes.SolvedN() != 24 {
+		t.Fatalf("survivor rows: lead=%d join=%d", leadRes.SolvedN(), joinRes.SolvedN())
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("backend solves: got %d, want 1 (cancellation must not trigger re-runs)", got)
+	}
+}
+
+// TestCoalesceLeaderFailureFallsBack verifies a waiter is not poisoned by its
+// leader's error: it falls back to its own run and succeeds.
+func TestCoalesceLeaderFailureFallsBack(t *testing.T) {
+	c := New(Config{}, nil)
+	release := make(chan struct{})
+	boom := errors.New("solver exploded")
+	var runs atomic.Int32
+	lead := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		<-release
+		return nil, boom
+	}
+	fallback := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		return solveTo(t, target), nil
+	}
+
+	var wg sync.WaitGroup
+	var leadErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leadErr = c.Coalesce(context.Background(), "k", 32, lead)
+	}()
+	waitFor(t, func() bool { return runs.Load() == 1 })
+
+	var res *core.Result
+	var waited bool
+	var err error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, waited, err = c.Coalesce(context.Background(), "k", 16, fallback)
+	}()
+	waitFor(t, func() bool { return c.Stats().CoalesceWaiters == 1 })
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(leadErr, boom) {
+		t.Fatalf("leader error: %v, want %v", leadErr, boom)
+	}
+	if err != nil || waited || res.SolvedN() != 16 {
+		t.Fatalf("fallback: res=%v waited=%v err=%v", res, waited, err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("backend solves: got %d, want 2 (leader + fallback)", got)
+	}
+}
+
+// TestCoalesceNonCoveringFlightLeads verifies a request larger than a running
+// flight's frozen target does not wait on rows that will never exist: it
+// leads its own flight.
+func TestCoalesceNonCoveringFlightLeads(t *testing.T) {
+	c := New(Config{}, nil)
+	release := make(chan struct{})
+	var runs atomic.Int32
+	lead := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		<-release
+		return solveTo(t, target), nil
+	}
+	big := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		return solveTo(t, target), nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Coalesce(context.Background(), "k", 8, lead)
+	}()
+	waitFor(t, func() bool { return runs.Load() == 1 })
+
+	res, waited, err := c.Coalesce(context.Background(), "k", 32, big)
+	if err != nil || waited || res.SolvedN() != 32 {
+		t.Fatalf("non-covered request: res=%v waited=%v err=%v", res, waited, err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCoalesceDisabled verifies CoalesceWaiters < 0 turns the coalescer off.
+func TestCoalesceDisabled(t *testing.T) {
+	c := New(Config{CoalesceWaiters: -1, CoalesceGather: 100 * time.Millisecond}, nil)
+	var runs atomic.Int32
+	run := func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		return solveTo(t, target), nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, waited, err := c.Coalesce(context.Background(), "k", 8, run); err != nil || waited {
+				t.Errorf("disabled coalescer: waited=%v err=%v", waited, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("backend solves: got %d, want 4 (one per request)", got)
+	}
+}
+
+// TestCoalesceNilController verifies a nil controller runs directly.
+func TestCoalesceNilController(t *testing.T) {
+	var c *Controller
+	var runs atomic.Int32
+	res, waited, err := c.Coalesce(context.Background(), "k", 8, func(ctx context.Context, target int) (*core.Result, error) {
+		runs.Add(1)
+		return solveTo(t, target), nil
+	})
+	if err != nil || waited || res.SolvedN() != 8 || runs.Load() != 1 {
+		t.Fatalf("nil controller: res=%v waited=%v err=%v runs=%d", res, waited, err, runs.Load())
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

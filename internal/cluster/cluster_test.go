@@ -48,6 +48,13 @@ func (n *testNode) kill(t *testing.T) {
 // adjust each node's cluster config before wiring.
 func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 	t.Helper()
+	return startClusterTuned(t, n, tune, nil)
+}
+
+// startClusterTuned is startCluster with a second hook adjusting each node's
+// server config (the admission tests arm the gate and the self-model).
+func startClusterTuned(t *testing.T, n int, tune func(c *Config), tuneSrv func(c *server.Config)) []*testNode {
+	t.Helper()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	listeners := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -64,7 +71,7 @@ func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 		// SampleRate 1: every test request is retained, so trace assertions
 		// never depend on the sampling hash of a particular ID.
 		rec := obs.New(obs.Config{Node: addrs[i], SampleRate: 1})
-		srv := server.New(server.Config{
+		srvCfg := server.Config{
 			CacheSize:       64,
 			MaxN:            10_000,
 			Workers:         4,
@@ -72,7 +79,11 @@ func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 			ShutdownTimeout: 2 * time.Second,
 			Logger:          logger,
 			Recorder:        rec,
-		})
+		}
+		if tuneSrv != nil {
+			tuneSrv(&srvCfg)
+		}
+		srv := server.New(srvCfg)
 		cfg := Config{
 			Self:          addrs[i],
 			Peers:         addrs,

@@ -182,7 +182,7 @@ func (g *Gateway) deepChunk(ctx context.Context, req *modelio.SolveRequest, from
 		if ctx.Err() != nil {
 			return nil, context.Cause(ctx)
 		}
-		res := g.forwardOne(ctx, peer, "/cluster/v1/deep", body, false)
+		res := g.forwardOne(ctx, peer, "/cluster/v1/deep", body, false, nil)
 		switch {
 		case res.err == nil && res.status == http.StatusOK:
 			var resp modelio.DeepChunkResponse

@@ -117,7 +117,7 @@ func (g *Gateway) forwardRound(parent context.Context, path string, body []byte,
 			g.metrics.hedges.Add(1)
 		}
 		go func() {
-			res := g.forwardOne(ctx, peer, path, body, hedge)
+			res := g.forwardOne(ctx, peer, path, body, hedge, nil)
 			// The breaker verdict is recorded here, not by the receiving
 			// loop: the race returns (cancelling the losers) without
 			// draining the channel, and a launched-but-unrecorded request
@@ -206,8 +206,10 @@ func (g *Gateway) hedgeDelay(peer string) time.Duration {
 // forwardOne performs one POST to one peer, propagating X-Request-Id (and the
 // forward span's ID as X-Parent-Span, so the peer's trace fragment stitches
 // under this hop) and marking the hop so the peer serves locally. Each call
-// is one telemetry span on the requesting node.
-func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte, hedge bool) fwdResult {
+// is one telemetry span on the requesting node. extra carries additional
+// headers (nil for plain forwards; the admission gate's redirects mark the
+// hop with X-Cluster-Redirected here).
+func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte, hedge bool, extra http.Header) fwdResult {
 	tr := telemetry.FromContext(ctx)
 	span := tr.StartSpan("forward")
 	span.SetAttr("peer", peer)
@@ -224,6 +226,11 @@ func (g *Gateway) forwardOne(ctx context.Context, peer, path string, body []byte
 		return fwdResult{peer: peer, err: err, hedged: hedge}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	req.Header.Set(headerForwarded, g.cfg.Self)
 	if g.cfg.Secret != "" {
 		req.Header.Set(headerSecret, g.cfg.Secret)

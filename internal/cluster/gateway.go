@@ -80,6 +80,11 @@ type Config struct {
 	// (default 2s); fills are best effort, a slow peer must not stall the
 	// solve it is trying to speed up.
 	FillTimeout time.Duration
+	// RedirectTTL bounds how long the gateway trusts a fetched fleet
+	// headroom view when redirecting admission-refused requests (default
+	// 1s). Sheds come in bursts; caching the view keeps a saturated node
+	// from hammering its peers' /v1/self exactly when they are busiest.
+	RedirectTTL time.Duration
 	// Secret, when set, authenticates the fabric's own protocol: every
 	// /cluster/v1/* request and every X-Cluster-Forwarded hop must carry it
 	// in X-Cluster-Secret (wrong or missing secret gets a 403, and a forged
@@ -151,6 +156,9 @@ func (c *Config) defaults() error {
 	if c.FillTimeout <= 0 {
 		c.FillTimeout = 2 * time.Second
 	}
+	if c.RedirectTTL <= 0 {
+		c.RedirectTTL = time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -176,6 +184,10 @@ type Gateway struct {
 	peers       map[string]*peerState
 	client      *http.Client
 	metrics     clusterMetrics
+
+	// headroom caches the fleet headroom view the admission gate redirects
+	// by (admission.go).
+	headroom headroomView
 }
 
 // New wires a gateway onto srv: it mounts itself as the root handler,
@@ -186,10 +198,11 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 		return nil, err
 	}
 	g := &Gateway{
-		cfg:   cfg,
-		local: srv,
-		mux:   http.NewServeMux(),
-		peers: make(map[string]*peerState),
+		cfg:      cfg,
+		local:    srv,
+		mux:      http.NewServeMux(),
+		peers:    make(map[string]*peerState),
+		headroom: headroomView{ttl: cfg.RedirectTTL},
 		client: &http.Client{
 			Timeout: cfg.ForwardTimeout,
 			Transport: &http.Transport{
@@ -329,7 +342,11 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("deep") != "" {
 		// Deep solves pipeline population chunks across the cluster; the
-		// receiving node coordinates, so they are never routed or forwarded.
+		// receiving node coordinates, so they are never routed or forwarded —
+		// the gate can only shed them, not redirect.
+		if !g.admitShedOnly(w, r) {
+			return
+		}
 		g.handleDeepSolve(w, r, &req, key)
 		return
 	}
@@ -344,11 +361,17 @@ func (g *Gateway) handleSolve(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(headerPeer, g.cfg.Self)
 		g.writeJSON(w, http.StatusOK, resp)
 	}
+	// Every path that would solve on this node's workers runs through the
+	// admission gate, which can divert past-the-knee arrivals to a peer with
+	// headroom (admission.go). A forwarded hop is gated too — the owner is
+	// exactly the node a hot key saturates first — and its refusal flows back
+	// through the sender's forward as a non-5xx response.
+	serve := func() { g.admitOrDivert(w, r, "/v1/solve", body, local) }
 	if r.Header.Get(headerForwarded) != "" && g.trustedHop(r) {
-		local()
+		serve()
 		return
 	}
-	g.route(w, r, key, "/v1/solve", body, local)
+	g.route(w, r, key, "/v1/solve", body, serve)
 }
 
 // handleSweep routes POST /v1/sweep. The gateway plans the sweep exactly as
@@ -372,7 +395,15 @@ func (g *Gateway) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Header.Get(headerForwarded) != "" && g.trustedHop(r) {
+		// Routed sub-sweeps are not re-gated: shedding one group would hole
+		// the coordinator's grid, and the coordinator's own entry gate
+		// already bounded the fan-out's origin.
 		g.serveSweepLocal(w, r, &req)
+		return
+	}
+	// The sweep coordinator fans groups from this node, so like deep solves
+	// it can only be shed, not redirected.
+	if !g.admitShedOnly(w, r) {
 		return
 	}
 	start := time.Now()

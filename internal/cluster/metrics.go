@@ -27,6 +27,10 @@ type clusterMetrics struct {
 	// candidate was down, broken or failing — the "no client-visible 5xx"
 	// path.
 	localFallbacks atomic.Uint64
+	// redirects counts refused requests shipped to a peer with advertised
+	// headroom (the admission gate's divert path; the per-node decision
+	// counters live in solverd_admission_*).
+	redirects atomic.Uint64
 	// fillHits/fillMisses count peer cache fill lookups (a hit restored a
 	// peer's trajectory, a miss fell through to a cold local solve).
 	fillHits   atomic.Uint64
@@ -96,6 +100,9 @@ func (g *Gateway) writeMetrics(w io.Writer) error {
 	fmt.Fprintln(w, "# HELP solverd_cluster_local_fallbacks_total Requests served locally after every remote candidate failed.")
 	fmt.Fprintln(w, "# TYPE solverd_cluster_local_fallbacks_total counter")
 	fmt.Fprintf(w, "solverd_cluster_local_fallbacks_total %d\n", m.localFallbacks.Load())
+	fmt.Fprintln(w, "# HELP solverd_cluster_redirects_total Admission-refused requests shipped to a peer with advertised headroom.")
+	fmt.Fprintln(w, "# TYPE solverd_cluster_redirects_total counter")
+	fmt.Fprintf(w, "solverd_cluster_redirects_total %d\n", m.redirects.Load())
 	fmt.Fprintln(w, "# HELP solverd_cluster_peer_fill_hits_total Cold solves warm-started from a peer's exported trajectory.")
 	fmt.Fprintln(w, "# TYPE solverd_cluster_peer_fill_hits_total counter")
 	fmt.Fprintf(w, "solverd_cluster_peer_fill_hits_total %d\n", m.fillHits.Load())

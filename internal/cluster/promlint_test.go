@@ -31,7 +31,12 @@ func TestClusterPrometheusExpositionLint(t *testing.T) {
 		"solverd_cluster_forwards_total", "solverd_cluster_forward_failures_total",
 		"solverd_cluster_hedges_total", "solverd_cluster_local_fallbacks_total",
 		"solverd_cluster_peer_fill_hits_total", "solverd_cluster_peer_fill_misses_total",
+		"solverd_cluster_redirects_total",
 		"solverd_cluster_forward_duration_seconds",
+		"solverd_admission_mode", "solverd_admission_admitted_total",
+		"solverd_admission_over_capacity_total", "solverd_admission_shed_total",
+		"solverd_admission_redirected_total", "solverd_admission_coalesced_total",
+		"solverd_admission_coalesce_waiters",
 		"solverd_trace_store_traces", "solverd_trace_store_spans",
 		"solverd_trace_store_bytes", "solverd_trace_store_evictions_total",
 		"solverd_trace_store_kept_total", "solverd_trace_store_dropped_total",

@@ -66,6 +66,11 @@ func (g *Gateway) handleSelf(w http.ResponseWriter, r *http.Request) {
 		res.self.Node = res.node
 		out.Nodes = append(out.Nodes, modelio.ClusterSelfNode{Member: res.node, Self: res.self})
 		out.FleetInFlight += res.self.InFlight
+		if adm := res.self.Admission; adm != nil {
+			out.FleetShed += adm.Shed
+			out.FleetRedirected += adm.Redirected
+			out.FleetCoalesced += adm.Coalesced
+		}
 		if res.self.Ready {
 			out.ReadyNodes++
 			out.FleetMaxSafe += res.self.MaxSafeN

@@ -212,7 +212,7 @@ func TestOutboundHeaderPropagation(t *testing.T) {
 	ctx := telemetry.WithTrace(context.Background(), tr)
 
 	// 1. Forward (the hedge path is the same function with hedge=true).
-	res := gw.forwardOne(ctx, fakeAddr, "/v1/solve", []byte(`{}`), false)
+	res := gw.forwardOne(ctx, fakeAddr, "/v1/solve", []byte(`{}`), false, nil)
 	if res.err != nil || res.status != http.StatusOK {
 		t.Fatalf("forwardOne: %+v", res)
 	}

@@ -81,6 +81,32 @@ type SelfResponse struct {
 
 	// LastFitError is the most recent demand-fit failure ("" once fitted).
 	LastFitError string `json:"lastFitError,omitempty"`
+
+	// Admission is the node's admission-gate and coalescer snapshot
+	// (internal/admission); present whenever the node runs one, including
+	// while the self-model is still warming.
+	Admission *SelfAdmission `json:"admission,omitempty"`
+}
+
+// SelfAdmission is one node's admission-control snapshot: what the gate in
+// front of the worker pool decided (admitted/shed/redirected) and what the
+// request coalescer merged.
+type SelfAdmission struct {
+	// Mode is the gate's action mode: off, observe or enforce.
+	Mode string `json:"mode"`
+	// Admitted counts requests let through; OverCapacity those that arrived
+	// past the predicted safe concurrency (counted in observe mode too,
+	// where they are still admitted).
+	Admitted     uint64 `json:"admitted"`
+	OverCapacity uint64 `json:"overCapacity"`
+	// Shed counts 429-refused requests; Redirected refusals resolved by
+	// forwarding to a ring peer with predicted headroom.
+	Shed       uint64 `json:"shed"`
+	Redirected uint64 `json:"redirected"`
+	// Coalesced counts requests served off another request's merged solve
+	// flight; CoalesceWaiters is the currently-waiting gauge.
+	Coalesced       uint64 `json:"coalesced"`
+	CoalesceWaiters int    `json:"coalesceWaiters"`
 }
 
 // ClusterSelfNode is one ring member's self-model (or why it is missing).
@@ -108,6 +134,12 @@ type ClusterSelfResponse struct {
 	ReadyNodes int `json:"readyNodes"`
 	// ShedAdvised is true when any ready node advises shedding.
 	ShedAdvised bool `json:"shedAdvised"`
+
+	// Fleet admission totals, summed over every answering node that reported
+	// an admission snapshot (ready or not).
+	FleetShed       uint64 `json:"fleetShed"`
+	FleetRedirected uint64 `json:"fleetRedirected"`
+	FleetCoalesced  uint64 `json:"fleetCoalesced"`
 
 	ElapsedMS float64 `json:"elapsedMs"`
 }

@@ -108,7 +108,7 @@ func (m *Monitor) WriteMetrics(w io.Writer) error {
 	fmt.Fprintln(w, "# HELP solverd_self_headroom Predicted max safe concurrency minus current in-flight (negative past saturation).")
 	fmt.Fprintln(w, "# TYPE solverd_self_headroom gauge")
 	fmt.Fprintf(w, "solverd_self_headroom %d\n", rep.MaxSafeN-inFlight)
-	fmt.Fprintln(w, "# HELP solverd_self_shed_advised Advisory shed signal: the node predicts it is at or past its safe concurrency (0/1; observe-only).")
+	fmt.Fprintln(w, "# HELP solverd_self_shed_advised Advisory shed signal: the node predicts it is at or past its safe concurrency (0/1; acted on by the admission gate in enforce mode).")
 	fmt.Fprintln(w, "# TYPE solverd_self_shed_advised gauge")
 	fmt.Fprintf(w, "solverd_self_shed_advised %d\n", b01(rep.Ready && rep.MaxSafeN-inFlight <= 0))
 

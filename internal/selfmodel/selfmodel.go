@@ -17,8 +17,9 @@
 // internal/monitor under the paper's validation bounds (3% throughput, 9%
 // latency); a breach force-records a deviation trace and triggers a re-fit,
 // so the self-model heals the same way the request-facing estimator does.
-// The monitor is observe-only: the shed signal it exposes is advisory (a
-// gauge and a report field), never an admission decision.
+// The monitor itself never decides: the shed signal it exposes (a gauge and
+// a report field) is consumed by internal/admission, whose gate turns it into
+// an admission decision only in enforce mode.
 package selfmodel
 
 import (
@@ -336,6 +337,22 @@ func (m *Monitor) RequestEnd(d time.Duration) {
 	m.lat[m.latN%len(m.lat)] = d
 	m.latN++
 	m.latHist.Observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// RequestDrop undoes RequestBegin for a request refused by the admission
+// gate (shed or redirected): the in-flight integral stops accruing it, but no
+// completion or latency is recorded — a refusal answered in microseconds
+// would otherwise dilute the sampled service-demand windows toward zero.
+func (m *Monitor) RequestDrop() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.advanceLocked(m.cfg.Now())
+	if m.inFlight > 0 {
+		m.inFlight--
+	}
 	m.mu.Unlock()
 }
 

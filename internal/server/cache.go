@@ -256,6 +256,31 @@ func (c *solveCache) do(ctx context.Context, key string, maxN int,
 	}
 }
 
+// peek answers maxN from key's published snapshot without taking the entry
+// lock: the fast path solveWithKey consults before the coalescer, so plain
+// prefix hits never join a flight. Misses (unknown key, insufficient
+// coverage) report ok=false and the caller proceeds to do.
+func (c *solveCache) peek(key string, maxN int) (*core.Result, bool) {
+	c.mu.Lock()
+	e, ok := c.items[key]
+	if ok {
+		if e.el != nil {
+			c.ll.MoveToFront(e.el)
+		}
+		e.lastAccess = time.Now()
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	if t := e.traj.Load(); t != nil && t.SolvedN() >= maxN {
+		if res, err := t.PrefixPop(maxN); err == nil {
+			return res, true
+		}
+	}
+	return nil, false
+}
+
 // export returns key's cached trajectory prefix plus its recursion
 // checkpoint, for peer cache fill. It takes the entry lock (Checkpoint reads
 // the solver's recursion state), bounded by ctx — a running first solve or

@@ -133,10 +133,55 @@ func (s *Server) solveCached(ctx context.Context, req *modelio.SolveRequest) (re
 // (hit/extend/miss). The solver is instrumented for the run's duration with
 // hooks feeding the step counter, the in-flight progress registry and — for
 // MVASD algorithms — the fixed-point iteration histogram.
+// Ahead of the cache sits the request coalescer (internal/admission):
+// concurrent solves of the same key with overlapping population ranges merge
+// into one flight whose leader solves to the largest requested population,
+// and every waiter streams its own prefix off the shared trajectory —
+// bit-identical to a solo solve, counted as a "coalesced" cache hit.
 func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.SolveRequest) (res *core.Result, hit bool, err error) {
 	tr := telemetry.FromContext(ctx)
 	cacheSpan := tr.StartSpan("cache")
-	res, hit, err = s.cache.do(ctx, key, req.MaxN,
+	// Lock-free fast path: a published snapshot covering maxN answers
+	// without joining a coalescer flight.
+	if snap, ok := s.cache.peek(key, req.MaxN); ok {
+		cacheSpan.End()
+		s.metrics.cacheHits.Add(1)
+		tr.SetAttr("cache", "hit")
+		return snap, true, nil
+	}
+	res, waited, err := s.admission.Coalesce(ctx, key, req.MaxN,
+		func(ctx context.Context, target int) (*core.Result, error) {
+			r, leaderHit, rerr := s.runCached(ctx, cacheSpan, key, req, target)
+			hit = leaderHit
+			return r, rerr
+		})
+	cacheSpan.End() // idempotent: covers a coalesced waiter's whole wait
+	if err != nil {
+		return nil, false, err
+	}
+	if waited {
+		// Served off another request's flight without running the solver —
+		// a hit for this caller, and the coalesced counter's unit.
+		s.metrics.cacheHits.Add(1)
+		tr.SetAttr("cache", "coalesced")
+		return res, true, nil
+	}
+	if hit {
+		s.metrics.cacheHits.Add(1)
+		tr.SetAttr("cache", "hit")
+	} else {
+		s.metrics.cacheMisses.Add(1)
+	}
+	return res, hit, err
+}
+
+// runCached is one pass through the cache's entry lock: build the entry's
+// resumable solver on first use (with cluster peer fill), then run/extend it
+// to target under the worker pool. hit reports the request was answered
+// without running the solver (a concurrent leader's completed run).
+func (s *Server) runCached(ctx context.Context, cacheSpan *telemetry.Span, key string, req *modelio.SolveRequest, target int) (res *core.Result, hit bool, err error) {
+	tr := telemetry.FromContext(ctx)
+	res, hit, err = s.cache.do(ctx, key, target,
 		func() (*core.Solver, error) {
 			sol, err := newSolverFor(req)
 			if err != nil {
@@ -216,13 +261,7 @@ func (s *Server) solveWithKey(ctx context.Context, key string, req *modelio.Solv
 			}
 			return runErr
 		})
-	cacheSpan.End() // idempotent: closes the span on the hit path
-	if hit {
-		s.metrics.cacheHits.Add(1)
-		tr.SetAttr("cache", "hit")
-	} else if err == nil {
-		s.metrics.cacheMisses.Add(1)
-	}
+	cacheSpan.End() // idempotent: closes the span on the in-lock hit path
 	return res, hit, err
 }
 

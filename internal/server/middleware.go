@@ -1,12 +1,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/telemetry"
 )
 
@@ -78,13 +83,76 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 			return
 		}
 		if selfSampledHandler(name) {
+			drop := new(atomic.Bool)
+			r = r.WithContext(context.WithValue(r.Context(), dropFlagKey{}, drop))
 			s.selfmon.RequestBegin()
 			// Ends before the outer defer (LIFO), so the sample window sees
-			// the handler's wall time even on a panic.
-			defer func() { s.selfmon.RequestEnd(time.Since(start)) }()
+			// the handler's wall time even on a panic. A dropped sample (the
+			// admission gate refused the request here or at the cluster
+			// gateway) leaves the in-flight integral but records no
+			// completion: a shed answered in microseconds must not dilute
+			// the demand windows the gate itself decides by.
+			defer func() {
+				if drop.Load() {
+					s.selfmon.RequestDrop()
+				} else {
+					s.selfmon.RequestEnd(time.Since(start))
+				}
+			}()
+			// The admission gate sits ahead of the worker pool, after
+			// RequestBegin so the decision's in-flight count includes this
+			// request. Cluster-routed handlers are gated at the gateway
+			// instead, where a refusal can redirect to a peer with headroom.
+			if gatedHandler(name) {
+				if dec := s.admission.Evaluate(); !dec.Admit {
+					s.admission.RecordShed()
+					drop.Store(true)
+					writeShed(rec, dec, s)
+					return
+				}
+			}
 		}
 		h(rec, r)
 	})
+}
+
+// dropFlagKey carries the sampled request's drop flag in the context, so the
+// admission gate — here or in the cluster gateway — can turn the deferred
+// RequestEnd into a RequestDrop.
+type dropFlagKey struct{}
+
+// DropSample marks the current sampled request as refused: its self-model
+// sample is dropped instead of completed. No-op outside a sampled handler.
+func DropSample(ctx context.Context) {
+	if drop, ok := ctx.Value(dropFlagKey{}).(*atomic.Bool); ok {
+		drop.Store(true)
+	}
+}
+
+// WriteShed is the uniform shed response: 429 with a Retry-After derived from
+// the decision's predicted drain time. Exported for the cluster gateway,
+// whose shed path runs outside this package.
+func (s *Server) WriteShed(w http.ResponseWriter, dec admission.Decision) {
+	writeShed(w, dec, s)
+}
+
+func writeShed(w http.ResponseWriter, dec admission.Decision, s *Server) {
+	w.Header().Set("Retry-After", strconv.Itoa(dec.RetryAfterSeconds()))
+	s.writeError(w, http.StatusTooManyRequests, fmt.Sprintf(
+		"node past predicted safe concurrency (%d in flight, max safe %d); retry after %ds",
+		dec.InFlight, dec.MaxSafeN, dec.RetryAfterSeconds()))
+}
+
+// gatedHandler selects the handlers the local admission gate covers: the
+// solve-shaped work of a standalone node. The cluster-routed variants are
+// deliberately excluded — their gate runs in the gateway's routing layer,
+// which can redirect over the ring before falling back to a shed.
+func gatedHandler(name string) bool {
+	switch name {
+	case "solve", "sweep", "plan", "whatif":
+		return true
+	}
+	return false
 }
 
 // selfSampledHandler selects the solve-shaped work the self-model observes:

@@ -101,6 +101,13 @@ func TestPrometheusExpositionLint(t *testing.T) {
 		"solverd_self_deviation_ratio",
 		"solverd_self_deviation_breaches_total",
 		"solverd_self_request_seconds",
+		"solverd_admission_mode",
+		"solverd_admission_admitted_total",
+		"solverd_admission_over_capacity_total",
+		"solverd_admission_shed_total",
+		"solverd_admission_redirected_total",
+		"solverd_admission_coalesced_total",
+		"solverd_admission_coalesce_waiters",
 	)
 
 	promtest.LintFamilies(t, families)

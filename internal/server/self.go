@@ -19,10 +19,20 @@ func (s *Server) SelfReport() modelio.SelfResponse {
 	rep := s.selfmon.Report()
 	inFlight := s.selfmon.InFlight()
 	cfg := s.selfmon.Config()
+	st := s.admission.Stats()
 	resp := modelio.SelfResponse{
 		Workers:  cfg.Workers,
 		MaxN:     cfg.MaxN,
 		InFlight: inFlight,
+		Admission: &modelio.SelfAdmission{
+			Mode:            st.Mode.String(),
+			Admitted:        st.Admitted,
+			OverCapacity:    st.OverCapacity,
+			Shed:            st.Shed,
+			Redirected:      st.Redirected,
+			Coalesced:       st.Coalesced,
+			CoalesceWaiters: st.CoalesceWaiters,
+		},
 	}
 	if rep == nil {
 		return resp

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/estimate"
 	"repro/internal/monitor"
 	"repro/internal/obs"
@@ -90,6 +91,11 @@ type Config struct {
 	// and the solverd_self_* metrics. Workers and Tracker are filled by New;
 	// the zero value uses the selfmodel defaults.
 	Self selfmodel.Config
+	// Admission tunes the model-guided admission gate and request coalescer
+	// (internal/admission) consulting the self-model ahead of the worker
+	// pool. The zero value observes: every request is evaluated and counted
+	// but none is refused, so behavior stays identical to a gate-less node.
+	Admission admission.Config
 }
 
 func (c *Config) defaults() {
@@ -142,6 +148,9 @@ type Server struct {
 	tracker  *monitor.DeviationTracker
 	estimate *estimateRuntime
 	selfmon  *selfmodel.Monitor
+	// admission turns selfmon's shed signal into admission decisions and
+	// coalesces overlapping concurrent solves (internal/admission).
+	admission *admission.Controller
 
 	// root is the handler Run/Serve expose: the mux by default, or a
 	// cluster gateway installed with Mount.
@@ -171,17 +180,19 @@ func New(cfg Config) *Server {
 	selfCfg.Workers = cfg.Workers
 	selfCfg.Tracker = tracker
 	selfmon := selfmodel.New(selfCfg)
+	adm := admission.New(cfg.Admission, selfmon)
 	s := &Server{
-		cfg:      cfg,
-		cache:    newSolveCache(cfg.CacheSize),
-		pool:     newWorkerPool(cfg.Workers, selfmon),
-		metrics:  newServerMetrics(),
-		inflight: newInflightRegistry(),
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		tracker:  tracker,
-		estimate: &estimateRuntime{keys: make(map[uint64]map[string]struct{})},
-		selfmon:  selfmon,
+		cfg:       cfg,
+		cache:     newSolveCache(cfg.CacheSize),
+		pool:      newWorkerPool(cfg.Workers, selfmon),
+		metrics:   newServerMetrics(),
+		inflight:  newInflightRegistry(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		tracker:   tracker,
+		estimate:  &estimateRuntime{keys: make(map[uint64]map[string]struct{})},
+		selfmon:   selfmon,
+		admission: adm,
 	}
 	s.mux.Handle("/v1/solve", s.instrument("solve", http.MethodPost, s.handleSolve))
 	s.mux.Handle("/v1/sweep", s.instrument("sweep", http.MethodPost, s.handleSweep))
@@ -207,6 +218,7 @@ func New(cfg Config) *Server {
 	s.RegisterMetrics(s.tracker.WriteMetrics)
 	s.RegisterMetrics(s.writeEstimateMetrics)
 	s.RegisterMetrics(s.selfmon.WriteMetrics)
+	s.RegisterMetrics(s.admission.WriteMetrics)
 	if cfg.EnablePprof {
 		// Registered on the server's own mux (not the global DefaultServeMux
 		// that importing net/http/pprof would populate), so profiling is
@@ -229,6 +241,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // trace retention is disabled). The cluster gateway uses it to serve span
 // fragments to peers.
 func (s *Server) Recorder() *obs.Recorder { return s.cfg.Recorder }
+
+// Admission returns the node's admission controller (never nil). The cluster
+// gateway shares it so redirects and sheds decided at the routing layer land
+// in the same counters the local gate uses.
+func (s *Server) Admission() *admission.Controller { return s.admission }
 
 // Mount replaces the handler Run/Serve expose — the cluster gateway installs
 // itself here so it can intercept /v1/solve and /v1/sweep for routing while
