@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/server"
+)
+
+// startJournalNode boots one solverd with an event journal and anomaly
+// profile store wired, returning the address plus both handles.
+func startJournalNode(t *testing.T) (string, *journal.Journal, *journal.ProfileStore) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	jn := journal.New(journal.Config{Node: addr})
+	ps := journal.NewProfileStore(journal.ProfileConfig{
+		Node: addr, CPUDuration: 50 * time.Millisecond, Journal: jn,
+	})
+	srv := server.New(server.Config{
+		Workers:         2,
+		ShutdownTimeout: 2 * time.Second,
+		Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
+		Journal:         jn,
+		Profiles:        ps,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+		}
+	})
+	return addr, jn, ps
+}
+
+func TestSolverctlEventsAndProfile(t *testing.T) {
+	addr, jn, ps := startJournalNode(t)
+
+	jn.Append(journal.TypeRefit, "ctl refit", journal.Event{TraceID: "trace-ctl"})
+	id, ok := ps.Capture(journal.TypeDeviationBreach, "trace-ctl")
+	if !ok {
+		t.Fatal("capture refused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if pr, ok := ps.Get(id); ok && pr.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("capture did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out, err := runCtl(t, "-addr", addr, "events")
+	if err != nil {
+		t.Fatalf("events: %v\n%s", err, out)
+	}
+	for _, want := range []string{"ctl refit", "trace=trace-ctl", "profile=" + id, "profile_capture"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("events output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCtl(t, "-addr", addr, "-type", "refit", "events")
+	if err != nil {
+		t.Fatalf("filtered events: %v", err)
+	}
+	if !strings.Contains(out, "ctl refit") || strings.Contains(out, "profile_capture") {
+		t.Errorf("type filter not applied:\n%s", out)
+	}
+
+	if out, err := runCtl(t, "-addr", addr, "-type", "bogus", "events"); err == nil {
+		t.Errorf("bogus type accepted:\n%s", out)
+	}
+
+	dst := filepath.Join(t.TempDir(), "capture.pb.gz")
+	out, err = runCtl(t, "-addr", addr, "-o", dst, "profile", id)
+	if err != nil {
+		t.Fatalf("profile fetch: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "go tool pprof") {
+		t.Errorf("profile output misses the pprof hint:\n%s", out)
+	}
+	if fi, err := os.Stat(dst); err != nil || fi.Size() == 0 {
+		t.Errorf("fetched profile empty or missing: %v", err)
+	}
+
+	if out, err := runCtl(t, "-addr", addr, "profile", "prof-999999"); err == nil {
+		t.Errorf("unknown profile id accepted:\n%s", out)
+	}
+	if out, err := runCtl(t, "-addr", addr, "profile"); err == nil {
+		t.Errorf("profile without an id accepted:\n%s", out)
+	}
+}
+
+// TestSolverctlStatusShowsJournal: the standalone status view reports journal
+// occupancy and the last profile capture.
+func TestSolverctlStatusShowsJournal(t *testing.T) {
+	addr, jn, ps := startJournalNode(t)
+	jn.Append(journal.TypeHedge, "h", journal.Event{})
+	id, _ := ps.Capture(journal.TypeBreaker, "")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if pr, ok := ps.Get(id); ok && pr.State != "capturing" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("capture did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out, err := runCtl(t, "-addr", addr, "status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(out, "journal:") || !strings.Contains(out, "last profile capture") {
+		t.Errorf("status output misses journal occupancy:\n%s", out)
+	}
+}

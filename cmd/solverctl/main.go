@@ -11,11 +11,17 @@
 //	solverctl [flags] status
 //	solverctl [flags] demands
 //	solverctl [flags] headroom
+//	solverctl [flags] events [-type t] [-event-trace id] [-limit 50]
+//	solverctl [flags] profile <id> [-kind cpu|heap] [-o file]
 //
 // trace asks the node's cluster stitch endpoint (GET /cluster/v1/trace/{id})
 // first, so one command renders a tree spanning every member that touched the
 // request; against a standalone node it falls back to the local fragments
-// (GET /debug/traces/{id}) and stitches them itself. -secret is required when
+// (GET /debug/traces/{id}) and stitches them itself. events renders the
+// fleet's merged event journal the same way (GET /cluster/v1/events, falling
+// back to the node's own GET /debug/events), annotating each event with its
+// linked trace and captured profile ids; profile downloads one anomaly
+// capture's raw pprof proto for `go tool pprof`. -secret is required when
 // the cluster gates its fabric endpoints.
 package main
 
@@ -25,12 +31,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/journal"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -53,6 +61,8 @@ commands:
   status        cluster-wide status aggregation
   demands       the online demand estimate: fitted curves + estimator health
   headroom      fleet self-model table: predicted saturation knee + headroom
+  events        fleet-merged event journal timeline (breaches, breaker trips, sheds, ...)
+  profile <id>  download one anomaly pprof capture for go tool pprof
 
 flags:
 `
@@ -72,6 +82,11 @@ func run(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
 	interval := fs.Duration("interval", time.Second, "refresh interval for top")
 	iterations := fs.Int("iterations", 0, "top refresh count (0 runs until interrupted)")
+	eventType := fs.String("type", "", "events: keep only one event type")
+	eventTrace := fs.String("event-trace", "", "events: keep only events carrying this trace id")
+	eventLimit := fs.Int("limit", 50, "events: newest events to show (0 shows all retained)")
+	profileKind := fs.String("kind", "cpu", "profile: which capture to fetch (cpu or heap)")
+	profileOut := fs.String("o", "", "profile: output file (default <id>-<kind>.pb.gz)")
 	fs.Usage = func() {
 		fmt.Fprint(out, usage)
 		fs.PrintDefaults()
@@ -102,6 +117,14 @@ func run(args []string, out io.Writer) error {
 		return c.demands()
 	case "headroom":
 		return c.headroom()
+	case "events":
+		return c.events(*eventType, *eventTrace, *eventLimit)
+	case "profile":
+		id := fs.Arg(1)
+		if id == "" {
+			return fmt.Errorf("profile needs an id (see `solverctl events` or GET /debug/profiles)")
+		}
+		return c.profile(id, *profileKind, *profileOut)
 	case "":
 		fs.Usage()
 		return fmt.Errorf("no command")
@@ -233,6 +256,8 @@ type nodeStatusView struct {
 		TargetN   int     `json:"targetN"`
 		ElapsedMS float64 `json:"elapsedMs"`
 	} `json:"inFlight"`
+	Journal  *journal.Stats        `json:"journal"`
+	Profiles *journal.ProfileStats `json:"profiles"`
 }
 
 // top renders a refreshing view of the node's in-flight solves and (in
@@ -261,6 +286,15 @@ func (c *ctl) topFrame() error {
 	fmt.Fprintf(c.out, "solverd %s  up %s  workers %d  cache %d/%d\n",
 		c.addr, fmtDuration(time.Duration(st.UptimeSeconds*float64(time.Second))),
 		st.Workers, len(st.Cache), st.CacheCapacity)
+	if st.Journal != nil {
+		fmt.Fprintf(c.out, "journal: %d event(s) retained, %d appended, %d evicted",
+			st.Journal.Stored, st.Journal.Appended, st.Journal.Evicted)
+		if st.Profiles != nil && st.Profiles.LastCaptureUnixMS > 0 {
+			fmt.Fprintf(c.out, "  last profile capture %s",
+				time.UnixMilli(st.Profiles.LastCaptureUnixMS).UTC().Format("15:04:05"))
+		}
+		fmt.Fprintln(c.out)
+	}
 
 	fmt.Fprintf(c.out, "\nin-flight solves (%d):\n", len(st.InFlight))
 	if len(st.InFlight) == 0 {
@@ -320,9 +354,9 @@ func (c *ctl) status() error {
 
 	fmt.Fprintf(c.out, "cluster via %s: %d/%d members in the ring, replication %d\n\n",
 		cs.Self, len(cs.RingNodes), 1+len(cs.Peers), cs.Replication)
-	fmt.Fprintf(c.out, "%-24s %-6s %10s %10s %9s %8s %8s\n",
-		"NODE", "RING", "UPTIME", "CACHE", "INFLIGHT", "TRACES", "SPANS")
-	var totCache, totInFlight, totTraces, totSpans int
+	fmt.Fprintf(c.out, "%-24s %-6s %10s %10s %9s %8s %8s %8s %8s %9s\n",
+		"NODE", "RING", "UPTIME", "CACHE", "INFLIGHT", "TRACES", "SPANS", "EVENTS", "EVICTED", "LASTCAP")
+	var totCache, totInFlight, totTraces, totSpans, totEvents int
 	for _, m := range members {
 		inRing := false
 		for _, rn := range cs.RingNodes {
@@ -347,14 +381,24 @@ func (c *ctl) status() error {
 			totTraces += traces
 			totSpans += spans
 		}
+		events, evicted := -1, -1
+		if st.Journal != nil {
+			events, evicted = st.Journal.Stored, int(st.Journal.Evicted)
+			totEvents += events
+		}
+		lastCap := "-"
+		if st.Profiles != nil && st.Profiles.LastCaptureUnixMS > 0 {
+			lastCap = time.UnixMilli(st.Profiles.LastCaptureUnixMS).UTC().Format("15:04:05")
+		}
 		totCache += len(st.Cache)
 		totInFlight += len(st.InFlight)
-		fmt.Fprintf(c.out, "%-24s %-6s %10s %10d %9d %8s %8s\n",
+		fmt.Fprintf(c.out, "%-24s %-6s %10s %10d %9d %8s %8s %8s %8s %9s\n",
 			m, ring, fmtDuration(time.Duration(st.UptimeSeconds*float64(time.Second))),
-			len(st.Cache), len(st.InFlight), fmtCount(traces), fmtCount(spans))
+			len(st.Cache), len(st.InFlight), fmtCount(traces), fmtCount(spans),
+			fmtCount(events), fmtCount(evicted), lastCap)
 	}
-	fmt.Fprintf(c.out, "\ntotals: %d cached trajectories, %d in-flight solves, %d retained traces (%d spans)\n",
-		totCache, totInFlight, totTraces, totSpans)
+	fmt.Fprintf(c.out, "\ntotals: %d cached trajectories, %d in-flight solves, %d retained traces (%d spans), %d journal events\n",
+		totCache, totInFlight, totTraces, totSpans, totEvents)
 	return nil
 }
 
@@ -488,6 +532,114 @@ func (c *ctl) headroomRow(member string, sr *modelio.SelfResponse) {
 		member, "yes", sr.Workers, sr.InFlight, knee, sr.MaxSafeN, sr.Headroom,
 		fmtDuration(time.Duration(sr.PredictedP50Seconds*float64(time.Second))), advise,
 		shed, redir, coal)
+}
+
+// events renders the journal timeline: fleet-merged through the gateway's
+// GET /cluster/v1/events when the node runs a cluster fabric, the node's own
+// GET /debug/events otherwise. Events carrying a trace or profile id get the
+// annotation inline — the id feeds `solverctl trace` / `solverctl profile`.
+func (c *ctl) events(typ, traceID string, limit int) error {
+	q := url.Values{}
+	if typ != "" {
+		q.Set("type", typ)
+	}
+	if traceID != "" {
+		q.Set("trace", traceID)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprintf("%d", limit))
+	}
+	qs := ""
+	if len(q) > 0 {
+		qs = "?" + q.Encode()
+	}
+	var fe cluster.FleetEvents
+	if code, err := c.getJSON("/cluster/v1/events"+qs, &fe); err != nil {
+		if code == http.StatusForbidden {
+			return err
+		}
+		// Standalone node (no gateway) — render its local journal.
+		var er server.EventsResponse
+		if _, err := c.getJSON("/debug/events"+qs, &er); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "node %s: %d event(s) shown of %d appended (%d evicted)\n\n",
+			er.Node, len(er.Events), er.Stats.Appended, er.Stats.Evicted)
+		c.renderEvents(er.Events)
+		return nil
+	}
+	fmt.Fprintf(c.out, "fleet timeline via %s: %d event(s) from %s\n",
+		fe.Self, len(fe.Events), strings.Join(fe.Nodes, ", "))
+	if len(fe.Missing) > 0 {
+		fmt.Fprintf(c.out, "unreachable members (history lost): %s\n", strings.Join(fe.Missing, ", "))
+	}
+	fmt.Fprintln(c.out)
+	c.renderEvents(fe.Events)
+	return nil
+}
+
+func (c *ctl) renderEvents(events []journal.Event) {
+	if len(events) == 0 {
+		fmt.Fprintln(c.out, "no events retained")
+		return
+	}
+	for _, e := range events {
+		ts := time.UnixMilli(e.TimeUnixMS).UTC().Format("15:04:05.000")
+		fmt.Fprintf(c.out, "%s %-22s %-17s %s", ts, e.Node, e.Type, e.Message)
+		if e.TraceID != "" {
+			fmt.Fprintf(c.out, "  trace=%s", e.TraceID)
+		}
+		if e.ProfileID != "" {
+			fmt.Fprintf(c.out, "  profile=%s", e.ProfileID)
+		}
+		fmt.Fprintln(c.out)
+	}
+}
+
+// profile downloads one anomaly capture's raw pprof proto (GET
+// /debug/profiles/{id}) into a local file ready for `go tool pprof`.
+func (c *ctl) profile(id, kind, outFile string) error {
+	switch kind {
+	case "cpu", "heap":
+	default:
+		return fmt.Errorf("bad -kind %q (want cpu or heap)", kind)
+	}
+	req, err := http.NewRequest(http.MethodGet,
+		"http://"+c.addr+"/debug/profiles/"+url.PathEscape(id)+"?kind="+kind, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Request-Id", telemetry.NewID())
+	if c.secret != "" {
+		req.Header.Set("X-Cluster-Secret", c.secret)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("profile %s: %s", id, e.Error)
+		}
+		return fmt.Errorf("profile %s: status %d", id, resp.StatusCode)
+	}
+	if outFile == "" {
+		outFile = fmt.Sprintf("%s-%s.pb.gz", id, kind)
+	}
+	if err := os.WriteFile(outFile, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.out, "wrote %s (%s)\nanalyze with: go tool pprof %s\n",
+		outFile, fmtBytes(len(body)), outFile)
+	return nil
 }
 
 func fmtDuration(d time.Duration) string {

@@ -8,6 +8,7 @@
 //	        [-timeout 30s] [-shutdown-timeout 15s] [-pprof]
 //	        [-trace-store 512] [-trace-slow 250ms] [-trace-sample 0.05]
 //	        [-estimate-window 32] [-estimate-min-samples 8]
+//	        [-journal-events 512] [-profile-on-anomaly]
 //	        [-self-interval 2s] [-self-p99-bound 0]
 //	        [-shed-mode off|observe|enforce] [-coalesce-waiters 256]
 //	        [-coalesce-gather 0]
@@ -24,7 +25,14 @@
 // everywhere. A flight recorder (internal/obs) tail-samples completed
 // request traces into a bounded in-memory store served under /debug/traces
 // (and stitched cluster-wide under /cluster/v1/trace/{id}); -trace-store 0
-// turns it off. Every node also runs a self-model (internal/selfmodel): it
+// turns it off. Every stateful subsystem also feeds a bounded event journal
+// (internal/journal) served under GET /debug/events and merged fleet-wide
+// under GET /cluster/v1/events (`solverctl events` renders the timeline);
+// -journal-events sets the per-type ring capacity and 0 turns it off.
+// -profile-on-anomaly arms anomaly profile capture: a deviation breach, shed
+// burst or breaker trip grabs a rate-limited CPU profile into a bounded
+// store served under GET /debug/profiles/{id} (`solverctl profile <id>`
+// fetches one for go tool pprof). Every node also runs a self-model (internal/selfmodel): it
 // samples its own worker pool and request flow, fits its own two-station
 // demands, and serves a predicted saturation/headroom view under GET /v1/self
 // (fleet-wide under GET /cluster/v1/self; `solverctl headroom` renders the
@@ -62,6 +70,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/estimate"
+	"repro/internal/journal"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/selfmodel"
@@ -89,6 +98,8 @@ func run(args []string, out io.Writer) error {
 	traceStore := fs.Int("trace-store", obs.DefaultMaxTraces, "flight-recorder trace capacity (0 disables recording)")
 	traceSlow := fs.Duration("trace-slow", obs.DefaultSlowThreshold, "requests at least this slow are always retained")
 	traceSample := fs.Float64("trace-sample", obs.DefaultSampleRate, "keep probability for fast, successful traces (1 keeps all)")
+	journalEvents := fs.Int("journal-events", 512, "event-journal entries retained per event type (0 disables the journal)")
+	profileOnAnomaly := fs.Bool("profile-on-anomaly", false, "capture a rate-limited CPU profile when a deviation breach, shed burst or breaker trip fires")
 	estWindow := fs.Int("estimate-window", 0, "demand estimator's per-cell outlier window (0 uses the default, 32)")
 	estMinSamples := fs.Int("estimate-min-samples", 0, "accepted samples a concurrency cell needs to enter a fit (0 uses the default, 8)")
 	selfInterval := fs.Duration("self-interval", 0, "self-model sampling-window length (0 uses the default, 2s)")
@@ -144,6 +155,20 @@ func run(args []string, out io.Writer) error {
 		SlowThreshold: *traceSlow,
 		SampleRate:    *traceSample,
 	})
+	jnCap := *journalEvents
+	if jnCap == 0 {
+		jnCap = -1 // Config 0 means "default"; the flag's 0 means "off"
+	}
+	jn := journal.New(journal.Config{Node: recNode, PerTypeCap: jnCap})
+	profCap := -1 // the store stays disabled unless -profile-on-anomaly arms it
+	if *profileOnAnomaly {
+		profCap = 0 // Config 0 means "default capacity"
+	}
+	profiles := journal.NewProfileStore(journal.ProfileConfig{
+		Node:        recNode,
+		MaxProfiles: profCap,
+		Journal:     jn,
+	})
 	srv := server.New(server.Config{
 		Addr:            *addr,
 		CacheSize:       *cacheSize,
@@ -155,6 +180,8 @@ func run(args []string, out io.Writer) error {
 		EnablePprof:     *pprofOn,
 		Logger:          logger,
 		Recorder:        recorder,
+		Journal:         jn,
+		Profiles:        profiles,
 		Estimate: estimate.Config{
 			Window:     *estWindow,
 			MinSamples: *estMinSamples,

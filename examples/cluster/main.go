@@ -24,6 +24,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/modelio"
 	"repro/internal/obs"
 	"repro/internal/queueing"
@@ -60,9 +61,16 @@ func run() error {
 	for i := range listeners {
 		// A keep-all flight recorder per node, so the stitched trace at the
 		// end never depends on the sampling hash of the demo's trace ID.
+		// Every node also journals its lifecycle and captures a short CPU
+		// profile on its first anomaly (the overload finale's shed burst).
+		jn := journal.New(journal.Config{Node: peers[i]})
 		srv := server.New(server.Config{
 			Logger:   logger,
 			Recorder: obs.New(obs.Config{Node: peers[i], SampleRate: 1}),
+			Journal:  jn,
+			Profiles: journal.NewProfileStore(journal.ProfileConfig{
+				Node: peers[i], CPUDuration: 300 * time.Millisecond, Journal: jn,
+			}),
 			// Small fixed worker pools and enforce-mode admission so the
 			// overload finale can push the fleet past its predicted knee.
 			Workers:   4,
@@ -191,7 +199,86 @@ func run() error {
 	// has headroom, shed with 429 + Retry-After once nobody does, recover
 	// after drain. The client never sees a 5xx.
 	fmt.Println("\n== graceful degradation: offered load past the fleet's knee ==")
-	return degrade(peers, gateways[0], servers)
+	if err := degrade(peers, gateways[0], servers); err != nil {
+		return err
+	}
+
+	// The whole incident is on the record: the fleet event journal holds
+	// every mode change, shed burst and redirect the ladder just produced,
+	// and the first shed burst triggered an anomaly profile capture.
+	fmt.Println("\n== fleet event journal: the incident, reconstructed ==")
+	return printFleetEvents(entry)
+}
+
+// printFleetEvents renders the merged fleet timeline and fetches the profile
+// the first anomaly captured, closing the symptom→evidence loop.
+func printFleetEvents(entry string) error {
+	body, err := get(entry, "/cluster/v1/events")
+	if err != nil {
+		return err
+	}
+	var fe cluster.FleetEvents
+	if err := json.Unmarshal([]byte(body), &fe); err != nil {
+		return fmt.Errorf("decoding fleet events: %w (body %q)", err, body)
+	}
+	fmt.Printf("fleet timeline via %s: %d event(s) from %d node(s)\n\n", fe.Self, len(fe.Events), len(fe.Nodes))
+	events := fe.Events
+	if len(events) > 12 {
+		fmt.Printf("  ... %d earlier event(s) elided ...\n", len(events)-12)
+		events = events[len(events)-12:]
+	}
+	var profNode, profID string
+	for _, e := range fe.Events {
+		if e.ProfileID != "" && profID == "" {
+			profNode, profID = e.Node, e.ProfileID
+		}
+	}
+	for _, e := range events {
+		ts := time.UnixMilli(e.TimeUnixMS).UTC().Format("15:04:05.000")
+		fmt.Printf("  %s %-22s %-16s %s", ts, e.Node, e.Type, e.Message)
+		if e.ProfileID != "" {
+			fmt.Printf("  profile=%s", e.ProfileID)
+		}
+		fmt.Println()
+	}
+	if profID == "" {
+		return fmt.Errorf("no anomaly capture in the timeline (expected one from the shed burst)")
+	}
+
+	// The capture runs async for a few hundred ms; poll the index, then pull
+	// the raw pprof proto exactly as `solverctl profile` would.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		idx, err := get(profNode, "/debug/profiles")
+		if err != nil {
+			return err
+		}
+		var pr server.ProfilesResponse
+		if err := json.Unmarshal([]byte(idx), &pr); err != nil {
+			return fmt.Errorf("decoding profile index: %w", err)
+		}
+		done := false
+		for _, p := range pr.Profiles {
+			if p.ID == profID && p.State == "done" {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("profile %s did not finish capturing", profID)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	raw, err := get(profNode, "/debug/profiles/"+profID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nanomaly profile %s captured on %s during the shed burst: %d bytes of pprof proto\n",
+		profID, profNode, len(raw))
+	fmt.Println("(`solverctl profile " + profID + "` writes it to disk for `go tool pprof`)")
+	return nil
 }
 
 // degrade runs the overload ladder against enforce-mode nodes. Standing

@@ -23,9 +23,11 @@ package admission
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/selfmodel"
 )
 
@@ -152,7 +154,24 @@ type Controller struct {
 	overCapacity atomic.Uint64
 	shed         atomic.Uint64
 	redirected   atomic.Uint64
+
+	// jn/prof feed the event journal and anomaly profile store (SetJournal;
+	// nil-safe). Shed events are coalesced into bursts so a storm of refusals
+	// appends a bounded event stream: at most one TypeShedBurst event per
+	// second, carrying the count refused since the previous event, and one
+	// profile capture per burst (a gap of burstGap starts a new burst).
+	jn        *journal.Journal
+	prof      *journal.ProfileStore
+	now       func() time.Time
+	burstMu   sync.Mutex
+	burstPend int
+	lastShed  time.Time
+	lastEmit  time.Time
 }
+
+// burstGap is the idle stretch that ends a shed burst: the next refusal
+// after it starts a fresh burst (and may trigger a new profile capture).
+const burstGap = 5 * time.Second
 
 // New builds a controller deciding by mon's live self-model (nil mon is
 // valid: the gate admits everything until a monitor exists — it never will on
@@ -163,7 +182,23 @@ func New(cfg Config, mon *selfmodel.Monitor) *Controller {
 		cfg: cfg,
 		mon: mon,
 		co:  newCoalescer(cfg.CoalesceWaiters, cfg.CoalesceGather),
+		now: time.Now,
 	}
+}
+
+// SetJournal wires the controller to the event journal and the anomaly
+// profile store (both nil-safe) and records the gate's active mode as a
+// TypeAdmissionMode event — the mode is fixed per process, so the one event
+// documents the transition from the previous process's configuration.
+// Call before serving traffic.
+func (c *Controller) SetJournal(jn *journal.Journal, prof *journal.ProfileStore) {
+	if c == nil {
+		return
+	}
+	c.jn, c.prof = jn, prof
+	jn.Append(journal.TypeAdmissionMode,
+		fmt.Sprintf("admission gate mode %s", c.cfg.Mode),
+		journal.Event{Attrs: []journal.Attr{{Key: "mode", Value: c.cfg.Mode.String()}}})
 }
 
 // Mode returns the controller's action mode.
@@ -244,11 +279,47 @@ func predictedXAt(rep *selfmodel.Report, n int) float64 {
 	return x
 }
 
-// RecordShed counts one request refused with 429 + Retry-After.
+// RecordShed counts one request refused with 429 + Retry-After and feeds
+// the journal's shed-burst coalescer: the first refusal after an idle gap
+// opens a burst (triggering a rate-limited profile capture of the node
+// under the load that made it shed), and at most one event per second
+// carries the refusals accumulated since the last one.
 func (c *Controller) RecordShed() {
-	if c != nil {
-		c.shed.Add(1)
+	if c == nil {
+		return
 	}
+	c.shed.Add(1)
+	if c.jn == nil && c.prof == nil {
+		return
+	}
+	c.burstMu.Lock()
+	now := c.now()
+	newBurst := c.lastShed.IsZero() || now.Sub(c.lastShed) > burstGap
+	c.lastShed = now
+	c.burstPend++
+	emit := newBurst || now.Sub(c.lastEmit) >= time.Second
+	count := 0
+	if emit {
+		count, c.burstPend = c.burstPend, 0
+		c.lastEmit = now
+	}
+	c.burstMu.Unlock()
+	if !emit {
+		return
+	}
+	var profileID string
+	if newBurst {
+		profileID, _ = c.prof.Capture(journal.TypeShedBurst, "")
+	}
+	c.jn.Append(journal.TypeShedBurst,
+		fmt.Sprintf("shed %d request(s) past predicted safe concurrency", count),
+		journal.Event{
+			ProfileID: profileID,
+			Attrs: []journal.Attr{
+				{Key: "count", Value: fmt.Sprintf("%d", count)},
+				{Key: "new_burst", Value: fmt.Sprintf("%t", newBurst)},
+			},
+		})
 }
 
 // RecordRedirected counts one refused request resolved by forwarding it to a

@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -173,6 +175,12 @@ func (g *Gateway) redirectOverloaded(w http.ResponseWriter, r *http.Request, pat
 		g.consumeHeadroom(peer)
 		g.metrics.redirects.Add(1)
 		telemetry.FromContext(r.Context()).SetAttr("admission", "redirected")
+		g.jn.Append(journal.TypeRedirect,
+			fmt.Sprintf("admission-refused request redirected to %s", peer),
+			journal.Event{
+				TraceID: telemetry.FromContext(r.Context()).ID(),
+				Attrs:   []journal.Attr{{Key: "peer", Value: peer}, {Key: "path", Value: path}},
+			})
 		w.Header().Set(headerPeer, res.peer)
 		if ct := res.contentType; ct != "" {
 			w.Header().Set("Content-Type", ct)

@@ -80,7 +80,7 @@ func TestClusterOverloadRedirectsThenSheds(t *testing.T) {
 	const redirectTTL = 50 * time.Millisecond
 	nodes := startClusterTuned(t, 3,
 		func(c *Config) { c.RedirectTTL = redirectTTL },
-		func(c *server.Config) {
+		func(_ string, c *server.Config) {
 			c.Self = selfmodel.Config{MaxN: clusterTruthMaxN}
 			c.Admission = admission.Config{Mode: admission.ModeEnforce}
 		})

@@ -41,33 +41,48 @@ type breaker struct {
 
 	// opens counts transitions into the open state (metrics).
 	opens uint64
+
+	// onTransition, when set (before traffic), observes every state change as
+	// (from, to). It is invoked after the breaker's mutex is released so the
+	// hook may take its own locks (the gateway journals transitions here).
+	onTransition func(from, to breakerState)
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown}
 }
 
+// notify invokes the transition hook outside the mutex when the state moved.
+func (b *breaker) notify(from, to breakerState) {
+	if from != to && b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
 // allow reports whether a request to the peer may proceed right now.
 func (b *breaker) allow(now time.Time) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
+	var ok bool
 	switch b.state {
 	case breakerClosed:
-		return true
+		ok = true
 	case breakerOpen:
-		if now.Sub(b.openedAt) < b.cooldown {
-			return false
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			ok = true
 		}
-		b.state = breakerHalfOpen
-		b.probing = true
-		return true
 	default: // half-open: one probe at a time
-		if b.probing {
-			return false
+		if !b.probing {
+			b.probing = true
+			ok = true
 		}
-		b.probing = true
-		return true
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
+	return ok
 }
 
 // allowNonProbe reports whether a best-effort request (a peer cache fill)
@@ -86,45 +101,54 @@ func (b *breaker) allowNonProbe() bool {
 // cooldown that already elapsed lets the very next allow probe again.
 func (b *breaker) cancelProbe() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if !b.probing {
+		b.mu.Unlock()
 		return
 	}
 	b.probing = false
+	from := b.state
 	if b.state == breakerHalfOpen {
 		b.state = breakerOpen
 	}
+	to := b.state
+	b.mu.Unlock()
+	b.notify(from, to)
 }
 
 // success records a completed request to the peer.
 func (b *breaker) success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.state = breakerClosed
 	b.failures = 0
 	b.probing = false
+	b.mu.Unlock()
+	b.notify(from, breakerClosed)
 }
 
 // failure records a failed request; it returns true when this failure opened
 // the breaker (for the breaker-opens metric).
 func (b *breaker) failure(now time.Time) (opened bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.probing = false
 	if b.state == breakerHalfOpen {
 		b.state = breakerOpen
 		b.openedAt = now
 		b.opens++
-		return true
+	} else {
+		b.failures++
+		if b.state == breakerClosed && b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+		}
 	}
-	b.failures++
-	if b.state == breakerClosed && b.failures >= b.threshold {
-		b.state = breakerOpen
-		b.openedAt = now
-		b.opens++
-		return true
-	}
-	return false
+	to := b.state
+	opened = from != breakerOpen && to == breakerOpen
+	b.mu.Unlock()
+	b.notify(from, to)
+	return opened
 }
 
 // snapshot returns the state and open count for status/metrics.

@@ -52,8 +52,9 @@ func startCluster(t *testing.T, n int, tune func(c *Config)) []*testNode {
 }
 
 // startClusterTuned is startCluster with a second hook adjusting each node's
-// server config (the admission tests arm the gate and the self-model).
-func startClusterTuned(t *testing.T, n int, tune func(c *Config), tuneSrv func(c *server.Config)) []*testNode {
+// server config (the admission tests arm the gate and the self-model; the
+// journal tests give each node its own event journal named after its addr).
+func startClusterTuned(t *testing.T, n int, tune func(c *Config), tuneSrv func(addr string, c *server.Config)) []*testNode {
 	t.Helper()
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	listeners := make([]net.Listener, n)
@@ -81,7 +82,7 @@ func startClusterTuned(t *testing.T, n int, tune func(c *Config), tuneSrv func(c
 			Recorder:        rec,
 		}
 		if tuneSrv != nil {
-			tuneSrv(&srvCfg)
+			tuneSrv(addrs[i], &srvCfg)
 		}
 		srv := server.New(srvCfg)
 		cfg := Config{

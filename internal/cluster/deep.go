@@ -17,8 +17,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/modelio"
 	"repro/internal/telemetry"
 )
@@ -201,6 +203,16 @@ func (g *Gateway) deepChunk(ctx context.Context, req *modelio.SolveRequest, from
 			span.SetAttr("failovers", failovers)
 			g.cfg.Logger.Warn("cluster: deep chunk failover",
 				"peer", peer, "fromN", fromN, "toN", toN, "error", res.err, "status", res.status)
+			g.jn.Append(journal.TypeDeepFailover,
+				fmt.Sprintf("deep chunk (%d, %d] failed over past %s", fromN, toN, peer),
+				journal.Event{
+					TraceID: telemetry.FromContext(ctx).ID(),
+					Attrs: []journal.Attr{
+						{Key: "peer", Value: peer},
+						{Key: "from_n", Value: strconv.Itoa(fromN)},
+						{Key: "to_n", Value: strconv.Itoa(toN)},
+					},
+				})
 		}
 	}
 	// Every remote candidate is down or failing: solve the chunk here.

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// eventsFanoutTimeout bounds the fleet event collection round: journal reads
+// are small in-memory slices, so a member that cannot answer in this window
+// is listed as missing rather than stalling the timeline.
+const eventsFanoutTimeout = 5 * time.Second
+
+// maxEventsResponseBytes caps one member's journal payload. The journal's
+// per-type caps bound a full dump to a few MiB of JSON, so 32 MiB is far
+// past anything legal.
+const maxEventsResponseBytes = 32 << 20
+
+// FleetEvents is the GET /cluster/v1/events body: every reachable member's
+// retained journal merged into one causally-ordered fleet timeline.
+type FleetEvents struct {
+	Self string `json:"self"`
+	// Nodes lists the members that contributed events; Missing the members
+	// that could not be reached (killed or partitioned — their history is
+	// absent, the timeline is still served).
+	Nodes   []string `json:"nodes"`
+	Missing []string `json:"missing,omitempty"`
+	// Events is the merged timeline. Each node's own sequence order is
+	// preserved exactly (per-node causality is authoritative and immune to
+	// clock skew); across nodes, events interleave by wall time.
+	Events []journal.Event `json:"events"`
+}
+
+// handleEvents serves GET /cluster/v1/events: fan out to every ring member's
+// /debug/events (the local journal answers directly), then merge the
+// per-node slices into one fleet timeline. The type, since, trace and limit
+// query parameters are forwarded to every member and re-applied to the
+// merged result, so filters behave identically fleet-wide.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !g.trustedHop(r) {
+		g.writeError(w, http.StatusForbidden, "cluster secret required")
+		return
+	}
+	q := r.URL.Query()
+	if typ := q.Get("type"); typ != "" && !journal.KnownType(typ) {
+		g.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown event type %q", typ))
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			g.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), eventsFanoutTimeout)
+	defer cancel()
+
+	type nodeEvents struct {
+		node   string
+		events []journal.Event
+		ok     bool
+	}
+	results := make([]nodeEvents, 1+len(g.remotePeers))
+	results[0] = nodeEvents{node: g.cfg.Self, events: g.localEvents(q), ok: true}
+	var wg sync.WaitGroup
+	for i, peer := range g.remotePeers {
+		wg.Add(1)
+		go func(slot int, peer string) {
+			defer wg.Done()
+			events, ok := g.fetchEvents(ctx, peer, r.URL.RawQuery)
+			results[slot] = nodeEvents{node: peer, events: events, ok: ok}
+		}(1+i, peer)
+	}
+	wg.Wait()
+
+	out := FleetEvents{Self: g.cfg.Self}
+	var timelines [][]journal.Event
+	for _, res := range results {
+		if !res.ok {
+			out.Missing = append(out.Missing, res.node)
+			continue
+		}
+		out.Nodes = append(out.Nodes, res.node)
+		if len(res.events) > 0 {
+			timelines = append(timelines, res.events)
+		}
+	}
+	out.Events = mergeTimelines(timelines)
+	if limit > 0 && len(out.Events) > limit {
+		out.Events = out.Events[len(out.Events)-limit:]
+	}
+	g.writeJSON(w, http.StatusOK, out)
+}
+
+// localEvents reads the local journal under the same query filters the
+// remote members apply ("" journal contributes nothing).
+func (g *Gateway) localEvents(q map[string][]string) []journal.Event {
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	f := journal.Filter{Type: get("type"), TraceID: get("trace")}
+	if v := get("since"); v != "" {
+		if since, err := strconv.ParseUint(v, 10, 64); err == nil {
+			f.SinceSeq = since
+		}
+	}
+	if v := get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			f.Limit = n
+		}
+	}
+	return g.jn.Events(f)
+}
+
+// mergeTimelines k-way merges per-node event slices (each ascending in that
+// node's sequence order) into one timeline. The merge only ever consumes a
+// slice's head, so a node's own order survives verbatim no matter what its
+// clock says; across nodes the earliest wall time (ties broken by node name)
+// goes first.
+func mergeTimelines(timelines [][]journal.Event) []journal.Event {
+	total := 0
+	for _, t := range timelines {
+		total += len(t)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]journal.Event, 0, total)
+	for len(timelines) > 0 {
+		best := 0
+		for i := 1; i < len(timelines); i++ {
+			h, b := timelines[i][0], timelines[best][0]
+			if h.TimeUnixMS < b.TimeUnixMS ||
+				(h.TimeUnixMS == b.TimeUnixMS && h.Node < b.Node) {
+				best = i
+			}
+		}
+		out = append(out, timelines[best][0])
+		timelines[best] = timelines[best][1:]
+		if len(timelines[best]) == 0 {
+			timelines = append(timelines[:best], timelines[best+1:]...)
+		}
+	}
+	return out
+}
+
+// fetchEvents asks one peer for its journal slice. ok=false means the peer
+// could not answer (down or erroring); a clean "journal disabled" 404 is
+// ok=true with no events.
+func (g *Gateway) fetchEvents(ctx context.Context, peer, rawQuery string) ([]journal.Event, bool) {
+	url := "http://" + peer + "/debug/events"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false
+	}
+	id := telemetry.FromContext(ctx).ID()
+	if !telemetry.ValidID(id) {
+		id = telemetry.NewID()
+	}
+	req.Header.Set("X-Request-Id", id)
+	if g.cfg.Secret != "" {
+		req.Header.Set(headerSecret, g.cfg.Secret)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, true
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxEventsResponseBytes))
+	if err != nil {
+		return nil, false
+	}
+	var eres server.EventsResponse
+	if err := json.Unmarshal(body, &eres); err != nil {
+		g.cfg.Logger.Warn("cluster: bad events payload", "peer", peer, "error", err)
+		return nil, false
+	}
+	return eres.Events, true
+}

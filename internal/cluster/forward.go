@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -60,8 +61,9 @@ func (g *Gateway) forward(ctx context.Context, key, path string, body []byte, ca
 		return fwdResult{}, false
 	}
 	start := time.Now()
+	traceID := telemetry.FromContext(ctx).ID()
 	fallback := func() (fwdResult, bool) {
-		g.metrics.observeForward("fallback", time.Since(start).Seconds())
+		g.metrics.observeForward("fallback", time.Since(start).Seconds(), traceID)
 		return fwdResult{}, false
 	}
 	backoff := g.cfg.RetryBackoff
@@ -85,7 +87,7 @@ func (g *Gateway) forward(ctx context.Context, key, path string, body []byte, ca
 			case res.hedged:
 				outcome = "hedge_win"
 			}
-			g.metrics.observeForward(outcome, time.Since(start).Seconds())
+			g.metrics.observeForward(outcome, time.Since(start).Seconds(), traceID)
 			return res, true
 		}
 		if ctx.Err() != nil {
@@ -115,6 +117,11 @@ func (g *Gateway) forwardRound(parent context.Context, path string, body []byte,
 		launched++
 		if hedge {
 			g.metrics.hedges.Add(1)
+			g.jn.Append(journal.TypeHedge,
+				fmt.Sprintf("hedged forward to %s fired", peer), journal.Event{
+					TraceID: telemetry.FromContext(ctx).ID(),
+					Attrs:   []journal.Attr{{Key: "peer", Value: peer}, {Key: "path", Value: path}},
+				})
 		}
 		go func() {
 			res := g.forwardOne(ctx, peer, path, body, hedge, nil)

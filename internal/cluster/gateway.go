@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/modelio"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -185,6 +186,13 @@ type Gateway struct {
 	client      *http.Client
 	metrics     clusterMetrics
 
+	// jn and prof are the local server's event journal and anomaly profile
+	// store (both nil-safe): the gateway journals breaker transitions,
+	// membership changes, hedges, redirects and deep-chunk failovers, and
+	// captures a profile when a breaker trips.
+	jn   *journal.Journal
+	prof *journal.ProfileStore
+
 	// headroom caches the fleet headroom view the admission gate redirects
 	// by (admission.go).
 	headroom headroomView
@@ -211,6 +219,8 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 			},
 		},
 	}
+	g.jn = srv.Journal()
+	g.prof = srv.Profiles()
 	for _, p := range cfg.Peers {
 		if p == cfg.Self {
 			continue
@@ -219,8 +229,10 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 			continue
 		}
 		g.remotePeers = append(g.remotePeers, p)
+		br := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		br.onTransition = g.breakerTransition(p)
 		g.peers[p] = &peerState{
-			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+			breaker: br,
 			latency: newLatencyTracker(),
 		}
 	}
@@ -228,6 +240,7 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 	probeClient := &http.Client{Timeout: cfg.ProbeTimeout}
 	g.members = newMembership(cfg.Self, g.remotePeers, cfg.VirtualNodes,
 		cfg.ProbeInterval, cfg.FailAfter, cfg.RecoverAfter, probeClient, cfg.Logger, cfg.Secret)
+	g.members.jn = g.jn
 
 	g.mux.Handle("/v1/solve", srv.Instrument("cluster-solve", http.MethodPost, g.handleSolve))
 	g.mux.Handle("/v1/sweep", srv.Instrument("cluster-sweep", http.MethodPost, g.handleSweep))
@@ -236,6 +249,7 @@ func New(srv *server.Server, cfg Config) (*Gateway, error) {
 	g.mux.Handle("/cluster/v1/status", srv.Instrument("cluster-status", http.MethodGet, g.handleClusterStatus))
 	g.mux.Handle("/cluster/v1/self", srv.Instrument("cluster-self", http.MethodGet, g.handleSelf))
 	g.mux.Handle("/cluster/v1/trace/", srv.Instrument("cluster-trace", http.MethodGet, g.handleTrace))
+	g.mux.Handle("/cluster/v1/events", srv.Instrument("cluster-events", http.MethodGet, g.handleEvents))
 	g.mux.Handle("/", srv.Handler())
 
 	srv.Mount(g)
@@ -258,6 +272,28 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gateway) peer(name string) *peerState { return g.peers[name] }
+
+// breakerTransition builds peer's circuit-breaker transition hook: every
+// state change becomes a journal event, and a trip (any state -> open) also
+// grabs an anomaly profile — the moment a peer starts failing is exactly when
+// the surviving node's own load profile is worth keeping.
+func (g *Gateway) breakerTransition(peer string) func(from, to breakerState) {
+	return func(from, to breakerState) {
+		var profileID string
+		if to == breakerOpen && from != breakerOpen {
+			profileID, _ = g.prof.Capture(journal.TypeBreaker, "")
+		}
+		g.jn.Append(journal.TypeBreaker,
+			fmt.Sprintf("peer %s breaker %s -> %s", peer, from, to), journal.Event{
+				ProfileID: profileID,
+				Attrs: []journal.Attr{
+					{Key: "peer", Value: peer},
+					{Key: "from", Value: from.String()},
+					{Key: "to", Value: to.String()},
+				},
+			})
+	}
+}
 
 // trustedHop reports whether a request claiming to come from inside the
 // fabric (a forwarded hop or a /cluster/v1/* call) really did. With no

@@ -2,12 +2,16 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -31,6 +35,9 @@ type membership struct {
 	// is a first-class fabric request like any forward or fill. (/healthz
 	// itself is open, but symmetric headers keep traces orphan-free.)
 	secret string
+	// jn receives membership-change and ring-rebuild events. Nil-safe; the
+	// gateway sets it before start.
+	jn *journal.Journal
 
 	states map[string]*memberState
 
@@ -122,8 +129,28 @@ func (m *membership) setUp(peer string, up bool) {
 	st.up.Store(up)
 	m.rebuild()
 	m.ringMu.Unlock()
+	ring := m.Ring()
 	m.logger.Info("cluster: membership change",
-		"peer", peer, "up", up, "ring", m.Ring().String())
+		"peer", peer, "up", up, "ring", ring.String())
+	dir := "down"
+	if up {
+		dir = "up"
+	}
+	m.jn.Append(journal.TypeMembership,
+		fmt.Sprintf("peer %s marked %s", peer, dir), journal.Event{
+			Attrs: []journal.Attr{
+				{Key: "peer", Value: peer},
+				{Key: "up", Value: strconv.FormatBool(up)},
+			},
+		})
+	m.jn.Append(journal.TypeRingRebuild,
+		fmt.Sprintf("routing ring rebuilt over %d member(s)", ring.Len()),
+		journal.Event{
+			Attrs: []journal.Attr{
+				{Key: "nodes", Value: strings.Join(ring.Nodes(), ",")},
+				{Key: "cause_peer", Value: peer},
+			},
+		})
 }
 
 // start launches one probe goroutine per remote peer; stopMembership (or a

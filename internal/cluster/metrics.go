@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/report"
 )
@@ -44,7 +45,10 @@ type clusterMetrics struct {
 }
 
 // observeForward records one completed forward ladder under its outcome.
-func (m *clusterMetrics) observeForward(outcome string, seconds float64) {
+// traceID (may be empty) becomes the latency bucket's exemplar, so a slow
+// bucket on a dashboard links straight to the hedged request's stitched
+// trace.
+func (m *clusterMetrics) observeForward(outcome string, seconds float64, traceID string) {
 	m.fwdMu.Lock()
 	defer m.fwdMu.Unlock()
 	if m.fwdDur == nil {
@@ -55,7 +59,7 @@ func (m *clusterMetrics) observeForward(outcome string, seconds float64) {
 		h, _ = report.NewFixedHistogram(report.DefaultLatencyBounds()...)
 		m.fwdDur[outcome] = h
 	}
-	h.Observe(seconds)
+	h.ObserveWithExemplar(seconds, traceID, float64(time.Now().UnixMilli())/1000)
 }
 
 // write renders the cluster section. The gateway passes the current ring and
@@ -120,7 +124,7 @@ func (g *Gateway) writeMetrics(w io.Writer) error {
 		if h == nil {
 			h = empty // every outcome label is always exposed, zeroed until seen
 		}
-		if err := h.WritePrometheus(w, "solverd_cluster_forward_duration_seconds", fmt.Sprintf("outcome=%q", o)); err != nil {
+		if err := h.WritePrometheusExemplars(w, "solverd_cluster_forward_duration_seconds", fmt.Sprintf("outcome=%q", o)); err != nil {
 			return err
 		}
 	}

@@ -43,6 +43,11 @@ func TestClusterPrometheusExpositionLint(t *testing.T) {
 		"solverd_self_windows_total", "solverd_self_sampled_requests_total",
 		"solverd_self_headroom", "solverd_self_shed_advised",
 		"solverd_self_deviation_ratio", "solverd_self_request_seconds",
+		"solverd_journal_events_stored", "solverd_journal_events_total",
+		"solverd_journal_events_evicted_total",
+		"solverd_profile_capture_total", "solverd_profile_capture_failures_total",
+		"solverd_profile_capture_skipped_total", "solverd_profile_capture_stored",
+		"solverd_profile_capture_last_unix_seconds",
 	)
 	promtest.LintFamilies(t, families)
 

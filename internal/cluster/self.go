@@ -85,13 +85,21 @@ func (g *Gateway) handleSelf(w http.ResponseWriter, r *http.Request) {
 }
 
 // fetchSelf asks one peer for its self-report. ok=false means the peer could
-// not answer (down, erroring, or an undecodable payload).
+// not answer (down, erroring, or an undecodable payload). The sub-request
+// reuses the calling request's trace id when one is in the context (a
+// redirect deciding where to divert must stay under the original
+// X-Request-Id in every node's access log), minting a fresh id only for
+// untraced callers.
 func (g *Gateway) fetchSelf(ctx context.Context, peer string) (*modelio.SelfResponse, bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/v1/self", nil)
 	if err != nil {
 		return nil, false
 	}
-	req.Header.Set("X-Request-Id", telemetry.NewID())
+	id := telemetry.FromContext(ctx).ID()
+	if !telemetry.ValidID(id) {
+		id = telemetry.NewID()
+	}
+	req.Header.Set("X-Request-Id", id)
 	if g.cfg.Secret != "" {
 		req.Header.Set(headerSecret, g.cfg.Secret)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/monitor"
 )
 
@@ -24,6 +25,12 @@ type Controller struct {
 	// and fresh snapshot versions. It is called with the controller's lock
 	// held — keep it fast and do not call back into the controller.
 	OnRefit func(oldVersion, newVersion uint64)
+
+	// Journal, when set, receives a TypeRefit event for every re-estimation
+	// attempt and a TypeSnapshot event for every published version change
+	// (nil-safe; Append takes only a leaf lock, so appending under mu is
+	// fine). Set before serving traffic.
+	Journal *journal.Journal
 
 	est     *Estimator
 	tracker *monitor.DeviationTracker
@@ -129,9 +136,30 @@ func (c *Controller) refitLocked(reason string) (oldVersion, newVersion uint64, 
 	oldVersion = c.est.Version()
 	snap, err := c.est.Fit()
 	if err != nil {
+		c.Journal.Append(journal.TypeRefit, "re-estimation failed", journal.Event{
+			Attrs: []journal.Attr{
+				{Key: "reason", Value: reason},
+				{Key: "version", Value: fmt.Sprintf("%d", oldVersion)},
+				{Key: "error", Value: err.Error()},
+			},
+		})
 		return oldVersion, oldVersion, err
 	}
 	c.dropSolverLocked()
+	c.Journal.Append(journal.TypeRefit,
+		fmt.Sprintf("demand curves re-fit (%s trigger)", reason), journal.Event{
+			Attrs: []journal.Attr{
+				{Key: "reason", Value: reason},
+				{Key: "old_version", Value: fmt.Sprintf("%d", oldVersion)},
+				{Key: "new_version", Value: fmt.Sprintf("%d", snap.Version)},
+			},
+		})
+	c.Journal.Append(journal.TypeSnapshot,
+		fmt.Sprintf("demand snapshot v%d published", snap.Version), journal.Event{
+			Attrs: []journal.Attr{
+				{Key: "version", Value: fmt.Sprintf("%d", snap.Version)},
+			},
+		})
 	if c.OnRefit != nil {
 		c.OnRefit(oldVersion, snap.Version)
 	}

@@ -1,0 +1,352 @@
+package journal
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTypesClosedSetIsExhaustiveAndSorted(t *testing.T) {
+	consts := []string{
+		TypeBreaker, TypeRingRebuild, TypeMembership, TypeHedge,
+		TypeDeepFailover, TypeAdmissionMode, TypeShedBurst, TypeRedirect,
+		TypeDeviationBreach, TypeRefit, TypeSnapshot, TypeCacheInvalidate,
+		TypeKneeShift, TypeSelfReady, TypeDrain, TypeCacheEvict,
+		TypeProfileCapture,
+	}
+	if len(Types) != len(consts) {
+		t.Fatalf("Types has %d entries, %d type constants declared", len(Types), len(consts))
+	}
+	for _, c := range consts {
+		if !KnownType(c) {
+			t.Errorf("type constant %q missing from Types", c)
+		}
+	}
+	for i := 1; i < len(Types); i++ {
+		if Types[i] <= Types[i-1] {
+			t.Errorf("Types not sorted: %q after %q", Types[i], Types[i-1])
+		}
+	}
+	if KnownType("no_such_type") {
+		t.Error("KnownType accepted an unknown type")
+	}
+}
+
+func TestAppendAndEvents(t *testing.T) {
+	j := New(Config{Node: "n1"})
+	if !j.Enabled() {
+		t.Fatal("journal disabled with default config")
+	}
+	s1 := j.Append(TypeRefit, "first", Event{TraceID: "t-1"})
+	s2 := j.Append(TypeSnapshot, "second", Event{})
+	s3 := j.Append(TypeRefit, "third", Event{TraceID: "t-3"})
+	if s1 != 1 || s2 != 2 || s3 != 3 {
+		t.Fatalf("sequence numbers = %d, %d, %d", s1, s2, s3)
+	}
+
+	all := j.Events(Filter{})
+	if len(all) != 3 {
+		t.Fatalf("Events() = %d events, want 3", len(all))
+	}
+	for i, e := range all {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d (want ascending)", i, e.Seq)
+		}
+		if e.Node != "n1" {
+			t.Errorf("event node = %q", e.Node)
+		}
+		if e.TimeUnixMS == 0 {
+			t.Errorf("event %d has no wall time", i)
+		}
+	}
+
+	if got := j.Events(Filter{Type: TypeRefit}); len(got) != 2 {
+		t.Errorf("type filter kept %d, want 2", len(got))
+	}
+	if got := j.Events(Filter{SinceSeq: 2}); len(got) != 1 || got[0].Seq != 3 {
+		t.Errorf("since filter = %+v", got)
+	}
+	if got := j.Events(Filter{TraceID: "t-3"}); len(got) != 1 || got[0].Message != "third" {
+		t.Errorf("trace filter = %+v", got)
+	}
+	if got := j.Events(Filter{Limit: 2}); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("limit filter should tail the timeline: %+v", got)
+	}
+}
+
+func TestAppendRejectsUnknownType(t *testing.T) {
+	j := New(Config{})
+	if seq := j.Append("typo_type", "m", Event{}); seq != 0 {
+		t.Fatalf("unknown type accepted with seq %d", seq)
+	}
+	if got := j.Events(Filter{}); len(got) != 0 {
+		t.Fatalf("unknown type stored: %+v", got)
+	}
+	s := j.Stats()
+	if s.Appended != 0 || s.LastSeq != 0 {
+		t.Fatalf("unknown type counted: %+v", s)
+	}
+}
+
+func TestNilAndDisabledJournal(t *testing.T) {
+	var nilJ *Journal
+	if nilJ.Enabled() {
+		t.Error("nil journal enabled")
+	}
+	if seq := nilJ.Append(TypeRefit, "m", Event{}); seq != 0 {
+		t.Errorf("nil Append = %d", seq)
+	}
+	if got := nilJ.Events(Filter{}); got != nil {
+		t.Errorf("nil Events = %+v", got)
+	}
+	if s := nilJ.Stats(); s.Enabled {
+		t.Errorf("nil Stats = %+v", s)
+	}
+	if nilJ.Node() != "" {
+		t.Errorf("nil Node = %q", nilJ.Node())
+	}
+	var sb strings.Builder
+	if err := nilJ.WriteMetrics(&sb); err != nil {
+		t.Fatalf("nil WriteMetrics: %v", err)
+	}
+	if !strings.Contains(sb.String(), `solverd_journal_events_stored{type="refit"} 0`) {
+		t.Error("nil WriteMetrics missing the zeroed schema")
+	}
+
+	off := New(Config{PerTypeCap: -1})
+	if off.Enabled() {
+		t.Error("negative cap journal enabled")
+	}
+	if seq := off.Append(TypeRefit, "m", Event{}); seq != 0 {
+		t.Errorf("disabled Append = %d", seq)
+	}
+}
+
+func TestEvictionUnderStorm(t *testing.T) {
+	const cap, storm = 8, 1000
+	j := New(Config{PerTypeCap: cap})
+	for i := 0; i < storm; i++ {
+		j.Append(TypeShedBurst, "storm", Event{})
+		j.Append(TypeHedge, "storm", Event{})
+	}
+	s := j.Stats()
+	if s.Stored != 2*cap {
+		t.Errorf("stored %d events, want %d (bounded)", s.Stored, 2*cap)
+	}
+	if s.Appended != 2*storm {
+		t.Errorf("appended %d, want %d", s.Appended, 2*storm)
+	}
+	if s.Evicted != 2*(storm-cap) {
+		t.Errorf("evicted %d, want %d", s.Evicted, 2*(storm-cap))
+	}
+	// Oldest-first: the retained shed_burst events are the newest cap ones,
+	// still in ascending sequence order.
+	got := j.Events(Filter{Type: TypeShedBurst})
+	if len(got) != cap {
+		t.Fatalf("retained %d shed_burst events, want %d", len(got), cap)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("retained events out of order at %d: %d <= %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+	if newest := got[len(got)-1].Seq; newest != s.LastSeq-1 && newest != s.LastSeq {
+		// The interleaved hedge appends make the exact tail seq flexible;
+		// what matters is the window ends near the last append.
+		t.Errorf("retained window ends at seq %d, last seq %d", newest, s.LastSeq)
+	}
+}
+
+func TestConcurrentWritersFromAllSubsystems(t *testing.T) {
+	j := New(Config{PerTypeCap: 64})
+	const perType = 200
+	var wg sync.WaitGroup
+	for _, typ := range Types {
+		wg.Add(1)
+		go func(typ string) {
+			defer wg.Done()
+			for i := 0; i < perType; i++ {
+				j.Append(typ, "concurrent", Event{TraceID: "trace-x"})
+			}
+		}(typ)
+	}
+	// Concurrent readers while the storm runs.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Events(Filter{Limit: 10})
+				j.Stats()
+				var sb strings.Builder
+				j.WriteMetrics(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	s := j.Stats()
+	if want := uint64(len(Types) * perType); s.Appended != want {
+		t.Fatalf("appended %d, want %d", s.Appended, want)
+	}
+	if s.LastSeq != s.Appended {
+		t.Fatalf("last seq %d != appended %d (sequence gap)", s.LastSeq, s.Appended)
+	}
+	// Sequence numbers are unique across types.
+	seen := make(map[uint64]bool)
+	for _, e := range j.Events(Filter{}) {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestAppendDoesNotAllocate(t *testing.T) {
+	j := New(Config{PerTypeCap: 16})
+	j.Append(TypeDrain, "warm the ring", Event{})
+	allocs := testing.AllocsPerRun(100, func() {
+		j.Append(TypeDrain, "steady state", Event{})
+	})
+	if allocs > 0 {
+		t.Errorf("Append allocates %.1f objects/op on the steady path, want 0", allocs)
+	}
+}
+
+func TestProfileStoreCapture(t *testing.T) {
+	jn := New(Config{Node: "n1"})
+	ps := NewProfileStore(ProfileConfig{
+		Node:        "n1",
+		CPUDuration: 50 * time.Millisecond,
+		Journal:     jn,
+	})
+	if !ps.Enabled() {
+		t.Fatal("store disabled with default config")
+	}
+	id, ok := ps.Capture(TypeDeviationBreach, "trace-1")
+	if !ok || id == "" {
+		t.Fatalf("Capture = %q, %v", id, ok)
+	}
+	// The id is linkable immediately, while the capture is still running.
+	if pr, ok := ps.Get(id); !ok || pr.State != "capturing" {
+		t.Fatalf("mid-capture Get = %+v, %v", pr, ok)
+	}
+	// A second trigger while busy is skipped, not queued.
+	if _, ok := ps.Capture(TypeShedBurst, ""); ok {
+		t.Error("concurrent capture admitted")
+	}
+	pr := waitDone(t, ps, id)
+	if pr.State != "done" {
+		t.Fatalf("capture state %q (error %q)", pr.State, pr.Error)
+	}
+	if pr.CPUBytes == 0 || len(pr.CPU) == 0 {
+		t.Error("capture produced no CPU profile bytes")
+	}
+	if pr.Trigger != TypeDeviationBreach || pr.TraceID != "trace-1" {
+		t.Errorf("capture metadata = %+v", pr)
+	}
+	// Completion journaled with the profile id.
+	evs := jn.Events(Filter{Type: TypeProfileCapture})
+	if len(evs) != 1 || evs[0].ProfileID != id || evs[0].TraceID != "trace-1" {
+		t.Fatalf("profile_capture events = %+v", evs)
+	}
+	s := ps.Stats()
+	if s.Captures != 1 || s.Failures != 0 || s.Stored != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.LastCaptureUnixMS == 0 {
+		t.Error("last capture timestamp not set")
+	}
+	if s.Skipped["busy"] != 1 {
+		t.Errorf("busy skip not counted: %+v", s.Skipped)
+	}
+}
+
+func TestProfileStoreRateLimitAndEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	ps := NewProfileStore(ProfileConfig{
+		MaxProfiles: 2,
+		CPUDuration: time.Millisecond,
+		MinInterval: time.Minute,
+		Now:         func() time.Time { return now },
+	})
+	id1, ok := ps.Capture(TypeBreaker, "")
+	if !ok {
+		t.Fatal("first capture refused")
+	}
+	waitDone(t, ps, id1)
+	// Within MinInterval: rate-limited.
+	if _, ok := ps.Capture(TypeBreaker, ""); ok {
+		t.Fatal("rate-limited capture admitted")
+	}
+	if ps.Stats().Skipped["rate_limited"] != 1 {
+		t.Fatalf("rate_limited skip not counted: %+v", ps.Stats().Skipped)
+	}
+	// Advance past the interval for two more captures; the store keeps 2.
+	now = now.Add(2 * time.Minute)
+	id2, ok := ps.Capture(TypeBreaker, "")
+	if !ok {
+		t.Fatal("post-interval capture refused")
+	}
+	waitDone(t, ps, id2)
+	now = now.Add(2 * time.Minute)
+	id3, ok := ps.Capture(TypeBreaker, "")
+	if !ok {
+		t.Fatal("third capture refused")
+	}
+	waitDone(t, ps, id3)
+	if _, ok := ps.Get(id1); ok {
+		t.Error("oldest profile survived past MaxProfiles")
+	}
+	list := ps.List()
+	if len(list) != 2 || list[0].ID != id2 || list[1].ID != id3 {
+		t.Errorf("List = %+v", list)
+	}
+}
+
+func TestProfileStoreDisabledAndNil(t *testing.T) {
+	var nilPS *ProfileStore
+	if nilPS.Enabled() {
+		t.Error("nil store enabled")
+	}
+	if _, ok := nilPS.Capture(TypeBreaker, ""); ok {
+		t.Error("nil store captured")
+	}
+	if s := nilPS.Stats(); s.Enabled {
+		t.Errorf("nil Stats = %+v", s)
+	}
+	var sb strings.Builder
+	if err := nilPS.WriteMetrics(&sb); err != nil {
+		t.Fatalf("nil WriteMetrics: %v", err)
+	}
+	for _, reason := range ProfileSkipReasons {
+		if !strings.Contains(sb.String(), `reason="`+reason+`"`) {
+			t.Errorf("nil WriteMetrics missing skip reason %q", reason)
+		}
+	}
+
+	off := NewProfileStore(ProfileConfig{MaxProfiles: -1})
+	if off.Enabled() {
+		t.Error("negative-capacity store enabled")
+	}
+	if _, ok := off.Capture(TypeBreaker, ""); ok {
+		t.Error("disabled store captured")
+	}
+	if off.Stats().Skipped["disabled"] != 1 {
+		t.Errorf("disabled skip not counted: %+v", off.Stats().Skipped)
+	}
+}
+
+// waitDone polls until the capture goroutine finishes.
+func waitDone(t *testing.T, ps *ProfileStore, id string) Profile {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pr, ok := ps.Get(id); ok && pr.State != "capturing" {
+			return pr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("capture %s did not finish", id)
+	return Profile{}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
@@ -26,6 +27,11 @@ const (
 // the evidence of a model gone stale is always retained.
 type DeviationTracker struct {
 	rec *obs.Recorder
+
+	// jn and prof are the event journal and anomaly profile store fed on
+	// every bound breach (Instrument; both nil-safe).
+	jn   *journal.Journal
+	prof *journal.ProfileStore
 
 	mu sync.Mutex
 	// latest deviation ratio per metric (|predicted−measured| / measured),
@@ -60,6 +66,14 @@ func NewDeviationTracker(rec *obs.Recorder) *DeviationTracker {
 	}
 }
 
+// Instrument wires the tracker to the event journal and the anomaly profile
+// store: every bound breach appends a TypeDeviationBreach event (linking the
+// force-recorded deviation trace) and asks for a rate-limited pprof capture.
+// Both may be nil. Call before serving traffic.
+func (d *DeviationTracker) Instrument(jn *journal.Journal, prof *journal.ProfileStore) {
+	d.jn, d.prof = jn, prof
+}
+
 // Observe records one prediction-vs-measurement pair for the named metric
 // ("throughput" or "cycle_time") at the given user count, against the given
 // bound. It returns the deviation ratio and whether it breached the bound.
@@ -91,6 +105,25 @@ func (d *DeviationTracker) Observe(metric string, users int, measured, predicted
 		d.mu.Lock()
 		d.violations = append(d.violations, ev)
 		d.mu.Unlock()
+		// The breach is the journal's flagship anomaly: append the event
+		// (linking the deviation trace) and grab a rate-limited profile of
+		// the node at the moment its model went stale.
+		profileID, _ := d.prof.Capture(journal.TypeDeviationBreach, ev.TraceID)
+		d.jn.Append(journal.TypeDeviationBreach,
+			fmt.Sprintf("%s deviation %.1f%% breached %.0f%% bound at N=%d",
+				ev.Metric, 100*ev.Ratio, 100*ev.Bound, ev.Users),
+			journal.Event{
+				TraceID:   ev.TraceID,
+				ProfileID: profileID,
+				Attrs: []journal.Attr{
+					{Key: "metric", Value: ev.Metric},
+					{Key: "users", Value: fmt.Sprintf("%d", ev.Users)},
+					{Key: "measured", Value: fmt.Sprintf("%.6g", ev.Measured)},
+					{Key: "predicted", Value: fmt.Sprintf("%.6g", ev.Predicted)},
+					{Key: "ratio", Value: fmt.Sprintf("%.4f", ev.Ratio)},
+					{Key: "bound", Value: fmt.Sprintf("%.2f", ev.Bound)},
+				},
+			})
 	}
 	return ratio, over
 }

@@ -14,12 +14,16 @@ import (
 	"testing"
 )
 
-// Sample is one parsed exposition line: name{labels} value.
+// Sample is one parsed exposition line: name{labels} value, optionally
+// followed by an OpenMetrics exemplar (`# {trace_id="…"} value timestamp`)
+// on _bucket lines.
 type Sample struct {
 	Name   string
 	Labels []Label
 	Value  float64
 	Line   string
+	// Exemplar holds the raw exemplar portion after " # " ("" when absent).
+	Exemplar string
 }
 
 // Label returns the value of the named label, or "" when absent.
@@ -144,12 +148,58 @@ func parseSampleLine(line string) (Sample, error) {
 			labels = strings.TrimPrefix(tail, ",")
 		}
 	}
+	// An exemplar rides after the value as ` # {labels} value [timestamp]`
+	// (OpenMetrics); split it off and validate its shape separately.
+	if value, exemplar, found := strings.Cut(rest, " # "); found {
+		if err := checkExemplar(exemplar); err != nil {
+			return s, err
+		}
+		s.Exemplar = exemplar
+		rest = value
+	}
 	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
 	if err != nil {
 		return s, fmt.Errorf("bad value: %v", err)
 	}
 	s.Value = v
 	return s, nil
+}
+
+// checkExemplar validates the portion after " # ": a {label="value",...} set
+// followed by a float value and an optional float timestamp.
+func checkExemplar(ex string) error {
+	if len(ex) == 0 || ex[0] != '{' {
+		return fmt.Errorf("exemplar without label set: %q", ex)
+	}
+	end := strings.Index(ex, "}")
+	if end < 0 {
+		return fmt.Errorf("unterminated exemplar label set: %q", ex)
+	}
+	labels := ex[1:end]
+	for len(labels) > 0 {
+		eq := strings.Index(labels, "=")
+		if eq < 0 {
+			return fmt.Errorf("exemplar label without =: %q", ex)
+		}
+		if !labelNameRe.MatchString(labels[:eq]) {
+			return fmt.Errorf("illegal exemplar label name %q", labels[:eq])
+		}
+		_, tail, err := cutQuoted(labels[eq+1:])
+		if err != nil {
+			return err
+		}
+		labels = strings.TrimPrefix(tail, ",")
+	}
+	fields := strings.Fields(ex[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("exemplar needs a value and optional timestamp: %q", ex)
+	}
+	for _, f := range fields {
+		if _, err := strconv.ParseFloat(f, 64); err != nil {
+			return fmt.Errorf("bad exemplar number %q: %v", f, err)
+		}
+	}
+	return nil
 }
 
 // cutQuoted splits a leading Go-quoted string off s.

@@ -18,6 +18,20 @@ type FixedHistogram struct {
 	counts []uint64  // per-bucket counts; counts[len(bounds)] is the +Inf bucket
 	sum    float64
 	count  uint64
+
+	// exemplars[i] is the most recent traced observation that landed in
+	// bucket i (zero TraceID: none). Allocated lazily on the first
+	// ObserveWithExemplar so the plain Observe path stays allocation-free.
+	exemplars []Exemplar
+}
+
+// Exemplar is one traced observation attached to a histogram bucket, in the
+// OpenMetrics exemplar shape: the trace id, the observed value and its wall
+// time — a p99 spike on a dashboard links straight to a stitched trace.
+type Exemplar struct {
+	TraceID     string
+	Value       float64
+	UnixSeconds float64
 }
 
 // NewFixedHistogram builds a histogram with the given ascending upper bounds
@@ -58,6 +72,22 @@ func (h *FixedHistogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+}
+
+// ObserveWithExemplar counts one value and, when traceID is non-empty,
+// remembers it as the containing bucket's exemplar (most recent wins).
+func (h *FixedHistogram) ObserveWithExemplar(v float64, traceID string, unixSeconds float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	if traceID == "" {
+		return
+	}
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{TraceID: traceID, Value: v, UnixSeconds: unixSeconds}
 }
 
 // Count returns the number of observations.
@@ -118,6 +148,20 @@ func (h *FixedHistogram) Quantile(q float64) float64 {
 // and `_count` lines for the given metric name, with an optional pre-rendered
 // label set like `handler="solve"` spliced alongside the `le` label.
 func (h *FixedHistogram) WritePrometheus(w io.Writer, name, labels string) error {
+	return h.writePrometheus(w, name, labels, false)
+}
+
+// WritePrometheusExemplars is WritePrometheus with each bucket's most
+// recent traced observation appended in the OpenMetrics exemplar syntax:
+//
+//	name_bucket{le="0.5"} 7 # {trace_id="…"} 0.41 1700000000.123
+//
+// Buckets without an exemplar render exactly as WritePrometheus does.
+func (h *FixedHistogram) WritePrometheusExemplars(w io.Writer, name, labels string) error {
+	return h.writePrometheus(w, name, labels, true)
+}
+
+func (h *FixedHistogram) writePrometheus(w io.Writer, name, labels string, withExemplars bool) error {
 	bounds, counts := h.Cumulative()
 	for i, b := range bounds {
 		le := "+Inf"
@@ -128,7 +172,12 @@ func (h *FixedHistogram) WritePrometheus(w io.Writer, name, labels string) error
 		if labels != "" {
 			sep = ","
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, counts[i]); err != nil {
+		ex := ""
+		if withExemplars && i < len(h.exemplars) && h.exemplars[i].TraceID != "" {
+			e := h.exemplars[i]
+			ex = fmt.Sprintf(" # {trace_id=%q} %g %.3f", e.TraceID, e.Value, e.UnixSeconds)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d%s\n", name, labels, sep, le, counts[i], ex); err != nil {
 			return err
 		}
 	}

@@ -24,6 +24,7 @@ package selfmodel
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -32,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/estimate"
+	"repro/internal/journal"
 	"repro/internal/monitor"
 	"repro/internal/queueing"
 	"repro/internal/report"
@@ -78,9 +80,17 @@ type Config struct {
 	Estimate estimate.Config
 	// Tracker scores predicted-vs-observed windows (nil: a standalone one).
 	Tracker *monitor.DeviationTracker
+	// Journal, when non-nil, receives a TypeSelfReady event on warmup→ready
+	// and a TypeKneeShift event when the predicted saturation knee moves by
+	// KneeShiftThreshold or more between published reports.
+	Journal *journal.Journal
 	// Now is the monitor's clock (default time.Now; tests inject one).
 	Now func() time.Time
 }
+
+// KneeShiftThreshold is the relative KneeN change between two published
+// reports that is journaled as a knee shift (10%).
+const KneeShiftThreshold = 0.10
 
 func (c *Config) defaults() {
 	if c.Workers < 1 {
@@ -717,8 +727,46 @@ func (m *Monitor) publishLocked(w *Window, inflightAvg, x, mean, p50, p99 float6
 		}
 		rep.Curve = downsample(c)
 	}
+	m.journalTransitionsLocked(prev, rep)
 	m.rep.Store(rep)
 	return rep
+}
+
+// journalTransitionsLocked appends the report-to-report state transitions
+// the journal tracks: warmup→ready, and a saturation knee moving by
+// KneeShiftThreshold or more (mu held; journal appends take a leaf lock).
+func (m *Monitor) journalTransitionsLocked(prev, rep *Report) {
+	jn := m.cfg.Journal
+	if !jn.Enabled() {
+		return
+	}
+	if rep.Ready && (prev == nil || !prev.Ready) {
+		jn.Append(journal.TypeSelfReady,
+			fmt.Sprintf("self-model ready: max safe concurrency %d", rep.MaxSafeN),
+			journal.Event{Attrs: []journal.Attr{
+				{Key: "snapshot_version", Value: fmt.Sprintf("%d", rep.SnapshotVersion)},
+				{Key: "max_safe_n", Value: fmt.Sprintf("%d", rep.MaxSafeN)},
+				{Key: "knee_n", Value: fmt.Sprintf("%d", rep.KneeN)},
+			}})
+		return
+	}
+	if prev == nil || !prev.Ready || !rep.Ready || !prev.Saturated || !rep.Saturated {
+		return
+	}
+	if prev.KneeN <= 0 || rep.KneeN == prev.KneeN {
+		return
+	}
+	shift := math.Abs(float64(rep.KneeN-prev.KneeN)) / float64(prev.KneeN)
+	if shift < KneeShiftThreshold {
+		return
+	}
+	jn.Append(journal.TypeKneeShift,
+		fmt.Sprintf("saturation knee moved %d -> %d (%.0f%%)", prev.KneeN, rep.KneeN, 100*shift),
+		journal.Event{Attrs: []journal.Attr{
+			{Key: "old_knee_n", Value: fmt.Sprintf("%d", prev.KneeN)},
+			{Key: "new_knee_n", Value: fmt.Sprintf("%d", rep.KneeN)},
+			{Key: "snapshot_version", Value: fmt.Sprintf("%d", rep.SnapshotVersion)},
+		}})
 }
 
 // downsample thins a full trajectory to ~64 stride-sampled points, always keeping

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 )
 
 // solveCache is the prefix-reusing LRU solve cache. Entries are keyed by the
@@ -24,6 +25,10 @@ import (
 // rows beyond every published snapshot and capacity growth reallocates, so
 // readers never observe a write.
 type solveCache struct {
+	// jn journals evictions under LRU pressure (nil-safe; set by server.New
+	// before traffic, appended to under mu — Append takes only a leaf lock).
+	jn *journal.Journal
+
 	mu    sync.Mutex
 	max   int                    // entry cap; <= 0 disables storage (dedup still applies)
 	ll    *list.List             // front = most recently used, of *cacheEntry
@@ -133,6 +138,8 @@ func (c *solveCache) evictLRU() {
 	c.ll.Remove(back)
 	delete(c.items, e.key)
 	e.evicted.Store(true)
+	c.jn.Append(journal.TypeCacheEvict, "solve-cache entry evicted under LRU pressure",
+		journal.Event{Attrs: []journal.Attr{{Key: "key", Value: e.key}}})
 	select {
 	case e.lock <- struct{}{}: // idle: reclaim now
 		c.unlockEntry(e)

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/estimate"
+	"repro/internal/journal"
 	"repro/internal/modelio"
 	"repro/internal/queueing"
 	"repro/internal/telemetry"
@@ -66,6 +67,7 @@ func (s *Server) estimator(model *queueing.Model) (*estimate.Estimator, *estimat
 	}
 	ctl := estimate.NewController(est, s.tracker)
 	ctl.OnRefit = func(_, newVersion uint64) { s.invalidateEstimateKeys(newVersion) }
+	ctl.Journal = s.cfg.Journal
 	// A new model obsoletes every snapshot of the old one: forget the key
 	// tracking under the lock, evict the cache entries after releasing it
 	// (cache eviction never runs under er.mu — see invalidateEstimateKeys).
@@ -103,11 +105,31 @@ func (s *Server) invalidateEstimateKeys(keep uint64) {
 	er.mu.Lock()
 	victims := s.dropEstimateKeysLocked(er, keep)
 	er.mu.Unlock()
+	evicted := 0
 	for _, key := range victims {
 		if s.cache.remove(key) {
 			er.invalidations.Add(1)
+			evicted++
 		}
 	}
+	if len(victims) > 0 {
+		s.cfg.Journal.Append(journal.TypeCacheInvalidate,
+			fmt.Sprintf("invalidated %d stale solve-cache entr%s (snapshot superseded)",
+				evicted, plural(evicted, "y", "ies")),
+			journal.Event{Attrs: []journal.Attr{
+				{Key: "evicted", Value: strconv.Itoa(evicted)},
+				{Key: "tracked", Value: strconv.Itoa(len(victims))},
+				{Key: "kept_version", Value: strconv.FormatUint(keep, 10)},
+			}})
+	}
+}
+
+// plural picks the singular or plural suffix for n.
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // dropEstimateKeysLocked forgets tracked keys for every version except keep

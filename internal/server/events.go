@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/journal"
+)
+
+// EventsResponse is the GET /debug/events body: one node's journal slice
+// plus its occupancy stats. The cluster's fleet-timeline endpoint collects
+// these from every member and merges them.
+type EventsResponse struct {
+	Node   string          `json:"node"`
+	Stats  journal.Stats   `json:"stats"`
+	Events []journal.Event `json:"events"`
+}
+
+// handleEvents serves GET /debug/events: the node's retained journal events
+// in sequence order. Query parameters:
+//
+//	type=NAME   one event type (see journal.Types)
+//	since=SEQ   events with sequence number > SEQ
+//	trace=ID    events carrying this trace id
+//	limit=N     the newest N matching events (still ascending)
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jn := s.cfg.Journal
+	if !jn.Enabled() {
+		s.writeError(w, http.StatusNotFound, "event journal disabled")
+		return
+	}
+	q := r.URL.Query()
+	f := journal.Filter{Type: q.Get("type"), TraceID: q.Get("trace")}
+	if f.Type != "" && !journal.KnownType(f.Type) {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown event type %q", f.Type))
+		return
+	}
+	if v := q.Get("since"); v != "" {
+		since, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad since %q", v))
+			return
+		}
+		f.SinceSeq = since
+	}
+	if v := q.Get("limit"); v != "" {
+		limit, err := strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad limit %q", v))
+			return
+		}
+		f.Limit = limit
+	}
+	s.writeJSON(w, http.StatusOK, EventsResponse{
+		Node:   jn.Node(),
+		Stats:  jn.Stats(),
+		Events: jn.Events(f),
+	})
+}
+
+// ProfilesResponse is the GET /debug/profiles body: the anomaly profile
+// store's retained captures (metadata only; the raw pprof bytes are served
+// per profile) plus its health counters.
+type ProfilesResponse struct {
+	Node     string               `json:"node"`
+	Stats    journal.ProfileStats `json:"stats"`
+	Profiles []journal.Profile    `json:"profiles"`
+}
+
+// handleProfileIndex serves GET /debug/profiles: capture metadata plus
+// store health.
+func (s *Server) handleProfileIndex(w http.ResponseWriter, _ *http.Request) {
+	ps := s.cfg.Profiles
+	if !ps.Enabled() {
+		s.writeError(w, http.StatusNotFound, "anomaly profile capture disabled")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ProfilesResponse{
+		Node:     s.cfg.Journal.Node(),
+		Stats:    ps.Stats(),
+		Profiles: ps.List(),
+	})
+}
+
+// handleProfileGet serves GET /debug/profiles/{id}: the raw pprof proto of
+// one capture, ready for `go tool pprof`. ?kind=heap selects the heap
+// snapshot (when the store captures them); the default is the CPU profile.
+// A capture still in flight answers 409 so callers can retry.
+func (s *Server) handleProfileGet(w http.ResponseWriter, r *http.Request) {
+	ps := s.cfg.Profiles
+	if !ps.Enabled() {
+		s.writeError(w, http.StatusNotFound, "anomaly profile capture disabled")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/profiles/")
+	pr, ok := ps.Get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "profile not found")
+		return
+	}
+	switch pr.State {
+	case "capturing":
+		s.writeError(w, http.StatusConflict, fmt.Sprintf("profile %s still capturing", id))
+		return
+	case "failed":
+		s.writeError(w, http.StatusGone, fmt.Sprintf("profile %s failed: %s", id, pr.Error))
+		return
+	}
+	body := pr.CPU
+	kind := r.URL.Query().Get("kind")
+	switch kind {
+	case "", "cpu":
+		kind = "cpu"
+	case "heap":
+		body = pr.Heap
+		if len(body) == 0 {
+			s.writeError(w, http.StatusNotFound, "no heap snapshot for this capture")
+			return
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad kind %q (want cpu or heap)", kind))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%s-%s.pb.gz", id, kind))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}

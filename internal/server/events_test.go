@@ -1,0 +1,263 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/modelio"
+	"repro/internal/promtest"
+)
+
+func getEvents(t *testing.T, base, query string) (*http.Response, EventsResponse) {
+	t.Helper()
+	resp, body := getBody(t, base+"/debug/events"+query)
+	var out EventsResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("events body: %v\n%s", err, body)
+		}
+	}
+	return resp, out
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	jn := journal.New(journal.Config{Node: "ev-test"})
+	_, ts := newTestServer(t, Config{Journal: jn})
+
+	// The server's own startup already journals (admission mode); everything
+	// we assert is relative to that baseline.
+	base := jn.Stats().LastSeq
+	jn.Append(journal.TypeRefit, "demand refit", journal.Event{TraceID: "trace-a"})
+	jn.Append(journal.TypeDeviationBreach, "breach", journal.Event{TraceID: "trace-b"})
+	jn.Append(journal.TypeRefit, "second refit", journal.Event{})
+	last := base + 3
+
+	resp, out := getEvents(t, ts.URL, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if out.Node != "ev-test" || uint64(len(out.Events)) != last {
+		t.Fatalf("events = %+v", out)
+	}
+	if !out.Stats.Enabled || out.Stats.Appended != last {
+		t.Errorf("stats = %+v", out.Stats)
+	}
+	for i := 1; i < len(out.Events); i++ {
+		if out.Events[i].Seq <= out.Events[i-1].Seq {
+			t.Errorf("events not in sequence order: %+v", out.Events)
+		}
+	}
+
+	if _, out := getEvents(t, ts.URL, "?type=refit"); len(out.Events) != 2 {
+		t.Errorf("type filter kept %d events", len(out.Events))
+	}
+	if _, out := getEvents(t, ts.URL, "?trace=trace-b"); len(out.Events) != 1 ||
+		out.Events[0].Message != "breach" {
+		t.Errorf("trace filter = %+v", out.Events)
+	}
+	if _, out := getEvents(t, ts.URL, fmt.Sprintf("?since=%d", last-1)); len(out.Events) != 1 ||
+		out.Events[0].Seq != last {
+		t.Errorf("since filter = %+v", out.Events)
+	}
+	if _, out := getEvents(t, ts.URL, "?limit=1"); len(out.Events) != 1 ||
+		out.Events[0].Seq != last {
+		t.Errorf("limit should tail: %+v", out.Events)
+	}
+
+	for _, bad := range []string{"?type=nope", "?since=-1", "?since=x", "?limit=-2", "?limit=x"} {
+		if resp, _ := getEvents(t, ts.URL, bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s -> %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestEventsEndpointDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, _ := getEvents(t, ts.URL, ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("events without a journal -> %d, want 404", resp.StatusCode)
+	}
+	resp, _ := getBody(t, ts.URL+"/debug/profiles")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("profiles without a store -> %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerTrafficFeedsJournal checks the end-to-end plumbing: solve-shaped
+// traffic through a journal-equipped server lands real events (the cache
+// invalidation path via /v1/estimate/observe fit).
+func TestServerTrafficFeedsJournal(t *testing.T) {
+	jn := journal.New(journal.Config{Node: "feed-test"})
+	srv, ts := newTestServer(t, Config{Journal: jn})
+	if srv.Journal() != jn {
+		t.Fatal("server does not expose its journal")
+	}
+
+	postJSON(t, ts.URL+"/v1/solve", modelio.SolveRequest{Model: testModel(), MaxN: 20})
+	req := observeBody(t, estTestModel(), estTruth(1), 8, true, 0)
+	req.Fit = true
+	postObserve(t, ts, req)
+	// A whatif solve caches against snapshot v1; the next fit supersedes it
+	// and should journal the invalidation sweep.
+	getWhatIf(t, ts, "station=db/disk&maxN=30")
+	req2 := observeBody(t, estTestModel(), estTruth(1.2), 8, true, 0)
+	req2.Fit = true
+	postObserve(t, ts, req2)
+
+	if evs := jn.Events(journal.Filter{Type: journal.TypeRefit}); len(evs) == 0 {
+		t.Error("fit produced no refit event")
+	}
+	if evs := jn.Events(journal.Filter{Type: journal.TypeSnapshot}); len(evs) == 0 {
+		t.Error("fit produced no snapshot event")
+	}
+	if evs := jn.Events(journal.Filter{Type: journal.TypeCacheInvalidate}); len(evs) == 0 {
+		t.Error("fit produced no cache-invalidation event")
+	}
+}
+
+func TestProfileEndpoints(t *testing.T) {
+	jn := journal.New(journal.Config{Node: "prof-test"})
+	ps := journal.NewProfileStore(journal.ProfileConfig{
+		Node: "prof-test", CPUDuration: 50 * time.Millisecond, Journal: jn,
+	})
+	_, ts := newTestServer(t, Config{Journal: jn, Profiles: ps})
+
+	id, ok := ps.Capture(journal.TypeDeviationBreach, "trace-p")
+	if !ok {
+		t.Fatal("capture refused")
+	}
+	// Mid-capture the raw endpoint answers 409.
+	if resp, _ := getBody(t, ts.URL+"/debug/profiles/"+id); resp.StatusCode != http.StatusConflict {
+		t.Errorf("capturing profile -> %d, want 409", resp.StatusCode)
+	}
+	waitProfileDone(t, ps, id)
+
+	resp, body := getBody(t, ts.URL+"/debug/profiles")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status %d", resp.StatusCode)
+	}
+	var idx ProfilesResponse
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Profiles) != 1 || idx.Profiles[0].ID != id || idx.Profiles[0].State != "done" {
+		t.Fatalf("index = %+v", idx)
+	}
+	if idx.Stats.Captures != 1 {
+		t.Errorf("index stats = %+v", idx.Stats)
+	}
+	// The pprof bytes never ride in the JSON index.
+	if strings.Contains(body, `"cpu"`) {
+		t.Error("index body leaks raw profile bytes")
+	}
+
+	resp, raw := getBody(t, ts.URL+"/debug/profiles/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile get status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(raw) == 0 {
+		t.Error("profile body empty")
+	}
+
+	if resp, _ := getBody(t, ts.URL+"/debug/profiles/prof-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown profile -> %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/debug/profiles/"+id+"?kind=heap"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent heap snapshot -> %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := getBody(t, ts.URL+"/debug/profiles/"+id+"?kind=goroutine"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad kind -> %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatusReportsJournalOccupancy(t *testing.T) {
+	jn := journal.New(journal.Config{Node: "occ-test"})
+	ps := journal.NewProfileStore(journal.ProfileConfig{
+		Node: "occ-test", CPUDuration: 10 * time.Millisecond, Journal: jn,
+	})
+	_, ts := newTestServer(t, Config{Journal: jn, Profiles: ps})
+
+	jn.Append(journal.TypeHedge, "hedge", journal.Event{})
+	id, _ := ps.Capture(journal.TypeBreaker, "")
+	waitProfileDone(t, ps, id)
+
+	_, body := getBody(t, ts.URL+"/v1/status")
+	var st struct {
+		Journal  *journal.Stats        `json:"journal"`
+		Profiles *journal.ProfileStats `json:"profiles"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Journal == nil || st.Journal.Appended < 2 { // hedge + profile_capture
+		t.Fatalf("status journal = %+v", st.Journal)
+	}
+	if st.Profiles == nil || st.Profiles.Captures != 1 || st.Profiles.LastCaptureUnixMS == 0 {
+		t.Fatalf("status profiles = %+v", st.Profiles)
+	}
+
+	// Without the subsystems wired the fields stay omitted.
+	_, ts2 := newTestServer(t, Config{})
+	_, body2 := getBody(t, ts2.URL+"/v1/status")
+	if strings.Contains(body2, `"journal"`) || strings.Contains(body2, `"profiles"`) {
+		t.Error("bare status body carries journal/profiles fields")
+	}
+}
+
+// TestRequestDurationExemplar: the latency histogram's slow buckets carry the
+// most recent trace id as an OpenMetrics exemplar, linking a histogram spike
+// straight to its stitched trace.
+func TestRequestDurationExemplar(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	traceID := strings.Repeat("ab", 8)
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	families := promtest.ParseExposition(t, body)
+	f, ok := families["solverd_request_duration_seconds"]
+	if !ok {
+		t.Fatal("request-duration family missing")
+	}
+	found := false
+	for _, s := range f.Samples {
+		if strings.HasSuffix(s.Name, "_bucket") && s.Label("handler") == "status" &&
+			strings.Contains(s.Exemplar, `trace_id="`+traceID+`"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no status bucket carries exemplar trace %s:\n%s", traceID, body)
+	}
+}
+
+func waitProfileDone(t *testing.T, ps *journal.ProfileStore, id string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if pr, ok := ps.Get(id); ok && pr.State != "capturing" {
+			if pr.State != "done" {
+				t.Fatalf("capture %s state %q: %s", id, pr.State, pr.Error)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("capture %s did not finish", id)
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/report"
 )
@@ -75,8 +76,10 @@ func (m *serverMetrics) observeFixedPoint(iters int, converged bool) {
 	}
 }
 
-// observeRequest records one finished HTTP request.
-func (m *serverMetrics) observeRequest(handler string, code int, seconds float64) {
+// observeRequest records one finished HTTP request. traceID (may be empty)
+// becomes the latency bucket's exemplar, linking a histogram spike straight
+// to the request's stitched trace.
+func (m *serverMetrics) observeRequest(handler string, code int, seconds float64, traceID string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[reqKey{handler, code}]++
@@ -85,7 +88,7 @@ func (m *serverMetrics) observeRequest(handler string, code int, seconds float64
 		h, _ = report.NewFixedHistogram(report.DefaultLatencyBounds()...)
 		m.latency[handler] = h
 	}
-	h.Observe(seconds)
+	h.ObserveWithExemplar(seconds, traceID, float64(time.Now().UnixMilli())/1000)
 }
 
 // solveStarted/solveFinished bracket one solver run for the in-flight gauge.
@@ -123,7 +126,7 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cacheEntries int, solves []
 	sort.Strings(handlers)
 	for _, h := range handlers {
 		labels := fmt.Sprintf("handler=%q", h)
-		if err := m.latency[h].WritePrometheus(w, "solverd_request_duration_seconds", labels); err != nil {
+		if err := m.latency[h].WritePrometheusExemplars(w, "solverd_request_duration_seconds", labels); err != nil {
 			return err
 		}
 	}

@@ -67,7 +67,7 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 			if recordableHandler(name) {
 				s.cfg.Recorder.Record(tr, name, rec.code, elapsed)
 			}
-			s.metrics.observeRequest(name, rec.code, elapsed.Seconds())
+			s.metrics.observeRequest(name, rec.code, elapsed.Seconds(), id)
 			attrs := make([]slog.Attr, 0, 8)
 			attrs = append(attrs,
 				slog.String("id", id),
@@ -175,7 +175,8 @@ func selfSampledHandler(name string) bool {
 // the recorder observe itself.
 func recordableHandler(name string) bool {
 	switch name {
-	case "healthz", "metrics", "traces", "trace", "cluster-trace":
+	case "healthz", "metrics", "traces", "trace", "cluster-trace",
+		"events", "profiles", "profile", "cluster-events":
 		return false
 	}
 	return true

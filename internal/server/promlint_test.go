@@ -108,6 +108,14 @@ func TestPrometheusExpositionLint(t *testing.T) {
 		"solverd_admission_redirected_total",
 		"solverd_admission_coalesced_total",
 		"solverd_admission_coalesce_waiters",
+		"solverd_journal_events_stored",
+		"solverd_journal_events_total",
+		"solverd_journal_events_evicted_total",
+		"solverd_profile_capture_total",
+		"solverd_profile_capture_failures_total",
+		"solverd_profile_capture_skipped_total",
+		"solverd_profile_capture_stored",
+		"solverd_profile_capture_last_unix_seconds",
 	)
 
 	promtest.LintFamilies(t, families)

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/estimate"
+	"repro/internal/journal"
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/selfmodel"
@@ -96,6 +97,14 @@ type Config struct {
 	// pool. The zero value observes: every request is evaluated and counted
 	// but none is refused, so behavior stays identical to a gate-less node.
 	Admission admission.Config
+	// Journal, when non-nil, is the bounded event journal every stateful
+	// subsystem feeds (deviation breaches, refits, cache invalidations and
+	// evictions, admission transitions, drain) and /debug/events serves.
+	// Its occupancy families join /metrics either way (zeroed when nil).
+	Journal *journal.Journal
+	// Profiles, when non-nil, captures rate-limited pprof profiles at the
+	// moment an anomaly fires and serves them on /debug/profiles/{id}.
+	Profiles *journal.ProfileStore
 }
 
 func (c *Config) defaults() {
@@ -173,14 +182,20 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.defaults()
 	tracker := monitor.NewDeviationTracker(cfg.Recorder)
+	// Every bound breach (request-facing and self-model — both flow through
+	// this shared tracker) lands in the event journal and may trigger an
+	// anomaly profile capture. Both hooks are nil-safe.
+	tracker.Instrument(cfg.Journal, cfg.Profiles)
 	// The self-model stations the server's own worker pool: its capacity is
 	// the pool's, and its deviation breaches flow into the shared tracker so
 	// self-prediction traces land in the same flight recorder.
 	selfCfg := cfg.Self
 	selfCfg.Workers = cfg.Workers
 	selfCfg.Tracker = tracker
+	selfCfg.Journal = cfg.Journal
 	selfmon := selfmodel.New(selfCfg)
 	adm := admission.New(cfg.Admission, selfmon)
+	adm.SetJournal(cfg.Journal, cfg.Profiles)
 	s := &Server{
 		cfg:       cfg,
 		cache:     newSolveCache(cfg.CacheSize),
@@ -206,6 +221,9 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	s.mux.Handle("/debug/traces", s.instrument("traces", http.MethodGet, s.handleTraceIndex))
 	s.mux.Handle("/debug/traces/", s.instrument("trace", http.MethodGet, s.handleTraceGet))
+	s.mux.Handle("/debug/events", s.instrument("events", http.MethodGet, s.handleEvents))
+	s.mux.Handle("/debug/profiles", s.instrument("profiles", http.MethodGet, s.handleProfileIndex))
+	s.mux.Handle("/debug/profiles/", s.instrument("profile", http.MethodGet, s.handleProfileGet))
 	if cfg.Recorder != nil {
 		s.RegisterMetrics(func(w io.Writer) error {
 			cfg.Recorder.WriteMetrics(w)
@@ -219,6 +237,12 @@ func New(cfg Config) *Server {
 	s.RegisterMetrics(s.writeEstimateMetrics)
 	s.RegisterMetrics(s.selfmon.WriteMetrics)
 	s.RegisterMetrics(s.admission.WriteMetrics)
+	// Journal and profile-capture families are likewise unconditional: the
+	// writers are nil-safe and emit the full (zeroed) schema when disabled.
+	s.RegisterMetrics(cfg.Journal.WriteMetrics)
+	s.RegisterMetrics(cfg.Profiles.WriteMetrics)
+	// The solve cache journals evictions under LRU pressure.
+	s.cache.jn = cfg.Journal
 	if cfg.EnablePprof {
 		// Registered on the server's own mux (not the global DefaultServeMux
 		// that importing net/http/pprof would populate), so profiling is
@@ -246,6 +270,15 @@ func (s *Server) Recorder() *obs.Recorder { return s.cfg.Recorder }
 // gateway shares it so redirects and sheds decided at the routing layer land
 // in the same counters the local gate uses.
 func (s *Server) Admission() *admission.Controller { return s.admission }
+
+// Journal returns the node's event journal (nil when journaling is off).
+// The cluster gateway appends its own events (breaker trips, membership,
+// hedges, redirects) to the same journal and serves the fleet merge from it.
+func (s *Server) Journal() *journal.Journal { return s.cfg.Journal }
+
+// Profiles returns the node's anomaly profile store (nil when capture is
+// off). The cluster gateway triggers captures on breaker trips.
+func (s *Server) Profiles() *journal.ProfileStore { return s.cfg.Profiles }
 
 // Mount replaces the handler Run/Serve expose — the cluster gateway installs
 // itself here so it can intercept /v1/solve and /v1/sweep for routing while
@@ -292,9 +325,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 	s.cfg.Logger.Info("solverd: shutting down, draining in-flight requests")
+	s.cfg.Journal.Append(journal.TypeDrain, "drain started", journal.Event{
+		Attrs: []journal.Attr{{Key: "phase", Value: "start"}}})
 	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
 	err := srv.Shutdown(shCtx)
+	outcome := "clean"
+	if err != nil {
+		outcome = err.Error()
+	}
+	s.cfg.Journal.Append(journal.TypeDrain, "drain finished", journal.Event{
+		Attrs: []journal.Attr{
+			{Key: "phase", Value: "finish"},
+			{Key: "outcome", Value: outcome}}})
 	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}

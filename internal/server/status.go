@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/journal"
 )
 
 // inflightSolve is one solver run currently executing. cur is advanced by the
@@ -108,17 +110,22 @@ func buildInfo() (goVersion, revision string) {
 	return goVersion, revision
 }
 
-// statusResponse is the GET /v1/status body.
+// statusResponse is the GET /v1/status body. Journal and Profiles report
+// the event journal's occupancy (events stored/dropped per type) and the
+// anomaly capture store's health; both are omitted when the subsystem is
+// disabled so pre-journal consumers see an unchanged body.
 type statusResponse struct {
-	Service       string               `json:"service"`
-	GoVersion     string               `json:"goVersion"`
-	Revision      string               `json:"revision"`
-	UptimeSeconds float64              `json:"uptimeSeconds"`
-	Workers       int                  `json:"workers"`
-	CacheCapacity int                  `json:"cacheCapacity"`
-	MaxN          int                  `json:"maxN"`
-	Cache         []cacheEntrySnapshot `json:"cache"`
-	InFlight      []inflightSnapshot   `json:"inFlight"`
+	Service       string                `json:"service"`
+	GoVersion     string                `json:"goVersion"`
+	Revision      string                `json:"revision"`
+	UptimeSeconds float64               `json:"uptimeSeconds"`
+	Workers       int                   `json:"workers"`
+	CacheCapacity int                   `json:"cacheCapacity"`
+	MaxN          int                   `json:"maxN"`
+	Cache         []cacheEntrySnapshot  `json:"cache"`
+	InFlight      []inflightSnapshot    `json:"inFlight"`
+	Journal       *journal.Stats        `json:"journal,omitempty"`
+	Profiles      *journal.ProfileStats `json:"profiles,omitempty"`
 }
 
 // handleStatus serves GET /v1/status: uptime and build info, the solve
@@ -127,7 +134,7 @@ type statusResponse struct {
 // solverd_solve_progress metric.
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	goVersion, revision := buildInfo()
-	s.writeJSON(w, http.StatusOK, statusResponse{
+	resp := statusResponse{
 		Service:       "solverd",
 		GoVersion:     goVersion,
 		Revision:      revision,
@@ -137,5 +144,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		MaxN:          s.cfg.MaxN,
 		Cache:         s.cache.entries(),
 		InFlight:      s.inflight.snapshot(),
-	})
+	}
+	if s.cfg.Journal.Enabled() {
+		js := s.cfg.Journal.Stats()
+		resp.Journal = &js
+	}
+	if s.cfg.Profiles.Enabled() {
+		ps := s.cfg.Profiles.Stats()
+		resp.Profiles = &ps
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
